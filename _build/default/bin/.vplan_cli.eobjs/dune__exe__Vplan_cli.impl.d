@@ -1,0 +1,1 @@
+bin/vplan_cli.ml: Arg Cmd Cmdliner Format Fun List Term Vplan

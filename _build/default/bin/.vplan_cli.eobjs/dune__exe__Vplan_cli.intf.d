@@ -1,0 +1,1 @@
+bin/vplan_cli.mli:

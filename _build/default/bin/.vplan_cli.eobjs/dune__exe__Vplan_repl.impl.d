@@ -1,0 +1,1 @@
+bin/vplan_repl.ml: Format Fun List String Unix Vplan

@@ -1,0 +1,1 @@
+bin/vplan_repl.mli:

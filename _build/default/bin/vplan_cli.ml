@@ -1,0 +1,307 @@
+(* vplan command-line interface.
+
+   Input files are Datalog programs: the first rule is the query, every
+   other rule a view definition — except, for [classify], rules whose head
+   predicate matches the query's, which are treated as candidate
+   rewritings.  Data files contain ground facts. *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let parse_program_file path =
+  match Vplan.Parser.parse_program (read_file path) with
+  | Error msg ->
+      Format.eprintf "%s: parse error: %s@." path msg;
+      exit 2
+  | Ok [] ->
+      Format.eprintf "%s: empty program@." path;
+      exit 2
+  | Ok (query :: rest) -> (query, rest)
+
+let split_views_and_candidates (query : Vplan.Query.t) rules =
+  let qpred = query.head.Vplan.Atom.pred in
+  List.partition (fun (r : Vplan.Query.t) -> r.head.Vplan.Atom.pred <> qpred) rules
+
+(* ------------------------------------------------------------------ *)
+(* rewrite                                                             *)
+
+let rewrite_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let all_minimal =
+    Arg.(value & flag & info [ "all-minimal" ] ~doc:"Run CoreCover* (all minimal rewritings for cost model M2) instead of GMRs only.")
+  in
+  let no_group =
+    Arg.(value & flag & info [ "no-group" ] ~doc:"Disable equivalence-class grouping of views.")
+  in
+  let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print view tuples and tuple-cores.") in
+  let run file all_minimal no_group verbose =
+    let query, rest = parse_program_file file in
+    let views, _ = split_views_and_candidates query rest in
+    let result =
+      if all_minimal then
+        Vplan.Corecover.all_minimal ~group_views:(not no_group) ~query ~views ()
+      else Vplan.Corecover.gmrs ~group_views:(not no_group) ~query ~views ()
+    in
+    Format.printf "query (minimized): %a@." Vplan.Query.pp result.minimized_query;
+    Format.printf "views: %d in %d equivalence classes@." result.stats.num_views
+      result.stats.num_view_classes;
+    Format.printf "view tuples: %d (%d representatives)@." result.stats.num_view_tuples
+      result.stats.num_representative_tuples;
+    if verbose then begin
+      Format.printf "tuple-cores:@.";
+      List.iter
+        (fun (tv, core) ->
+          Format.printf "  %a covers %a@." Vplan.View_tuple.pp tv Vplan.Tuple_core.pp core)
+        result.cores
+    end;
+    if result.filters <> [] then begin
+      Format.printf "filter candidates:";
+      List.iter (fun tv -> Format.printf " %a" Vplan.View_tuple.pp tv) result.filters;
+      Format.printf "@."
+    end;
+    (match result.rewritings with
+    | [] -> Format.printf "no equivalent rewriting exists@."
+    | rs ->
+        Format.printf "%s (%d):@."
+          (if all_minimal then "minimal rewritings" else "globally-minimal rewritings")
+          (List.length rs);
+        List.iter (fun p -> Format.printf "  %a@." Vplan.Query.pp p) rs)
+  in
+  Cmd.v
+    (Cmd.info "rewrite" ~doc:"Generate rewritings of a query using views (CoreCover).")
+    Term.(const run $ file $ all_minimal $ no_group $ verbose)
+
+(* ------------------------------------------------------------------ *)
+(* plan                                                                *)
+
+let database_of_file path =
+  match Vplan.Parser.parse_facts (read_file path) with
+  | Error msg ->
+      Format.eprintf "%s: parse error: %s@." path msg;
+      exit 2
+  | Ok facts -> Vplan.Database.of_facts facts
+
+let plan_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let data =
+    Arg.(required & opt (some file) None & info [ "data" ] ~docv:"DATA" ~doc:"Ground facts for the base relations.")
+  in
+  let cost =
+    Arg.(value
+         & opt (enum [ ("m1", `M1); ("m2", `M2); ("m3", `M3); ("m3-supplementary", `M3s) ]) `M2
+         & info [ "cost" ] ~docv:"MODEL" ~doc:"Cost model: m1, m2, m3 (renaming heuristic) or m3-supplementary.")
+  in
+  let explain_flag =
+    Arg.(value & flag & info [ "explain" ] ~doc:"Print the plan step by step with the sizes incurred.")
+  in
+  let run file data cost explain =
+    let query, rest = parse_program_file file in
+    let views, _ = split_views_and_candidates query rest in
+    let base = database_of_file data in
+    let t = Vplan.Optimizer.create ~query ~views ~base in
+    (match cost with
+    | `M1 -> (
+        match Vplan.Optimizer.best_m1 t with
+        | None -> Format.printf "no rewriting@."
+        | Some p ->
+            Format.printf "rewriting: %a@.cost (subgoals): %d@." Vplan.Query.pp p
+              (Vplan.M1.cost p))
+    | `M2 -> (
+        match Vplan.Optimizer.best_m2 t with
+        | None -> Format.printf "no rewriting@."
+        | Some c ->
+            Format.printf "rewriting: %a@." Vplan.Query.pp c.m2_rewriting;
+            Format.printf "join order:";
+            List.iter (fun a -> Format.printf " %a" Vplan.Atom.pp a) c.m2_order;
+            Format.printf "@.cost (M2): %d@." c.m2_cost;
+            if explain then
+              Vplan.Explain.m2 Format.std_formatter (Vplan.Optimizer.view_database t)
+                c.m2_order)
+    | (`M3 | `M3s) as strategy -> (
+        let strategy = if strategy = `M3 then `Heuristic else `Supplementary in
+        match Vplan.Optimizer.best_m3 ~strategy t with
+        | None -> Format.printf "no rewriting@."
+        | Some c ->
+            Format.printf "rewriting: %a@." Vplan.Query.pp c.m3_rewriting;
+            Format.printf "plan: %a@." Vplan.M3.pp_plan c.m3_plan;
+            Format.printf "cost (M3): %d@." c.m3_cost;
+            if explain then
+              Vplan.Explain.m3 Format.std_formatter (Vplan.Optimizer.view_database t)
+                c.m3_plan));
+    let truth = Vplan.Optimizer.answer t in
+    Format.printf "query answer size: %d@." (Vplan.Relation.cardinality truth)
+  in
+  Cmd.v
+    (Cmd.info "plan" ~doc:"Pick a cost-optimal rewriting and physical plan over a concrete database.")
+    Term.(const run $ file $ data $ cost $ explain_flag)
+
+(* ------------------------------------------------------------------ *)
+(* classify                                                            *)
+
+let classify_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let run file =
+    let query, rest = parse_program_file file in
+    let views, candidates = split_views_and_candidates query rest in
+    if candidates = [] then Format.printf "no candidate rewritings in the file@."
+    else begin
+      let lmrs =
+        List.filter (Vplan.Classify.is_lmr ~views ~query) candidates
+      in
+      List.iter
+        (fun p ->
+          let is_r = Vplan.Classify.is_rewriting ~views ~query p in
+          Format.printf "%a@." Vplan.Query.pp p;
+          Format.printf "  equivalent rewriting: %b@." is_r;
+          if is_r then begin
+            Format.printf "  minimal as query:     %b@." (Vplan.Classify.is_minimal_query p);
+            Format.printf "  locally minimal:      %b@."
+              (Vplan.Classify.is_lmr ~views ~query p);
+            Format.printf "  containment minimal:  %b@."
+              (Vplan.Classify.is_cmr_among ~lmrs p);
+            Format.printf "  globally minimal:     %b@."
+              (Vplan.Classify.is_gmr_among
+                 ~candidates:(Vplan.Corecover.gmrs ~query ~views ()).rewritings p)
+          end)
+        candidates
+    end
+  in
+  Cmd.v
+    (Cmd.info "classify"
+       ~doc:"Classify candidate rewritings (rules sharing the query's head predicate) as minimal / LMR / CMR / GMR.")
+    Term.(const run $ file)
+
+(* ------------------------------------------------------------------ *)
+(* certain                                                             *)
+
+let certain_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let data =
+    Arg.(required & opt (some file) None & info [ "data" ] ~docv:"DATA" ~doc:"Ground facts for the base relations.")
+  in
+  let algorithm =
+    Arg.(value
+         & opt (enum [ ("minicon", `Minicon); ("inverse-rules", `Inverse) ]) `Minicon
+         & info [ "algorithm" ] ~docv:"ALGO" ~doc:"minicon (maximally-contained union) or inverse-rules.")
+  in
+  let run file data algorithm =
+    let query, rest = parse_program_file file in
+    let views, _ = split_views_and_candidates query rest in
+    let base = database_of_file data in
+    let view_db = Vplan.Materialize.views base views in
+    (match algorithm with
+    | `Minicon -> (
+        match Vplan.Minicon.maximally_contained ~query ~views () with
+        | None -> Format.printf "no contained rewriting@."
+        | Some union ->
+            Format.printf "maximally-contained union:@.%a@." Vplan.Ucq.pp union;
+            Format.printf "certain answers: %a@." Vplan.Relation.pp
+              (Vplan.Eval.answers_ucq view_db union))
+    | `Inverse ->
+        Format.printf "certain answers: %a@." Vplan.Relation.pp
+          (Vplan.Inverse_rules.certain_answers ~views ~query view_db));
+    Format.printf "true answer over the given base: %a@." Vplan.Relation.pp
+      (Vplan.Eval.answers base query)
+  in
+  Cmd.v
+    (Cmd.info "certain"
+       ~doc:"Compute the certain answers under the open-world assumption (maximally-contained rewriting).")
+    Term.(const run $ file $ data $ algorithm)
+
+(* ------------------------------------------------------------------ *)
+(* datalog                                                             *)
+
+let datalog_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"PROGRAM") in
+  let data =
+    Arg.(required & opt (some file) None & info [ "data" ] ~docv:"DATA" ~doc:"Ground EDB facts.")
+  in
+  let query_arg =
+    Arg.(required & opt (some string) None & info [ "query" ] ~docv:"ATOM" ~doc:"Query atom, e.g. 'reach(sfo, X)'.")
+  in
+  let magic = Arg.(value & flag & info [ "magic" ] ~doc:"Use the magic-sets transformation.") in
+  let run file data query_str magic =
+    let program =
+      match Vplan.Program.parse (read_file file) with
+      | Ok p -> p
+      | Error msg ->
+          Format.eprintf "%s: %s@." file msg;
+          exit 2
+    in
+    let base = database_of_file data in
+    let query =
+      match Vplan.Parser.parse_atom query_str with
+      | Ok a -> a
+      | Error msg ->
+          Format.eprintf "--query: %s@." msg;
+          exit 2
+    in
+    let answers =
+      if magic then Vplan.Magic.answers program base ~query
+      else Vplan.Recursive_views.answers_direct ~program ~query base
+    in
+    Format.printf "%a@." Vplan.Relation.pp answers
+  in
+  Cmd.v
+    (Cmd.info "datalog"
+       ~doc:"Evaluate a (possibly recursive) Datalog program bottom-up, optionally with magic sets.")
+    Term.(const run $ file $ data $ query_arg $ magic)
+
+(* ------------------------------------------------------------------ *)
+(* generate                                                            *)
+
+let generate_cmd =
+  let shape =
+    Arg.(value
+         & opt (enum [ ("star", Vplan.Generator.Star); ("chain", Vplan.Generator.Chain);
+                       ("cycle", Vplan.Generator.Cycle); ("clique", Vplan.Generator.Clique);
+                       ("random", Vplan.Generator.Random_shape) ])
+             Vplan.Generator.Star
+         & info [ "shape" ] ~docv:"SHAPE" ~doc:"star, chain, cycle, clique or random.")
+  in
+  let views = Arg.(value & opt int 20 & info [ "views" ] ~docv:"N") in
+  let subgoals = Arg.(value & opt int 8 & info [ "subgoals" ] ~docv:"K") in
+  let nondist = Arg.(value & opt int 0 & info [ "nondistinguished" ] ~docv:"D") in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED") in
+  let run shape views subgoals nondist seed =
+    let config =
+      {
+        Vplan.Generator.default with
+        shape;
+        num_views = views;
+        query_subgoals = subgoals;
+        num_relations = subgoals;
+        nondistinguished_per_view = nondist;
+        seed;
+      }
+    in
+    let inst = Vplan.Generator.generate_with_rewriting config in
+    Format.printf "%% generated %s workload (seed %d)@."
+      (match shape with
+      | Vplan.Generator.Star -> "star"
+      | Vplan.Generator.Chain -> "chain"
+      | Vplan.Generator.Cycle -> "cycle"
+      | Vplan.Generator.Clique -> "clique"
+      | Vplan.Generator.Random_shape -> "random")
+      seed;
+    Format.printf "%a.@." Vplan.Query.pp inst.query;
+    List.iter (fun v -> Format.printf "%a.@." Vplan.Query.pp v) inst.views
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Generate a star/chain/random workload as a Datalog program.")
+    Term.(const run $ shape $ views $ subgoals $ nondist $ seed)
+
+let () =
+  let info =
+    Cmd.info "vplan" ~version:"1.0.0"
+      ~doc:"Generating efficient plans for queries using views (SIGMOD 2001 reproduction)."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ rewrite_cmd; plan_cmd; classify_cmd; certain_cmd; datalog_cmd; generate_cmd ]))

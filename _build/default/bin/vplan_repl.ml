@@ -1,0 +1,187 @@
+(* An interactive line-oriented REPL around the planner.
+
+   dune exec bin/vplan_repl.exe
+
+   Commands:
+     query <rule>.        set the query
+     view <rule>.         add a view definition
+     fact <atom>.         add a base fact
+     load <file>          load a program (first rule = query, rest views)
+     data <file>          load base facts
+     show                 print the current problem and database size
+     rewrite [all]        GMRs (or all minimal rewritings)
+     plan m1|m2|m3        cost-based plan over the current base facts
+     answer               evaluate the query directly over the base facts
+     certain              certain answers via inverse rules
+     reset                clear everything
+     help                 this text
+     quit                 exit *)
+
+type state = {
+  mutable query : Vplan.Query.t option;
+  mutable views : Vplan.View.t list;
+  mutable base : Vplan.Database.t;
+}
+
+let state = { query = None; views = []; base = Vplan.Database.empty }
+
+let help () =
+  print_endline
+    "commands: query <rule>. | view <rule>. | fact <atom>. | load FILE | data FILE\n\
+    \          show | rewrite [all] | plan m1|m2|m3 | answer | certain | reset | help | quit"
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let with_query f =
+  match state.query with
+  | None -> print_endline "no query set (use: query q(X) :- p(X).)"
+  | Some query -> f query
+
+let cmd_query rest =
+  match Vplan.Parser.parse_rule rest with
+  | Ok q ->
+      state.query <- Some q;
+      Format.printf "query: %a@." Vplan.Query.pp q
+  | Error e -> Format.printf "error: %s@." e
+
+let cmd_view rest =
+  match Vplan.Parser.parse_rule rest with
+  | Ok v -> (
+      match Vplan.View.validate_set (v :: state.views) with
+      | Ok () ->
+          state.views <- state.views @ [ v ];
+          Format.printf "view: %a@." Vplan.Query.pp v
+      | Error e -> Format.printf "error: %s@." e)
+  | Error e -> Format.printf "error: %s@." e
+
+let cmd_fact rest =
+  match Vplan.Parser.parse_facts rest with
+  | Ok facts ->
+      List.iter
+        (fun (pred, tuple) -> state.base <- Vplan.Database.add_fact pred tuple state.base)
+        facts;
+      Format.printf "%d fact(s) added@." (List.length facts)
+  | Error e -> Format.printf "error: %s@." e
+
+let cmd_load path =
+  match Vplan.Planner.parse_problem (read_file path) with
+  | Ok p ->
+      state.query <- Some p.Vplan.Planner.query;
+      state.views <- p.Vplan.Planner.views;
+      Format.printf "loaded query + %d view(s)@." (List.length p.views)
+  | Error e -> Format.printf "error: %s@." e
+  | exception Sys_error e -> Format.printf "error: %s@." e
+
+let cmd_data path =
+  match Vplan.Parser.parse_facts (read_file path) with
+  | Ok facts ->
+      state.base <- Vplan.Database.of_facts facts;
+      Format.printf "loaded %d fact(s)@." (List.length facts)
+  | Error e -> Format.printf "error: %s@." e
+  | exception Sys_error e -> Format.printf "error: %s@." e
+
+let cmd_show () =
+  (match state.query with
+  | Some q -> Format.printf "query: %a@." Vplan.Query.pp q
+  | None -> print_endline "query: (unset)");
+  List.iter (fun v -> Format.printf "view:  %a@." Vplan.Query.pp v) state.views;
+  Format.printf "base facts: %d@." (Vplan.Database.total_size state.base)
+
+let cmd_rewrite all =
+  with_query (fun query ->
+      let result =
+        if all then Vplan.Corecover.all_minimal ~query ~views:state.views ()
+        else Vplan.Corecover.gmrs ~query ~views:state.views ()
+      in
+      match result.rewritings with
+      | [] -> print_endline "no equivalent rewriting"
+      | rs -> List.iter (fun p -> Format.printf "%a@." Vplan.Query.pp p) rs)
+
+let cmd_plan model =
+  with_query (fun query ->
+      let problem = { Vplan.Planner.query; views = state.views } in
+      let cost_model =
+        match model with
+        | "m1" -> Some `M1
+        | "m2" -> Some `M2
+        | "m3" -> Some (`M3 `Heuristic)
+        | _ -> None
+      in
+      match cost_model with
+      | None -> print_endline "usage: plan m1|m2|m3"
+      | Some cost_model -> (
+          match Vplan.Planner.plan ~cost_model problem ~base:state.base with
+          | None -> print_endline "no rewriting"
+          | Some plan ->
+              (match plan with
+              | Vplan.Planner.Logical p -> Format.printf "rewriting: %a@." Vplan.Query.pp p
+              | Vplan.Planner.Ordered { rewriting; order; cost } ->
+                  Format.printf "rewriting: %a@." Vplan.Query.pp rewriting;
+                  Format.printf "order:";
+                  List.iter (fun a -> Format.printf " %a" Vplan.Atom.pp a) order;
+                  Format.printf "@.cost: %d cells@." cost
+              | Vplan.Planner.Annotated { rewriting; plan; cost } ->
+                  Format.printf "rewriting: %a@." Vplan.Query.pp rewriting;
+                  Format.printf "plan: %a@.cost: %d cells@." Vplan.M3.pp_plan plan cost);
+              let answer = Vplan.Planner.execute problem ~base:state.base plan in
+              Format.printf "answer: %a@." Vplan.Relation.pp answer))
+
+let cmd_answer () =
+  with_query (fun query ->
+      Format.printf "%a@." Vplan.Relation.pp (Vplan.Eval.answers state.base query))
+
+let cmd_certain () =
+  with_query (fun query ->
+      let view_db = Vplan.Materialize.views state.base state.views in
+      Format.printf "%a@." Vplan.Relation.pp
+        (Vplan.Inverse_rules.certain_answers ~views:state.views ~query view_db))
+
+let split_command line =
+  match String.index_opt line ' ' with
+  | None -> (line, "")
+  | Some i ->
+      ( String.sub line 0 i,
+        String.trim (String.sub line (i + 1) (String.length line - i - 1)) )
+
+let handle line =
+  let line = String.trim line in
+  if line = "" then true
+  else
+    let cmd, rest = split_command line in
+    match cmd with
+    | "quit" | "exit" -> false
+    | "help" -> help (); true
+    | "query" -> cmd_query rest; true
+    | "view" -> cmd_view rest; true
+    | "fact" -> cmd_fact rest; true
+    | "load" -> cmd_load rest; true
+    | "data" -> cmd_data rest; true
+    | "show" -> cmd_show (); true
+    | "rewrite" -> cmd_rewrite (rest = "all"); true
+    | "plan" -> cmd_plan rest; true
+    | "answer" -> cmd_answer (); true
+    | "certain" -> cmd_certain (); true
+    | "reset" ->
+        state.query <- None;
+        state.views <- [];
+        state.base <- Vplan.Database.empty;
+        print_endline "cleared";
+        true
+    | other ->
+        Format.printf "unknown command %S (try: help)@." other;
+        true
+
+let () =
+  let interactive = Unix.isatty Unix.stdin in
+  if interactive then print_endline "vplan repl — type 'help' for commands";
+  let rec loop () =
+    if interactive then (print_string "vplan> "; flush stdout);
+    match input_line stdin with
+    | line -> if handle line then loop ()
+    | exception End_of_file -> ()
+  in
+  loop ()

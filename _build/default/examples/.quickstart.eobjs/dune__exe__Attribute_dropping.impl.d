@@ -1,0 +1,1 @@
+examples/attribute_dropping.ml: Database Eval Format List M3 Materialize Optimizer Parser Query Relation String Term Vplan

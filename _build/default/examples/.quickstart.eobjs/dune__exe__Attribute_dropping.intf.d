@@ -1,0 +1,1 @@
+examples/attribute_dropping.mli:

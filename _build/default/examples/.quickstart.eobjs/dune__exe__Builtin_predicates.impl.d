@@ -1,0 +1,1 @@
+examples/builtin_predicates.ml: Ccq Database Eval Expansion Format List M2 Parser Query Relation Term View Vplan

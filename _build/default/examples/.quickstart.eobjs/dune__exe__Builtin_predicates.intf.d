@@ -1,0 +1,1 @@
+examples/builtin_predicates.mli:

@@ -1,0 +1,1 @@
+examples/data_integration.ml: Atom Corecover Database Format List Materialize Optimizer Parser Prng Query Relation Term Vplan

@@ -1,0 +1,1 @@
+examples/minicon_comparison.ml: Bucket Corecover Format List Minicon Parser Printf Query String Tuple_core View_tuple Vplan

@@ -1,0 +1,1 @@
+examples/minicon_comparison.mli:

@@ -1,0 +1,1 @@
+examples/open_world.ml: Atom Corecover Database Eval Format Inverse_rules List Materialize Minicon Parser Planner Query Relation Term Ucq View Vplan

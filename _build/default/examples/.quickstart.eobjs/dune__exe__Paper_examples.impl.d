@@ -1,0 +1,1 @@
+examples/paper_examples.ml: Atom Classify Containment Corecover Expansion Format Lattice List Normalize Parser Query Tuple_core View_tuple Vplan

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Atom Corecover Database Format List Optimizer Parser Query Relation View_tuple Vplan

@@ -1,0 +1,1 @@
+examples/recursive_views.ml: Atom Database Format List Magic Materialize Parser Program Recursive_views Relation Term Vplan

@@ -1,0 +1,1 @@
+examples/warehouse.ml: Corecover Database Format List M3 Materialize Optimizer Parser Prng Query Relation Term View_tuple Vplan

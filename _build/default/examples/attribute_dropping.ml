@@ -1,0 +1,71 @@
+(* Cost model M3 end to end: Example 6.1 / Figure 5.
+
+   Run with:  dune exec examples/attribute_dropping.exe
+
+   Shows that (a) under the classical supplementary-relation rule the
+   rewriting P1 — which uses a fresh variable — has cheaper plans than the
+   view-tuple rewriting P2, and (b) the Section 6.2 renaming heuristic
+   recovers P1's cost for P2 by dropping an attribute the classical rule
+   must retain. *)
+
+open Vplan
+
+let () =
+  let query = Parser.parse_rule_exn "q(A) :- r(A, A), t(A, B), s(B, B)." in
+  let views =
+    List.map Parser.parse_rule_exn
+      [ "v1(A, B) :- r(A, A), s(B, B)."; "v2(A, B) :- t(A, B), s(B, B)." ]
+  in
+  let p1 = Parser.parse_rule_exn "q(A) :- v1(A, B), v2(A, C)." in
+  let p2 = Parser.parse_rule_exn "q(A) :- v1(A, B), v2(A, B)." in
+
+  (* Figure 5's base instance. *)
+  let base =
+    let pairs p l = List.map (fun (x, y) -> (p, [ Term.Int x; Term.Int y ])) l in
+    Database.of_facts
+      (pairs "r" [ (1, 1) ]
+      @ pairs "s" [ (2, 2); (4, 4); (6, 6); (8, 8) ]
+      @ pairs "t" [ (1, 2); (3, 4); (5, 6); (7, 8) ])
+  in
+  let view_db = Materialize.views base views in
+  Format.printf "v1 = %a@.v2 = %a@." Relation.pp
+    (Database.find_exn "v1" view_db)
+    Relation.pp
+    (Database.find_exn "v2" view_db);
+
+  let report name (p : Query.t) strategy =
+    let plan =
+      match strategy with
+      | `Supplementary -> M3.supplementary ~head:p.head p.body
+      | `Heuristic -> M3.heuristic ~views ~query ~head:p.head p.body
+    in
+    Format.printf "%-22s plan %a@." name M3.pp_plan plan;
+    Format.printf "%-22s GSR tuple counts: %s, cost: %d cells@." ""
+      (String.concat ", " (List.map string_of_int (M3.gsr_sizes view_db plan)))
+      (M3.cost_of_plan view_db plan);
+    Format.printf "%-22s answers: %a@." "" Relation.pp (M3.answers view_db ~head:p.head plan)
+  in
+  Format.printf "@.-- supplementary-relation approach --@.";
+  report "P1 (fresh variable)" p1 `Supplementary;
+  report "P2 (view tuples)" p2 `Supplementary;
+  Format.printf "@.-- Section 6.2 renaming heuristic --@.";
+  report "P2 (view tuples)" p2 `Heuristic;
+
+  (* The optimizer's candidates come from CoreCover*, i.e. rewritings over
+     view tuples — P2, but never the fresh-variable P1.  That is precisely
+     the paper's Section 6 point: under the classical supplementary rule
+     the generator+optimizer pipeline would miss P1's cheaper plan (best
+     supplementary cost 25 below), and the renaming heuristic recovers it
+     (cost 18) without leaving the view-tuple space. *)
+  let t = Optimizer.create ~query ~views ~base in
+  (match
+     ( Optimizer.best_m3 ~strategy:`Supplementary t,
+       Optimizer.best_m3 ~strategy:`Heuristic t )
+   with
+  | Some s, Some h ->
+      Format.printf "@.best supplementary plan: cost %d for %a@." s.m3_cost Query.pp
+        s.m3_rewriting;
+      Format.printf "best heuristic plan:     cost %d for %a@." h.m3_cost Query.pp
+        h.m3_rewriting
+  | _ -> Format.printf "no rewriting@.");
+  Format.printf "@.true answer: %a@." Relation.pp (Eval.answers base query)

@@ -1,0 +1,124 @@
+(* Walk through every worked example in the paper and print what the
+   implementation computes for each.
+
+   Run with:  dune exec examples/paper_examples.exe *)
+
+open Vplan
+
+let rule = Parser.parse_rule_exn
+let section title = Format.printf "@.=== %s ===@." title
+
+(* ------------------------------------------------------------------ *)
+let example_1_1 () =
+  section "Example 1.1 (car-loc-part): rewritings P1..P5";
+  let query = rule "q1(S, C) :- car(M, anderson), loc(anderson, C), part(S, M, C)." in
+  let views =
+    List.map rule
+      [
+        "v1(M, D, C) :- car(M, D), loc(D, C).";
+        "v2(S, M, C) :- part(S, M, C).";
+        "v3(S) :- car(M, anderson), loc(anderson, C), part(S, M, C).";
+        "v4(M, D, C, S) :- car(M, D), loc(D, C), part(S, M, C).";
+        "v5(M, D, C) :- car(M, D), loc(D, C).";
+      ]
+  in
+  let rewritings =
+    List.map rule
+      [
+        "q1(S, C) :- v1(M, anderson, C1), v1(M1, anderson, C), v2(S, M, C).";
+        "q1(S, C) :- v1(M, anderson, C), v2(S, M, C).";
+        "q1(S, C) :- v3(S), v1(M, anderson, C), v2(S, M, C).";
+        "q1(S, C) :- v4(M, anderson, C, S).";
+        "q1(S, C) :- v1(M, anderson, C1), v5(M1, anderson, C), v2(S, M, C).";
+      ]
+  in
+  List.iteri
+    (fun i p ->
+      Format.printf "P%d: %a@." (i + 1) Query.pp p;
+      Format.printf "    equivalent rewriting: %b, LMR: %b@."
+        (Expansion.is_equivalent_rewriting ~views ~query p)
+        (Classify.is_lmr ~views ~query p))
+    rewritings;
+  (query, views, rewritings)
+
+(* ------------------------------------------------------------------ *)
+let section_3_2 () =
+  section "Section 3.2: a GMR that is not a CMR";
+  let query = rule "q(X) :- e(X, X)." in
+  let views = [ rule "v(A, B) :- e(A, A), e(A, B)." ] in
+  let p1 = rule "q(X) :- v(X, B)." in
+  let p2 = rule "q(X) :- v(X, X)." in
+  Format.printf "P1: %a@.P2: %a@." Query.pp p1 Query.pp p2;
+  Format.printf "P2 properly contained in P1: %b@." (Containment.properly_contained p2 p1);
+  Format.printf "P1 is a CMR among {P1,P2}: %b (GMR: %b)@."
+    (Classify.is_cmr_among ~lmrs:[ p1; p2 ] p1)
+    (Classify.is_gmr_among ~candidates:[ p1; p2 ] p1);
+  ignore (views, query)
+
+(* ------------------------------------------------------------------ *)
+let example_3_1 () =
+  section "Example 3.1 / Figure 2(b): a chain of LMRs";
+  let query = rule "q(X, Y, Z) :- e1(X, c), e2(Y, c), e3(Z, c)." in
+  let views = [ rule "v(X, Y, Z, W) :- e1(X, W), e2(Y, W), e3(Z, W)." ] in
+  let p1 = rule "q(X, Y, Z) :- v(X, Y, Z, c)." in
+  let p2 = rule "q(X, Y, Z) :- v(X, Y, Z1, c), v(X1, Y1, Z, c)." in
+  let p3 = rule "q(X, Y, Z) :- v(X, Y1, Z1, c), v(X2, Y, Z2, c), v(X3, Y3, Z, c)." in
+  let lattice = Lattice.of_lmrs ~views [ p1; p2; p3 ] in
+  Format.printf "%a" Lattice.pp lattice;
+  Format.printf "chain: %b, bottoms: %d@." (Lattice.is_chain lattice)
+    (List.length (Lattice.bottoms lattice));
+  ignore query
+
+let figure_2a (query, views, rewritings) =
+  section "Figure 2(a): partial order of car-loc-part LMRs";
+  let lmrs = List.filter (Classify.is_lmr ~views ~query) rewritings in
+  Format.printf "LMRs: %d of %d rewritings@." (List.length lmrs) (List.length rewritings);
+  let lattice = Lattice.of_lmrs ~views lmrs in
+  Format.printf "%a" Lattice.pp lattice
+
+(* ------------------------------------------------------------------ *)
+let lemma_3_2 (query, views, rewritings) =
+  section "Lemma 3.2: transforming P1 into the view-tuple rewriting P2";
+  match rewritings with
+  | p1 :: _ -> (
+      Format.printf "P1: %a@." Query.pp p1;
+      match Normalize.to_view_tuple_form ~views ~query p1 with
+      | Some p' -> Format.printf "normalized: %a@." Query.pp p'
+      | None -> Format.printf "not a rewriting?!@.")
+  | [] -> ()
+
+(* ------------------------------------------------------------------ *)
+let example_4_1 () =
+  section "Example 4.1 / Table 2: tuple-cores";
+  let query = rule "q(X, Y) :- a(X, Z), a(Z, Z), b(Z, Y)." in
+  let views = [ rule "v1(A, B) :- a(A, B), a(B, B)."; rule "v2(C, D) :- a(C, E), b(C, D)." ] in
+  let r = Corecover.gmrs ~query ~views () in
+  Format.printf "view tuple        tuple-core@.";
+  List.iter
+    (fun (tv, core) -> Format.printf "%-18s%a@." (Atom.to_string tv.View_tuple.atom) Tuple_core.pp core)
+    r.cores;
+  Format.printf "GMRs:@.";
+  List.iter (fun p -> Format.printf "  %a@." Query.pp p) r.rewritings
+
+(* ------------------------------------------------------------------ *)
+let section_8_union () =
+  section "Section 8: rewritings that are unions of conjunctive queries";
+  (* The discussion example (built-in predicates elided: we drop the C <= D
+     condition, which is outside the conjunctive fragment this library
+     implements). The point preserved here is that P2 uses fresh variables
+     C, D not occurring in the query. *)
+  let query = rule "q(X, Y, U, W) :- p(X, Y), r(U, W), r(W, U)." in
+  let views = [ rule "v1(A, B, C, D) :- p(A, B), r(C, D)."; rule "v2(E, F) :- r(E, F)." ] in
+  let p2 = rule "q(X, Y, U, W) :- v1(X, Y, C, D), v2(U, W), v2(W, U)." in
+  Format.printf "P2: %a@." Query.pp p2;
+  Format.printf "P2 is an equivalent rewriting: %b@."
+    (Expansion.is_equivalent_rewriting ~views ~query p2)
+
+let () =
+  let carloc = example_1_1 () in
+  section_3_2 ();
+  example_3_1 ();
+  figure_2a carloc;
+  lemma_3_2 carloc;
+  example_4_1 ();
+  section_8_union ()

@@ -1,0 +1,1 @@
+lib/baselines/bucket.ml: Atom Expansion List Mapping_util Printf Query Subst Unify Vplan_containment Vplan_cq Vplan_views

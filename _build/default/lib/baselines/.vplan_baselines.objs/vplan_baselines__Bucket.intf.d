@@ -1,0 +1,1 @@
+lib/baselines/bucket.mli: Atom Query View Vplan_cq Vplan_views

@@ -1,0 +1,1 @@
+lib/baselines/inverse_rules.ml: Atom Database Eval List Names Printf Query Relation String Term View Vplan_cq Vplan_relational Vplan_views

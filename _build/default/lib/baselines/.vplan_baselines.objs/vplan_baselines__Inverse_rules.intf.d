@@ -1,0 +1,1 @@
+lib/baselines/inverse_rules.mli: Atom Database Query Relation Term View Vplan_cq Vplan_relational Vplan_views

@@ -1,0 +1,1 @@
+lib/baselines/mapping_util.ml: Atom Hashtbl List Names Query String Subst Term Unify Vplan_cq

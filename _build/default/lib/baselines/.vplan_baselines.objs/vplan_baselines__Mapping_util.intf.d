@@ -1,0 +1,1 @@
+lib/baselines/mapping_util.mli: Atom Names Query Subst Term Vplan_cq

@@ -1,0 +1,1 @@
+lib/baselines/minicon.ml: Array Atom Expansion Format Hashtbl List Mapping_util Names Option Query String Subst Term Ucq Unify View Vplan_containment Vplan_cq Vplan_views

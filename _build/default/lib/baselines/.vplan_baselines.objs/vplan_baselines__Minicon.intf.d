@@ -1,0 +1,1 @@
+lib/baselines/minicon.mli: Atom Format Query Ucq View Vplan_cq Vplan_views

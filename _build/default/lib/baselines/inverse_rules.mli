@@ -1,0 +1,36 @@
+(** The inverse-rules algorithm (Duschka–Genesereth, PODS 1997) as a
+    third baseline.
+
+    Each view definition [v(X̄) :- g1, ..., gk] is {e inverted} into one
+    rule per body atom, [gi(...) :- v(X̄)], where every existential
+    variable of the view becomes a Skolem term [f(X̄)] over the view's
+    head variables.  Applying the inverse rules to a view instance
+    recovers a (partial, Skolemized) base database; evaluating the query
+    over it and discarding answers that contain Skolem values yields the
+    certain answers — the same answers a maximally-contained rewriting
+    computes.
+
+    Skolem values are encoded as reserved symbolic constants (the parser
+    cannot produce their spelling), so the ordinary relational engine
+    evaluates the recovered database unchanged. *)
+
+open Vplan_cq
+open Vplan_views
+open Vplan_relational
+
+(** [is_skolem c] recognizes the reserved Skolem encoding. *)
+val is_skolem : Term.const -> bool
+
+(** [invert views] lists the inverse rules, one per view body atom.  The
+    rule is represented as a (head atom over a base predicate, view atom)
+    pair, with Skolem terms spelled as reserved variables; exposed mainly
+    for inspection and tests. *)
+val invert : View.t list -> (Atom.t * Atom.t) list
+
+(** [recover_base ~views view_db] applies the inverse rules to a view
+    instance, producing the Skolemized base database. *)
+val recover_base : views:View.t list -> Database.t -> Database.t
+
+(** [certain_answers ~views ~query view_db] evaluates [query] over the
+    recovered base database and drops tuples containing Skolem values. *)
+val certain_answers : views:View.t list -> query:Query.t -> Database.t -> Relation.t

@@ -1,0 +1,252 @@
+open Vplan_cq
+open Vplan_views
+
+type mcd = {
+  view : View.t;
+  atom : Atom.t;
+  covered : Atom.t list;
+  mask : int;
+  equated : (string * string) list;
+}
+
+type result = {
+  mcds : mcd list;
+  rewritings : Query.t list;
+  equivalent : Query.t list;
+}
+
+let pp_mcd ppf m =
+  Format.fprintf ppf "%a covers {%a}" Atom.pp m.atom
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") Atom.pp)
+    m.covered
+
+(* Form all MCDs seeded by mapping query subgoal [g] into view subgoal
+   [w], closing under the MiniCon property by DFS over the choices of
+   target view subgoals for dragged-in query subgoals. *)
+let close_mcd ~(query : Query.t) ~(view' : Query.t) ~seed_mask ~sigma0 =
+  let body = Array.of_list query.Query.body in
+  let results = ref [] in
+  let var_occurrences x =
+    let mask = ref 0 in
+    Array.iteri (fun i a -> if List.mem x (Atom.vars a) then mask := !mask lor (1 lsl i)) body;
+    !mask
+  in
+  let rec close sigma mask =
+    (* C1: distinguished query variables in the covered set must map to
+       distinguished view positions. *)
+    let covered_vars =
+      Array.to_list body
+      |> List.mapi (fun i a -> (i, a))
+      |> List.concat_map (fun (i, a) -> if mask land (1 lsl i) <> 0 then Atom.vars a else [])
+      |> List.sort_uniq String.compare
+    in
+    let c1_ok =
+      List.for_all
+        (fun x ->
+          (not (Query.is_distinguished query x))
+          || Mapping_util.maps_to_head_var sigma ~view:view' x)
+        covered_vars
+    in
+    (* head homomorphisms act on head variables only: a unifier that
+       specializes an existential view variable is not expressible *)
+    if c1_ok && Mapping_util.existentials_unspecialized sigma ~view:view' then begin
+      (* C2: a variable bound to a view existential drags in every subgoal
+         that uses it. *)
+      let missing =
+        List.fold_left
+          (fun acc x ->
+            if Mapping_util.maps_to_head_var sigma ~view:view' x then acc
+            else acc lor (var_occurrences x land lnot mask))
+          0 covered_vars
+      in
+      if missing = 0 then results := (sigma, mask) :: !results
+      else begin
+        let rec lowest bit = if missing land (1 lsl bit) <> 0 then bit else lowest (bit + 1) in
+        let i = lowest 0 in
+        List.iter
+          (fun (w : Atom.t) ->
+            match Unify.mgu_args sigma body.(i).Atom.args w.Atom.args with
+            | Some sigma' -> close sigma' (mask lor (1 lsl i))
+            | None -> ())
+          (List.filter
+             (fun (w : Atom.t) ->
+               String.equal w.Atom.pred body.(i).Atom.pred
+               && Atom.arity w = Atom.arity body.(i))
+             view'.Query.body)
+      end
+    end
+  in
+  close sigma0 seed_mask;
+  !results
+
+let form_mcds ~query ~views =
+  let query_vars = Query.var_set query in
+  let body = Array.of_list query.Query.body in
+  let used = ref query_vars in
+  let all = ref [] in
+  List.iter
+    (fun view ->
+      let view', _ = Query.rename_apart ~avoid:query_vars view in
+      Array.iteri
+        (fun i g ->
+          List.iter
+            (fun (w : Atom.t) ->
+              if String.equal w.Atom.pred g.Atom.pred && Atom.arity w = Atom.arity g then
+                match Unify.mgu_args Subst.empty g.Atom.args w.Atom.args with
+                | None -> ()
+                | Some sigma0 ->
+                    let closed =
+                      close_mcd ~query ~view' ~seed_mask:(1 lsl i) ~sigma0
+                    in
+                    List.iter
+                      (fun (sigma, mask) ->
+                        let atom, used' =
+                          Mapping_util.head_atom ~sigma ~query_vars ~used:!used view'
+                        in
+                        used := used';
+                        let covered =
+                          Array.to_list body
+                          |> List.filteri (fun j _ -> mask land (1 lsl j) <> 0)
+                        in
+                        (* query variables whose unification classes have
+                           merged (two of them mapped onto the same view
+                           head variable): grouped by resolved
+                           representative *)
+                        let equated =
+                          let covered_vars =
+                            List.concat_map Atom.vars covered
+                            |> List.sort_uniq String.compare
+                          in
+                          let groups = Hashtbl.create 8 in
+                          List.iter
+                            (fun x ->
+                              match Unify.resolve sigma (Term.Var x) with
+                              | Term.Var r ->
+                                  let existing =
+                                    Option.value ~default:[] (Hashtbl.find_opt groups r)
+                                  in
+                                  Hashtbl.replace groups r (x :: existing)
+                              | Term.Cst _ -> ())
+                            covered_vars;
+                          Hashtbl.fold
+                            (fun _ group acc ->
+                              match group with
+                              | [] | [ _ ] -> acc
+                              | first :: rest ->
+                                  List.map (fun other -> (first, other)) rest @ acc)
+                            groups []
+                        in
+                        all := { view; atom; covered; mask; equated } :: !all)
+                      closed)
+            view'.Query.body)
+        body)
+    views;
+  (* Deduplicate: same covered set and isomorphic atom modulo the fresh
+     variables — comparing the atom with fresh variables canonicalized. *)
+  let canonical_atom (m : mcd) =
+    let fresh_vars =
+      List.filter (fun x -> not (Names.Sset.mem x query_vars)) (Atom.vars m.atom)
+    in
+    let s =
+      Subst.of_list (List.mapi (fun k x -> (x, Term.Var ("#f" ^ string_of_int k))) fresh_vars)
+    in
+    Atom.apply s m.atom
+  in
+  let canonical_equated m = List.sort_uniq compare m.equated in
+  List.fold_left
+    (fun acc m ->
+      if
+        List.exists
+          (fun m' ->
+            m'.mask = m.mask
+            && Atom.equal (canonical_atom m') (canonical_atom m)
+            && canonical_equated m' = canonical_equated m)
+          acc
+      then acc
+      else m :: acc)
+    [] !all
+  |> List.rev
+
+let combine ~max_results ~(query : Query.t) mcds =
+  let universe = (1 lsl List.length query.Query.body) - 1 in
+  let results = ref [] in
+  let count = ref 0 in
+  (* Branching always targets the lowest uncovered subgoal, and chosen
+     MCDs are pairwise disjoint, so every valid combination is reached
+     exactly once. *)
+  let rec go chosen covered =
+    if !count >= max_results then ()
+    else if covered = universe then begin
+      incr count;
+      results := List.rev chosen :: !results
+    end
+    else begin
+      let rec lowest bit =
+        if covered land (1 lsl bit) = 0 then bit else lowest (bit + 1)
+      in
+      let target = lowest 0 in
+      List.iter
+        (fun m ->
+          if m.mask land (1 lsl target) <> 0 && m.mask land covered = 0 then
+            go (m :: chosen) (covered lor m.mask))
+        mcds
+    end
+  in
+  go [] 0;
+  List.rev !results
+
+(* Merge the equivalence classes of query variables induced by the chosen
+   MCDs and substitute class representatives throughout the head and the
+   MCD atoms — MiniCon's "EC" step.  Without it, a combination where two
+   query variables were mapped onto one view head variable would silently
+   drop the implied join condition. *)
+let representative_subst combo =
+  let parent = Hashtbl.create 8 in
+  let rec find x =
+    match Hashtbl.find_opt parent x with
+    | None | Some "" -> x
+    | Some p ->
+        let root = find p in
+        Hashtbl.replace parent x root;
+        root
+  in
+  let union x y =
+    let rx = find x and ry = find y in
+    if not (String.equal rx ry) then
+      (* keep the lexicographically smaller name as representative *)
+      if String.compare rx ry <= 0 then Hashtbl.replace parent ry rx
+      else Hashtbl.replace parent rx ry
+  in
+  List.iter (fun m -> List.iter (fun (x, y) -> union x y) m.equated) combo;
+  let vars = Hashtbl.fold (fun x _ acc -> x :: acc) parent [] in
+  Subst.of_list
+    (List.filter_map
+       (fun x ->
+         let r = find x in
+         if String.equal r x then None else Some (x, Term.Var r))
+       vars)
+
+let run ?(max_results = 10_000) ~query ~views () =
+  let mcds = form_mcds ~query ~views in
+  let combinations = combine ~max_results ~query mcds in
+  let rewritings =
+    List.filter_map
+      (fun combo ->
+        let subst = representative_subst combo in
+        let head = Atom.apply subst query.Query.head in
+        let atoms = List.map (fun m -> Atom.apply subst m.atom) combo in
+        match Query.make head atoms with
+        | Ok p -> Some p
+        | Error _ -> None)
+      combinations
+  in
+  let equivalent =
+    List.filter (Expansion.is_equivalent_rewriting ~views ~query) rewritings
+  in
+  { mcds; rewritings; equivalent }
+
+let maximally_contained ?max_results ~query ~views () =
+  let r = run ?max_results ~query ~views () in
+  match Ucq.make r.rewritings with
+  | Ok u -> Some (Vplan_containment.Ucq_containment.minimize u)
+  | Error _ -> None

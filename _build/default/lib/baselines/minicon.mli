@@ -1,0 +1,51 @@
+(** The MiniCon algorithm (Pottinger–Levy, VLDB 2000) as a baseline.
+
+    A MiniCon description (MCD) pairs a view with a {e minimal} set of
+    query subgoals that must travel together into it: whenever a query
+    variable is mapped to an existential view variable, every subgoal
+    using that variable joins the MCD.  Contained rewritings are exactly
+    the combinations of MCDs whose covered sets partition the query's
+    subgoals.
+
+    Section 4.3 of the paper contrasts MCDs (minimal covered sets, no
+    overlap allowed in combinations) with tuple-cores (maximal covered
+    sets, overlap allowed), and Example 4.2 exhibits MiniCon producing
+    rewritings with redundant subgoals where CoreCover finds the
+    single-subgoal GMR. *)
+
+open Vplan_cq
+open Vplan_views
+
+type mcd = {
+  view : View.t;
+  atom : Atom.t;  (** rewriting atom for this MCD use *)
+  covered : Atom.t list;  (** the minimal covered subgoal set *)
+  mask : int;
+  equated : (string * string) list;
+      (** query variables identified by this MCD's unifier (two query
+          variables mapped onto the same view head variable).  The
+          combination step merges these equivalence classes and rewrites
+          every atom and the head with class representatives — without
+          this, such rewritings would silently lose join conditions. *)
+}
+
+type result = {
+  mcds : mcd list;
+  rewritings : Query.t list;  (** contained rewritings (open world) *)
+  equivalent : Query.t list;  (** the subset that is also equivalent *)
+}
+
+val pp_mcd : Format.formatter -> mcd -> unit
+
+(** [run ~query ~views ()] forms all MCDs and combines them.
+    [max_results] caps the number of combinations explored (default
+    10_000). *)
+val run : ?max_results:int -> query:Query.t -> views:View.t list -> unit -> result
+
+(** [maximally_contained ~query ~views ()] — the maximally-contained
+    rewriting under the open-world assumption: the union of all MCD
+    combinations, minimized as a union of conjunctive queries.  [None]
+    when no combination exists.  This is the Section 8 setting where a
+    rewriting is a union of conjunctive queries. *)
+val maximally_contained :
+  ?max_results:int -> query:Query.t -> views:View.t list -> unit -> Ucq.t option

@@ -1,0 +1,1 @@
+lib/builtins/ccq.ml: Atom Eval List Names Order_constraint Query Relation String Subst Term Vplan_containment Vplan_cq Vplan_relational Vplan_views

@@ -1,0 +1,1 @@
+lib/builtins/ccq.mli: Atom Database Order_constraint Query Relation Vplan_cq Vplan_relational Vplan_views

@@ -1,0 +1,1 @@
+lib/builtins/order_constraint.ml: Array Format Hashtbl List Term Vplan_cq

@@ -1,0 +1,1 @@
+lib/builtins/order_constraint.mli: Format Term Vplan_cq

@@ -1,0 +1,180 @@
+open Vplan_cq
+
+type relation =
+  | Le
+  | Lt
+  | Eq
+
+type constr = {
+  rel : relation;
+  left : Term.t;
+  right : Term.t;
+}
+
+let pp_constr ppf c =
+  let op = match c.rel with Le -> "<=" | Lt -> "<" | Eq -> "=" in
+  Format.fprintf ppf "%a %s %a" Term.pp c.left op Term.pp c.right
+
+(* Closure representation: nodes are the distinct terms; [edge.(i).(j)]
+   is [None] (no relation known), [Some false] (<=) or [Some true] (<). *)
+type t = {
+  nodes : Term.t array;
+  index : (Term.t, int) Hashtbl.t;
+  edge : bool option array array;
+}
+
+let satisfies_ground rel c1 c2 =
+  match rel with
+  | Eq -> Term.equal_const c1 c2
+  | Le -> ( match (c1, c2) with Term.Int a, Term.Int b -> a <= b | _ -> false)
+  | Lt -> ( match (c1, c2) with Term.Int a, Term.Int b -> a < b | _ -> false)
+
+let combine e1 e2 =
+  match (e1, e2) with
+  | None, _ | _, None -> None
+  | Some s1, Some s2 -> Some (s1 || s2)
+
+let stronger current candidate =
+  match (current, candidate) with
+  | None, c -> c
+  | Some s, Some s' -> Some (s || s')
+  | Some s, None -> Some s
+
+let of_list constraints =
+  (* collect nodes *)
+  let terms =
+    List.concat_map (fun c -> [ c.left; c.right ]) constraints
+    |> List.sort_uniq Term.compare
+  in
+  let nodes = Array.of_list terms in
+  let n = Array.length nodes in
+  let index = Hashtbl.create (2 * n) in
+  Array.iteri (fun i t -> Hashtbl.replace index t i) nodes;
+  let edge = Array.make_matrix n n None in
+  let add i j strict = edge.(i).(j) <- stronger edge.(i).(j) (Some strict) in
+  (* the constraints themselves *)
+  List.iter
+    (fun c ->
+      let i = Hashtbl.find index c.left and j = Hashtbl.find index c.right in
+      match c.rel with
+      | Le -> add i j false
+      | Lt -> add i j true
+      | Eq ->
+          add i j false;
+          add j i false)
+    constraints;
+  (* the natural order on the integer constants present *)
+  Array.iteri
+    (fun i t1 ->
+      Array.iteri
+        (fun j t2 ->
+          match (t1, t2) with
+          | Term.Cst (Term.Int a), Term.Cst (Term.Int b) ->
+              if a < b then add i j true else if a = b && i <> j then add i j false
+          | _ -> ())
+        nodes)
+    nodes;
+  (* Floyd-Warshall with strictness propagation *)
+  for k = 0 to n - 1 do
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        match combine edge.(i).(k) edge.(k).(j) with
+        | None -> ()
+        | Some _ as via -> edge.(i).(j) <- stronger edge.(i).(j) via
+      done
+    done
+  done;
+  (* unsatisfiable iff some strict cycle exists *)
+  let unsat = ref false in
+  for i = 0 to n - 1 do
+    if edge.(i).(i) = Some true then unsat := true
+  done;
+  (* also: distinct string constants forced equal *)
+  List.iter
+    (fun c ->
+      match (c.rel, c.left, c.right) with
+      | Eq, Term.Cst a, Term.Cst b when not (Term.equal_const a b) -> unsat := true
+      | (Le | Lt), Term.Cst (Term.Str _), _ | (Le | Lt), _, Term.Cst (Term.Str _) ->
+          (* ordered comparisons are undefined on symbolic constants *)
+          unsat := true
+      | _ -> ())
+    constraints;
+  if !unsat then Error `Unsatisfiable else Ok { nodes; index; edge }
+
+let lookup t term = Hashtbl.find_opt t.index term
+
+(* Strongest known relation between two terms.  A queried integer
+   constant need not be a node: X <= 3 must imply X <= 5, so bounds are
+   also sought through the integer constants that are in the graph. *)
+let relation_between t t1 t2 =
+  if Term.equal t1 t2 then Some false
+  else
+    match (t1, t2) with
+    | Term.Cst (Term.Int a), Term.Cst (Term.Int b) ->
+        if a < b then Some true else if a = b then Some false else None
+    | _ ->
+        let direct =
+          match (lookup t t1, lookup t t2) with
+          | Some i, Some j -> t.edge.(i).(j)
+          | _ -> None
+        in
+        (* t1 <= some constant c in the graph, with c <= b *)
+        let via_upper =
+          match (t2, lookup t t1) with
+          | Term.Cst (Term.Int b), Some i ->
+              Array.to_list t.nodes
+              |> List.mapi (fun j node -> (j, node))
+              |> List.fold_left
+                   (fun acc (j, node) ->
+                     match node with
+                     | Term.Cst (Term.Int c) when c <= b -> (
+                         match t.edge.(i).(j) with
+                         | None -> acc
+                         | Some s -> stronger acc (Some (s || c < b)))
+                     | _ -> acc)
+                   None
+          | _ -> None
+        in
+        (* a <= some constant c in the graph, with c <= t2 *)
+        let via_lower =
+          match (t1, lookup t t2) with
+          | Term.Cst (Term.Int a), Some j ->
+              Array.to_list t.nodes
+              |> List.mapi (fun i node -> (i, node))
+              |> List.fold_left
+                   (fun acc (i, node) ->
+                     match node with
+                     | Term.Cst (Term.Int c) when a <= c -> (
+                         match t.edge.(i).(j) with
+                         | None -> acc
+                         | Some s -> stronger acc (Some (s || a < c)))
+                     | _ -> acc)
+                   None
+          | _ -> None
+        in
+        stronger (stronger direct via_upper) via_lower
+
+let implies t c =
+  match c.rel with
+  | Le -> relation_between t c.left c.right <> None
+  | Lt -> relation_between t c.left c.right = Some true
+  | Eq ->
+      (* both directions weakly related; a strict edge either way would
+         have made the closure unsatisfiable *)
+      relation_between t c.left c.right = Some false
+      && relation_between t c.right c.left = Some false
+
+let implies_all t cs = List.for_all (implies t) cs
+
+let entailed_equalities t =
+  let n = Array.length t.nodes in
+  let acc = ref [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if t.edge.(i).(j) = Some false && t.edge.(j).(i) = Some false then
+        match (t.nodes.(i), t.nodes.(j)) with
+        | Term.Var x, Term.Var y -> acc := (x, y) :: !acc
+        | _ -> ()
+    done
+  done;
+  !acc

@@ -1,0 +1,48 @@
+(** Conjunctions of order constraints over variables and integer
+    constants: satisfiability and implication.
+
+    Constraints are the comparisons [t1 <= t2], [t1 < t2], [t1 = t2]
+    appearing as built-in subgoals.  Reasoning is by transitive closure
+    over the constraint graph (Floyd–Warshall with strictness
+    propagation), with the natural order on integer constants added.
+
+    Implication is decided for a {e dense} order: [C ⊨ X < Y] holds only
+    when derivable by transitivity.  Over the integers this is sound but
+    not complete (it cannot derive [X < Y] from [X <= Y - 1]); soundness
+    is all the containment test needs. *)
+
+open Vplan_cq
+
+type relation =
+  | Le
+  | Lt
+  | Eq
+
+type constr = {
+  rel : relation;
+  left : Term.t;
+  right : Term.t;  (** terms are variables or [Int] constants *)
+}
+
+type t
+(** a closed conjunction of constraints *)
+
+val pp_constr : Format.formatter -> constr -> unit
+
+(** [of_list cs] closes the conjunction; [Error `Unsatisfiable] when the
+    constraints admit no integer (equivalently rational) solution. *)
+val of_list : constr list -> (t, [ `Unsatisfiable ]) result
+
+(** [implies t c] — every assignment satisfying [t] satisfies [c]
+    (dense-order derivability). *)
+val implies : t -> constr -> bool
+
+val implies_all : t -> constr list -> bool
+
+(** [entailed_equalities t] lists variable pairs forced equal. *)
+val entailed_equalities : t -> (string * string) list
+
+(** [satisfies_ground rel c1 c2] evaluates a comparison on constants;
+    ordered comparisons are defined on integers only ([Eq] on any equal
+    constants). *)
+val satisfies_ground : relation -> Term.const -> Term.const -> bool

@@ -1,0 +1,1 @@
+lib/containment/containment.ml: Atom Homomorphism List Query Subst Term Vplan_cq

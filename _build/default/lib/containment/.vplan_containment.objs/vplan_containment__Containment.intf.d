@@ -1,0 +1,1 @@
+lib/containment/containment.mli: Query Subst Vplan_cq

@@ -1,0 +1,1 @@
+lib/containment/homomorphism.ml: Atom List Names Subst Term Vplan_cq

@@ -1,0 +1,1 @@
+lib/containment/homomorphism.mli: Atom Subst Vplan_cq

@@ -1,0 +1,1 @@
+lib/containment/minimize.ml: Containment List Query Vplan_cq

@@ -1,0 +1,1 @@
+lib/containment/minimize.mli: Atom Query Vplan_cq

@@ -1,0 +1,1 @@
+lib/containment/ucq_containment.ml: Containment List Minimize Ucq Vplan_cq

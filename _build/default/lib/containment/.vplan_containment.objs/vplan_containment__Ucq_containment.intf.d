@@ -1,0 +1,1 @@
+lib/containment/ucq_containment.mli: Ucq Vplan_cq

@@ -1,0 +1,53 @@
+open Vplan_cq
+
+let head_seed ~(from_q : Query.t) ~(to_q : Query.t) =
+  let h1 = from_q.head and h2 = to_q.head in
+  if Atom.arity h1 <> Atom.arity h2 then None
+  else
+    List.fold_left2
+      (fun acc p t -> match acc with None -> None | Some s -> Subst.unify_term s p t)
+      (Some Subst.empty) h1.Atom.args h2.Atom.args
+
+let mapping ~from_q ~to_q =
+  match head_seed ~from_q ~to_q with
+  | None -> None
+  | Some seed -> Homomorphism.find ~seed from_q.Query.body to_q.Query.body
+
+let mappings ~from_q ~to_q =
+  match head_seed ~from_q ~to_q with
+  | None -> []
+  | Some seed -> Homomorphism.find_all ~seed from_q.Query.body to_q.Query.body
+
+(* q1 ⊑ q2 iff there is a containment mapping from q2 to q1. *)
+let is_contained q1 q2 = mapping ~from_q:q2 ~to_q:q1 <> None
+let equivalent q1 q2 = is_contained q1 q2 && is_contained q2 q1
+let properly_contained q1 q2 = is_contained q1 q2 && not (is_contained q2 q1)
+
+let isomorphic q1 q2 =
+  let q1 = Query.dedup_body q1 and q2 = Query.dedup_body q2 in
+  List.length q1.Query.body = List.length q2.Query.body
+  &&
+  match head_seed ~from_q:q1 ~to_q:q2 with
+  | None -> false
+  | Some seed ->
+      (* An injective variable-to-variable homomorphism between equal-sized
+         deduplicated bodies maps atoms bijectively, hence witnesses a
+         renaming. *)
+      let vars1 = Query.vars q1 in
+      let found = ref false in
+      Homomorphism.iter_all ~seed q1.Query.body q2.Query.body ~f:(fun s ->
+          let var_to_var =
+            List.for_all
+              (fun x ->
+                match Subst.find x s with
+                | Some (Term.Var _) -> true
+                | Some (Term.Cst _) -> false
+                | None -> true)
+              vars1
+          in
+          if var_to_var && Subst.is_injective_on s vars1 then begin
+            found := true;
+            `Stop
+          end
+          else `Continue);
+      !found

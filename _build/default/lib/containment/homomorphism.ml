@@ -1,0 +1,72 @@
+open Vplan_cq
+
+(* Index target atoms by predicate name so that each pattern atom only
+   tries compatible candidates. *)
+let index_targets targets =
+  List.fold_left
+    (fun m (a : Atom.t) ->
+      let existing = match Names.Smap.find_opt a.pred m with Some l -> l | None -> [] in
+      Names.Smap.add a.pred (a :: existing) m)
+    Names.Smap.empty targets
+
+(* Order pattern atoms most-constrained-first: fewer candidate targets and
+   more constants/bound variables first.  A static heuristic is enough; the
+   dynamic pruning happens through unification failure. *)
+let order_patterns ~seed index patterns =
+  let score (a : Atom.t) =
+    let candidates =
+      match Names.Smap.find_opt a.pred index with Some l -> List.length l | None -> 0
+    in
+    let bound =
+      List.length
+        (List.filter
+           (function
+             | Term.Cst _ -> true
+             | Term.Var x -> Subst.mem x seed)
+           a.Atom.args)
+    in
+    (candidates, -bound)
+  in
+  List.stable_sort (fun a b -> compare (score a) (score b)) patterns
+
+let iter_all ?(seed = Subst.empty) patterns targets ~f =
+  let index = index_targets targets in
+  let patterns = order_patterns ~seed index patterns in
+  let stopped = ref false in
+  let rec go subst = function
+    | [] -> if f subst = `Stop then stopped := true
+    | (a : Atom.t) :: rest ->
+        let candidates =
+          match Names.Smap.find_opt a.pred index with Some l -> l | None -> []
+        in
+        let try_candidate cand =
+          if not !stopped then
+            match Atom.unify subst a cand with
+            | Some subst' -> go subst' rest
+            | None -> ()
+        in
+        List.iter try_candidate candidates
+  in
+  go seed patterns
+
+exception Found of Subst.t
+
+let find ?(seed = Subst.empty) patterns targets =
+  match
+    iter_all ~seed patterns targets ~f:(fun s -> raise (Found s))
+  with
+  | () -> None
+  | exception Found s -> Some s
+
+let exists ?seed patterns targets = find ?seed patterns targets <> None
+
+let find_all ?(seed = Subst.empty) ?limit patterns targets =
+  let results = ref [] in
+  let count = ref 0 in
+  iter_all ~seed patterns targets ~f:(fun s ->
+      if not (List.exists (Subst.equal s) !results) then begin
+        results := s :: !results;
+        incr count
+      end;
+      match limit with Some l when !count >= l -> `Stop | _ -> `Continue);
+  List.rev !results

@@ -1,0 +1,40 @@
+open Vplan_cq
+
+(* Removing body atoms only generalizes a query, so Q ⊑ Q' holds for any
+   Q' with body ⊆ Q's body via the identity embedding.  Equivalence after
+   removal therefore reduces to a single check: Q' ⊑ Q, i.e. a containment
+   mapping from Q to Q'. *)
+let removal_keeps_equivalence q body' =
+  match Query.with_body q body' with
+  | Error _ -> false (* head variable lost: removal breaks safety *)
+  | Ok q' -> Containment.is_contained q' q
+
+let remove_nth l n = List.filteri (fun i _ -> i <> n) l
+
+let minimize q =
+  let q = Query.dedup_body q in
+  let rec loop (q : Query.t) =
+    let n = List.length q.body in
+    let rec try_remove i =
+      if i >= n then q
+      else
+        let body' = remove_nth q.body i in
+        if body' <> [] && removal_keeps_equivalence q body' then
+          loop (Query.make_exn q.head body')
+        else try_remove (i + 1)
+    in
+    try_remove 0
+  in
+  loop q
+
+let redundant_atoms q =
+  let q = Query.dedup_body q in
+  List.filteri
+    (fun i _ ->
+      let body' = remove_nth q.Query.body i in
+      body' <> [] && removal_keeps_equivalence q body')
+    q.Query.body
+
+let is_minimal q =
+  let q = Query.dedup_body q in
+  redundant_atoms q = []

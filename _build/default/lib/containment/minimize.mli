@@ -1,0 +1,19 @@
+(** Query minimization: computing the core of a conjunctive query.
+
+    A conjunctive query has a unique (up to isomorphism) minimal equivalent
+    obtained by deleting redundant body atoms [Chandra–Merlin 1977].  This
+    is step (1) of the CoreCover algorithm. *)
+
+open Vplan_cq
+
+(** [minimize q] returns the core of [q]: an equivalent query whose body is
+    a subset of [q]'s body from which no atom can be removed without losing
+    equivalence. *)
+val minimize : Query.t -> Query.t
+
+(** [is_minimal q] holds when no body atom of [q] is redundant. *)
+val is_minimal : Query.t -> bool
+
+(** [redundant_atoms q] lists the body atoms whose individual removal keeps
+    the query equivalent (the removals need not be simultaneously valid). *)
+val redundant_atoms : Query.t -> Atom.t list

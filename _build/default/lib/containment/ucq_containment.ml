@@ -1,0 +1,29 @@
+open Vplan_cq
+
+let is_contained u1 u2 =
+  List.for_all
+    (fun d1 -> List.exists (fun d2 -> Containment.is_contained d1 d2) (Ucq.disjuncts u2))
+    (Ucq.disjuncts u1)
+
+let equivalent u1 u2 = is_contained u1 u2 && is_contained u2 u1
+
+let minimize u =
+  let ds = List.map Minimize.minimize (Ucq.disjuncts u) in
+  (* keep a disjunct only if it is not contained in another kept (or
+     later) disjunct; scanning left to right with the classic "contained
+     in some OTHER member" rule, breaking ties by keeping the earlier
+     one *)
+  let rec keep acc = function
+    | [] -> List.rev acc
+    | d :: rest ->
+        let redundant =
+          List.exists (fun other -> Containment.is_contained d other) acc
+          || List.exists (fun other -> Containment.is_contained d other) rest
+        in
+        if redundant then keep acc rest else keep (d :: acc) rest
+  in
+  match keep [] ds with
+  | [] ->
+      (* all disjuncts pairwise equivalent: keep one *)
+      Ucq.make_exn [ List.hd ds ]
+  | kept -> Ucq.make_exn kept

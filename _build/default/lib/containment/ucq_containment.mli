@@ -1,0 +1,16 @@
+(** Containment and equivalence of unions of conjunctive queries
+    (Sagiv–Yannakakis 1980).
+
+    [U1 ⊑ U2] iff every disjunct of [U1] is contained in some disjunct of
+    [U2].  This extends the rewriting machinery to the Section 8 setting
+    where maximally-contained rewritings are unions. *)
+
+open Vplan_cq
+
+val is_contained : Ucq.t -> Ucq.t -> bool
+val equivalent : Ucq.t -> Ucq.t -> bool
+
+(** [minimize u] removes redundant disjuncts (those contained in another
+    disjunct) and minimizes each survivor as a conjunctive query; the
+    result is equivalent to [u]. *)
+val minimize : Ucq.t -> Ucq.t

@@ -1,0 +1,1 @@
+lib/core/planner.ml: Atom Corecover Eval M1 M3 Materialize Minicon Optimizer Option Parser Query Ucq View View_tuple Vplan_baselines Vplan_cost Vplan_cq Vplan_relational Vplan_rewrite Vplan_views

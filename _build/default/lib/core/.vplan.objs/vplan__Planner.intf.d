@@ -1,0 +1,1 @@
+lib/core/planner.mli: Atom Database Query Relation Ucq View View_tuple Vplan_cost Vplan_cq Vplan_relational Vplan_views

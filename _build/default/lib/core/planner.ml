@@ -1,0 +1,96 @@
+open Vplan_cq
+open Vplan_views
+open Vplan_relational
+open Vplan_rewrite
+open Vplan_cost
+open Vplan_baselines
+
+type problem = {
+  query : Query.t;
+  views : View.t list;
+}
+
+let problem_of_program = function
+  | [] -> Error "empty program: expected a query rule followed by view rules"
+  | query :: views -> (
+      match View.validate_set views with
+      | Ok () -> Ok { query; views }
+      | Error msg -> Error msg)
+
+let parse_problem src =
+  match Parser.parse_program src with
+  | Error msg -> Error msg
+  | Ok rules -> problem_of_program rules
+
+type analysis = {
+  problem : problem;
+  minimized_query : Query.t;
+  gmrs : Query.t list;
+  minimal_rewritings : Query.t list;
+  filters : View_tuple.t list;
+  maximally_contained : Ucq.t option;
+}
+
+let analyze problem =
+  let { query; views } = problem in
+  let all = Corecover.all_minimal ~query ~views () in
+  let gmrs = M1.best all.Corecover.rewritings in
+  let maximally_contained =
+    if all.Corecover.rewritings = [] then Minicon.maximally_contained ~query ~views ()
+    else None
+  in
+  {
+    problem;
+    minimized_query = all.Corecover.minimized_query;
+    gmrs;
+    minimal_rewritings = all.Corecover.rewritings;
+    filters = all.Corecover.filters;
+    maximally_contained;
+  }
+
+type plan =
+  | Logical of Query.t
+  | Ordered of {
+      rewriting : Query.t;
+      order : Atom.t list;
+      cost : int;
+    }
+  | Annotated of {
+      rewriting : Query.t;
+      plan : M3.plan;
+      cost : int;
+    }
+
+type cost_model = [ `M1 | `M2 | `M3 of [ `Supplementary | `Heuristic ] ]
+
+let plan ~cost_model problem ~base =
+  let t = Optimizer.create ~query:problem.query ~views:problem.views ~base in
+  match cost_model with
+  | `M1 -> Option.map (fun p -> Logical p) (Optimizer.best_m1 t)
+  | `M2 ->
+      Option.map
+        (fun (c : Optimizer.m2_choice) ->
+          Ordered { rewriting = c.m2_rewriting; order = c.m2_order; cost = c.m2_cost })
+        (Optimizer.best_m2 t)
+  | `M3 strategy ->
+      Option.map
+        (fun (c : Optimizer.m3_choice) ->
+          Annotated { rewriting = c.m3_rewriting; plan = c.m3_plan; cost = c.m3_cost })
+        (Optimizer.best_m3 ~strategy t)
+
+let execute problem ~base p =
+  let view_db = Materialize.views base problem.views in
+  match p with
+  | Logical rewriting | Ordered { rewriting; _ } ->
+      Materialize.answers_via_rewriting view_db rewriting
+  | Annotated { rewriting; plan; _ } -> M3.answers view_db ~head:rewriting.Query.head plan
+
+let answer_via_views ~cost_model problem ~base =
+  match plan ~cost_model problem ~base with
+  | Some p -> `Equivalent (p, execute problem ~base p)
+  | None -> (
+      match Minicon.maximally_contained ~query:problem.query ~views:problem.views () with
+      | None -> `No_rewriting
+      | Some union ->
+          let view_db = Materialize.views base problem.views in
+          `Fallback_certain (Eval.answers_ucq view_db union))

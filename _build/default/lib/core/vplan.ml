@@ -1,0 +1,90 @@
+(** Umbrella module: the public API of the vplan library.
+
+    Re-exports every sub-library under one namespace so that users write
+    [Vplan.Query], [Vplan.Corecover], ... without caring about the
+    internal library split.
+
+    Typical pipeline:
+    {[
+      let query = Vplan.Parser.parse_rule_exn
+        "q(S, C) :- car(M, anderson), loc(anderson, C), part(S, M, C)." in
+      let views = List.map Vplan.Parser.parse_rule_exn [ ... ] in
+      let result = Vplan.Corecover.gmrs ~query ~views () in
+      List.iter (Format.printf "%a@." Vplan.Query.pp) result.rewritings
+    ]} *)
+
+(* conjunctive-query kernel *)
+module Names = Vplan_cq.Names
+module Term = Vplan_cq.Term
+module Subst = Vplan_cq.Subst
+module Unify = Vplan_cq.Unify
+module Atom = Vplan_cq.Atom
+module Query = Vplan_cq.Query
+module Parser = Vplan_cq.Parser
+
+(* containment engine *)
+module Homomorphism = Vplan_containment.Homomorphism
+module Containment = Vplan_containment.Containment
+module Minimize = Vplan_containment.Minimize
+
+(* relational engine *)
+module Prng = Vplan_relational.Prng
+module Relation = Vplan_relational.Relation
+module Database = Vplan_relational.Database
+module Eval = Vplan_relational.Eval
+module Datagen = Vplan_relational.Datagen
+
+(* view machinery *)
+module View = Vplan_views.View
+module Expansion = Vplan_views.Expansion
+module Canonical = Vplan_views.Canonical
+module View_tuple = Vplan_views.View_tuple
+module Materialize = Vplan_views.Materialize
+module Equiv_class = Vplan_views.Equiv_class
+
+(* rewriting generation *)
+module Tuple_core = Vplan_rewrite.Tuple_core
+module Set_cover = Vplan_rewrite.Set_cover
+module Corecover = Vplan_rewrite.Corecover
+module Classify = Vplan_rewrite.Classify
+module Lattice = Vplan_rewrite.Lattice
+module Naive = Vplan_rewrite.Naive
+module Normalize = Vplan_rewrite.Normalize
+module View_selection = Vplan_rewrite.View_selection
+
+(* cost models and optimizer *)
+module Orderings = Vplan_cost.Orderings
+module Estimate = Vplan_cost.Estimate
+module M1 = Vplan_cost.M1
+module M2 = Vplan_cost.M2
+module M3 = Vplan_cost.M3
+module Filter = Vplan_cost.Filter
+module Explain = Vplan_cost.Explain
+module Optimizer = Vplan_cost.Optimizer
+
+(* baselines *)
+module Bucket = Vplan_baselines.Bucket
+module Minicon = Vplan_baselines.Minicon
+
+module Inverse_rules = Vplan_baselines.Inverse_rules
+
+(* unions of conjunctive queries (Section 8) *)
+module Ucq = Vplan_cq.Ucq
+module Ucq_containment = Vplan_containment.Ucq_containment
+
+(* built-in comparison predicates (Section 8) *)
+module Order_constraint = Vplan_builtins.Order_constraint
+module Ccq = Vplan_builtins.Ccq
+
+(* Datalog engine: semi-naive evaluation, magic sets, recursive queries
+   over views *)
+module Program = Vplan_datalog.Program
+module Seminaive = Vplan_datalog.Seminaive
+module Magic = Vplan_datalog.Magic
+module Recursive_views = Vplan_datalog.Recursive_views
+
+(* workloads *)
+module Generator = Vplan_workload.Generator
+
+(* high-level facade *)
+module Planner = Planner

@@ -1,0 +1,1 @@
+lib/cost/estimate.ml: Array Atom Database Float List Names Orderings Relation Term Vplan_cq Vplan_relational

@@ -1,0 +1,1 @@
+lib/cost/estimate.mli: Atom Database Vplan_cq Vplan_relational

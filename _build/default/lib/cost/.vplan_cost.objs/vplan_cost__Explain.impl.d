@@ -1,0 +1,1 @@
+lib/cost/explain.ml: Atom Eval Format List M2 M3 Names String Vplan_cq Vplan_relational

@@ -1,0 +1,1 @@
+lib/cost/explain.mli: Atom Database Format M3 Vplan_cq Vplan_relational

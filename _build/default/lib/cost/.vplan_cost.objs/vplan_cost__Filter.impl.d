@@ -1,0 +1,1 @@
+lib/cost/filter.ml: Atom List M2 View_tuple Vplan_cq Vplan_views

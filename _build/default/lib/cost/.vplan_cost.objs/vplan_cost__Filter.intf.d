@@ -1,0 +1,1 @@
+lib/cost/filter.mli: Atom Database View_tuple Vplan_cq Vplan_relational Vplan_views

@@ -1,0 +1,1 @@
+lib/cost/m1.ml: List Query Vplan_cq

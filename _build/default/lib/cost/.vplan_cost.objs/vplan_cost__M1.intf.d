@@ -1,0 +1,1 @@
+lib/cost/m1.mli: Query Vplan_cq

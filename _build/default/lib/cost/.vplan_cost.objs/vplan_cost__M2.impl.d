@@ -1,0 +1,1 @@
+lib/cost/m2.ml: Array Eval List Orderings Vplan_cq Vplan_relational

@@ -1,0 +1,1 @@
+lib/cost/m2.mli: Atom Database Vplan_cq Vplan_relational

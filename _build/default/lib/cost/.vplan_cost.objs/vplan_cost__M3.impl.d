@@ -1,0 +1,1 @@
+lib/cost/m3.ml: Array Atom Eval Expansion Format List M2 Names Orderings Query Relation String Subst Term Vplan_cq Vplan_relational Vplan_views

@@ -1,0 +1,1 @@
+lib/cost/m3.mli: Atom Database Format Names Query Relation View Vplan_cq Vplan_relational Vplan_views

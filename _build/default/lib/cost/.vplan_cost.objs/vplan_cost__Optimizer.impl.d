@@ -1,0 +1,1 @@
+lib/cost/optimizer.ml: Atom Corecover Database Estimate Eval Filter List M1 M2 M3 Materialize Query View Vplan_cq Vplan_relational Vplan_rewrite Vplan_views

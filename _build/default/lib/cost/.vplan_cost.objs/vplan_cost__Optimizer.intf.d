@@ -1,0 +1,1 @@
+lib/cost/optimizer.mli: Atom Database M3 Query Relation View View_tuple Vplan_cq Vplan_relational Vplan_views

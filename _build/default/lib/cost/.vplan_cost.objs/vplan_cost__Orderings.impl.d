@@ -1,0 +1,1 @@
+lib/cost/orderings.ml: List

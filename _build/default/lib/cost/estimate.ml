@@ -1,0 +1,123 @@
+open Vplan_cq
+open Vplan_relational
+
+type relation_stats = {
+  card : float;
+  distinct : float array; (* per column *)
+}
+
+type t = relation_stats Names.Smap.t
+
+let analyze db =
+  List.fold_left
+    (fun acc pred ->
+      match Database.find pred db with
+      | None -> acc
+      | Some r ->
+          let arity = Relation.arity r in
+          let columns = Array.init arity (fun _ -> ref Term.Set.empty) in
+          Relation.iter
+            (fun tuple ->
+              List.iteri
+                (fun i c -> columns.(i) := Term.Set.add (Term.Cst c) !(columns.(i)))
+                tuple)
+            r;
+          let stats =
+            {
+              card = float_of_int (Relation.cardinality r);
+              distinct = Array.map (fun s -> float_of_int (max 1 (Term.Set.cardinal !s))) columns;
+            }
+          in
+          Names.Smap.add pred stats acc)
+    Names.Smap.empty (Database.predicates db)
+
+let missing_stats = { card = 0.; distinct = [||] }
+
+let stats_for t pred =
+  match Names.Smap.find_opt pred t with Some s -> Some s | None -> Some missing_stats
+
+(* A profile of an atom or of a join prefix: estimated cardinality plus a
+   per-variable distinct-value estimate. *)
+type profile = {
+  p_card : float;
+  p_dv : float Names.Smap.t;
+}
+
+let cap_dv card dv = Names.Smap.map (fun v -> Float.min v (Float.max card 1.)) dv
+
+(* Selections local to one atom: constants and repeated variables. *)
+let atom_profile t (a : Atom.t) =
+  match stats_for t a.pred with
+  | None | Some { card = 0.; _ } -> { p_card = 0.; p_dv = Names.Smap.empty }
+  | Some stats ->
+      let column_dv i =
+        if i < Array.length stats.distinct then stats.distinct.(i) else 1.
+      in
+      let card = ref stats.card in
+      let dv = ref Names.Smap.empty in
+      List.iteri
+        (fun i term ->
+          match term with
+          | Term.Cst _ -> card := !card /. column_dv i
+          | Term.Var x -> (
+              match Names.Smap.find_opt x !dv with
+              | None -> dv := Names.Smap.add x (column_dv i) !dv
+              | Some existing ->
+                  (* a repeated variable within the atom: equality between
+                     two columns *)
+                  card := !card /. Float.max existing (column_dv i);
+                  dv := Names.Smap.add x (Float.min existing (column_dv i)) !dv))
+        a.args;
+      let card = Float.max !card 0. in
+      { p_card = card; p_dv = cap_dv card !dv }
+
+let atom_cardinality t a = (atom_profile t a).p_card
+
+let join_profiles left right =
+  let shared =
+    Names.Smap.filter (fun x _ -> Names.Smap.mem x right.p_dv) left.p_dv
+  in
+  let selectivity =
+    Names.Smap.fold
+      (fun x vl acc ->
+        let vr = Names.Smap.find x right.p_dv in
+        acc /. Float.max vl vr)
+      shared 1.
+  in
+  let card = left.p_card *. right.p_card *. selectivity in
+  let dv =
+    Names.Smap.union
+      (fun _ vl vr -> Some (Float.min vl vr))
+      left.p_dv right.p_dv
+  in
+  { p_card = Float.max card 0.; p_dv = cap_dv card dv }
+
+let order_cost t order =
+  let relation_cells =
+    List.fold_left
+      (fun acc (a : Atom.t) ->
+        match stats_for t a.Atom.pred with
+        | Some s -> acc +. (s.card *. float_of_int (max 1 (Atom.arity a)))
+        | None -> acc)
+      0. order
+  in
+  let _, ir_cells =
+    List.fold_left
+      (fun (profile, acc) a ->
+        let profile = join_profiles profile (atom_profile t a) in
+        let width = float_of_int (max 1 (Names.Smap.cardinal profile.p_dv)) in
+        (profile, acc +. (profile.p_card *. width)))
+      ({ p_card = 1.; p_dv = Names.Smap.empty }, 0.)
+      order
+  in
+  relation_cells +. ir_cells
+
+let optimal t body =
+  match Orderings.permutations body with
+  | [] -> ([], 0.)
+  | perms ->
+      List.fold_left
+        (fun (best_order, best_cost) order ->
+          let c = order_cost t order in
+          if c < best_cost then (order, c) else (best_order, best_cost))
+        ([], Float.infinity) perms

@@ -1,0 +1,35 @@
+(** System-R-style cardinality estimation for the M2 cost model.
+
+    The paper's optimizer costs plans against true intermediate sizes; a
+    production optimizer only has statistics.  This module implements the
+    classical catalog (per-relation cardinality, per-column distinct
+    counts) and the textbook estimation rules:
+
+    - a constant in column [i] selects [1 / V(R,i)] of the relation;
+    - a repeated variable within an atom keeps [1 / max(V, V')];
+    - an equi-join on a shared variable keeps [1 / max(V(L,x), V(R,x))]
+      of the cross product, with distinct-value counts propagated as the
+      minimum across joined columns.
+
+    The ablation bench [estimate] measures how much plan quality is lost
+    by optimizing against estimates instead of true sizes. *)
+
+open Vplan_cq
+open Vplan_relational
+
+type t
+
+(** [analyze db] scans every relation once and builds the catalog. *)
+val analyze : Database.t -> t
+
+(** [atom_cardinality t atom] — estimated matching tuples after applying
+    the atom's constant and repeated-variable selections. *)
+val atom_cardinality : t -> Atom.t -> float
+
+(** [order_cost t order] — estimated M2 cost (cells) of joining the atoms
+    in the given order. *)
+val order_cost : t -> Atom.t list -> float
+
+(** [optimal t body] — the ordering minimizing the {e estimated} M2 cost
+    (exhaustive over orderings; intended for rewriting-sized bodies). *)
+val optimal : t -> Atom.t list -> Atom.t list * float

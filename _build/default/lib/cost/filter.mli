@@ -1,0 +1,26 @@
+(** Filtering subgoals (Section 5.1).
+
+    A view tuple with an empty tuple-core covers no query subgoal, yet
+    appending it to a rewriting can lower the M2 cost by shrinking
+    intermediate relations (rewriting [P3] vs [P2] in the car-loc-part
+    example).  Appending a view tuple of the query always preserves
+    equivalence — its expansion is implied by the rest of the rewriting. *)
+
+open Vplan_cq
+open Vplan_relational
+open Vplan_views
+
+(** [improve db ~filters body] greedily appends filter atoms while the
+    optimal M2 cost decreases.  Returns the chosen body (original subgoals
+    first, chosen filters appended), the optimal ordering and its cost. *)
+val improve :
+  Database.t ->
+  filters:View_tuple.t list ->
+  Atom.t list ->
+  Atom.t list * Atom.t list * int
+
+(** [cost_with_and_without db ~filters body] returns the optimal M2 cost
+    without filters and with the greedy filter choice — handy for tests
+    and the ablation bench. *)
+val cost_with_and_without :
+  Database.t -> filters:View_tuple.t list -> Atom.t list -> int * int

@@ -1,0 +1,10 @@
+open Vplan_cq
+
+let cost (q : Query.t) = List.length q.body
+
+let best rewritings =
+  match rewritings with
+  | [] -> []
+  | _ ->
+      let min_cost = List.fold_left (fun acc q -> min acc (cost q)) max_int rewritings in
+      List.filter (fun q -> cost q = min_cost) rewritings

@@ -1,0 +1,11 @@
+(** Cost model M1 (Section 3): the number of view subgoals.
+
+    A physical plan of a rewriting is just its set of subgoals; the cost is
+    their count.  M1 abstracts "minimize the number of joins". *)
+
+open Vplan_cq
+
+val cost : Query.t -> int
+
+(** [best rewritings] returns the rewritings of minimum subgoal count. *)
+val best : Query.t list -> Query.t list

@@ -1,0 +1,180 @@
+open Vplan_relational
+module Atom = Vplan_cq.Atom
+module Names = Vplan_cq.Names
+
+let width vars = max 1 (Names.Sset.cardinal vars)
+
+let relation_cells db (a : Atom.t) =
+  Eval.relation_size db a * max 1 (Atom.arity a)
+
+let intermediate_sizes db order =
+  let _, rev_sizes =
+    List.fold_left
+      (fun (envs, sizes) atom ->
+        let envs = Eval.extend db envs atom in
+        (envs, List.length envs :: sizes))
+      ([ Eval.empty_env ], [])
+      order
+  in
+  List.rev rev_sizes
+
+let cost_of_order db order =
+  let relation_costs = List.fold_left (fun acc a -> acc + relation_cells db a) 0 order in
+  let _, _, ir_cells =
+    List.fold_left
+      (fun (envs, seen, acc) atom ->
+        let envs = Eval.extend db envs atom in
+        let seen = Names.Sset.union seen (Atom.var_set atom) in
+        (envs, seen, acc + (List.length envs * width seen)))
+      ([ Eval.empty_env ], Names.Sset.empty, 0)
+      order
+  in
+  relation_costs + ir_cells
+
+(* DP over subsets.  With all attributes retained, both the tuple count
+   and the width of IR depend only on the joined subgoal set, so
+   f(S) = min over g in S of f(S \ {g}) + cells(IR(S)), and the total cost
+   adds the (order-independent) relation sizes.  Environments are shared
+   bottom-up: envs(S) is computed from envs(S minus one atom) once. *)
+let optimal db body =
+  let atoms = Array.of_list body in
+  let n = Array.length atoms in
+  if n = 0 then ([], 0)
+  else if n > 20 then invalid_arg "M2.optimal: too many subgoals"
+  else begin
+    let full = (1 lsl n) - 1 in
+    let envs = Array.make (full + 1) None in
+    envs.(0) <- Some [ Eval.empty_env ];
+    let rec envs_of s =
+      match envs.(s) with
+      | Some e -> e
+      | None ->
+          (* peel the lowest atom of the subset *)
+          let bit = s land -s in
+          let i =
+            let rec find k = if 1 lsl k = bit then k else find (k + 1) in
+            find 0
+          in
+          let e = Eval.extend db (envs_of (s lxor bit)) atoms.(i) in
+          envs.(s) <- Some e;
+          e
+    in
+    let subset_width s =
+      let vars = ref Names.Sset.empty in
+      Array.iteri
+        (fun i a -> if s land (1 lsl i) <> 0 then vars := Names.Sset.union !vars (Atom.var_set a))
+        atoms;
+      width !vars
+    in
+    let ir_cells = Array.make (full + 1) (-1) in
+    let cells_of s =
+      if ir_cells.(s) >= 0 then ir_cells.(s)
+      else begin
+        let v = List.length (envs_of s) * subset_width s in
+        ir_cells.(s) <- v;
+        v
+      end
+    in
+    let best = Array.make (full + 1) max_int in
+    let choice = Array.make (full + 1) (-1) in
+    best.(0) <- 0;
+    for s = 1 to full do
+      let ir = cells_of s in
+      for i = 0 to n - 1 do
+        if s land (1 lsl i) <> 0 then begin
+          let prev = best.(s lxor (1 lsl i)) in
+          if prev < max_int && prev + ir < best.(s) then begin
+            best.(s) <- prev + ir;
+            choice.(s) <- i
+          end
+        end
+      done
+    done;
+    let rec rebuild s acc =
+      if s = 0 then acc
+      else
+        let i = choice.(s) in
+        rebuild (s lxor (1 lsl i)) (atoms.(i) :: acc)
+    in
+    let order = rebuild full [] in
+    let relation_costs = List.fold_left (fun acc a -> acc + relation_cells db a) 0 body in
+    (order, best.(full) + relation_costs)
+  end
+
+let optimal_exhaustive db body =
+  match Orderings.permutations body with
+  | [] -> ([], 0)
+  | perms ->
+      List.fold_left
+        (fun (best_order, best_cost) order ->
+          let c = cost_of_order db order in
+          if c < best_cost then (order, c) else (best_order, best_cost))
+        ([], max_int) perms
+
+(* Cross-product-free DP: identical recurrence, but a subset is only a
+   valid DP state when its atoms form a connected join graph; atom [i]
+   may extend state [S] only if it shares a variable with [S] (or S is
+   empty). *)
+let optimal_connected db body =
+  let atoms = Array.of_list body in
+  let n = Array.length atoms in
+  if n = 0 then Some ([], 0)
+  else if n > 20 then invalid_arg "M2.optimal_connected: too many subgoals"
+  else begin
+    let var_sets = Array.map Atom.var_set atoms in
+    let shares i s_vars = not (Names.Sset.is_empty (Names.Sset.inter var_sets.(i) s_vars)) in
+    let full = (1 lsl n) - 1 in
+    let envs = Array.make (full + 1) None in
+    envs.(0) <- Some [ Eval.empty_env ];
+    let rec envs_of s =
+      match envs.(s) with
+      | Some e -> e
+      | None ->
+          let bit = s land -s in
+          let i =
+            let rec find k = if 1 lsl k = bit then k else find (k + 1) in
+            find 0
+          in
+          let e = Eval.extend db (envs_of (s lxor bit)) atoms.(i) in
+          envs.(s) <- Some e;
+          e
+    in
+    let subset_vars s =
+      let vars = ref Names.Sset.empty in
+      Array.iteri (fun i vs -> if s land (1 lsl i) <> 0 then vars := Names.Sset.union !vars vs)
+        var_sets;
+      !vars
+    in
+    let best = Array.make (full + 1) max_int in
+    let choice = Array.make (full + 1) (-1) in
+    best.(0) <- 0;
+    for s = 1 to full do
+      (* try every last atom i such that the prefix s\{i} was reachable
+         and i connects to it *)
+      for i = 0 to n - 1 do
+        if s land (1 lsl i) <> 0 then begin
+          let prev_set = s lxor (1 lsl i) in
+          let prev = best.(prev_set) in
+          if prev < max_int && (prev_set = 0 || shares i (subset_vars prev_set)) then begin
+            let ir = List.length (envs_of s) * width (subset_vars s) in
+            if prev + ir < best.(s) then begin
+              best.(s) <- prev + ir;
+              choice.(s) <- i
+            end
+          end
+        end
+      done
+    done;
+    if best.(full) = max_int then None
+    else begin
+      let rec rebuild s acc =
+        if s = 0 then acc
+        else
+          let i = choice.(s) in
+          rebuild (s lxor (1 lsl i)) (atoms.(i) :: acc)
+      in
+      let order = rebuild full [] in
+      let relation_costs = List.fold_left (fun acc a -> acc + relation_cells db a) 0 body in
+      Some (order, best.(full) + relation_costs)
+    end
+  end

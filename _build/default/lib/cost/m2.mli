@@ -1,0 +1,50 @@
+(** Cost model M2 (Section 5): sizes of view relations and intermediate
+    relations.
+
+    A physical plan is an ordering [g1, ..., gn] of the rewriting's
+    subgoals; joining the first [i] subgoals with {e all attributes
+    retained} yields the intermediate relation [IR_i], and
+
+    {v cost = Σ (size(g_i) + size(IR_i)) v}
+
+    [size(·)] counts {e cells} — tuples × attributes — the natural proxy
+    for the disk-I/O volume the paper's cost model is motivated by.  (A
+    pure tuple count cannot see that dropping attributes shrinks a
+    relation, which Section 6's comparisons rely on.)
+
+    Because attributes are never dropped, [size(IR_i)] depends only on the
+    {e set} of joined subgoals, so the optimal ordering is found by dynamic
+    programming over subsets.  An exhaustive permutation search is provided
+    as a cross-check. *)
+
+open Vplan_cq
+open Vplan_relational
+
+(** [cost_of_order db order] evaluates a specific ordering against the
+    database (normally the materialized-view database). *)
+val cost_of_order : Database.t -> Atom.t list -> int
+
+(** [optimal db body] returns a cost-optimal ordering of [body] and its
+    cost, by DP over subsets.  [body] must have at most 20 atoms. *)
+val optimal : Database.t -> Atom.t list -> Atom.t list * int
+
+(** [optimal_exhaustive db body] — same result via all permutations
+    (testing only; factorial). *)
+val optimal_exhaustive : Database.t -> Atom.t list -> Atom.t list * int
+
+(** [optimal_connected db body] — DP restricted to {e connected} prefixes
+    (every joined subgoal shares a variable with an earlier one), the
+    standard cross-product-avoiding heuristic of production optimizers.
+    [None] when [body]'s join graph is disconnected (no such ordering
+    exists).  The result can be costlier than {!optimal} — a cross
+    product is occasionally the cheapest plan — but the search space is
+    much smaller; the [joinorder] bench quantifies both effects. *)
+val optimal_connected : Database.t -> Atom.t list -> (Atom.t list * int) option
+
+(** [intermediate_sizes db order] lists the {e tuple counts} of
+    [IR_1, ..., IR_n] (widths are implied by the variables joined). *)
+val intermediate_sizes : Database.t -> Atom.t list -> int list
+
+(** [relation_cells db atom] — [size(g)] of a stored relation: cardinality
+    times arity (at least 1). *)
+val relation_cells : Database.t -> Atom.t -> int

@@ -1,0 +1,84 @@
+open Vplan_cq
+open Vplan_relational
+open Vplan_views
+open Vplan_rewrite
+
+type t = {
+  query : Query.t;
+  views : View.t list;
+  base : Database.t;
+  view_db : Database.t;
+  corecover : Corecover.result;
+}
+
+let create ~query ~views ~base =
+  let view_db = Materialize.views base views in
+  let corecover = Corecover.all_minimal ~query ~views () in
+  { query; views; base; view_db; corecover }
+
+let view_database t = t.view_db
+let candidates t = t.corecover.Corecover.rewritings
+let filters t = t.corecover.Corecover.filters
+
+type m2_choice = {
+  m2_rewriting : Query.t;
+  m2_order : Atom.t list;
+  m2_cost : int;
+}
+
+type m3_choice = {
+  m3_rewriting : Query.t;
+  m3_plan : M3.plan;
+  m3_cost : int;
+}
+
+let best_m1 t =
+  match M1.best (candidates t) with [] -> None | p :: _ -> Some p
+
+let best_m2 ?(with_filters = true) t =
+  let consider best (p : Query.t) =
+    let body, order, cost =
+      if with_filters then Filter.improve t.view_db ~filters:(filters t) p.body
+      else
+        let order, cost = M2.optimal t.view_db p.body in
+        (p.body, order, cost)
+    in
+    match best with
+    | Some b when b.m2_cost <= cost -> best
+    | _ -> Some { m2_rewriting = Query.make_exn p.head body; m2_order = order; m2_cost = cost }
+  in
+  List.fold_left consider None (candidates t)
+
+let best_m2_estimated t =
+  let catalog = Estimate.analyze t.view_db in
+  let consider best (p : Query.t) =
+    let order, est_cost = Estimate.optimal catalog p.body in
+    match best with
+    | Some (_, best_est) when best_est <= est_cost -> best
+    | _ -> Some ((p, order), est_cost)
+  in
+  match List.fold_left consider None (candidates t) with
+  | None -> None
+  | Some ((p, order), _) ->
+      Some
+        {
+          m2_rewriting = p;
+          m2_order = order;
+          m2_cost = M2.cost_of_order t.view_db order;
+        }
+
+let best_m3 ~strategy t =
+  let annotate (p : Query.t) order =
+    match strategy with
+    | `Supplementary -> M3.supplementary ~head:p.head order
+    | `Heuristic -> M3.heuristic ~views:t.views ~query:t.query ~head:p.head order
+  in
+  let consider best (p : Query.t) =
+    let plan, cost = M3.optimal t.view_db ~annotate:(annotate p) p.body in
+    match best with
+    | Some b when b.m3_cost <= cost -> best
+    | _ -> Some { m3_rewriting = p; m3_plan = plan; m3_cost = cost }
+  in
+  List.fold_left consider None (candidates t)
+
+let answer t = Eval.answers t.base t.query

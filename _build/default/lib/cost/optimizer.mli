@@ -1,0 +1,59 @@
+(** End-to-end cost-based plan selection: the "two-step approach" of the
+    paper, with CoreCover as the rewriting generator and this module as the
+    optimizer consuming its logical plans.
+
+    The optimizer works against the materialized view relations (the
+    closed-world model): rewritings are costed by actually joining view
+    relations, which is faithful to M2/M3's definitions on concrete
+    instances. *)
+
+open Vplan_cq
+open Vplan_relational
+open Vplan_views
+
+type t
+
+(** [create ~query ~views ~base] materializes the views over [base] and
+    runs CoreCover{^ *} once to obtain the candidate rewritings and filter
+    tuples. *)
+val create : query:Query.t -> views:View.t list -> base:Database.t -> t
+
+val view_database : t -> Database.t
+val candidates : t -> Query.t list
+val filters : t -> View_tuple.t list
+
+type m2_choice = {
+  m2_rewriting : Query.t;  (** chosen rewriting, filters appended if any *)
+  m2_order : Atom.t list;  (** optimal join order *)
+  m2_cost : int;
+}
+
+type m3_choice = {
+  m3_rewriting : Query.t;
+  m3_plan : M3.plan;
+  m3_cost : int;
+}
+
+(** [best_m1 t] — a globally-minimal rewriting ([None] when the query has
+    no rewriting). *)
+val best_m1 : t -> Query.t option
+
+(** [best_m2 ?with_filters t] — the M2-cheapest candidate; with
+    [with_filters] (default [true]) empty-core view tuples may be appended
+    as filtering subgoals. *)
+val best_m2 : ?with_filters:bool -> t -> m2_choice option
+
+(** [best_m3 ~strategy t] — the M3-cheapest candidate under the given
+    annotation strategy. *)
+val best_m3 : strategy:[ `Supplementary | `Heuristic ] -> t -> m3_choice option
+
+(** [best_m2_estimated t] — what a statistics-only optimizer would pick:
+    candidates are ordered and compared by the {!Estimate} catalog of the
+    materialized views; the reported [m2_cost] is the {e realized} true
+    cost of the chosen plan, so it can be compared directly against
+    {!best_m2} (it is never lower). *)
+val best_m2_estimated : t -> m2_choice option
+
+(** [answer t] — the true answer of the query over the base database
+    (ground truth for verifying plans). *)
+val answer : t -> Relation.t

@@ -1,0 +1,9 @@
+let rec permutations = function
+  | [] -> [ [] ]
+  | l ->
+      List.concat
+        (List.mapi
+           (fun i x ->
+             let rest = List.filteri (fun j _ -> j <> i) l in
+             List.map (fun p -> x :: p) (permutations rest))
+           l)

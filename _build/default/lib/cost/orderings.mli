@@ -1,0 +1,5 @@
+(** Enumerating subgoal orderings for the plan optimizers. *)
+
+(** [permutations l] — all permutations; factorial, intended for the small
+    subgoal lists of rewritings. *)
+val permutations : 'a list -> 'a list list

@@ -1,0 +1,1 @@
+lib/cq/atom.ml: Format List Names Set String Subst Term

@@ -1,0 +1,1 @@
+lib/cq/names.ml: List Map Set String

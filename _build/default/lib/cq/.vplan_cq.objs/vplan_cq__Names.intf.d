@@ -1,0 +1,1 @@
+lib/cq/names.mli: Map Set

@@ -1,0 +1,1 @@
+lib/cq/parser.ml: Atom List Printf Query String Term

@@ -1,0 +1,1 @@
+lib/cq/query.ml: Atom Format List Names String Subst Term

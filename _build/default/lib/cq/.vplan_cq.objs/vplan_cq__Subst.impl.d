@@ -1,0 +1,1 @@
+lib/cq/subst.ml: Format List Names String Term

@@ -1,0 +1,1 @@
+lib/cq/term.ml: Format Int Map Set String

@@ -1,0 +1,1 @@
+lib/cq/ucq.ml: Atom Format List Query String

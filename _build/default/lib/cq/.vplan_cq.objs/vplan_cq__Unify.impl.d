@@ -1,0 +1,1 @@
+lib/cq/unify.ml: List String Subst Term

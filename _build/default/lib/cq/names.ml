@@ -1,0 +1,23 @@
+module Smap = Map.Make (String)
+module Sset = Set.Make (String)
+
+let sset_of_list l = Sset.of_list l
+
+let fresh ~used base =
+  if not (Sset.mem base used) then base
+  else
+    let rec loop k =
+      let candidate = base ^ "_" ^ string_of_int k in
+      if Sset.mem candidate used then loop (k + 1) else candidate
+    in
+    loop 1
+
+let fresh_list ~used bases =
+  let used, rev_names =
+    List.fold_left
+      (fun (used, acc) base ->
+        let name = fresh ~used base in
+        (Sset.add name used, name :: acc))
+      (used, []) bases
+  in
+  (List.rev rev_names, used)

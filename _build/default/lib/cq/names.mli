@@ -1,0 +1,20 @@
+(** Variable-name utilities shared across the conjunctive-query kernel.
+
+    Variables are identified by strings.  This module centralizes the
+    string-keyed collections used everywhere and the generation of fresh
+    names that avoid a given set of used names. *)
+
+module Smap : Map.S with type key = string
+module Sset : Set.S with type elt = string
+
+val sset_of_list : string list -> Sset.t
+
+(** [fresh ~used base] returns a name not in [used], equal to [base] when
+    possible and otherwise of the form [base ^ "_" ^ k] for the smallest
+    natural [k] that avoids the collision. *)
+val fresh : used:Sset.t -> string -> string
+
+(** [fresh_list ~used bases] threads [fresh] over [bases] left to right, so
+    the returned names are also mutually distinct.  Returns the names and
+    the enlarged used-set. *)
+val fresh_list : used:Sset.t -> string list -> string list * Sset.t

@@ -1,0 +1,173 @@
+type token =
+  | Tident of string
+  | Tvar of string
+  | Tint of int
+  | Tlparen
+  | Trparen
+  | Tcomma
+  | Tturnstile
+  | Tdot
+  | Teof
+
+exception Error of string
+
+let is_lower c = (c >= 'a' && c <= 'z')
+let is_upper c = (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_lower c || is_upper c || (c >= '0' && c <= '9') || c = '\'' || c = '-'
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize src =
+  let n = String.length src in
+  let tokens = ref [] in
+  let emit t = tokens := t :: !tokens in
+  let i = ref 0 in
+  let line = ref 1 in
+  let fail msg = raise (Error (Printf.sprintf "line %d: %s" !line msg)) in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '\n' then (incr line; incr i)
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '%' || c = '#' then begin
+      while !i < n && src.[!i] <> '\n' do incr i done
+    end
+    else if c = '(' then (emit Tlparen; incr i)
+    else if c = ')' then (emit Trparen; incr i)
+    else if c = ',' then (emit Tcomma; incr i)
+    else if c = '.' then (emit Tdot; incr i)
+    else if c = ':' then begin
+      if !i + 1 < n && src.[!i + 1] = '-' then (emit Tturnstile; i := !i + 2)
+      else fail "expected ':-'"
+    end
+    else if is_digit c || (c = '-' && !i + 1 < n && is_digit src.[!i + 1]) then begin
+      let start = !i in
+      incr i;
+      while !i < n && is_digit src.[!i] do incr i done;
+      emit (Tint (int_of_string (String.sub src start (!i - start))))
+    end
+    else if is_lower c || is_upper c then begin
+      let start = !i in
+      while !i < n && is_ident_char src.[!i] do incr i done;
+      let word = String.sub src start (!i - start) in
+      if is_upper c then emit (Tvar word) else emit (Tident word)
+    end
+    else fail (Printf.sprintf "unexpected character %C" c)
+  done;
+  emit Teof;
+  List.rev !tokens
+
+(* A tiny recursive-descent parser over the token list. *)
+type state = { mutable toks : token list }
+
+let peek st = match st.toks with [] -> Teof | t :: _ -> t
+
+let advance st =
+  match st.toks with
+  | [] -> ()
+  | _ :: rest -> st.toks <- rest
+
+let describe = function
+  | Tident s -> Printf.sprintf "identifier %S" s
+  | Tvar s -> Printf.sprintf "variable %S" s
+  | Tint i -> Printf.sprintf "integer %d" i
+  | Tlparen -> "'('"
+  | Trparen -> "')'"
+  | Tcomma -> "','"
+  | Tturnstile -> "':-'"
+  | Tdot -> "'.'"
+  | Teof -> "end of input"
+
+let expect st tok what =
+  if peek st = tok then advance st
+  else raise (Error (Printf.sprintf "expected %s, found %s" what (describe (peek st))))
+
+let parse_term st =
+  match peek st with
+  | Tvar x -> advance st; Term.Var x
+  | Tident s -> advance st; Term.Cst (Term.Str s)
+  | Tint i -> advance st; Term.Cst (Term.Int i)
+  | t -> raise (Error ("expected a term, found " ^ describe t))
+
+let parse_atom st =
+  match peek st with
+  | Tident pred ->
+      advance st;
+      expect st Tlparen "'('";
+      let rec args acc =
+        let t = parse_term st in
+        match peek st with
+        | Tcomma -> advance st; args (t :: acc)
+        | Trparen -> advance st; List.rev (t :: acc)
+        | tok -> raise (Error ("expected ',' or ')', found " ^ describe tok))
+      in
+      let args = match peek st with
+        | Trparen -> advance st; []
+        | _ -> args []
+      in
+      Atom.make pred args
+  | t -> raise (Error ("expected a predicate name, found " ^ describe t))
+
+let parse_rule_tokens st =
+  let head = parse_atom st in
+  expect st Tturnstile "':-'";
+  let rec body acc =
+    let a = parse_atom st in
+    match peek st with
+    | Tcomma -> advance st; body (a :: acc)
+    | Tdot -> advance st; List.rev (a :: acc)
+    | tok -> raise (Error ("expected ',' or '.', found " ^ describe tok))
+  in
+  let body = body [] in
+  match Query.make head body with
+  | Ok q -> q
+  | Error msg -> raise (Error msg)
+
+let wrap f s = try Ok (f s) with Error msg -> Error msg
+
+let parse_rule =
+  wrap (fun s ->
+      let st = { toks = tokenize s } in
+      let q = parse_rule_tokens st in
+      expect st Teof "end of input";
+      q)
+
+let parse_rule_exn s =
+  match parse_rule s with
+  | Ok q -> q
+  | Error msg -> invalid_arg ("Parser.parse_rule_exn: " ^ msg ^ " in " ^ s)
+
+let parse_program =
+  wrap (fun s ->
+      let st = { toks = tokenize s } in
+      let rec loop acc =
+        match peek st with
+        | Teof -> List.rev acc
+        | _ -> loop (parse_rule_tokens st :: acc)
+      in
+      loop [])
+
+let parse_facts =
+  wrap (fun s ->
+      let st = { toks = tokenize s } in
+      let rec loop acc =
+        match peek st with
+        | Teof -> List.rev acc
+        | _ ->
+            let a = parse_atom st in
+            expect st Tdot "'.'";
+            let consts =
+              List.map
+                (function
+                  | Term.Cst c -> c
+                  | Term.Var x -> raise (Error ("fact contains variable " ^ x)))
+                a.Atom.args
+            in
+            loop ((a.Atom.pred, consts) :: acc)
+      in
+      loop [])
+
+let parse_atom =
+  wrap (fun s ->
+      let st = { toks = tokenize s } in
+      let a = parse_atom st in
+      expect st Teof "end of input";
+      a)

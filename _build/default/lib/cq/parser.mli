@@ -1,0 +1,32 @@
+(** A small Datalog-style concrete syntax for queries, views and facts.
+
+    Rules are written as in the paper:
+    {v
+      q(S, C) :- car(M, anderson), loc(anderson, C), part(S, M, C).
+      v1(M, D, C) :- car(M, D), loc(D, C).
+    v}
+
+    Identifiers beginning with an upper-case letter (or [_]) are variables;
+    identifiers beginning with a lower-case letter are symbolic constants in
+    argument position and predicate names in predicate position.  Integer
+    literals are integer constants.  Comments run from [%] or [#] to the
+    end of the line.  Every rule and fact ends with a dot. *)
+
+(** [parse_rule s] parses a single rule [head :- body.]. *)
+val parse_rule : string -> (Query.t, string) result
+
+(** [parse_rule_exn s] raises [Invalid_argument] on a parse error — use in
+    tests and examples where the input is a literal. *)
+val parse_rule_exn : string -> Query.t
+
+(** [parse_program s] parses a sequence of rules. *)
+val parse_program : string -> (Query.t list, string) result
+
+(** [parse_facts s] parses ground facts such as [car(honda, anderson).],
+    yielding predicate names with constant tuples.  A non-ground fact is an
+    error. *)
+val parse_facts : string -> ((string * Term.const list) list, string) result
+
+(** [parse_atom s] parses a single atom such as [reach(sfo, X)] — used for
+    command-line query arguments. *)
+val parse_atom : string -> (Atom.t, string) result

@@ -1,0 +1,90 @@
+type t = {
+  head : Atom.t;
+  body : Atom.t list;
+}
+
+let body_var_set body =
+  List.fold_left (fun acc a -> Names.Sset.union acc (Atom.var_set a)) Names.Sset.empty body
+
+let make head body =
+  let bvars = body_var_set body in
+  let missing = Names.Sset.diff (Atom.var_set head) bvars in
+  if Names.Sset.is_empty missing then Ok { head; body }
+  else
+    Error
+      (Format.asprintf "unsafe query: head variable(s) %s not in body"
+         (String.concat ", " (Names.Sset.elements missing)))
+
+let make_exn head body =
+  match make head body with Ok q -> q | Error msg -> invalid_arg ("Query.make_exn: " ^ msg)
+
+let with_body q body = make q.head body
+
+let compare q1 q2 =
+  match Atom.compare q1.head q2.head with
+  | 0 -> List.compare Atom.compare q1.body q2.body
+  | c -> c
+
+let equal q1 q2 = compare q1 q2 = 0
+let head_vars q = Atom.vars q.head
+
+let vars q =
+  let rec loop seen acc = function
+    | [] -> List.rev acc
+    | x :: rest ->
+        if Names.Sset.mem x seen then loop seen acc rest
+        else loop (Names.Sset.add x seen) (x :: acc) rest
+  in
+  loop Names.Sset.empty [] (List.concat_map Atom.vars (q.head :: q.body))
+
+let var_set q = Names.sset_of_list (vars q)
+let head_var_set q = Atom.var_set q.head
+
+let existential_vars q =
+  let hv = head_var_set q in
+  List.filter (fun x -> not (Names.Sset.mem x hv)) (vars q)
+
+let is_distinguished q x = Names.Sset.mem x (head_var_set q)
+
+let constants q =
+  List.concat_map Atom.constants (q.head :: q.body)
+  |> List.sort_uniq Term.compare_const
+
+let body_preds q =
+  let rec loop seen acc = function
+    | [] -> List.rev acc
+    | (a : Atom.t) :: rest ->
+        if Names.Sset.mem a.pred seen then loop seen acc rest
+        else loop (Names.Sset.add a.pred seen) (a.pred :: acc) rest
+  in
+  loop Names.Sset.empty [] q.body
+
+let apply s q = { head = Atom.apply s q.head; body = List.map (Atom.apply s) q.body }
+
+let rename_apart ~avoid q =
+  let names, _ = Names.fresh_list ~used:avoid (vars q) in
+  let s = Subst.of_list (List.map2 (fun x n -> (x, Term.Var n)) (vars q) names) in
+  (apply s q, s)
+
+let dedup_body q =
+  let rec loop seen acc = function
+    | [] -> List.rev acc
+    | a :: rest ->
+        if Atom.Set.mem a seen then loop seen acc rest
+        else loop (Atom.Set.add a seen) (a :: acc) rest
+  in
+  { q with body = loop Atom.Set.empty [] q.body }
+
+let canonical q =
+  let q = dedup_body q in
+  let s =
+    List.mapi (fun i x -> (x, Term.Var ("V" ^ string_of_int i))) (vars q) |> Subst.of_list
+  in
+  apply s q
+
+let pp ppf q =
+  Format.fprintf ppf "%a :- %a" Atom.pp q.head
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") Atom.pp)
+    q.body
+
+let to_string q = Format.asprintf "%a" pp q

@@ -1,0 +1,48 @@
+type const =
+  | Int of int
+  | Str of string
+
+type t =
+  | Var of string
+  | Cst of const
+
+let compare_const c1 c2 =
+  match (c1, c2) with
+  | Int a, Int b -> Int.compare a b
+  | Int _, Str _ -> -1
+  | Str _, Int _ -> 1
+  | Str a, Str b -> String.compare a b
+
+let equal_const c1 c2 = compare_const c1 c2 = 0
+
+let compare t1 t2 =
+  match (t1, t2) with
+  | Var a, Var b -> String.compare a b
+  | Var _, Cst _ -> -1
+  | Cst _, Var _ -> 1
+  | Cst a, Cst b -> compare_const a b
+
+let equal t1 t2 = compare t1 t2 = 0
+let is_var = function Var _ -> true | Cst _ -> false
+let is_const = function Cst _ -> true | Var _ -> false
+let var_name = function Var x -> Some x | Cst _ -> None
+
+let pp_const ppf = function
+  | Int i -> Format.pp_print_int ppf i
+  | Str s -> Format.pp_print_string ppf s
+
+let pp ppf = function
+  | Var x -> Format.pp_print_string ppf x
+  | Cst c -> pp_const ppf c
+
+let to_string t = Format.asprintf "%a" pp t
+let const_to_string c = Format.asprintf "%a" pp_const c
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)

@@ -1,0 +1,24 @@
+let rec resolve s t =
+  match t with
+  | Term.Cst _ -> t
+  | Term.Var x -> (
+      match Subst.find x s with
+      | None -> t
+      | Some t' -> if Term.equal t' t then t else resolve s t')
+
+let mgu_term s t1 t2 =
+  let t1 = resolve s t1 and t2 = resolve s t2 in
+  match (t1, t2) with
+  | Term.Cst c1, Term.Cst c2 -> if Term.equal_const c1 c2 then Some s else None
+  | Term.Var x, Term.Var y when String.equal x y -> Some s
+  | Term.Var x, t | t, Term.Var x -> Subst.extend x t s
+
+let mgu_args s args1 args2 =
+  if List.length args1 <> List.length args2 then None
+  else
+    List.fold_left2
+      (fun acc t1 t2 -> match acc with None -> None | Some s -> mgu_term s t1 t2)
+      (Some s) args1 args2
+
+let resolve_subst s =
+  Subst.of_list (List.map (fun (x, _) -> (x, resolve s (Term.Var x))) (Subst.bindings s))

@@ -1,0 +1,29 @@
+(** Two-sided unification of terms.
+
+    Unlike {!Subst.unify_term}, which matches a pattern against a fixed
+    target, unification may bind variables on either side.  It is used by
+    view expansion, where a view atom [v(X, Y)] in a rewriting must be
+    reconciled with a view head such as [v(A, A)] — forcing [X] and [Y] to
+    be identified in the expansion.
+
+    Substitutions produced here are {e triangular}: a binding may map a
+    variable to another variable that is itself bound.  Use {!resolve} or
+    {!resolve_subst} to read through chains. *)
+
+(** [resolve s t] follows variable bindings in [s] until reaching an
+    unbound variable or a constant.  Binding chains produced by {!mgu_term}
+    are acyclic. *)
+val resolve : Subst.t -> Term.t -> Term.t
+
+(** [resolve_subst s] closes [s] so that every binding maps directly to its
+    resolved term; the result can be applied with {!Subst.apply_term} /
+    {!Query.apply}. *)
+val resolve_subst : Subst.t -> Subst.t
+
+(** [mgu_term s t1 t2] extends [s] into a unifier of [t1] and [t2], or
+    returns [None] on a constant clash. *)
+val mgu_term : Subst.t -> Term.t -> Term.t -> Subst.t option
+
+(** [mgu_args s args1 args2] unifies two argument lists pointwise; the
+    lists must have equal length. *)
+val mgu_args : Subst.t -> Term.t list -> Term.t list -> Subst.t option

@@ -1,0 +1,1 @@
+lib/datalog/magic.ml: Atom Database Eval Hashtbl List Names Printf Program Query Relation Seminaive String Term Vplan_cq Vplan_relational

@@ -1,0 +1,1 @@
+lib/datalog/magic.mli: Atom Database Program Relation Vplan_cq Vplan_relational

@@ -1,0 +1,1 @@
+lib/datalog/program.ml: Atom Format List Names Parser Printf Query String Vplan_cq

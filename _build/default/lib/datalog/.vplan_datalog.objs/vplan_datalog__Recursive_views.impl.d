@@ -1,0 +1,1 @@
+lib/datalog/recursive_views.ml: Atom Eval List Query Relation Seminaive Term Vplan_baselines Vplan_cq Vplan_relational

@@ -1,0 +1,1 @@
+lib/datalog/recursive_views.mli: Atom Database Program Relation View Vplan_cq Vplan_relational Vplan_views

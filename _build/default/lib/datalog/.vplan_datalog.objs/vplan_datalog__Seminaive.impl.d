@@ -1,0 +1,1 @@
+lib/datalog/seminaive.ml: Atom Database Eval List Names Program Query Relation Vplan_cq Vplan_relational

@@ -1,0 +1,1 @@
+lib/datalog/seminaive.mli: Database Program Query Relation Vplan_cq Vplan_relational

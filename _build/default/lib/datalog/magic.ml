@@ -1,0 +1,144 @@
+open Vplan_cq
+open Vplan_relational
+
+type transformed = {
+  program : Program.t;
+  seeds : Database.t;
+  answer_atom : Atom.t;
+}
+
+let adornment_of_atom ~bound (a : Atom.t) =
+  String.concat ""
+    (List.map
+       (function
+         | Term.Cst _ -> "b"
+         | Term.Var x -> if Names.Sset.mem x bound then "b" else "f")
+       a.args)
+
+let adorned_name pred adornment = pred ^ "#" ^ adornment
+let magic_name pred adornment = "m#" ^ pred ^ "#" ^ adornment
+
+let bound_args adornment (a : Atom.t) =
+  List.filteri (fun i _ -> adornment.[i] = 'b') a.args
+
+(* Transform one rule for one head adornment, collecting adorned +
+   magic rules and the set of (pred, adornment) pairs still to process. *)
+let transform_rule ~idb ~adornment (r : Query.t) =
+  let head_bound =
+    List.filteri (fun i _ -> adornment.[i] = 'b') r.head.Atom.args
+    |> List.filter_map Term.var_name
+    |> Names.sset_of_list
+  in
+  let magic_head_atom = Atom.make (magic_name r.head.Atom.pred adornment) (bound_args adornment r.head) in
+  let rec walk bound prefix_adorned new_rules todo = function
+    | [] -> (List.rev prefix_adorned, new_rules, todo)
+    | (g : Atom.t) :: rest ->
+        if Names.Sset.mem g.pred idb then begin
+          let beta = adornment_of_atom ~bound g in
+          let adorned_g = Atom.make (adorned_name g.pred beta) g.args in
+          let magic_rule =
+            (* safe by construction: a bound argument's variables occur in
+               the head's magic atom or in the processed prefix *)
+            match
+              Query.make
+                (Atom.make (magic_name g.pred beta) (bound_args beta g))
+                (magic_head_atom :: List.rev prefix_adorned)
+            with
+            | Ok rule -> rule
+            | Error e -> failwith ("Magic.transform: unsafe magic rule: " ^ e)
+          in
+          let new_rules = magic_rule :: new_rules in
+          walk
+            (Names.Sset.union bound (Atom.var_set g))
+            (adorned_g :: prefix_adorned) new_rules
+            ((g.pred, beta) :: todo)
+            rest
+        end
+        else
+          walk (Names.Sset.union bound (Atom.var_set g)) (g :: prefix_adorned) new_rules todo
+            rest
+  in
+  let body_adorned, magic_rules, todo =
+    walk head_bound [] [] [] r.body
+  in
+  let adorned_head = Atom.make (adorned_name r.head.Atom.pred adornment) r.head.Atom.args in
+  let main_rule =
+    match Query.make adorned_head (magic_head_atom :: body_adorned) with
+    | Ok rule -> rule
+    | Error e -> failwith ("Magic.transform: unsafe adorned rule: " ^ e)
+  in
+  (main_rule :: magic_rules, todo)
+
+let transform program ~query:(q : Atom.t) =
+  let idb = Program.idb_predicates program in
+  if not (Names.Sset.mem q.pred idb) then
+    Error (Printf.sprintf "query predicate %s is not defined by the program" q.pred)
+  else begin
+    let q_adornment = adornment_of_atom ~bound:Names.Sset.empty q in
+    let processed = Hashtbl.create 16 in
+    let out_rules = ref [] in
+    let rec process = function
+      | [] -> ()
+      | (pred, adornment) :: rest ->
+          if Hashtbl.mem processed (pred, adornment) then process rest
+          else begin
+            Hashtbl.add processed (pred, adornment) ();
+            let todo =
+              List.fold_left
+                (fun acc (r : Query.t) ->
+                  if String.equal r.head.Atom.pred pred then begin
+                    let rules, todo = transform_rule ~idb ~adornment r in
+                    out_rules := rules @ !out_rules;
+                    todo @ acc
+                  end
+                  else acc)
+                [] (Program.rules program)
+            in
+            process (todo @ rest)
+          end
+    in
+    process [ (q.pred, q_adornment) ];
+    let seed_tuple =
+      List.filter_map (function Term.Cst c -> Some c | Term.Var _ -> None) q.args
+    in
+    let seeds =
+      Database.add_fact (magic_name q.pred q_adornment) seed_tuple Database.empty
+    in
+    match Program.make (List.rev !out_rules) with
+    | Error e -> Error e
+    | Ok program ->
+        Ok
+          {
+            program;
+            seeds;
+            answer_atom = Atom.make (adorned_name q.pred q_adornment) q.args;
+          }
+  end
+
+let answers ?max_rounds program edb ~query =
+  match transform program ~query with
+  | Error e -> invalid_arg ("Magic.answers: " ^ e)
+  | Ok { program; seeds; answer_atom } ->
+      let edb_with_seeds =
+        Database.facts seeds
+        |> List.fold_left
+             (fun db (a : Atom.t) ->
+               let tuple =
+                 List.map (function Term.Cst c -> c | Term.Var _ -> assert false) a.args
+               in
+               Database.add_fact a.pred tuple db)
+             edb
+      in
+      let fixpoint = Seminaive.evaluate ?max_rounds program edb_with_seeds in
+      let vars = Atom.vars answer_atom in
+      let head = Atom.make "#answer" (List.map (fun x -> Term.Var x) vars) in
+      let positions = Eval.answers fixpoint (Query.make_exn head [ answer_atom ]) in
+      (* re-shape to the original query's argument list *)
+      Relation.fold
+        (fun tuple acc ->
+          let env =
+            Eval.env_of_bindings (List.combine vars tuple)
+          in
+          Relation.add (Eval.tuple_of_env env query.Atom.args) acc)
+        positions
+        (Relation.empty (Atom.arity query))

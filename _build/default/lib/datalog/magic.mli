@@ -1,0 +1,29 @@
+(** The magic-sets transformation (Beeri–Ramakrishnan, "On the power of
+    magic", PODS 1987 — the paper's citation [4], whose supplementary
+    relations also motivate cost model M3).
+
+    Given a program and a query atom with some arguments bound to
+    constants, the transformation produces a program whose bottom-up
+    evaluation only derives facts {e relevant} to the query, simulating
+    top-down sideways information passing (left-to-right SIPs here).
+    Adorned predicates are spelled [p#bf...], magic predicates
+    [m#p#bf...] — spellings the parser cannot produce. *)
+
+open Vplan_cq
+open Vplan_relational
+
+type transformed = {
+  program : Program.t;  (** adorned rules + magic rules *)
+  seeds : Database.t;  (** the magic seed fact(s) for the query *)
+  answer_atom : Atom.t;  (** query atom renamed to its adorned predicate *)
+}
+
+(** [transform program ~query] adorns the program for the query's binding
+    pattern (an argument is bound iff it is a constant).  [Error] when
+    the query predicate is not defined by the program. *)
+val transform : Program.t -> query:Atom.t -> (transformed, string) result
+
+(** [answers program edb ~query] — end to end: transform, evaluate
+    semi-naively (EDB + seeds), and read off the query's answers as the
+    relation of matching adorned facts. *)
+val answers : ?max_rounds:int -> Program.t -> Database.t -> query:Atom.t -> Relation.t

@@ -1,0 +1,91 @@
+open Vplan_cq
+
+type rule = Query.t
+
+type t = {
+  rules : rule list;
+  idb : Names.Sset.t;
+}
+
+let collect_arities rules =
+  List.fold_left
+    (fun acc (r : Query.t) ->
+      List.fold_left
+        (fun acc (a : Atom.t) ->
+          match acc with
+          | Error _ as e -> e
+          | Ok m -> (
+              match Names.Smap.find_opt a.pred m with
+              | Some arity when arity <> Atom.arity a ->
+                  Error
+                    (Printf.sprintf "predicate %s used with arities %d and %d" a.pred arity
+                       (Atom.arity a))
+              | Some _ -> Ok m
+              | None -> Ok (Names.Smap.add a.pred (Atom.arity a) m)))
+        acc (r.head :: r.body))
+    (Ok Names.Smap.empty) rules
+
+let make rules =
+  match collect_arities rules with
+  | Error e -> Error e
+  | Ok _ ->
+      let idb =
+        List.fold_left
+          (fun acc (r : Query.t) -> Names.Sset.add r.head.Atom.pred acc)
+          Names.Sset.empty rules
+      in
+      Ok { rules; idb }
+
+let make_exn rules =
+  match make rules with Ok p -> p | Error e -> invalid_arg ("Program.make_exn: " ^ e)
+
+let parse src =
+  match Parser.parse_program src with
+  | Error e -> Error e
+  | Ok rules -> make rules
+
+let rules t = t.rules
+let idb_predicates t = t.idb
+
+let edb_predicates t =
+  List.fold_left
+    (fun acc (r : Query.t) ->
+      List.fold_left
+        (fun acc (a : Atom.t) ->
+          if Names.Sset.mem a.pred t.idb then acc else Names.Sset.add a.pred acc)
+        acc r.body)
+    Names.Sset.empty t.rules
+
+let is_recursive t =
+  (* DFS over the IDB dependency graph *)
+  let deps pred =
+    List.concat_map
+      (fun (r : Query.t) ->
+        if String.equal r.head.Atom.pred pred then
+          List.filter_map
+            (fun (a : Atom.t) -> if Names.Sset.mem a.pred t.idb then Some a.pred else None)
+            r.body
+        else [])
+      t.rules
+    |> List.sort_uniq String.compare
+  in
+  let reaches start =
+    let visited = ref Names.Sset.empty in
+    let rec dfs p =
+      List.exists
+        (fun d ->
+          String.equal d start
+          ||
+          if Names.Sset.mem d !visited then false
+          else begin
+            visited := Names.Sset.add d !visited;
+            dfs d
+          end)
+        (deps p)
+    in
+    dfs start
+  in
+  Names.Sset.exists reaches t.idb
+
+let pp ppf t =
+  List.iter (fun r -> Format.fprintf ppf "%a.@." Query.pp r) t.rules

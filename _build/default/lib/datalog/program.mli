@@ -1,0 +1,38 @@
+(** Positive Datalog programs.
+
+    A program is a set of safe rules; predicates defined by some rule
+    head are {e intensional} (IDB), all others {e extensional} (EDB).
+    Programs are the substrate for two threads the paper builds on:
+    the supplementary-relation/magic-set evaluation of [4]
+    (Beeri–Ramakrishnan) behind cost model M3, and answering recursive
+    queries using views via inverse rules [9] (Duschka–Genesereth). *)
+
+open Vplan_cq
+
+type rule = Query.t
+(** a rule is a safe "query": head atom + body atoms *)
+
+type t
+
+(** [make rules] validates safety (via {!Query.make}'s invariant carried
+    by the type) and arity consistency across all uses of a predicate. *)
+val make : rule list -> (t, string) result
+
+val make_exn : rule list -> t
+
+(** [parse src] reads a program in the Datalog syntax of {!Parser}. *)
+val parse : string -> (t, string) result
+
+val rules : t -> rule list
+
+(** Predicates appearing in some head. *)
+val idb_predicates : t -> Names.Sset.t
+
+(** Predicates appearing only in bodies. *)
+val edb_predicates : t -> Names.Sset.t
+
+(** [is_recursive t] — some IDB predicate depends on itself (through the
+    positive dependency graph). *)
+val is_recursive : t -> bool
+
+val pp : Format.formatter -> t -> unit

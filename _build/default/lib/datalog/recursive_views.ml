@@ -1,0 +1,27 @@
+open Vplan_cq
+open Vplan_relational
+module Inverse_rules = Vplan_baselines.Inverse_rules
+
+let select_atom db (query : Atom.t) =
+  let vars = Atom.vars query in
+  let head = Atom.make "#answer" (List.map (fun x -> Term.Var x) vars) in
+  let bindings = Eval.answers db (Query.make_exn head [ query ]) in
+  Relation.fold
+    (fun tuple acc ->
+      let env = Eval.env_of_bindings (List.combine vars tuple) in
+      Relation.add (Eval.tuple_of_env env query.args) acc)
+    bindings
+    (Relation.empty (Atom.arity query))
+
+let answers_direct ?max_rounds ~program ~query base =
+  select_atom (Seminaive.evaluate ?max_rounds program base) query
+
+let certain_answers ?max_rounds ~views ~program ~query view_db =
+  let recovered = Inverse_rules.recover_base ~views view_db in
+  let fixpoint = Seminaive.evaluate ?max_rounds program recovered in
+  let raw = select_atom fixpoint query in
+  Relation.fold
+    (fun tuple acc ->
+      if List.exists Inverse_rules.is_skolem tuple then acc else Relation.add tuple acc)
+    raw
+    (Relation.empty (Relation.arity raw))

@@ -1,0 +1,28 @@
+(** Answering {e recursive} queries using views — the paper's citation
+    [9] (Duschka–Genesereth, PODS 1997).
+
+    For conjunctive queries the inverse-rules construction lives in
+    {!Vplan_baselines.Inverse_rules}; combined with the Datalog engine it
+    extends verbatim to recursive Datalog queries: recover a Skolemized
+    base database from the view instance, run the (possibly recursive)
+    program over it bottom-up, and keep the Skolem-free answers.  The
+    result is the certain answer under the open-world assumption. *)
+
+open Vplan_cq
+open Vplan_views
+open Vplan_relational
+
+(** [certain_answers ~views ~program ~query view_db] — [query] is an atom
+    over one of [program]'s predicates (constants select, as in
+    {!Magic}). *)
+val certain_answers :
+  ?max_rounds:int ->
+  views:View.t list ->
+  program:Program.t ->
+  query:Atom.t ->
+  Database.t ->
+  Relation.t
+
+(** [answers_direct ~program ~query base] — ground truth: evaluate the
+    program over the base database directly. *)
+val answers_direct : ?max_rounds:int -> program:Program.t -> query:Atom.t -> Database.t -> Relation.t

@@ -1,0 +1,124 @@
+open Vplan_cq
+open Vplan_relational
+
+let derive_rule db (r : Query.t) =
+  Eval.satisfying_envs db r.body
+  |> List.map (fun env -> Eval.tuple_of_env env r.head.Atom.args)
+
+let add_facts pred tuples db =
+  List.fold_left (fun db t -> Database.add_fact pred t db) db tuples
+
+let naive ?(max_rounds = 10_000) program edb =
+  let rec loop db round =
+    if round > max_rounds then failwith "Seminaive.naive: too many rounds";
+    let db' =
+      List.fold_left
+        (fun acc (r : Query.t) -> add_facts r.head.Atom.pred (derive_rule db r) acc)
+        db (Program.rules program)
+    in
+    if Database.equal db db' then db else loop db' (round + 1)
+  in
+  loop edb 1
+
+(* Semi-naive: each rule with k IDB body atoms yields k delta variants;
+   variant i reads atom i from the delta relations and the other atoms
+   from the full database.  Delta relations are stored in the same
+   database under a reserved name. *)
+let delta_name pred = "\x01delta:" ^ pred
+
+let delta_variants ~idb (r : Query.t) =
+  let rec variants prefix = function
+    | [] -> []
+    | (a : Atom.t) :: rest ->
+        let this =
+          if Names.Sset.mem a.pred idb then
+            [ List.rev_append prefix (Atom.make (delta_name a.pred) a.args :: rest) ]
+          else []
+        in
+        this @ variants (a :: prefix) rest
+  in
+  variants [] r.body
+
+let evaluate ?(max_rounds = 10_000) program edb =
+  let idb = Program.idb_predicates program in
+  let rules = Program.rules program in
+  (* round 0: plain evaluation of every rule against the EDB *)
+  let initial_delta =
+    List.fold_left
+      (fun acc (r : Query.t) ->
+        let tuples = derive_rule edb r in
+        add_facts r.head.Atom.pred tuples acc)
+      Database.empty rules
+  in
+  let with_deltas db delta =
+    Names.Sset.fold
+      (fun pred acc ->
+        match Database.find pred delta with
+        | Some rel -> Database.add_relation (delta_name pred) rel acc
+        | None -> acc)
+      idb db
+  in
+  let union_into db delta =
+    Names.Sset.fold
+      (fun pred acc ->
+        match Database.find pred delta with
+        | None -> acc
+        | Some rel ->
+            Relation.fold (fun t acc -> Database.add_fact pred t acc) rel acc)
+      idb db
+  in
+  let rec loop db delta round =
+    if round > max_rounds then failwith "Seminaive.evaluate: too many rounds";
+    if Database.total_size delta = 0 then db
+    else begin
+      (* merge the delta first: non-delta body positions must see the
+         complete current database, or derivations needing two new facts
+         at different positions would be missed *)
+      let db = union_into db delta in
+      let scratch = with_deltas db delta in
+      let fresh =
+        List.fold_left
+          (fun acc (r : Query.t) ->
+            List.fold_left
+              (fun acc body ->
+                Eval.satisfying_envs scratch body
+                |> List.fold_left
+                     (fun acc env ->
+                       let tuple = Eval.tuple_of_env env r.head.Atom.args in
+                       let existing =
+                         match Database.find r.head.Atom.pred db with
+                         | Some rel -> Relation.mem tuple rel
+                         | None -> false
+                       in
+                       if existing then acc
+                       else Database.add_fact r.head.Atom.pred tuple acc)
+                     acc)
+              acc
+              (delta_variants ~idb r))
+          Database.empty rules
+      in
+      (* facts derived this round that are not yet known become the next
+         delta *)
+      let next_delta =
+        Names.Sset.fold
+          (fun pred acc ->
+            match Database.find pred fresh with
+            | None -> acc
+            | Some rel ->
+                Relation.fold
+                  (fun t acc ->
+                    let known =
+                      match Database.find pred db with
+                      | Some r -> Relation.mem t r
+                      | None -> false
+                    in
+                    if known then acc else Database.add_fact pred t acc)
+                  rel acc)
+          idb Database.empty
+      in
+      loop db next_delta (round + 1)
+    end
+  in
+  loop edb initial_delta 1
+
+let query ?max_rounds program edb q = Eval.answers (evaluate ?max_rounds program edb) q

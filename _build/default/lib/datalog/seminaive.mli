@@ -1,0 +1,22 @@
+(** Bottom-up evaluation of Datalog programs.
+
+    {!naive} recomputes every rule against the full database each round;
+    {!evaluate} is the standard semi-naive refinement that joins each
+    rule once per IDB body position against only the {e delta} facts of
+    the previous round.  Both compute the minimal model restricted to the
+    given EDB. *)
+
+open Vplan_cq
+open Vplan_relational
+
+(** [evaluate program edb] returns the fixpoint database (EDB facts plus
+    all derived IDB facts).  [max_rounds] guards against runaway growth
+    (default 10_000; raises [Failure] when exceeded). *)
+val evaluate : ?max_rounds:int -> Program.t -> Database.t -> Database.t
+
+(** [naive program edb] — reference implementation for testing. *)
+val naive : ?max_rounds:int -> Program.t -> Database.t -> Database.t
+
+(** [query program edb q] — evaluate the program and then the conjunctive
+    query [q] over the fixpoint. *)
+val query : ?max_rounds:int -> Program.t -> Database.t -> Query.t -> Relation.t

@@ -1,0 +1,1 @@
+lib/relational/database.ml: Atom Format List Names Relation Term Vplan_cq

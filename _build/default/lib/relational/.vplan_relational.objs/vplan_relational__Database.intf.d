@@ -1,0 +1,1 @@
+lib/relational/database.mli: Atom Format Relation Vplan_cq

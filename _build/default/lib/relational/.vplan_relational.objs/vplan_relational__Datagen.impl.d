@@ -1,0 +1,1 @@
+lib/relational/datagen.ml: Atom Database Fun List Names Prng Query Relation Subst Term Vplan_cq

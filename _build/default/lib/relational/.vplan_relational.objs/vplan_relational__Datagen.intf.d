@@ -1,0 +1,1 @@
+lib/relational/datagen.mli: Database Prng Query Vplan_cq

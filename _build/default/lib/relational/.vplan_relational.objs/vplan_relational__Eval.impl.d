@@ -1,0 +1,1 @@
+lib/relational/eval.ml: Atom Database List Names Query Relation Set Term Ucq Vplan_cq

@@ -1,0 +1,1 @@
+lib/relational/eval.mli: Atom Database Names Query Relation Term Ucq Vplan_cq

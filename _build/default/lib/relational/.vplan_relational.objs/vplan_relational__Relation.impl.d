@@ -1,0 +1,1 @@
+lib/relational/relation.ml: Format List Printf Set Term Vplan_cq

@@ -1,0 +1,54 @@
+open Vplan_cq
+
+type t = Relation.t Names.Smap.t
+
+let empty = Names.Smap.empty
+let add_relation name r db = Names.Smap.add name r db
+
+let add_fact name tuple db =
+  let r =
+    match Names.Smap.find_opt name db with
+    | Some r -> r
+    | None -> Relation.empty (List.length tuple)
+  in
+  Names.Smap.add name (Relation.add tuple r) db
+
+let of_facts facts = List.fold_left (fun db (name, tuple) -> add_fact name tuple db) empty facts
+let find name db = Names.Smap.find_opt name db
+
+let find_exn name db =
+  match find name db with
+  | Some r -> r
+  | None -> invalid_arg ("Database.find_exn: no relation " ^ name)
+
+let mem name db = Names.Smap.mem name db
+let predicates db = List.map fst (Names.Smap.bindings db)
+let total_size db = Names.Smap.fold (fun _ r acc -> acc + Relation.cardinality r) db 0
+
+let facts db =
+  Names.Smap.fold
+    (fun name r acc ->
+      Relation.fold
+        (fun tuple acc -> Atom.make name (List.map (fun c -> Term.Cst c) tuple) :: acc)
+        r acc)
+    db []
+
+let equal db1 db2 = Names.Smap.equal Relation.equal db1 db2
+
+let pp ppf db =
+  Names.Smap.iter
+    (fun name r -> Format.fprintf ppf "%s%a@." name Relation.pp r)
+    db
+
+let pp_facts ppf db =
+  Names.Smap.iter
+    (fun name r ->
+      Relation.iter
+        (fun tuple ->
+          Format.fprintf ppf "%s(%a).@." name
+            (Format.pp_print_list
+               ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+               Term.pp_const)
+            tuple)
+        r)
+    db

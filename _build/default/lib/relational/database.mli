@@ -1,0 +1,37 @@
+(** A database instance: a finite map from predicate names to relations. *)
+
+open Vplan_cq
+
+type t
+
+val empty : t
+
+(** [add_relation name r db] installs (or replaces) a relation. *)
+val add_relation : string -> Relation.t -> t -> t
+
+(** [add_fact name tuple db] inserts a tuple, creating the relation with
+    the tuple's arity on first use.  Raises [Invalid_argument] on an arity
+    conflict with an existing relation. *)
+val add_fact : string -> Relation.tuple -> t -> t
+
+val of_facts : (string * Relation.tuple) list -> t
+val find : string -> t -> Relation.t option
+val find_exn : string -> t -> Relation.t
+val mem : string -> t -> bool
+val predicates : t -> string list
+
+(** Total number of tuples across all relations. *)
+val total_size : t -> int
+
+(** [facts db] lists every fact as a ground atom — the form consumed by
+    homomorphism-based evaluation. *)
+val facts : t -> Atom.t list
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+(** [pp_facts ppf db] prints the database as parseable ground facts (one
+    per line, {!Vplan_cq.Parser.parse_facts} syntax).  Symbolic constants
+    are printed verbatim: reserved spellings (Skolem terms, frozen
+    canonical constants) will not round-trip through the parser. *)
+val pp_facts : Format.formatter -> t -> unit

@@ -1,0 +1,87 @@
+open Vplan_cq
+
+type spec = {
+  predicate : string;
+  arity : int;
+  tuples : int;
+  domain : int;
+}
+
+let random_tuple rng ~arity ~domain = List.init arity (fun _ -> Term.Int (Prng.int rng domain))
+
+let random rng specs =
+  List.fold_left
+    (fun db spec ->
+      let r =
+        List.init spec.tuples (fun _ -> random_tuple rng ~arity:spec.arity ~domain:spec.domain)
+        |> Relation.of_tuples spec.arity
+      in
+      Database.add_relation spec.predicate r db)
+    Database.empty specs
+
+let arities_of_query (q : Query.t) =
+  List.fold_left
+    (fun m (a : Atom.t) ->
+      match Names.Smap.find_opt a.pred m with
+      | Some arity when arity = Atom.arity a -> m
+      | Some _ -> invalid_arg ("Datagen: predicate " ^ a.pred ^ " used with two arities")
+      | None -> Names.Smap.add a.pred (Atom.arity a) m)
+    Names.Smap.empty q.body
+
+let for_query rng ~tuples ~domain q =
+  let specs =
+    Names.Smap.bindings (arities_of_query q)
+    |> List.map (fun (predicate, arity) -> { predicate; arity; tuples; domain })
+  in
+  random rng specs
+
+let for_query_nonempty rng ~tuples ~domain q =
+  let db = for_query rng ~tuples ~domain q in
+  (* Instantiate the body with random constants and plant it as facts so
+     that the query is satisfiable; witnesses use the same domain as the
+     random tuples. *)
+  let witnesses = max 1 (tuples / 10) in
+  let plant db _ =
+    let assignment =
+      List.fold_left
+        (fun s x -> Subst.bind x (Term.Cst (Term.Int (Prng.int rng domain))) s)
+        Subst.empty (Query.vars q)
+    in
+    List.fold_left
+      (fun db (a : Atom.t) ->
+        let ground = Atom.apply assignment a in
+        let tuple =
+          List.map
+            (function
+              | Term.Cst c -> c
+              | Term.Var x -> invalid_arg ("Datagen: unbound variable " ^ x))
+            ground.Atom.args
+        in
+        Database.add_fact a.pred tuple db)
+      db q.body
+  in
+  List.fold_left plant db (List.init witnesses Fun.id)
+
+(* Nested sampling skews mass toward small values: value v is drawn
+   uniformly from [0, u) where u is itself uniform. *)
+let skewed_value rng ~domain =
+  let upper = 1 + Prng.int rng domain in
+  Term.Int (Prng.int rng upper)
+
+let random_skewed rng specs =
+  List.fold_left
+    (fun db spec ->
+      let r =
+        List.init spec.tuples (fun _ ->
+            List.init spec.arity (fun _ -> skewed_value rng ~domain:spec.domain))
+        |> Relation.of_tuples spec.arity
+      in
+      Database.add_relation spec.predicate r db)
+    Database.empty specs
+
+let for_query_skewed rng ~tuples ~domain q =
+  let specs =
+    Names.Smap.bindings (arities_of_query q)
+    |> List.map (fun (predicate, arity) -> { predicate; arity; tuples; domain })
+  in
+  random_skewed rng specs

@@ -1,0 +1,58 @@
+(** Evaluation of conjunctive queries over database instances.
+
+    Evaluation is a backtracking multiway join: atoms are processed left to
+    right, accumulating bindings of variables to constants.  The same
+    primitives drive (a) computing query answers, (b) applying view
+    definitions to the canonical database, and (c) measuring the
+    intermediate-relation sizes needed by cost models M2 and M3. *)
+
+open Vplan_cq
+
+(** An assignment of constants to (a subset of) the query's variables. *)
+type env
+
+val empty_env : env
+val env_find : env -> string -> Term.const option
+val env_bindings : env -> (string * Term.const) list
+val env_of_bindings : (string * Term.const) list -> env
+
+(** [match_atom db env atom] extends [env] in every way that makes [atom]
+    a fact of [db].  Constants and already-bound variables act as
+    selections; repeated variables enforce equality. *)
+val match_atom : Database.t -> env -> Atom.t -> env list
+
+(** [extend db envs atom] joins a set of environments with an atom:
+    [List.concat_map (fun e -> match_atom db e atom) envs], deduplicated. *)
+val extend : Database.t -> env list -> Atom.t -> env list
+
+(** [satisfying_envs db atoms] joins all atoms in order, starting from the
+    empty environment. *)
+val satisfying_envs : Database.t -> Atom.t list -> env list
+
+(** [project ~onto envs] deduplicates environments restricted to the
+    variables [onto] (unbound variables are simply absent).  This is the
+    attribute-dropping primitive of cost model M3. *)
+val project : onto:Names.Sset.t -> env list -> env list
+
+(** [distinct_count envs] is the number of distinct environments. *)
+val distinct_count : env list -> int
+
+(** [tuple_of_env env terms] instantiates a term list under [env]; raises
+    [Invalid_argument] if a variable is unbound. *)
+val tuple_of_env : env -> Term.t list -> Relation.tuple
+
+(** [answers db q] computes the answer relation of [q] on [db] (distinct
+    head tuples). *)
+val answers : Database.t -> Query.t -> Relation.t
+
+(** [matching_count db atom] is the number of facts matching the atom's
+    pattern (selections applied). *)
+val matching_count : Database.t -> Atom.t -> int
+
+(** [relation_size db atom] is the cardinality of the stored relation named
+    by the atom's predicate (0 when absent): the paper's [size(g_i)]. *)
+val relation_size : Database.t -> Atom.t -> int
+
+(** [answers_ucq db u] evaluates a union of conjunctive queries: the union
+    of the disjuncts' answers. *)
+val answers_ucq : Database.t -> Ucq.t -> Relation.t

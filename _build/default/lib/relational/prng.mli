@@ -1,0 +1,30 @@
+(** A small deterministic pseudo-random number generator (splitmix64).
+
+    All data and workload generation in this repository is driven by this
+    PRNG so that every experiment is reproducible from its seed, without
+    depending on the global [Random] state. *)
+
+type t
+
+val create : int -> t
+
+(** [int t bound] draws uniformly from [0 .. bound-1]. [bound] must be
+    positive. *)
+val int : t -> int -> int
+
+(** [range t lo hi] draws uniformly from [lo .. hi] inclusive. *)
+val range : t -> int -> int -> int
+
+(** [bool t] draws a fair coin. *)
+val bool : t -> bool
+
+(** [pick t l] draws a uniformly random element; raises [Invalid_argument]
+    on an empty list. *)
+val pick : t -> 'a list -> 'a
+
+(** [shuffle t l] returns a uniformly random permutation. *)
+val shuffle : t -> 'a list -> 'a list
+
+(** [split t] derives an independent generator (useful to decorrelate
+    sub-streams). *)
+val split : t -> t

@@ -1,0 +1,1 @@
+lib/rewrite/classify.ml: Expansion Fun List Query Vplan_containment Vplan_cq Vplan_views

@@ -1,0 +1,1 @@
+lib/rewrite/corecover.ml: Array Equiv_class Expansion Format List Query Set_cover Tuple_core View View_tuple Vplan_containment Vplan_cq Vplan_views

@@ -1,0 +1,1 @@
+lib/rewrite/corecover.mli: Query Tuple_core View View_tuple Vplan_cq Vplan_views

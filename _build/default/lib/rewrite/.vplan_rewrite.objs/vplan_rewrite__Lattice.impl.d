@@ -1,0 +1,1 @@
+lib/rewrite/lattice.ml: Array Atom Format Fun List Query String Vplan_containment Vplan_cq Vplan_views

@@ -1,0 +1,1 @@
+lib/rewrite/lattice.mli: Format Query Vplan_cq Vplan_views

@@ -1,0 +1,1 @@
+lib/rewrite/naive.ml: Expansion List Query View_tuple Vplan_containment Vplan_cq Vplan_views

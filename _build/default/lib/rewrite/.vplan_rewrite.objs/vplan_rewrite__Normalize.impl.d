@@ -1,0 +1,1 @@
+lib/rewrite/normalize.ml: Expansion Query Vplan_containment Vplan_cq Vplan_views

@@ -1,0 +1,1 @@
+lib/rewrite/normalize.mli: Query View Vplan_cq Vplan_views

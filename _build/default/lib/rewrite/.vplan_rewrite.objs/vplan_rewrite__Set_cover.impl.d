@@ -1,0 +1,1 @@
+lib/rewrite/set_cover.ml: Array Int List Set

@@ -1,0 +1,1 @@
+lib/rewrite/tuple_core.ml: Array Atom Format List Names Query String Subst Term View_tuple Vplan_cq Vplan_views

@@ -1,0 +1,1 @@
+lib/rewrite/tuple_core.mli: Atom Format Query Subst View_tuple Vplan_cq Vplan_views

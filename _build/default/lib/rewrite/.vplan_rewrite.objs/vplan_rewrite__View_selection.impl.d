@@ -1,0 +1,1 @@
+lib/rewrite/view_selection.ml: Corecover List Tuple_core View_tuple Vplan_containment Vplan_views

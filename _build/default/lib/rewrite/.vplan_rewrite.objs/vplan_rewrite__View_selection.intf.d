@@ -1,0 +1,1 @@
+lib/rewrite/view_selection.mli: Query View Vplan_cq Vplan_views

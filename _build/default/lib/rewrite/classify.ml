@@ -1,0 +1,44 @@
+open Vplan_cq
+open Vplan_views
+module Containment = Vplan_containment.Containment
+module Minimize = Vplan_containment.Minimize
+
+let is_rewriting = Expansion.is_equivalent_rewriting
+let is_minimal_query p = Minimize.is_minimal p
+
+let remove_nth l n = List.filteri (fun i _ -> i <> n) l
+
+let removable ~views ~query (p : Query.t) i =
+  match Query.with_body p (remove_nth p.body i) with
+  | Error _ -> false
+  | Ok p' -> p'.Query.body <> [] && is_rewriting ~views ~query p'
+
+let is_lmr ~views ~query (p : Query.t) =
+  is_rewriting ~views ~query p
+  && not (List.exists (fun i -> removable ~views ~query p i) (List.init (List.length p.body) Fun.id))
+
+let lmr_of ~views ~query p =
+  if not (is_rewriting ~views ~query p) then
+    invalid_arg "Classify.lmr_of: input is not an equivalent rewriting";
+  let rec loop (p : Query.t) =
+    let n = List.length p.body in
+    let rec try_remove i =
+      if i >= n then p
+      else if removable ~views ~query p i then
+        loop (Query.make_exn p.head (remove_nth p.body i))
+      else try_remove (i + 1)
+    in
+    try_remove 0
+  in
+  loop (Query.dedup_body p)
+
+let is_cmr_among ~lmrs p =
+  not
+    (List.exists
+       (fun other ->
+         (not (Containment.isomorphic other p)) && Containment.properly_contained other p)
+       lmrs)
+
+let is_gmr_among ~candidates p =
+  let size (q : Query.t) = List.length q.body in
+  List.for_all (fun other -> size p <= size other) candidates

@@ -1,0 +1,41 @@
+(** Classification of rewritings (Section 3.2, Figure 1).
+
+    The paper organizes rewritings into nested regions:
+
+    - {e minimal}: no redundant subgoal {e as a query} (its own core);
+    - {e locally minimal} (LMR): no subgoal can be removed while remaining
+      an equivalent rewriting of the query;
+    - {e containment minimal} (CMR): an LMR with no other LMR properly
+      contained in it as queries;
+    - {e globally minimal} (GMR): fewest subgoals among all rewritings.
+
+    CMR and GMR quantify over all rewritings, so the predicates here take
+    the candidate space explicitly (the LMRs over view tuples suffice by
+    Lemma 3.3 / Theorem 3.1). *)
+
+open Vplan_cq
+open Vplan_views
+
+(** [is_rewriting ~views ~query p] — alias of
+    {!Expansion.is_equivalent_rewriting}. *)
+val is_rewriting : views:View.t list -> query:Query.t -> Query.t -> bool
+
+(** [is_minimal_query p] — [p] contains no redundant subgoal as a query. *)
+val is_minimal_query : Query.t -> bool
+
+(** [is_lmr ~views ~query p] — [p] is a rewriting and removing any single
+    subgoal stops it from being one. *)
+val is_lmr : views:View.t list -> query:Query.t -> Query.t -> bool
+
+(** [lmr_of ~views ~query p] greedily removes subgoals from the rewriting
+    [p] while the result remains a rewriting — the two-step minimization
+    of Section 3.1.  Requires [p] to be a rewriting. *)
+val lmr_of : views:View.t list -> query:Query.t -> Query.t -> Query.t
+
+(** [is_cmr_among ~lmrs p] — no LMR in [lmrs] is properly contained in [p]
+    as queries. *)
+val is_cmr_among : lmrs:Query.t list -> Query.t -> bool
+
+(** [is_gmr_among ~candidates p] — [p] has the minimum subgoal count among
+    [candidates] (which must contain at least one rewriting). *)
+val is_gmr_among : candidates:Query.t list -> Query.t -> bool

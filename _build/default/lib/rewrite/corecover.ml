@@ -1,0 +1,99 @@
+open Vplan_cq
+open Vplan_views
+module Minimize = Vplan_containment.Minimize
+
+type stats = {
+  num_views : int;
+  num_view_classes : int;
+  num_view_tuples : int;
+  num_representative_tuples : int;
+}
+
+type result = {
+  minimized_query : Query.t;
+  view_classes : View.t list list;
+  view_tuples : View_tuple.t list;
+  cores : (View_tuple.t * Tuple_core.t) list;
+  tuple_classes : View_tuple.t list list;
+  filters : View_tuple.t list;
+  rewritings : Query.t list;
+  stats : stats;
+}
+
+(* Steps 1-3 of both variants: minimize, compute view tuples over the
+   canonical database, compute tuple-cores, group views into equivalence
+   classes and view tuples into same-core classes, and keep one
+   representative (view tuple, core) pair per class. *)
+let prepare ~group_views ~query ~views =
+  let qm = Minimize.minimize query in
+  let view_classes =
+    if group_views then Equiv_class.group_views views else List.map (fun v -> [ v ]) views
+  in
+  let representative_views = Equiv_class.representatives view_classes in
+  let view_tuples = View_tuple.compute ~query:qm ~views:representative_views in
+  let with_cores = List.map (fun tv -> (tv, Tuple_core.compute ~query:qm tv)) view_tuples in
+  let tuple_classes =
+    Equiv_class.group ~eq:(fun (_, c1) (_, c2) -> Tuple_core.same_cover c1 c2) with_cores
+  in
+  let reps = Equiv_class.representatives tuple_classes in
+  (qm, view_classes, view_tuples, tuple_classes, reps)
+
+let build_rewriting (qm : Query.t) (chosen : View_tuple.t list) =
+  Query.make_exn qm.head (List.map (fun tv -> tv.View_tuple.atom) chosen)
+
+let run ~group_views ~verify ~query ~views ~covers_of =
+  let qm, view_classes, view_tuples, tuple_classes, reps =
+    prepare ~group_views ~query ~views
+  in
+  let nonempty =
+    List.filter (fun (_, core) -> not (Tuple_core.is_empty core)) reps
+  in
+  let filters =
+    List.filter_map
+      (fun (tv, core) -> if Tuple_core.is_empty core then Some tv else None)
+      reps
+  in
+  let tuples = Array.of_list (List.map fst nonempty) in
+  let sets = Array.of_list (List.map (fun (_, c) -> c.Tuple_core.mask) nonempty) in
+  let universe = (1 lsl List.length qm.Query.body) - 1 in
+  let covers = covers_of ~universe sets in
+  let rewritings =
+    List.map (fun cover -> build_rewriting qm (List.map (fun i -> tuples.(i)) cover)) covers
+  in
+  if verify then
+    List.iter
+      (fun p ->
+        if not (Expansion.is_equivalent_rewriting ~views ~query p) then
+          failwith
+            (Format.asprintf "CoreCover produced a non-equivalent rewriting: %a" Query.pp p))
+      rewritings;
+  {
+    minimized_query = qm;
+    view_classes;
+    view_tuples;
+    cores = reps;
+    tuple_classes = List.map (List.map fst) tuple_classes;
+    filters;
+    rewritings;
+    stats =
+      {
+        num_views = List.length views;
+        num_view_classes = List.length view_classes;
+        num_view_tuples = List.length view_tuples;
+        num_representative_tuples = List.length reps;
+      };
+  }
+
+let gmrs ?(group_views = true) ?(verify = false) ~query ~views () =
+  run ~group_views ~verify ~query ~views ~covers_of:(fun ~universe sets ->
+      Set_cover.minimum_covers ~universe sets)
+
+let all_minimal ?(group_views = true) ?(verify = false) ?(max_results = 10_000) ~query ~views () =
+  run ~group_views ~verify ~query ~views ~covers_of:(fun ~universe sets ->
+      Set_cover.irredundant_covers ~max_results ~universe sets)
+
+let has_rewriting ~query ~views =
+  let qm, _, _, _, reps = prepare ~group_views:true ~query ~views in
+  let universe = (1 lsl List.length qm.Query.body) - 1 in
+  let union = List.fold_left (fun acc (_, core) -> acc lor core.Tuple_core.mask) 0 reps in
+  union land universe = universe

@@ -1,0 +1,71 @@
+(** The CoreCover algorithm (Section 4) and its CoreCover{^ *} variant
+    (Section 5).
+
+    CoreCover finds all globally-minimal rewritings (GMRs — optimal under
+    cost model M1) of a query using views:
+
+    + minimize the query;
+    + compute the view tuples [T(Q,V)] on the canonical database;
+    + compute the tuple-core of each view tuple;
+    + cover the query subgoals with a minimum number of tuple-cores; each
+      cover yields a GMR.
+
+    CoreCover{^ *} replaces step 4 by the enumeration of {e all}
+    irredundant covers; together with the empty-core view tuples (usable as
+    filtering subgoals) this search space contains an M2-optimal rewriting
+    (Theorem 5.1).
+
+    Both variants can first group views into equivalence classes and view
+    tuples into same-core classes, running the cover search on one
+    representative per class (Section 5.2) — the key to scalability. *)
+
+open Vplan_cq
+open Vplan_views
+
+type stats = {
+  num_views : int;
+  num_view_classes : int;  (** equivalence classes of views *)
+  num_view_tuples : int;  (** |T(Q,V)| over the views considered *)
+  num_representative_tuples : int;  (** distinct tuple-cores (incl. empty) *)
+}
+
+type result = {
+  minimized_query : Query.t;
+  view_classes : View.t list list;
+  view_tuples : View_tuple.t list;
+  cores : (View_tuple.t * Tuple_core.t) list;
+      (** representative view tuples with their cores *)
+  tuple_classes : View_tuple.t list list;
+      (** view tuples grouped by equal core; aligned with [cores] *)
+  filters : View_tuple.t list;
+      (** representative empty-core view tuples (M2 filter candidates) *)
+  rewritings : Query.t list;
+  stats : stats;
+}
+
+(** [gmrs ~query ~views ()] runs CoreCover and returns all GMRs (up to the
+    equivalence-class representative choice).
+
+    [group_views] (default [true]) groups equivalent views first.
+    [verify] (default [false]) double-checks every produced rewriting with
+    the expansion-equivalence test and raises [Failure] on a counterexample
+    — used by the test suite. *)
+val gmrs : ?group_views:bool -> ?verify:bool -> query:Query.t -> views:View.t list -> unit -> result
+
+(** [all_minimal ~query ~views ()] runs CoreCover{^ *}: every irredundant
+    cover yields a minimal rewriting; [max_results] bounds the enumeration
+    (default 10_000).  The [filters] field lists the empty-core view tuples
+    an optimizer may append as filtering subgoals under M2. *)
+val all_minimal :
+  ?group_views:bool ->
+  ?verify:bool ->
+  ?max_results:int ->
+  query:Query.t ->
+  views:View.t list ->
+  unit ->
+  result
+
+(** [has_rewriting ~query ~views] decides existence of an equivalent
+    rewriting (the union of all tuple-cores must cover the query subgoals —
+    Theorem 4.1). *)
+val has_rewriting : query:Query.t -> views:View.t list -> bool

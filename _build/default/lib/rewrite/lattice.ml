@@ -1,0 +1,101 @@
+open Vplan_cq
+module Containment = Vplan_containment.Containment
+
+type t = {
+  nodes : Query.t array;
+  edges : (int * int) list;
+}
+
+let dedup_isomorphic queries =
+  List.fold_left
+    (fun acc q -> if List.exists (Containment.isomorphic q) acc then acc else q :: acc)
+    [] queries
+  |> List.rev
+
+(* Replace every view predicate by its equivalence-class representative so
+   that rewritings over equivalent views become comparable. *)
+let canonicalize_view_preds views (p : Query.t) =
+  let classes = Vplan_views.Equiv_class.group_views views in
+  let rename pred =
+    let cls =
+      List.find_opt
+        (List.exists (fun v -> String.equal (Vplan_views.View.name v) pred))
+        classes
+    in
+    match cls with
+    | Some (rep :: _) -> Vplan_views.View.name rep
+    | Some [] | None -> pred
+  in
+  Query.make_exn p.head
+    (List.map (fun (a : Atom.t) -> Atom.make (rename a.pred) a.args) p.body)
+
+let of_lmrs ?views lmrs =
+  let lmrs =
+    match views with
+    | None -> lmrs
+    | Some views -> List.map (canonicalize_view_preds views) lmrs
+  in
+  let nodes = Array.of_list (dedup_isomorphic lmrs) in
+  let n = Array.length nodes in
+  let proper = Array.make_matrix n n false in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i <> j then proper.(i).(j) <- Containment.properly_contained nodes.(j) nodes.(i)
+      (* edge direction: i (upper) properly contains j (lower) *)
+    done
+  done;
+  let edges = ref [] in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if proper.(i).(j) then begin
+        let covered =
+          not
+            (List.exists
+               (fun k -> k <> i && k <> j && proper.(i).(k) && proper.(k).(j))
+               (List.init n Fun.id))
+        in
+        if covered then edges := (i, j) :: !edges
+      end
+    done
+  done;
+  { nodes; edges = List.rev !edges }
+
+(* A bottom (minimal) element properly contains nothing, i.e. it is never
+   the upper end of a Hasse edge. *)
+let bottoms t =
+  List.filter
+    (fun i -> not (List.exists (fun (upper, _) -> upper = i) t.edges))
+    (List.init (Array.length t.nodes) Fun.id)
+
+let is_chain t =
+  let n = Array.length t.nodes in
+  n <= 1
+  ||
+  (* a finite order is a chain iff every pair is comparable *)
+  let comparable i j =
+    let reaches a b =
+      (* transitive closure over Hasse edges *)
+      let rec dfs visited frontier =
+        if List.mem b frontier then true
+        else
+          let next =
+            List.concat_map
+              (fun u -> List.filter_map (fun (x, y) -> if x = u then Some y else None) t.edges)
+              frontier
+            |> List.filter (fun v -> not (List.mem v visited))
+          in
+          next <> [] && dfs (visited @ next) next
+      in
+      dfs [ a ] [ a ]
+    in
+    i = j || reaches i j || reaches j i
+  in
+  List.for_all
+    (fun i -> List.for_all (fun j -> comparable i j) (List.init n Fun.id))
+    (List.init n Fun.id)
+
+let pp ppf t =
+  Array.iteri (fun i q -> Format.fprintf ppf "[%d] %a@." i Query.pp q) t.nodes;
+  List.iter
+    (fun (upper, lower) -> Format.fprintf ppf "  [%d] properly contains [%d]@." upper lower)
+    t.edges

@@ -1,0 +1,31 @@
+(** The partial order of locally-minimal rewritings (Figure 2).
+
+    LMRs of a query are partially ordered by containment as queries; by
+    Lemma 3.1 the order respects subgoal counts (a contained LMR never has
+    more subgoals).  The bottom elements are the containment-minimal
+    rewritings. *)
+
+open Vplan_cq
+
+type t = {
+  nodes : Query.t array;
+  edges : (int * int) list;
+      (** Hasse edges [(upper, lower)]: node [upper] properly contains
+          node [lower] as queries, with no node strictly between. *)
+}
+
+(** [of_lmrs ?views lmrs] builds the Hasse diagram of the containment
+    order.  Isomorphic duplicates are collapsed first.  When [views] is
+    given, equivalent views are identified first: each view predicate is
+    replaced by its equivalence-class representative, so that e.g. [P5]
+    (using [v5]) compares against [P2] (using the equivalent [v1]) as in
+    Figure 2(a). *)
+val of_lmrs : ?views:Vplan_views.View.t list -> Query.t list -> t
+
+(** Indices of the bottom elements (the CMRs). *)
+val bottoms : t -> int list
+
+(** [is_chain t] — the order is total. *)
+val is_chain : t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,34 @@
+open Vplan_cq
+open Vplan_views
+module Minimize = Vplan_containment.Minimize
+
+let rec combinations k l =
+  if k = 0 then [ [] ]
+  else
+    match l with
+    | [] -> []
+    | x :: rest ->
+        List.map (fun c -> x :: c) (combinations (k - 1) rest) @ combinations k rest
+
+let candidate_rewriting (qm : Query.t) tuples =
+  let body = List.map (fun tv -> tv.View_tuple.atom) tuples in
+  match Query.make qm.head body with Ok p -> Some p | Error _ -> None
+
+let rewritings_of_size ~query ~views k =
+  let qm = Minimize.minimize query in
+  let tuples = View_tuple.compute ~query:qm ~views in
+  combinations k tuples
+  |> List.filter_map (candidate_rewriting qm)
+  |> List.filter (Expansion.is_equivalent_rewriting ~views ~query)
+
+let gmrs ~query ~views =
+  let qm = Minimize.minimize query in
+  let bound = List.length qm.Query.body in
+  let rec try_size k =
+    if k > bound then []
+    else
+      match rewritings_of_size ~query ~views k with
+      | [] -> try_size (k + 1)
+      | found -> found
+  in
+  try_size 1

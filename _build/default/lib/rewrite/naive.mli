@@ -1,0 +1,19 @@
+(** The naive GMR search of Theorem 3.1 — the test oracle for CoreCover.
+
+    Compute all view tuples, then try every combination of [1, 2, ...]
+    view tuples as a candidate body, testing expansion-equivalence with the
+    query; stop at the first cardinality that yields rewritings.  If the
+    query has a rewriting, it has one with at most as many subgoals as the
+    query (Levy et al. 1995), so the search is bounded. *)
+
+open Vplan_cq
+open Vplan_views
+
+(** [gmrs ~query ~views] returns all globally-minimal rewritings over view
+    tuples, deduplicated up to variable renaming.  Exponential in the
+    number of view tuples — use on small instances only. *)
+val gmrs : query:Query.t -> views:View.t list -> Query.t list
+
+(** [rewritings_of_size ~query ~views k] returns all equivalent rewritings
+    whose body consists of exactly [k] distinct view tuples. *)
+val rewritings_of_size : query:Query.t -> views:View.t list -> int -> Query.t list

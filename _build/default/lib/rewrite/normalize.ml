@@ -1,0 +1,18 @@
+open Vplan_cq
+open Vplan_views
+module Containment = Vplan_containment.Containment
+
+let to_view_tuple_form ~views ~query (p : Query.t) =
+  if not (Expansion.is_equivalent_rewriting ~views ~query p) then None
+  else
+    match Expansion.expand ~views p with
+    | Error `Unsatisfiable -> None
+    | Ok pexp -> (
+        (* a containment mapping from P^exp to Q exists by equivalence;
+           restricting it to P's variables rewrites every view atom into
+           a view tuple *)
+        match Containment.mapping ~from_q:pexp ~to_q:query with
+        | None -> None
+        | Some phi ->
+            let p' = Query.dedup_body (Query.apply phi p) in
+            Some p')

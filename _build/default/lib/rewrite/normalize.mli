@@ -1,0 +1,18 @@
+(** Lemma 3.2's constructive transformation: any equivalent rewriting can
+    be turned into one, at least as contained, that uses only view tuples
+    of [T(Q,V)].
+
+    The proof is the algorithm: take a containment mapping φ from the
+    rewriting's expansion to the query and replace every variable [X] of
+    the rewriting by its target [φ(X)]; after deduplication the body
+    atoms are view tuples.  The paper's worked instance turns [P1] of the
+    car-loc-part example into [P2]. *)
+
+open Vplan_cq
+open Vplan_views
+
+(** [to_view_tuple_form ~views ~query p] — [None] when [p] is not an
+    equivalent rewriting of [query].  The result is an equivalent
+    rewriting contained in [p] whose atoms are view tuples. *)
+val to_view_tuple_form :
+  views:View.t list -> query:Query.t -> Query.t -> Query.t option

@@ -1,0 +1,70 @@
+let union_of sets indices = List.fold_left (fun acc i -> acc lor sets.(i)) 0 indices
+
+let is_cover ~universe sets indices = union_of sets indices land universe = universe
+
+let is_irredundant ~universe sets indices =
+  is_cover ~universe sets indices
+  && List.for_all
+       (fun i -> not (is_cover ~universe sets (List.filter (fun j -> j <> i) indices)))
+       indices
+
+let lowest_uncovered ~universe covered =
+  let remaining = universe land lnot covered in
+  if remaining = 0 then None
+  else
+    let rec find bit = if remaining land (1 lsl bit) <> 0 then bit else find (bit + 1) in
+    Some (find 0)
+
+module Cover_set = Set.Make (struct
+  type t = int list
+
+  let compare = List.compare Int.compare
+end)
+
+(* Enumerate covers by always branching on the lowest uncovered subgoal.
+   Every irredundant cover admits an ordering in which each chosen set
+   covers the then-lowest uncovered subgoal, so this enumeration reaches
+   all of them; results are deduplicated as sorted index lists. *)
+let enumerate ~universe sets ~size_bound ~keep ~max_results =
+  let n = Array.length sets in
+  let results = ref Cover_set.empty in
+  let rec go chosen covered depth =
+    if Cover_set.cardinal !results >= max_results then ()
+    else
+      match lowest_uncovered ~universe covered with
+      | None ->
+          let cover = List.sort Int.compare chosen in
+          if keep cover then results := Cover_set.add cover !results
+      | Some bit ->
+          if depth < size_bound then
+            for i = 0 to n - 1 do
+              if sets.(i) land (1 lsl bit) <> 0 && not (List.mem i chosen) then
+                go (i :: chosen) (covered lor sets.(i)) (depth + 1)
+            done
+  in
+  go [] 0 0;
+  Cover_set.elements !results
+
+let minimum_covers ~universe sets =
+  if universe = 0 then [ [] ]
+  else
+    let n = Array.length sets in
+    let rec try_size k =
+      if k > n then []
+      else
+        match
+          enumerate ~universe sets ~size_bound:k
+            ~keep:(fun cover -> List.length cover = k)
+            ~max_results:max_int
+        with
+        | [] -> try_size (k + 1)
+        | covers -> covers
+    in
+    try_size 1
+
+let irredundant_covers ?(max_results = max_int) ~universe sets =
+  if universe = 0 then [ [] ]
+  else
+    enumerate ~universe sets ~size_bound:(Array.length sets)
+      ~keep:(is_irredundant ~universe sets)
+      ~max_results

@@ -1,0 +1,25 @@
+(** Set covering over bitmask-encoded subgoal sets.
+
+    CoreCover's last step is a classic set-cover problem: cover the query
+    subgoals with as few tuple-cores as possible (minimum covers, cost
+    model M1) or with any irredundant combination (CoreCover{^ *}, cost
+    model M2).  Universes are small (one bit per query subgoal), so exact
+    branch-and-bound search is used throughout. *)
+
+(** [minimum_covers ~universe sets] returns all covers of the full
+    [universe] mask of minimum cardinality, as sorted index lists into
+    [sets].  Empty when no cover exists.  Sets equal to [0] never help and
+    are skipped. *)
+val minimum_covers : universe:int -> int array -> int list list
+
+(** [irredundant_covers ~universe sets] returns every irredundant cover
+    (no chosen set can be dropped without uncovering the universe), as
+    sorted index lists.  [max_results] truncates the enumeration (default
+    [max_int]). *)
+val irredundant_covers : ?max_results:int -> universe:int -> int array -> int list list
+
+(** [is_cover ~universe sets indices]. *)
+val is_cover : universe:int -> int array -> int list -> bool
+
+(** [is_irredundant ~universe sets indices]. *)
+val is_irredundant : universe:int -> int array -> int list -> bool

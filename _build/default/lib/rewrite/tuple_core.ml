@@ -1,0 +1,196 @@
+open Vplan_cq
+open Vplan_views
+
+type t = {
+  subgoals : Atom.t list;
+  mask : int;
+  mapping : Subst.t;
+}
+
+let is_empty c = c.mask = 0
+let same_cover c1 c2 = c1.mask = c2.mask
+
+let pp ppf c =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") Atom.pp)
+    c.subgoals
+
+(* The search enumerates, for every subset of query subgoals, the ways to
+   map each included subgoal into an atom of the view-tuple expansion
+   under Definition 4.1's constraints, then keeps the inclusion-maximal
+   consistent subsets.  Queries have few subgoals (8 in the paper's
+   experiments), so the exhaustive search with unification pruning is
+   cheap in practice. *)
+
+type ctx = {
+  query : Query.t;
+  tv_args : Names.Sset.t;  (* variables appearing in the view tuple *)
+  expansion : Atom.t list;
+  existentials : Names.Sset.t;  (* fresh variables of the expansion *)
+  body : Atom.t array;
+  var_occurrences : int Names.Smap.t;  (* var -> bitmask of subgoals using it *)
+}
+
+let make_ctx ~query tv =
+  let body = Array.of_list query.Query.body in
+  if Array.length body > 62 then invalid_arg "Tuple_core: more than 62 subgoals";
+  let expansion, existentials = View_tuple.expansion ~avoid:(Query.var_set query) tv in
+  let var_occurrences =
+    Array.to_list body
+    |> List.mapi (fun i a -> (i, a))
+    |> List.fold_left
+         (fun m (i, a) ->
+           List.fold_left
+             (fun m x ->
+               let mask = match Names.Smap.find_opt x m with Some v -> v | None -> 0 in
+               Names.Smap.add x (mask lor (1 lsl i)) m)
+             m (Atom.vars a))
+         Names.Smap.empty
+  in
+  {
+    query;
+    tv_args = Atom.var_set tv.View_tuple.atom;
+    expansion;
+    existentials;
+    body;
+    var_occurrences;
+  }
+
+(* Extend the partial mapping by sending subgoal [a] to expansion atom
+   [e], enforcing: constants match; distinguished variables and variables
+   of the view tuple map to themselves; every other variable maps to an
+   existential variable of the expansion.  The last restriction is what
+   makes the tuple-core unique (Lemma 4.2) and lets the per-tuple mappings
+   combine seamlessly into one containment mapping from the query to a
+   rewriting's expansion: a variable mapped onto another view-tuple
+   argument would collide with that argument's own identity image. *)
+let constrained_unify ctx subst (a : Atom.t) (e : Atom.t) =
+  if (not (String.equal a.pred e.Atom.pred)) || Atom.arity a <> Atom.arity e then None
+  else
+    List.fold_left2
+      (fun acc pat target ->
+        match acc with
+        | None -> None
+        | Some s -> (
+            match pat with
+            | Term.Cst c -> (
+                match target with
+                | Term.Cst c' when Term.equal_const c c' -> Some s
+                | Term.Cst _ | Term.Var _ -> None)
+            | Term.Var x ->
+                let must_be_identity =
+                  Query.is_distinguished ctx.query x || Names.Sset.mem x ctx.tv_args
+                in
+                if must_be_identity then
+                  if Term.equal target (Term.Var x) then Subst.extend x target s else None
+                else (
+                  match target with
+                  | Term.Var y when Names.Sset.mem y ctx.existentials ->
+                      Subst.extend x target s
+                  | Term.Var _ | Term.Cst _ -> None)))
+      (Some subst) a.args e.args
+
+(* One-to-one on arguments: the map {arg of G -> image} must be injective,
+   where constants map to themselves and variables via the substitution. *)
+let injective ctx subst mask =
+  let args =
+    let acc = ref Term.Set.empty in
+    Array.iteri
+      (fun i a -> if mask land (1 lsl i) <> 0 then acc := Term.Set.union !acc (Atom.terms a))
+      ctx.body;
+    Term.Set.elements !acc
+  in
+  let images =
+    List.map
+      (function
+        | Term.Cst _ as c -> c
+        | Term.Var x as v -> ( match Subst.find x subst with Some t -> t | None -> v))
+      args
+  in
+  List.length (List.sort_uniq Term.compare images) = List.length args
+
+(* Property (3): a variable mapped to an existential expansion variable
+   drags every subgoal using it into G. *)
+let closure_ok ctx subst mask =
+  Names.Smap.for_all
+    (fun x occurrences ->
+      if occurrences land mask = 0 then true
+      else
+        match Subst.find x subst with
+        | Some (Term.Var y) when Names.Sset.mem y ctx.existentials ->
+            occurrences land mask = occurrences
+        | Some _ | None -> true)
+    ctx.var_occurrences
+
+let candidates ctx =
+  let n = Array.length ctx.body in
+  let results = ref [] in
+  let rec go i subst mask =
+    if i = n then begin
+      if injective ctx subst mask && closure_ok ctx subst mask then
+        results := (mask, subst) :: !results
+    end
+    else begin
+      (* exclude subgoal i *)
+      go (i + 1) subst mask;
+      (* include subgoal i, one target expansion atom at a time *)
+      List.iter
+        (fun e ->
+          match constrained_unify ctx subst ctx.body.(i) e with
+          | Some subst' -> go (i + 1) subst' (mask lor (1 lsl i))
+          | None -> ())
+        ctx.expansion
+    end
+  in
+  go 0 Subst.empty 0;
+  !results
+
+let restrict_mapping subst mask (body : Atom.t array) =
+  let vars = ref Names.Sset.empty in
+  Array.iteri
+    (fun i a -> if mask land (1 lsl i) <> 0 then vars := Names.Sset.union !vars (Atom.var_set a))
+    body;
+  Subst.of_list
+    (List.filter (fun (x, _) -> Names.Sset.mem x !vars) (Subst.bindings subst))
+
+let of_candidate ctx (mask, subst) =
+  let subgoals =
+    Array.to_list ctx.body
+    |> List.mapi (fun i a -> (i, a))
+    |> List.filter_map (fun (i, a) -> if mask land (1 lsl i) <> 0 then Some a else None)
+  in
+  { subgoals; mask; mapping = restrict_mapping subst mask ctx.body }
+
+let compute_all_maximal ~query tv =
+  let ctx = make_ctx ~query tv in
+  let cands = candidates ctx in
+  let maximal =
+    List.filter
+      (fun (mask, _) ->
+        not
+          (List.exists
+             (fun (mask', _) -> mask <> mask' && mask land mask' = mask)
+             cands))
+      cands
+  in
+  (* Deduplicate by covered set: different witnessing mappings for the
+     same subgoal set represent the same core. *)
+  let dedup =
+    List.fold_left
+      (fun acc ((mask, _) as cand) ->
+        if List.exists (fun (m, _) -> m = mask) acc then acc else cand :: acc)
+      [] maximal
+  in
+  List.rev_map (of_candidate ctx) dedup
+
+let compute ~query tv =
+  match compute_all_maximal ~query tv with
+  | [] -> { subgoals = []; mask = 0; mapping = Subst.empty }
+  | [ core ] -> core
+  | multiple ->
+      (* Lemma 4.2 guarantees uniqueness for minimal queries; if the input
+         was not minimal, fall back to the largest candidate. *)
+      List.fold_left
+        (fun best c ->
+          if List.length c.subgoals > List.length best.subgoals then c else best)
+        (List.hd multiple) (List.tl multiple)

@@ -1,0 +1,41 @@
+(** Tuple-cores (Definition 4.1): the query subgoals covered by a view
+    tuple.
+
+    For a minimal query [Q] and a view tuple [t{_v}], the tuple-core is the
+    {e maximal} collection [G] of [Q]'s subgoals admitting a containment
+    mapping [φ] from [G] into the expansion [t{_v}{^exp}] such that:
+
+    + [φ] is one-to-one on arguments and the identity on arguments of [G]
+      that appear in [t{_v}];
+    + every distinguished variable of [Q] in [G] maps to a distinguished
+      argument of the expansion (hence, by (1), to itself);
+    + if a nondistinguished variable [X] of [G] maps to an existential
+      variable of the expansion, then [G] contains {e all} subgoals of [Q]
+      that use [X].
+
+    Lemma 4.2: the tuple-core of a view tuple for a minimal query is
+    unique.  {!compute} returns it; {!compute_all_maximal} exposes the raw
+    maximal candidates so that uniqueness can be property-tested. *)
+
+open Vplan_cq
+open Vplan_views
+
+type t = {
+  subgoals : Atom.t list;  (** covered subgoals, in query-body order *)
+  mask : int;  (** same set as a bitmask over body positions *)
+  mapping : Subst.t;  (** the witnessing containment mapping φ *)
+}
+
+val is_empty : t -> bool
+val pp : Format.formatter -> t -> unit
+
+(** [same_cover c1 c2] compares cores by covered subgoal set only. *)
+val same_cover : t -> t -> bool
+
+(** [compute ~query tv] computes the tuple-core of [tv] for the (minimal)
+    [query].  The query body must have at most 62 subgoals. *)
+val compute : query:Query.t -> View_tuple.t -> t
+
+(** All inclusion-maximal candidate cores — singleton for minimal queries
+    (Lemma 4.2). *)
+val compute_all_maximal : query:Query.t -> View_tuple.t -> t list

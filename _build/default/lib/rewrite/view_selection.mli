@@ -1,0 +1,24 @@
+(** Minimizing view sets without losing query-answering power — the
+    companion work the paper cites as [18] (Li–Bawa–Ullman, ICDT 2001).
+
+    Given a query and a view set, find a subset of the views that still
+    admits an equivalent rewriting.  Useful both as storage optimization
+    (drop materializations that buy nothing) and to focus the optimizer's
+    search. *)
+
+open Vplan_cq
+open Vplan_views
+
+(** [relevant_views ~query ~views] — views contributing at least one view
+    tuple with a nonempty tuple-core; only these can participate in a
+    rewriting's covering part. *)
+val relevant_views : query:Query.t -> views:View.t list -> View.t list
+
+(** [minimal_answering_set ~query ~views] — a minimal (greedily computed)
+    subset of [views] that still admits an equivalent rewriting; [None]
+    when even the full set admits none. *)
+val minimal_answering_set : query:Query.t -> views:View.t list -> View.t list option
+
+(** [is_answering_set ~query views] — the subset admits an equivalent
+    rewriting. *)
+val is_answering_set : query:Query.t -> View.t list -> bool

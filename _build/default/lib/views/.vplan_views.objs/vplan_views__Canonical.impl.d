@@ -1,0 +1,1 @@
+lib/views/canonical.ml: Atom Database List Names Query Term Vplan_cq Vplan_relational

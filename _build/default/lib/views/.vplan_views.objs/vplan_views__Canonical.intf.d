@@ -1,0 +1,1 @@
+lib/views/canonical.mli: Database Query Relation Term Vplan_cq Vplan_relational

@@ -1,0 +1,1 @@
+lib/views/equiv_class.ml: Atom List Query Vplan_containment Vplan_cq

@@ -1,0 +1,1 @@
+lib/views/equiv_class.mli: View

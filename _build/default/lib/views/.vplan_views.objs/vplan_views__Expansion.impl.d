@@ -1,0 +1,1 @@
+lib/views/expansion.ml: Atom List Names Query Subst Ucq Unify View Vplan_containment Vplan_cq

@@ -1,0 +1,1 @@
+lib/views/expansion.mli: Query Ucq View Vplan_cq

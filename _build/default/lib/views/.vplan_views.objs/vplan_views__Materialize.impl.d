@@ -1,0 +1,1 @@
+lib/views/materialize.ml: Database Eval List View Vplan_relational

@@ -1,0 +1,1 @@
+lib/views/materialize.mli: Database Query Relation View Vplan_cq Vplan_relational

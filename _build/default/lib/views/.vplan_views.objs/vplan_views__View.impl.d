@@ -1,0 +1,1 @@
+lib/views/view.ml: Atom List Names Query String Vplan_cq

@@ -1,0 +1,1 @@
+lib/views/view_tuple.ml: Atom Canonical Eval List Names Query Relation Subst Term View Vplan_cq Vplan_relational

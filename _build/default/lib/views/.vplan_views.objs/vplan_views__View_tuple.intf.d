@@ -1,0 +1,1 @@
+lib/views/view_tuple.mli: Atom Format Names Query View Vplan_cq

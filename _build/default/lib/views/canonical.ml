@@ -1,0 +1,45 @@
+open Vplan_cq
+open Vplan_relational
+
+(* Frozen constants are spelled "@x" for variable x.  The parser accepts
+   neither '@' in identifiers nor variables starting lower-case, so frozen
+   constants cannot collide with constants present in queries or views. *)
+let freeze_prefix = "@"
+
+type t = {
+  db : Database.t;
+  back : Term.t Names.Smap.t; (* frozen spelling -> original variable *)
+}
+
+let frozen_of_var x = Term.Str (freeze_prefix ^ x)
+
+let frozen_term _t = function
+  | Term.Cst c -> c
+  | Term.Var x -> frozen_of_var x
+
+let freeze (q : Query.t) =
+  let back =
+    List.fold_left
+      (fun m x -> Names.Smap.add (freeze_prefix ^ x) (Term.Var x) m)
+      Names.Smap.empty (Query.vars q)
+  in
+  let db =
+    List.fold_left
+      (fun db (a : Atom.t) ->
+        let tuple =
+          List.map (function Term.Cst c -> c | Term.Var x -> frozen_of_var x) a.args
+        in
+        Database.add_fact a.pred tuple db)
+      Database.empty q.body
+  in
+  { db; back }
+
+let database t = t.db
+
+let thaw_const t c =
+  match c with
+  | Term.Str s -> (
+      match Names.Smap.find_opt s t.back with Some v -> v | None -> Term.Cst c)
+  | Term.Int _ -> Term.Cst c
+
+let thaw_tuple t tuple = List.map (thaw_const t) tuple

@@ -1,0 +1,29 @@
+(** The canonical database of a query (Section 3.3).
+
+    [D_Q] is obtained by {e freezing} the query: every variable is replaced
+    by a distinct fresh constant and each body atom becomes a fact.
+    Applying the view definitions to [D_Q] and {e thawing} the frozen
+    constants back to the original variables yields the view tuples
+    [T(Q,V)]. *)
+
+open Vplan_cq
+open Vplan_relational
+
+type t
+
+(** [freeze q] builds the canonical database of [q].  Frozen constants use
+    a reserved spelling that cannot clash with parsed constants. *)
+val freeze : Query.t -> t
+
+val database : t -> Database.t
+
+(** [thaw_const t c] maps a frozen constant back to its variable; genuine
+    constants of the query pass through unchanged. *)
+val thaw_const : t -> Term.const -> Term.t
+
+(** [thaw_tuple t tuple] thaws every component. *)
+val thaw_tuple : t -> Relation.tuple -> Term.t list
+
+(** [frozen_term t term] is the frozen image of a term: variables become
+    their frozen constants, constants stay. *)
+val frozen_term : t -> Term.t -> Term.const

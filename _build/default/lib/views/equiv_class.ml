@@ -1,0 +1,33 @@
+open Vplan_cq
+
+let group ~eq xs =
+  (* Classes are kept in reverse insertion order internally; each class
+     stores members reversed.  The relation is assumed transitive, so a
+     single comparison against each class representative suffices. *)
+  let classes =
+    List.fold_left
+      (fun classes x ->
+        let rec insert = function
+          | [] -> [ [ x ] ]
+          | cls :: rest -> (
+              match cls with
+              | rep :: _ when eq rep x -> (x :: cls) :: rest
+              | _ -> cls :: insert rest)
+        in
+        insert classes)
+      [] xs
+  in
+  List.map List.rev classes
+
+let representatives groups = List.filter_map (function x :: _ -> Some x | [] -> None) groups
+
+(* Views have distinct head predicates, so plain query equivalence would
+   never hold; compare with the head predicate name erased. *)
+let erase_head_pred (v : Query.t) =
+  Query.make_exn (Atom.make "__view" v.head.Atom.args) v.body
+
+let group_views views =
+  group
+    ~eq:(fun v1 v2 ->
+      Vplan_containment.Containment.equivalent (erase_head_pred v1) (erase_head_pred v2))
+    views

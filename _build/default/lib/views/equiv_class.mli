@@ -1,0 +1,21 @@
+(** Equivalence-class grouping (Section 5.2).
+
+    With many views, [T(Q,V)] can be large even though few of its members
+    are genuinely different.  The paper groups (a) views that are
+    equivalent as queries and (b) view tuples with identical tuple-cores,
+    running CoreCover on one representative per class.  The number of
+    representative view tuples is then bounded by the number of query
+    subgoals, independent of the number of views — the key to the
+    scalability results of Section 7 (Figures 7 and 9). *)
+
+(** [group ~eq xs] partitions [xs] into classes of the (assumed
+    transitive) relation [eq], preserving first-occurrence order of class
+    representatives.  Quadratic in the number of classes. *)
+val group : eq:('a -> 'a -> bool) -> 'a list -> 'a list list
+
+(** [representatives groups] takes the first member of each class. *)
+val representatives : 'a list list -> 'a list
+
+(** [group_views views] groups views equivalent as queries (ignoring their
+    distinct head predicate names: [v1 ≡ v5] in the car-loc-part example). *)
+val group_views : View.t list -> View.t list list

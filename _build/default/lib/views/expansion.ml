@@ -1,0 +1,73 @@
+open Vplan_cq
+
+exception Unsatisfiable
+
+(* Expand one view atom: rename the view apart from every name seen so
+   far, unify its head arguments with the atom's arguments (two-sided —
+   repeated head variables identify rewriting variables), and emit the
+   renamed body.  The unifier accumulates across atoms and is applied to
+   the whole query at the end. *)
+let expand_atom ~views ~used ~subst (a : Atom.t) =
+  match View.find views a.pred with
+  | None -> (used, subst, [ a ])
+  | Some v ->
+      let v', _ = Query.rename_apart ~avoid:used v in
+      let used = Names.Sset.union used (Query.var_set v') in
+      let subst =
+        match Unify.mgu_args subst v'.Query.head.Atom.args a.Atom.args with
+        | Some s -> s
+        | None -> raise Unsatisfiable
+      in
+      (used, subst, v'.Query.body)
+
+let expand ~views (p : Query.t) =
+  let used = Query.var_set p in
+  match
+    List.fold_left
+      (fun (used, subst, acc) a ->
+        let used, subst, atoms = expand_atom ~views ~used ~subst a in
+        (used, subst, List.rev_append atoms acc))
+      (used, Subst.empty, []) p.body
+  with
+  | _, subst, rev_atoms ->
+      let subst = Unify.resolve_subst subst in
+      let head = Atom.apply subst p.head in
+      let body = List.rev_map (Atom.apply subst) rev_atoms in
+      Ok (Query.make_exn head body)
+  | exception Unsatisfiable -> Error `Unsatisfiable
+
+let expand_exn ~views p =
+  match expand ~views p with
+  | Ok q -> q
+  | Error `Unsatisfiable -> invalid_arg ("Expansion.expand_exn: unsatisfiable rewriting " ^ Query.to_string p)
+
+let is_equivalent_rewriting ~views ~query p =
+  View.uses_only_views views p
+  &&
+  match expand ~views p with
+  | Error `Unsatisfiable -> false
+  | Ok pexp -> Vplan_containment.Containment.equivalent pexp query
+
+let expansion_contained_in_query ~views ~query p =
+  View.uses_only_views views p
+  &&
+  match expand ~views p with
+  | Error `Unsatisfiable -> true (* the empty query is contained in any query *)
+  | Ok pexp -> Vplan_containment.Containment.is_contained pexp query
+
+let expand_ucq ~views u =
+  let expanded =
+    List.filter_map
+      (fun d -> match expand ~views d with Ok e -> Some e | Error `Unsatisfiable -> None)
+      (Ucq.disjuncts u)
+  in
+  match Ucq.make expanded with Ok u -> Some u | Error _ -> None
+
+let is_contained_ucq_rewriting ~views ~query u =
+  List.for_all (expansion_contained_in_query ~views ~query) (Ucq.disjuncts u)
+
+let is_equivalent_ucq_rewriting ~views ~query u =
+  match expand_ucq ~views u with
+  | None -> false
+  | Some expansion ->
+      Vplan_containment.Ucq_containment.equivalent expansion (Ucq.of_query query)

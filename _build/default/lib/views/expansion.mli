@@ -1,0 +1,43 @@
+(** Expansion of rewritings: replacing view atoms by view bodies
+    (Definition 2.2) and the equivalent-rewriting test (Definition 2.3).
+
+    Expanding [P] substitutes each view atom by the view's body, renaming
+    the view's existential variables to fresh ones per occurrence.  When a
+    view head repeats a variable (e.g. [v(A,A)]) or carries a constant, the
+    corresponding rewriting arguments are unified; a constant clash makes
+    the rewriting unsatisfiable. *)
+
+open Vplan_cq
+
+(** [expand ~views p] computes [P{^exp}].  Atoms whose predicate is not a
+    view name are treated as base atoms and kept unchanged.  Returns
+    [Error `Unsatisfiable] when head unification clashes on constants (the
+    rewriting returns no tuples on any instance). *)
+val expand : views:View.t list -> Query.t -> (Query.t, [ `Unsatisfiable ]) result
+
+(** [expand_exn ~views p] raises [Invalid_argument] on unsatisfiable
+    rewritings. *)
+val expand_exn : views:View.t list -> Query.t -> Query.t
+
+(** [is_equivalent_rewriting ~views ~query p] decides whether [p] is an
+    equivalent rewriting of [query] using [views]: [p] uses only view
+    predicates and [P{^exp} ≡ query]. *)
+val is_equivalent_rewriting : views:View.t list -> query:Query.t -> Query.t -> bool
+
+(** [expansion_contained_in_query ~views ~query p] decides [P{^exp} ⊑ Q] —
+    the defining property of a {e contained} rewriting (what the bucket and
+    MiniCon baselines produce). *)
+val expansion_contained_in_query : views:View.t list -> query:Query.t -> Query.t -> bool
+
+(** [expand_ucq ~views u] expands every disjunct, dropping unsatisfiable
+    ones; [None] when no disjunct survives. *)
+val expand_ucq : views:View.t list -> Ucq.t -> Ucq.t option
+
+(** [is_equivalent_ucq_rewriting ~views ~query u] — the union's expansion
+    is equivalent to [query] (each disjunct contained in the query, and
+    jointly covering it). *)
+val is_equivalent_ucq_rewriting : views:View.t list -> query:Query.t -> Ucq.t -> bool
+
+(** [is_contained_ucq_rewriting ~views ~query u] — every disjunct's
+    expansion is contained in [query]. *)
+val is_contained_ucq_rewriting : views:View.t list -> query:Query.t -> Ucq.t -> bool

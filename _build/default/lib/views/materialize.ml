@@ -1,0 +1,8 @@
+open Vplan_relational
+
+let views base vs =
+  List.fold_left
+    (fun db view -> Database.add_relation (View.name view) (Eval.answers base view) db)
+    Database.empty vs
+
+let answers_via_rewriting view_db p = Eval.answers view_db p

@@ -1,0 +1,14 @@
+(** Materializing views over a base database (the closed-world model).
+
+    The resulting database is keyed by view names; rewritings are evaluated
+    directly against it. *)
+
+open Vplan_cq
+open Vplan_relational
+
+(** [views base vs] evaluates every view definition on [base]. *)
+val views : Database.t -> View.t list -> Database.t
+
+(** [answers_via_rewriting view_db p] evaluates a rewriting [p] over the
+    materialized view database. *)
+val answers_via_rewriting : Database.t -> Query.t -> Relation.t

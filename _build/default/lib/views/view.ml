@@ -1,0 +1,31 @@
+open Vplan_cq
+
+type t = Query.t
+
+let name (v : t) = v.head.Atom.pred
+let of_query q = q
+
+let validate_set views =
+  let rec loop seen = function
+    | [] -> Ok ()
+    | v :: rest ->
+        let n = name v in
+        if Names.Sset.mem n seen then Error ("duplicate view name " ^ n)
+        else loop (Names.Sset.add n seen) rest
+  in
+  loop Names.Sset.empty views
+
+let find views n = List.find_opt (fun v -> String.equal (name v) n) views
+
+let find_exn views n =
+  match find views n with
+  | Some v -> v
+  | None -> invalid_arg ("View.find_exn: unknown view " ^ n)
+
+let uses_only_views views (q : Query.t) =
+  List.for_all
+    (fun (a : Atom.t) ->
+      match find views a.pred with
+      | Some v -> Atom.arity v.Query.head = Atom.arity a
+      | None -> false)
+    q.body

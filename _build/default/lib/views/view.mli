@@ -1,0 +1,30 @@
+(** View definitions.
+
+    A view is a safe conjunctive query over the base relations whose head
+    predicate is the view's name.  Under the closed-world assumption the
+    view relation is exactly the answer of this query on the (hidden) base
+    database. *)
+
+open Vplan_cq
+
+type t = Query.t
+
+val name : t -> string
+
+(** [of_query q] validates a query as a view definition (safety is already
+    guaranteed by {!Query.make}). *)
+val of_query : Query.t -> t
+
+(** [validate_set views] checks that view names are pairwise distinct and
+    arities consistent; returns the offending name on failure. *)
+val validate_set : t list -> (unit, string) result
+
+(** [find views name] looks a view up by name. *)
+val find : t list -> string -> t option
+
+val find_exn : t list -> string -> t
+
+(** [uses_only_views views q] holds when every body predicate of [q] is
+    the name of one of [views] (with matching arity) — the shape required
+    of a rewriting. *)
+val uses_only_views : t list -> Query.t -> bool

@@ -1,0 +1,29 @@
+(** View tuples [T(Q,V)] (Section 3.3).
+
+    A view tuple is an atom over a view predicate whose arguments are
+    variables and constants of the query, obtained by applying the view
+    definitions to the canonical database of [Q] and thawing the result.
+    Lemma 3.2: every rewriting can be transformed into one, at least as
+    contained, that uses view tuples only — so view tuples are the
+    building blocks of all the search spaces in the paper. *)
+
+open Vplan_cq
+
+type t = {
+  atom : Atom.t;  (** the view tuple itself, e.g. [v1(M, a, C)] *)
+  view : View.t;  (** the defining view *)
+}
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+
+(** [compute ~query ~views] computes [T(Q,V)].  The query should normally
+    be minimized first (CoreCover step 1). *)
+val compute : query:Query.t -> views:View.t list -> t list
+
+(** [expansion ~avoid tv] is the expansion [t{_v}{^exp}] of the view tuple:
+    the view's body with head variables bound to the tuple's arguments and
+    existential variables renamed fresh (avoiding [avoid]).  Returns the
+    atom list together with the set of those fresh existential variables. *)
+val expansion : avoid:Names.Sset.t -> t -> Atom.t list * Names.Sset.t

@@ -1,0 +1,1 @@
+lib/workload/generator.ml: Atom Datagen List Printf Prng Query String Term View Vplan_cq Vplan_relational Vplan_rewrite Vplan_views

@@ -1,0 +1,1 @@
+lib/workload/generator.mli: Database Query View Vplan_cq Vplan_relational Vplan_views

@@ -1,0 +1,268 @@
+open Vplan_cq
+open Vplan_views
+open Vplan_relational
+
+type shape =
+  | Star
+  | Chain
+  | Cycle
+  | Clique
+  | Random_shape
+
+type config = {
+  shape : shape;
+  num_relations : int;
+  arity : int;
+  query_subgoals : int;
+  num_views : int;
+  view_subgoals_min : int;
+  view_subgoals_max : int;
+  nondistinguished_per_view : int;
+  chain_endpoints_only : bool;
+  seed : int;
+}
+
+let default =
+  {
+    shape = Star;
+    num_relations = 8;
+    arity = 2;
+    query_subgoals = 8;
+    num_views = 100;
+    view_subgoals_min = 1;
+    view_subgoals_max = 3;
+    nondistinguished_per_view = 0;
+    chain_endpoints_only = false;
+    seed = 42;
+  }
+
+type instance = {
+  query : Query.t;
+  views : View.t list;
+}
+
+let relation_name i = "r" ^ string_of_int i
+let var name i = Term.Var (name ^ string_of_int i)
+
+(* Hide [n] random head variables of a view; single-subgoal views keep
+   everything distinguished (as in the paper's chain experiments), and at
+   least one variable always remains in the head. *)
+let hide_vars rng ~n (head_args : Term.t list) body =
+  if n = 0 || List.length body <= 1 then head_args
+  else
+    let vars = List.filter_map Term.var_name head_args in
+    let to_hide =
+      Prng.shuffle rng vars |> List.filteri (fun i _ -> i < min n (List.length vars - 1))
+    in
+    List.filter
+      (function Term.Var x -> not (List.mem x to_hide) | Term.Cst _ -> true)
+      head_args
+
+let make_view rng ~config ~index head_args body =
+  let head_args = hide_vars rng ~n:config.nondistinguished_per_view head_args body in
+  Query.make_exn (Atom.make ("v" ^ string_of_int index) head_args) body
+
+(* Star: subgoals r_i(C, X_i) share the center variable C. *)
+let star_query config =
+  let k = config.query_subgoals in
+  let center = Term.Var "C" in
+  let body =
+    List.init k (fun i -> Atom.make (relation_name (i mod config.num_relations)) [ center; var "X" (i + 1) ])
+  in
+  let head_vars =
+    center :: (List.concat_map Atom.vars body
+               |> List.sort_uniq String.compare
+               |> List.filter (fun x -> x <> "C")
+               |> List.map (fun x -> Term.Var x))
+  in
+  Query.make_exn (Atom.make "q" head_vars) body
+
+let star_view rng ~config ~index query_relations =
+  let m = Prng.range rng config.view_subgoals_min config.view_subgoals_max in
+  let m = min m (List.length query_relations) in
+  let relations =
+    Prng.shuffle rng query_relations |> List.filteri (fun i _ -> i < m)
+  in
+  let center = Term.Var "A" in
+  let body = List.mapi (fun i r -> Atom.make r [ center; var "B" (i + 1) ]) relations in
+  let head_args = center :: List.init (List.length body) (fun i -> var "B" (i + 1)) in
+  make_view rng ~config ~index head_args body
+
+(* Chain: subgoals r_1(X0,X1), ..., r_k(X_{k-1},X_k); views are contiguous
+   segments. *)
+let chain_query config =
+  let k = config.query_subgoals in
+  let body =
+    List.init k (fun i ->
+        Atom.make (relation_name (i mod config.num_relations)) [ var "X" i; var "X" (i + 1) ])
+  in
+  let head_vars =
+    if config.chain_endpoints_only then [ var "X" 0; var "X" k ]
+    else List.init (k + 1) (fun i -> var "X" i)
+  in
+  Query.make_exn (Atom.make "q" head_vars) body
+
+let chain_view rng ~config ~index =
+  let m = Prng.range rng config.view_subgoals_min config.view_subgoals_max in
+  let m = min m config.query_subgoals in
+  let start = Prng.int rng (config.query_subgoals - m + 1) in
+  let body =
+    List.init m (fun i ->
+        Atom.make
+          (relation_name ((start + i) mod config.num_relations))
+          [ var "Y" i; var "Y" (i + 1) ])
+  in
+  let head_args =
+    if config.chain_endpoints_only then [ var "Y" 0; var "Y" m ]
+    else List.init (m + 1) (fun i -> var "Y" i)
+  in
+  if config.chain_endpoints_only then
+    Query.make_exn (Atom.make ("v" ^ string_of_int index) head_args) body
+  else make_view rng ~config ~index head_args body
+
+(* Cycle: a chain whose last subgoal closes back on the first variable.
+   Views are contiguous arcs with wrap-around; a full-circle view would
+   be the query itself, so arcs are capped at k-1 subgoals. *)
+let cycle_query config =
+  let k = config.query_subgoals in
+  let node i = var "X" (i mod k) in
+  let body =
+    List.init k (fun i ->
+        Atom.make (relation_name (i mod config.num_relations)) [ node i; node (i + 1) ])
+  in
+  let head_vars = List.init k (fun i -> var "X" i) in
+  Query.make_exn (Atom.make "q" head_vars) body
+
+let cycle_view rng ~config ~index =
+  let k = config.query_subgoals in
+  let m = min (Prng.range rng config.view_subgoals_min config.view_subgoals_max) (k - 1) in
+  let start = Prng.int rng k in
+  let body =
+    List.init m (fun i ->
+        Atom.make
+          (relation_name ((start + i) mod config.num_relations))
+          [ var "Y" i; var "Y" (i + 1) ])
+  in
+  let head_args = List.init (m + 1) (fun i -> var "Y" i) in
+  make_view rng ~config ~index head_args body
+
+(* Clique: node variables N0..N_{m-1}; one binary subgoal per edge in
+   lexicographic order, until the requested subgoal count is reached.
+   Views take 1-3 random edges of the same clique, over fresh node
+   variables. *)
+let clique_nodes config =
+  (* smallest m with m(m-1)/2 >= query_subgoals *)
+  let rec grow m = if m * (m - 1) / 2 >= config.query_subgoals then m else grow (m + 1) in
+  grow 2
+
+let clique_edges config =
+  let nodes = clique_nodes config in
+  let edges = ref [] in
+  for i = 0 to nodes - 1 do
+    for j = i + 1 to nodes - 1 do
+      edges := (i, j) :: !edges
+    done
+  done;
+  List.rev !edges |> List.filteri (fun e _ -> e < config.query_subgoals)
+
+let clique_query config =
+  let edges = clique_edges config in
+  let body =
+    List.mapi
+      (fun e (i, j) ->
+        Atom.make (relation_name (e mod config.num_relations)) [ var "X" i; var "X" j ])
+      edges
+  in
+  let head_vars =
+    List.concat_map Atom.vars body |> List.sort_uniq String.compare
+    |> List.map (fun x -> Term.Var x)
+  in
+  Query.make_exn (Atom.make "q" head_vars) body
+
+let clique_view rng ~config ~index =
+  let edges = clique_edges config in
+  let m = min (Prng.range rng config.view_subgoals_min config.view_subgoals_max)
+            (List.length edges) in
+  let chosen =
+    Prng.shuffle rng (List.mapi (fun e ij -> (e, ij)) edges)
+    |> List.filteri (fun i _ -> i < m)
+  in
+  let body =
+    List.map
+      (fun (e, (i, j)) ->
+        Atom.make (relation_name (e mod config.num_relations)) [ var "Y" i; var "Y" j ])
+      chosen
+  in
+  let head_args =
+    List.concat_map Atom.vars body |> List.sort_uniq String.compare
+    |> List.map (fun x -> Term.Var x)
+  in
+  make_view rng ~config ~index head_args body
+
+(* Random: arbitrary relations and variable sharing from a pool. *)
+let random_body rng ~config ~relations ~subgoals ~var_prefix =
+  let pool_size = max 2 (subgoals + config.arity) in
+  List.init subgoals (fun _ ->
+      let r = Prng.pick rng relations in
+      let args = List.init config.arity (fun _ -> var var_prefix (Prng.int rng pool_size)) in
+      Atom.make r args)
+
+let random_query rng config =
+  let relations = List.init config.num_relations relation_name in
+  let body =
+    random_body rng ~config ~relations ~subgoals:config.query_subgoals ~var_prefix:"X"
+  in
+  let head_vars =
+    List.concat_map Atom.vars body |> List.sort_uniq String.compare
+    |> List.map (fun x -> Term.Var x)
+  in
+  Query.make_exn (Atom.make "q" head_vars) body
+
+let random_view rng ~config ~index query_relations =
+  let m = Prng.range rng config.view_subgoals_min config.view_subgoals_max in
+  let body = random_body rng ~config ~relations:query_relations ~subgoals:m ~var_prefix:"Y" in
+  let head_args =
+    List.concat_map Atom.vars body |> List.sort_uniq String.compare
+    |> List.map (fun x -> Term.Var x)
+  in
+  make_view rng ~config ~index head_args body
+
+let generate config =
+  let rng = Prng.create config.seed in
+  let query =
+    match config.shape with
+    | Star -> star_query config
+    | Chain -> chain_query config
+    | Cycle -> cycle_query config
+    | Clique -> clique_query config
+    | Random_shape -> random_query rng config
+  in
+  let query_relations = Query.body_preds query in
+  let views =
+    List.init config.num_views (fun index ->
+        match config.shape with
+        | Star -> star_view rng ~config ~index query_relations
+        | Chain -> chain_view rng ~config ~index
+        | Cycle -> cycle_view rng ~config ~index
+        | Clique -> clique_view rng ~config ~index
+        | Random_shape -> random_view rng ~config ~index query_relations)
+  in
+  { query; views }
+
+let generate_with_rewriting ?(max_attempts = 50) config =
+  let rec loop attempt =
+    if attempt >= max_attempts then
+      failwith
+        (Printf.sprintf "Generator: no rewriting after %d attempts (seed %d)" max_attempts
+           config.seed)
+    else
+      let instance = generate { config with seed = config.seed + (1009 * attempt) } in
+      if Vplan_rewrite.Corecover.has_rewriting ~query:instance.query ~views:instance.views
+      then instance
+      else loop (attempt + 1)
+  in
+  loop 0
+
+let base_database ~tuples ~domain instance =
+  let rng = Prng.create 7 in
+  Datagen.for_query_nonempty rng ~tuples ~domain instance.query

@@ -1,0 +1,82 @@
+(** Workload generation for the Section 7 experiments.
+
+    The paper's query generator is parameterized by: number of base
+    relations, number of attributes per relation, number of views, number
+    of subgoals per view, number of subgoals per query, and the shape of
+    queries and views (star, chain, or random).  Queries and views share
+    parameters except subgoal counts; queries without rewritings are
+    discarded and regenerated.
+
+    Shapes:
+
+    - {e star}: binary subgoals [r_i(C, X_i)] sharing a center variable;
+      views join 1–3 randomly chosen query relations through the center.
+    - {e chain}: binary subgoals [r_1(X_0,X_1), ..., r_k(X_{k-1},X_k)];
+      views are contiguous segments of length 1–3 at random offsets.
+    - {e cycle}: a chain whose last subgoal closes back on [X_0]; views
+      are contiguous arcs (with wrap-around).
+    - {e clique}: binary subgoals over node variables, one per edge of a
+      clique in lexicographic edge order; views take 1–3 random edges.
+    - {e random}: subgoals pick random relations with variables drawn from
+      a shared pool; views do the same over the query's relations.
+
+    Cycle and clique are the remaining query classes of the join-ordering
+    literature the paper draws its shapes from (Steinbrunn–Moerkotte–
+    Kemper); the paper itself reports star, chain and random.
+
+    The distinguished-variable policy mirrors the experiments: either all
+    view variables are distinguished, or a given number are made
+    existential per view (single-subgoal views always keep all variables
+    distinguished, as in the chain experiments). *)
+
+open Vplan_cq
+open Vplan_views
+open Vplan_relational
+
+type shape =
+  | Star
+  | Chain
+  | Cycle
+  | Clique
+  | Random_shape
+
+type config = {
+  shape : shape;
+  num_relations : int;  (** base relations to draw from *)
+  arity : int;  (** relation arity (random shape; star/chain are binary) *)
+  query_subgoals : int;
+  num_views : int;
+  view_subgoals_min : int;
+  view_subgoals_max : int;
+  nondistinguished_per_view : int;  (** head variables hidden per view *)
+  chain_endpoints_only : bool;
+      (** chain shape only: keep just the head and tail variables of each
+          chain (query and views) distinguished.  The paper notes that
+          under this policy "there are very few rewritings generated" —
+          the [endpoints] bench reproduces the remark. *)
+  seed : int;
+}
+
+(** Paper defaults: 8 query subgoals, views of 1–3 subgoals, everything
+    distinguished. *)
+val default : config
+
+type instance = {
+  query : Query.t;
+  views : View.t list;
+}
+
+(** [generate config] produces a query and view set.  The view set is
+    drawn randomly; no rewriting-existence guarantee (use
+    {!generate_with_rewriting}). *)
+val generate : config -> instance
+
+(** [generate_with_rewriting ?max_attempts config] regenerates (bumping
+    the seed) until the query has an equivalent rewriting, as the paper
+    does ("we ignored queries that did not have rewritings").  Raises
+    [Failure] after [max_attempts] (default 50). *)
+val generate_with_rewriting : ?max_attempts:int -> config -> instance
+
+(** [base_database ~tuples ~domain instance] draws a random base instance
+    over the query's relations, for cost-model experiments. *)
+val base_database : tuples:int -> domain:int -> instance -> Database.t

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Atom Database List Parser Query Relation Term Vplan

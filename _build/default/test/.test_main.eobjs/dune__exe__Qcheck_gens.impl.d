@@ -1,0 +1,1 @@
+test/qcheck_gens.ml: Atom Database List QCheck2 Query Relation String Term Vplan

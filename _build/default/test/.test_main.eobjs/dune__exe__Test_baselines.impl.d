@@ -1,0 +1,1 @@
+test/test_baselines.ml: Atom Bucket Car_loc_part Corecover Example_4_1 Example_4_2 Example_6_1 Expansion Helpers List Minicon Query Vplan

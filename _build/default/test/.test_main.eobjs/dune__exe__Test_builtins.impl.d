@@ -1,0 +1,1 @@
+test/test_builtins.ml: Alcotest Ccq Database Eval Helpers List Order_constraint Relation Term View Vplan

@@ -1,0 +1,1 @@
+test/test_containment.ml: Alcotest Containment Example_3_1 Helpers Homomorphism List Minimize Query Subst Term Vplan

@@ -1,0 +1,1 @@
+test/test_cost.ml: Alcotest Atom Car_loc_part Corecover Database Eval Explain Filter Format Helpers List M1 M2 M3 Materialize Optimizer Orderings Query String Term Vplan

@@ -1,0 +1,1 @@
+test/test_cq.ml: Alcotest Atom Helpers Int List Names Option Parser Query Subst Term Unify Vplan

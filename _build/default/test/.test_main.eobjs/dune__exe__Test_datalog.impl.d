@@ -1,0 +1,1 @@
+test/test_datalog.ml: Alcotest Atom Car_loc_part Database Helpers Inverse_rules List Magic Materialize Names Program Query Recursive_views Relation Seminaive Term Vplan

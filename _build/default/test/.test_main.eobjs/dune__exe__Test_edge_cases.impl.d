@@ -1,0 +1,1 @@
+test/test_edge_cases.ml: Alcotest Car_loc_part Corecover Database Eval Expansion Helpers List Materialize Minimize Query Relation Term View_tuple Vplan

@@ -1,0 +1,1 @@
+test/test_estimate.ml: Alcotest Atom Datagen Estimate Eval Float Helpers List M2 Prng Query String Term Vplan

@@ -1,0 +1,1 @@
+test/test_inverse_rules.ml: Alcotest Atom Car_loc_part Database Eval Example_6_1 Helpers Inverse_rules List Materialize Minicon Relation String Term Vplan

@@ -1,0 +1,1 @@
+test/test_m3.ml: Alcotest Car_loc_part Database Eval Example_6_1 Helpers List M3 Materialize Optimizer Orderings Query Relation Term Vplan

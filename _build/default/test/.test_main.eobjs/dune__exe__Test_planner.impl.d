@@ -1,0 +1,1 @@
+test/test_planner.ml: Alcotest Car_loc_part Database Eval Helpers List Planner Relation Term Vplan

@@ -1,0 +1,1 @@
+test/test_relational.ml: Alcotest Atom Database Datagen Eval Fun Helpers Int List Names Prng Query Relation Term Vplan

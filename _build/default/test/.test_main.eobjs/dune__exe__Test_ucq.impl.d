@@ -1,0 +1,1 @@
+test/test_ucq.ml: Alcotest Car_loc_part Corecover Database Eval Expansion Helpers List Materialize Minicon Relation Term Ucq Ucq_containment Vplan

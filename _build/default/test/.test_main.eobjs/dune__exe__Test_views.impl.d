@@ -1,0 +1,1 @@
+test/test_views.ml: Alcotest Atom Canonical Car_loc_part Containment Database Equiv_class Eval Example_4_1 Expansion Helpers List Materialize Names Query String Term View View_tuple Vplan

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Atom Corecover Database Eval Generator Helpers List Query Relation Term View Vplan

@@ -1,0 +1,11 @@
+  $ cat > flights.dlog <<'PROGRAM'
+  > q(X, Z) :- flight(X, Y), flight(Y, Z).
+  > from_hub(H, D) :- flight(H, D), hub(H).
+  > hubs(H) :- hub(H).
+  > PROGRAM
+  $ cat > flights_data.dlog <<'DATA'
+  > flight(sfo, ord). flight(ord, jfk). flight(jfk, lhr). flight(sjc, sfo).
+  > hub(ord). hub(jfk).
+  > DATA
+  $ vplan_cli certain flights.dlog --data flights_data.dlog --algorithm minicon
+  $ vplan_cli certain flights.dlog --data flights_data.dlog --algorithm inverse-rules

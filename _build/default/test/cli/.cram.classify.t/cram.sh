@@ -1,0 +1,10 @@
+  $ cat > candidates.dlog <<'PROGRAM'
+  > q1(S, C) :- car(M, anderson), loc(anderson, C), part(S, M, C).
+  > v1(M, D, C) :- car(M, D), loc(D, C).
+  > v2(S, M, C) :- part(S, M, C).
+  > v3(S) :- car(M, anderson), loc(anderson, C), part(S, M, C).
+  > q1(S, C) :- v1(M, anderson, C1), v1(M1, anderson, C), v2(S, M, C).
+  > q1(S, C) :- v1(M, anderson, C), v2(S, M, C).
+  > q1(S, C) :- v3(S), v1(M, anderson, C), v2(S, M, C).
+  > PROGRAM
+  $ vplan_cli classify candidates.dlog

@@ -1,0 +1,11 @@
+  $ cat > tc.dlog <<'PROGRAM'
+  > reach(X, Y) :- flight(X, Y).
+  > reach(X, Z) :- flight(X, Y), reach(Y, Z).
+  > PROGRAM
+  $ cat > tc_data.dlog <<'DATA'
+  > flight(sfo, ord). flight(ord, jfk). flight(jfk, lhr). flight(nrt, hnd).
+  > DATA
+  $ vplan_cli datalog tc.dlog --data tc_data.dlog --query 'reach(sfo, X)'
+  $ vplan_cli datalog tc.dlog --data tc_data.dlog --query 'reach(sfo, X)' --magic
+  $ vplan_cli datalog tc.dlog --data tc_data.dlog --query 'reach(X, Y)'
+  $ vplan_cli datalog tc.dlog --data tc_data.dlog --query 'reach(sfo, X'

@@ -1,0 +1,8 @@
+  $ cat > bad.dlog <<'PROGRAM'
+  > q(X) :- p(X)
+  > PROGRAM
+  $ vplan_cli rewrite bad.dlog
+  $ cat > unsafe.dlog <<'PROGRAM'
+  > q(X) :- p(Y).
+  > PROGRAM
+  $ vplan_cli rewrite unsafe.dlog

@@ -1,0 +1,15 @@
+  $ cat > carloc.dlog <<'PROGRAM'
+  > q1(S, C) :- car(M, anderson), loc(anderson, C), part(S, M, C).
+  > v1(M, D, C) :- car(M, D), loc(D, C).
+  > v2(S, M, C) :- part(S, M, C).
+  > v4(M, D, C, S) :- car(M, D), loc(D, C), part(S, M, C).
+  > PROGRAM
+  $ cat > carloc_data.dlog <<'DATA'
+  > car(honda, anderson). car(toyota, anderson). car(ford, baker).
+  > loc(anderson, springfield). loc(anderson, shelby). loc(baker, springfield).
+  > part(s1, honda, springfield). part(s2, toyota, shelby).
+  > part(s3, ford, springfield). part(s4, honda, shelby).
+  > DATA
+  $ vplan_cli plan carloc.dlog --data carloc_data.dlog --cost m1
+  $ vplan_cli plan carloc.dlog --data carloc_data.dlog --cost m2
+  $ vplan_cli plan carloc.dlog --data carloc_data.dlog --cost m3

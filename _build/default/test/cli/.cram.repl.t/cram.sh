@@ -1,0 +1,14 @@
+  $ vplan_repl <<'SESSION'
+  > query q1(S, C) :- car(M, anderson), loc(anderson, C), part(S, M, C).
+  > view v1(M, D, C) :- car(M, D), loc(D, C).
+  > view v2(S, M, C) :- part(S, M, C).
+  > view v4(M, D, C, S) :- car(M, D), loc(D, C), part(S, M, C).
+  > fact car(honda, anderson). loc(anderson, springfield).
+  > fact part(s1, honda, springfield).
+  > rewrite
+  > rewrite all
+  > plan m2
+  > answer
+  > certain
+  > quit
+  > SESSION

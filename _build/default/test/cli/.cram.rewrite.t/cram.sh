@@ -1,0 +1,10 @@
+  $ cat > carloc.dlog <<'PROGRAM'
+  > q1(S, C) :- car(M, anderson), loc(anderson, C), part(S, M, C).
+  > v1(M, D, C) :- car(M, D), loc(D, C).
+  > v2(S, M, C) :- part(S, M, C).
+  > v3(S) :- car(M, anderson), loc(anderson, C), part(S, M, C).
+  > v4(M, D, C, S) :- car(M, D), loc(D, C), part(S, M, C).
+  > v5(M, D, C) :- car(M, D), loc(D, C).
+  > PROGRAM
+  $ vplan_cli rewrite carloc.dlog
+  $ vplan_cli rewrite carloc.dlog --all-minimal -v

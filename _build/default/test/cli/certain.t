@@ -1,0 +1,21 @@
+Certain answers under the open-world assumption (no equivalent rewriting).
+
+  $ cat > flights.dlog <<'PROGRAM'
+  > q(X, Z) :- flight(X, Y), flight(Y, Z).
+  > from_hub(H, D) :- flight(H, D), hub(H).
+  > hubs(H) :- hub(H).
+  > PROGRAM
+  $ cat > flights_data.dlog <<'DATA'
+  > flight(sfo, ord). flight(ord, jfk). flight(jfk, lhr). flight(sjc, sfo).
+  > hub(ord). hub(jfk).
+  > DATA
+
+  $ vplan_cli certain flights.dlog --data flights_data.dlog --algorithm minicon
+  maximally-contained union:
+  q(X,Z) :- from_hub(X,Y), from_hub(Y,Z)
+  certain answers: {(ord, lhr)}
+  true answer over the given base: {(ord, lhr); (sfo, jfk); (sjc, ord)}
+
+  $ vplan_cli certain flights.dlog --data flights_data.dlog --algorithm inverse-rules
+  certain answers: {(ord, lhr)}
+  true answer over the given base: {(ord, lhr); (sfo, jfk); (sjc, ord)}

@@ -1,0 +1,31 @@
+Classification of candidate rewritings (Figure 1 regions).
+
+  $ cat > candidates.dlog <<'PROGRAM'
+  > q1(S, C) :- car(M, anderson), loc(anderson, C), part(S, M, C).
+  > v1(M, D, C) :- car(M, D), loc(D, C).
+  > v2(S, M, C) :- part(S, M, C).
+  > v3(S) :- car(M, anderson), loc(anderson, C), part(S, M, C).
+  > q1(S, C) :- v1(M, anderson, C1), v1(M1, anderson, C), v2(S, M, C).
+  > q1(S, C) :- v1(M, anderson, C), v2(S, M, C).
+  > q1(S, C) :- v3(S), v1(M, anderson, C), v2(S, M, C).
+  > PROGRAM
+
+  $ vplan_cli classify candidates.dlog
+  q1(S,C) :- v1(M,anderson,C1), v1(M1,anderson,C), v2(S,M,C)
+    equivalent rewriting: true
+    minimal as query:     true
+    locally minimal:      true
+    containment minimal:  false
+    globally minimal:     false
+  q1(S,C) :- v1(M,anderson,C), v2(S,M,C)
+    equivalent rewriting: true
+    minimal as query:     true
+    locally minimal:      true
+    containment minimal:  true
+    globally minimal:     true
+  q1(S,C) :- v3(S), v1(M,anderson,C), v2(S,M,C)
+    equivalent rewriting: true
+    minimal as query:     true
+    locally minimal:      false
+    containment minimal:  true
+    globally minimal:     false

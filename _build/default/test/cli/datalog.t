@@ -1,0 +1,24 @@
+Recursive Datalog evaluation through the CLI, with and without magic sets.
+
+  $ cat > tc.dlog <<'PROGRAM'
+  > reach(X, Y) :- flight(X, Y).
+  > reach(X, Z) :- flight(X, Y), reach(Y, Z).
+  > PROGRAM
+  $ cat > tc_data.dlog <<'DATA'
+  > flight(sfo, ord). flight(ord, jfk). flight(jfk, lhr). flight(nrt, hnd).
+  > DATA
+
+  $ vplan_cli datalog tc.dlog --data tc_data.dlog --query 'reach(sfo, X)'
+  {(sfo, jfk); (sfo, lhr); (sfo, ord)}
+
+  $ vplan_cli datalog tc.dlog --data tc_data.dlog --query 'reach(sfo, X)' --magic
+  {(sfo, jfk); (sfo, lhr); (sfo, ord)}
+
+  $ vplan_cli datalog tc.dlog --data tc_data.dlog --query 'reach(X, Y)'
+  {(jfk, lhr); (nrt, hnd); (ord, jfk); (ord, lhr); (sfo, jfk); (sfo, lhr); (sfo, ord)}
+
+Bad query atoms are reported:
+
+  $ vplan_cli datalog tc.dlog --data tc_data.dlog --query 'reach(sfo, X'
+  --query: expected ',' or ')', found end of input
+  [2]

@@ -1,0 +1,15 @@
+Error handling: malformed programs are rejected with a message.
+
+  $ cat > bad.dlog <<'PROGRAM'
+  > q(X) :- p(X)
+  > PROGRAM
+  $ vplan_cli rewrite bad.dlog
+  bad.dlog: parse error: expected ',' or '.', found end of input
+  [2]
+
+  $ cat > unsafe.dlog <<'PROGRAM'
+  > q(X) :- p(Y).
+  > PROGRAM
+  $ vplan_cli rewrite unsafe.dlog
+  unsafe.dlog: parse error: unsafe query: head variable(s) X not in body
+  [2]

@@ -1,0 +1,30 @@
+EXPLAIN-style plan output.
+
+  $ cat > carloc.dlog <<'PROGRAM'
+  > q1(S, C) :- car(M, anderson), loc(anderson, C), part(S, M, C).
+  > v1(M, D, C) :- car(M, D), loc(D, C).
+  > v2(S, M, C) :- part(S, M, C).
+  > v4(M, D, C, S) :- car(M, D), loc(D, C), part(S, M, C).
+  > PROGRAM
+  $ cat > carloc_data.dlog <<'DATA'
+  > car(honda, anderson). car(toyota, anderson). car(ford, baker).
+  > loc(anderson, springfield). loc(anderson, shelby). loc(baker, springfield).
+  > part(s1, honda, springfield). part(s2, toyota, shelby).
+  > part(s3, ford, springfield). part(s4, honda, shelby).
+  > DATA
+
+  $ vplan_cli plan carloc.dlog --data carloc_data.dlog --cost m2 --explain
+  rewriting: q1(S,C) :- v4(M,anderson,C,S)
+  join order: v4(M,anderson,C,S)
+  cost (M2): 25
+  step 1/1: scan v4(M,anderson,C,S)  [relation 4 tuples; after: 3 tuples]
+  total cost: 25 cells
+  query answer size: 3
+
+  $ vplan_cli plan carloc.dlog --data carloc_data.dlog --cost m3 --explain
+  rewriting: q1(S,C) :- v4(M,anderson,C,S)
+  plan: v4(M,anderson,C,S){M}
+  cost (M3): 22
+  step 1/1: scan v4(M,anderson,C,S)  drop {M}  [relation 4 tuples; GSR: 3 tuples x 2 attrs]
+  total cost: 22 cells
+  query answer size: 3

@@ -1,0 +1,31 @@
+Cost-based planning over a concrete instance.
+
+  $ cat > carloc.dlog <<'PROGRAM'
+  > q1(S, C) :- car(M, anderson), loc(anderson, C), part(S, M, C).
+  > v1(M, D, C) :- car(M, D), loc(D, C).
+  > v2(S, M, C) :- part(S, M, C).
+  > v4(M, D, C, S) :- car(M, D), loc(D, C), part(S, M, C).
+  > PROGRAM
+  $ cat > carloc_data.dlog <<'DATA'
+  > car(honda, anderson). car(toyota, anderson). car(ford, baker).
+  > loc(anderson, springfield). loc(anderson, shelby). loc(baker, springfield).
+  > part(s1, honda, springfield). part(s2, toyota, shelby).
+  > part(s3, ford, springfield). part(s4, honda, shelby).
+  > DATA
+
+  $ vplan_cli plan carloc.dlog --data carloc_data.dlog --cost m1
+  rewriting: q1(S,C) :- v4(M,anderson,C,S)
+  cost (subgoals): 1
+  query answer size: 3
+
+  $ vplan_cli plan carloc.dlog --data carloc_data.dlog --cost m2
+  rewriting: q1(S,C) :- v4(M,anderson,C,S)
+  join order: v4(M,anderson,C,S)
+  cost (M2): 25
+  query answer size: 3
+
+  $ vplan_cli plan carloc.dlog --data carloc_data.dlog --cost m3
+  rewriting: q1(S,C) :- v4(M,anderson,C,S)
+  plan: v4(M,anderson,C,S){M}
+  cost (M3): 22
+  query answer size: 3

@@ -1,0 +1,31 @@
+The REPL drives the whole pipeline from a script on stdin.
+
+  $ vplan_repl <<'SESSION'
+  > query q1(S, C) :- car(M, anderson), loc(anderson, C), part(S, M, C).
+  > view v1(M, D, C) :- car(M, D), loc(D, C).
+  > view v2(S, M, C) :- part(S, M, C).
+  > view v4(M, D, C, S) :- car(M, D), loc(D, C), part(S, M, C).
+  > fact car(honda, anderson). loc(anderson, springfield).
+  > fact part(s1, honda, springfield).
+  > rewrite
+  > rewrite all
+  > plan m2
+  > answer
+  > certain
+  > quit
+  > SESSION
+  query: q1(S,C) :- car(M,anderson), loc(anderson,C), part(S,M,C)
+  view: v1(M,D,C) :- car(M,D), loc(D,C)
+  view: v2(S,M,C) :- part(S,M,C)
+  view: v4(M,D,C,S) :- car(M,D), loc(D,C), part(S,M,C)
+  2 fact(s) added
+  1 fact(s) added
+  q1(S,C) :- v4(M,anderson,C,S)
+  q1(S,C) :- v1(M,anderson,C), v2(S,M,C)
+  q1(S,C) :- v4(M,anderson,C,S)
+  rewriting: q1(S,C) :- v4(M,anderson,C,S)
+  order: v4(M,anderson,C,S)
+  cost: 7 cells
+  answer: {(s1, springfield)}
+  {(s1, springfield)}
+  {(s1, springfield)}

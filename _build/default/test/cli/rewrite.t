@@ -1,0 +1,36 @@
+The car-loc-part example from the paper, end to end through the CLI.
+
+  $ cat > carloc.dlog <<'PROGRAM'
+  > q1(S, C) :- car(M, anderson), loc(anderson, C), part(S, M, C).
+  > v1(M, D, C) :- car(M, D), loc(D, C).
+  > v2(S, M, C) :- part(S, M, C).
+  > v3(S) :- car(M, anderson), loc(anderson, C), part(S, M, C).
+  > v4(M, D, C, S) :- car(M, D), loc(D, C), part(S, M, C).
+  > v5(M, D, C) :- car(M, D), loc(D, C).
+  > PROGRAM
+
+Globally-minimal rewritings (cost model M1):
+
+  $ vplan_cli rewrite carloc.dlog
+  query (minimized): q1(S,C) :- car(M,anderson), loc(anderson,C), part(S,M,C)
+  views: 5 in 4 equivalence classes
+  view tuples: 4 (4 representatives)
+  filter candidates: v3(S)
+  globally-minimal rewritings (1):
+    q1(S,C) :- v4(M,anderson,C,S)
+
+All minimal rewritings (the M2 search space), with tuple-cores:
+
+  $ vplan_cli rewrite carloc.dlog --all-minimal -v
+  query (minimized): q1(S,C) :- car(M,anderson), loc(anderson,C), part(S,M,C)
+  views: 5 in 4 equivalence classes
+  view tuples: 4 (4 representatives)
+  tuple-cores:
+    v1(M,anderson,C) covers {car(M,anderson), loc(anderson,C)}
+    v2(S,M,C) covers {part(S,M,C)}
+    v3(S) covers {}
+    v4(M,anderson,C,S) covers {car(M,anderson), loc(anderson,C), part(S,M,C)}
+  filter candidates: v3(S)
+  minimal rewritings (2):
+    q1(S,C) :- v1(M,anderson,C), v2(S,M,C)
+    q1(S,C) :- v4(M,anderson,C,S)

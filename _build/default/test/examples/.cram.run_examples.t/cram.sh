@@ -1,0 +1,9 @@
+  $ ../../examples/quickstart.exe | head -2
+  $ ../../examples/paper_examples.exe | grep -c '==='
+  $ ../../examples/attribute_dropping.exe | grep 'best'
+  $ ../../examples/minicon_comparison.exe | tail -1
+  $ ../../examples/open_world.exe | grep 'planner fallback'
+  $ ../../examples/builtin_predicates.exe | grep 'tuples ('
+  $ ../../examples/recursive_views.exe | grep 'answers from sfo'
+  $ ../../examples/data_integration.exe | tail -1
+  $ ../../examples/warehouse.exe | grep 'answer:'

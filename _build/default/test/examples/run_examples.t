@@ -1,0 +1,32 @@
+Every example runs and ends with its expected punchline (full outputs are
+deterministic; key lines are checked here).
+
+  $ ../../examples/quickstart.exe | head -2
+  Globally-minimal rewritings:
+    q1(S,C) :- v4(M,anderson,C,S)
+
+  $ ../../examples/paper_examples.exe | grep -c '==='
+  7
+
+  $ ../../examples/attribute_dropping.exe | grep 'best'
+  best supplementary plan: cost 25 for q(A) :- v1(A,B), v2(A,B)
+  best heuristic plan:     cost 18 for q(A) :- v1(A,B), v2(A,B)
+
+  $ ../../examples/minicon_comparison.exe | tail -1
+  smallest rewriting: CoreCover 1 subgoal(s), MiniCon 3 subgoal(s)
+
+  $ ../../examples/open_world.exe | grep 'planner fallback'
+  planner fallback (certain answers): {(ord, lhr)}
+
+  $ ../../examples/builtin_predicates.exe | grep 'tuples ('
+  P1 (union of 2 CQs, 2 subgoals each): 6 tuples (correct)
+  P2 (1 CQ, 3 subgoals): 6 tuples (correct)
+
+  $ ../../examples/recursive_views.exe | grep 'answers from sfo'
+  answers from sfo: {(sfo, jfk); (sfo, lhr); (sfo, ord)}
+
+  $ ../../examples/data_integration.exe | tail -1
+  via sources:  1 tuples (identical)
+
+  $ ../../examples/warehouse.exe | grep 'answer:'
+  answer: 42 tuples (matches the query)

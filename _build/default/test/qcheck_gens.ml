@@ -1,0 +1,87 @@
+(* QCheck generators for random conjunctive queries, view sets and
+   database instances.  Everything is kept small: containment is
+   NP-complete and the properties run hundreds of cases. *)
+
+open Vplan
+module Gen = QCheck2.Gen
+
+let pred_pool = [ ("p", 2); ("r", 2); ("s", 1) ]
+let var_pool = [ "X0"; "X1"; "X2"; "X3" ]
+let const_pool = [ Term.Str "c"; Term.Str "d" ]
+
+let gen_term =
+  Gen.frequency
+    [
+      (7, Gen.map (fun x -> Term.Var x) (Gen.oneofl var_pool));
+      (3, Gen.map (fun c -> Term.Cst c) (Gen.oneofl const_pool));
+    ]
+
+let gen_atom =
+  let open Gen in
+  let* pred, arity = oneofl pred_pool in
+  let* args = list_repeat arity gen_term in
+  return (Atom.make pred args)
+
+let gen_body ~max_atoms =
+  let open Gen in
+  let* n = int_range 1 max_atoms in
+  list_repeat n gen_atom
+
+(* A random sub-sequence of a list (each element kept with probability
+   1/2). *)
+let gen_subset l =
+  let open Gen in
+  List.fold_right
+    (fun x acc ->
+      let* keep = bool in
+      let* rest = acc in
+      return (if keep then x :: rest else rest))
+    l (return [])
+
+(* Head: a random sub-sequence of the body's variables (possibly empty —
+   a Boolean query). *)
+let gen_query_with ~pred ~max_atoms =
+  let open Gen in
+  let* body = gen_body ~max_atoms in
+  let vars = List.concat_map Atom.vars body |> List.sort_uniq String.compare in
+  let* chosen = gen_subset vars in
+  let head = Atom.make pred (List.map (fun x -> Term.Var x) chosen) in
+  return (Query.make_exn head body)
+
+let gen_query = gen_query_with ~pred:"q" ~max_atoms:3
+
+(* A view set: distinct names v0, v1, ... *)
+let gen_views ~max_views ~max_atoms =
+  let open Gen in
+  let* n = int_range 1 max_views in
+  let rec build i acc =
+    if i >= n then return (List.rev acc)
+    else
+      let* v = gen_query_with ~pred:("v" ^ string_of_int i) ~max_atoms in
+      build (i + 1) (v :: acc)
+  in
+  build 0 []
+
+(* A database over the predicate pool. *)
+let gen_database =
+  let open Gen in
+  let gen_tuple arity = list_repeat arity (map (fun i -> Term.Int i) (int_range 0 3)) in
+  let gen_relation (pred, arity) =
+    let* n = int_range 0 8 in
+    let* tuples = list_repeat n (gen_tuple arity) in
+    return (pred, Relation.of_tuples arity tuples)
+  in
+  let* relations = flatten_l (List.map gen_relation pred_pool) in
+  return
+    (List.fold_left
+       (fun db (pred, r) -> Database.add_relation pred r db)
+       Database.empty relations)
+
+(* Printers for counterexamples. *)
+let print_query = Query.to_string
+let print_views views = String.concat " | " (List.map Query.to_string views)
+
+let print_instance (q, views) = print_query q ^ " || " ^ print_views views
+
+let print_with_db (q, views, db) =
+  print_instance (q, views) ^ " || db size " ^ string_of_int (Database.total_size db)

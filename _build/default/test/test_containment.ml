@@ -1,0 +1,137 @@
+(* Tests for homomorphism search, Chandra-Merlin containment, equivalence,
+   isomorphism and query minimization. *)
+
+open Vplan
+open Helpers
+
+let test_hom_basic () =
+  let patterns = (q "q(X) :- p(X, Y), p(Y, Z).").body in
+  let targets = (q "q(A) :- p(A, A).").body in
+  check_bool "collapse onto loop" true (Homomorphism.exists patterns targets);
+  let no_target = (q "q(A) :- r(A, A).").body in
+  check_bool "wrong predicate" false (Homomorphism.exists patterns no_target)
+
+let test_hom_seed () =
+  let patterns = (q "q(X) :- p(X, Y).").body in
+  let targets = (q "q(A) :- p(A, B), p(B, A).").body in
+  let seed = Subst.singleton "X" (Term.Var "B") in
+  (match Homomorphism.find ~seed patterns targets with
+  | Some s ->
+      Alcotest.check term_testable "respects seed" (Term.Var "B")
+        (Subst.apply_term s (Term.Var "X"))
+  | None -> Alcotest.fail "expected a homomorphism");
+  let bad_seed = Subst.singleton "X" (Term.Cst (Term.Str "nope")) in
+  check_bool "impossible seed" false (Homomorphism.exists ~seed:bad_seed patterns targets)
+
+let test_hom_all () =
+  let patterns = (q "q(X) :- p(X, Y).").body in
+  let targets = (q "q(A) :- p(A, B), p(B, C).").body in
+  check_int "two homomorphisms" 2 (List.length (Homomorphism.find_all patterns targets));
+  check_int "limit" 1 (List.length (Homomorphism.find_all ~limit:1 patterns targets))
+
+let test_containment_basic () =
+  let q1 = q "q(X) :- p(X, Y), p(Y, X)." in
+  let q2 = q "q(X) :- p(X, Y)." in
+  check_bool "specialized contained in general" true (Containment.is_contained q1 q2);
+  check_bool "not conversely" false (Containment.is_contained q2 q1);
+  check_bool "properly contained" true (Containment.properly_contained q1 q2)
+
+let test_containment_with_constants () =
+  let q1 = q "q(X) :- p(X, c)." in
+  let q2 = q "q(X) :- p(X, Y)." in
+  check_bool "constant version contained" true (Containment.is_contained q1 q2);
+  check_bool "general not contained in constant" false (Containment.is_contained q2 q1);
+  let q3 = q "q(X) :- p(X, d)." in
+  check_bool "different constants incomparable" false (Containment.is_contained q1 q3)
+
+let test_containment_head_constants () =
+  let q1 = q "q(X, c) :- p(X)." in
+  let q2 = q "q(X, Y) :- p(X), r(Y)." in
+  (* q2's head var Y must map to the constant c *)
+  let q2c = q "q(X, c) :- p(X), r(c)." in
+  check_bool "head constant propagates" true (Containment.is_contained q2c q2);
+  check_bool "arity mismatch" false (Containment.is_contained q1 (q "q(X) :- p(X)."))
+
+let test_equivalence () =
+  let q1 = q "q(X) :- p(X, Y)." in
+  let q2 = q "q(A) :- p(A, B), p(A, C)." in
+  check_bool "equivalent modulo redundancy" true (Containment.equivalent q1 q2);
+  check_bool "renamed equivalent" true (Containment.equivalent q1 (q "q(B) :- p(B, Z)."))
+
+let test_isomorphic () =
+  let q1 = q "q(X) :- p(X, Y), r(Y, Z)." in
+  check_bool "renaming" true (Containment.isomorphic q1 (q "q(A) :- p(A, B), r(B, C)."));
+  check_bool "reordered body" true (Containment.isomorphic q1 (q "q(A) :- r(B, C), p(A, B)."));
+  (* equivalent but not isomorphic *)
+  let q2 = q "q(X) :- p(X, Y), p(X, Z)." in
+  let q3 = q "q(X) :- p(X, Y)." in
+  check_bool "equivalent" true (Containment.equivalent q2 q3);
+  check_bool "not isomorphic" false (Containment.isomorphic q2 q3)
+
+let test_minimize_simple () =
+  let query = q "q(X) :- p(X, Y), p(X, Z)." in
+  let m = Minimize.minimize query in
+  check_int "one subgoal" 1 (List.length m.Query.body);
+  check_bool "equivalent" true (Containment.equivalent query m);
+  check_bool "minimal" true (Minimize.is_minimal m)
+
+let test_minimize_keeps_needed () =
+  let query = q "q(X, Z) :- p(X, Y), p(Y, Z)." in
+  let m = Minimize.minimize query in
+  check_int "nothing removable" 2 (List.length m.Query.body)
+
+let test_minimize_idempotent () =
+  let query = q "q(X) :- p(X, Y), p(X, Z), p(W, X), p(V, X)." in
+  let m = Minimize.minimize query in
+  check_query "idempotent" m (Minimize.minimize m)
+
+let test_minimize_respects_head () =
+  (* with Y existential the body folds to one atom... *)
+  let foldable = q "q(X, Z) :- p(X, Y), p(X, Z)." in
+  check_int "existential folds" 1 (List.length (Minimize.minimize foldable).Query.body);
+  (* ...but when Y is distinguished too, safety blocks every removal *)
+  let query = q "q(X, Y, Z) :- p(X, Y), p(X, Z)." in
+  let m = Minimize.minimize query in
+  check_int "head blocks collapse" 2 (List.length m.Query.body)
+
+let test_minimize_classic_triangle () =
+  (* classic: a path that folds onto a loop via an intermediate *)
+  let query = q "q(X) :- e(X, Y), e(Y, X), e(X, X)." in
+  let m = Minimize.minimize query in
+  check_int "folds to self-loop" 1 (List.length m.Query.body);
+  check_bool "still equivalent" true (Containment.equivalent query m)
+
+let test_redundant_atoms () =
+  let query = q "q(X) :- p(X, Y), p(X, Z)." in
+  check_int "both individually redundant" 2 (List.length (Minimize.redundant_atoms query));
+  let tight = q "q(X, Z) :- p(X, Y), p(Y, Z)." in
+  check_int "none redundant" 0 (List.length (Minimize.redundant_atoms tight))
+
+(* The transitivity sanity from the paper: containment mappings compose. *)
+let test_containment_transitive_example () =
+  let open Example_3_1 in
+  let e = Vplan.Expansion.expand_exn ~views in
+  let p1e = e p1 and p2e = e p2 and p3e = e p3 in
+  check_bool "P1exp equiv P2exp" true (Containment.equivalent p1e p2e);
+  check_bool "P2exp equiv P3exp" true (Containment.equivalent p2e p3e);
+  check_bool "P1 properly in P2" true (Containment.properly_contained p1 p2);
+  check_bool "P2 properly in P3" true (Containment.properly_contained p2 p3)
+
+let suite =
+  [
+    ("homomorphism basic", `Quick, test_hom_basic);
+    ("homomorphism with seed", `Quick, test_hom_seed);
+    ("all homomorphisms", `Quick, test_hom_all);
+    ("containment basic", `Quick, test_containment_basic);
+    ("containment with constants", `Quick, test_containment_with_constants);
+    ("containment head constants", `Quick, test_containment_head_constants);
+    ("equivalence", `Quick, test_equivalence);
+    ("isomorphism", `Quick, test_isomorphic);
+    ("minimize simple", `Quick, test_minimize_simple);
+    ("minimize keeps needed", `Quick, test_minimize_keeps_needed);
+    ("minimize idempotent", `Quick, test_minimize_idempotent);
+    ("minimize respects head", `Quick, test_minimize_respects_head);
+    ("minimize triangle", `Quick, test_minimize_classic_triangle);
+    ("redundant atoms", `Quick, test_redundant_atoms);
+    ("paper Example 3.1 containments", `Quick, test_containment_transitive_example);
+  ]

@@ -1,0 +1,87 @@
+(* Tests for the System-R-style cardinality estimator. *)
+
+open Vplan
+open Helpers
+
+let uniform_db ~tuples ~domain preds =
+  let rng = Prng.create 23 in
+  Datagen.random rng
+    (List.map (fun predicate -> { Datagen.predicate; arity = 2; tuples; domain }) preds)
+
+let test_atom_cardinality_base () =
+  let db = uniform_db ~tuples:100 ~domain:20 [ "p" ] in
+  let catalog = Estimate.analyze db in
+  let full = Atom.make "p" [ Term.Var "X"; Term.Var "Y" ] in
+  let actual = float_of_int (Eval.relation_size db full) in
+  Alcotest.(check (float 0.01)) "full scan estimate is exact" actual
+    (Estimate.atom_cardinality catalog full)
+
+let test_constant_selection_estimate () =
+  let db = uniform_db ~tuples:200 ~domain:10 [ "p" ] in
+  let catalog = Estimate.analyze db in
+  let selected = Atom.make "p" [ Term.Cst (Term.Int 3); Term.Var "Y" ] in
+  let estimate = Estimate.atom_cardinality catalog selected in
+  let actual = float_of_int (Eval.matching_count db selected) in
+  (* uniform data: the 1/V rule should be within a small factor *)
+  check_bool "within 3x of the truth" true
+    (estimate > 0. && estimate /. actual < 3. && actual /. estimate < 3.)
+
+let test_missing_relation () =
+  let db = uniform_db ~tuples:10 ~domain:5 [ "p" ] in
+  let catalog = Estimate.analyze db in
+  Alcotest.(check (float 0.0)) "missing relation is empty" 0.
+    (Estimate.atom_cardinality catalog (Atom.make "nope" [ Term.Var "X" ]))
+
+let test_repeated_var_shrinks () =
+  let db = uniform_db ~tuples:200 ~domain:10 [ "p" ] in
+  let catalog = Estimate.analyze db in
+  let loop = Atom.make "p" [ Term.Var "X"; Term.Var "X" ] in
+  let full = Atom.make "p" [ Term.Var "X"; Term.Var "Y" ] in
+  check_bool "self-join selection shrinks" true
+    (Estimate.atom_cardinality catalog loop < Estimate.atom_cardinality catalog full)
+
+let test_order_cost_positive_and_sensitive () =
+  let db = uniform_db ~tuples:100 ~domain:12 [ "p"; "r" ] in
+  let catalog = Estimate.analyze db in
+  let body = (q "q(X, Z) :- p(X, Y), r(Y, Z).").Query.body in
+  let cost = Estimate.order_cost catalog body in
+  check_bool "positive" true (cost > 0.);
+  (* adding a selective atom first should not increase the estimate of
+     the later intermediate results *)
+  let selective = (q "q(Z) :- p(1, Y), r(Y, Z).").Query.body in
+  check_bool "selection cheaper" true (Estimate.order_cost catalog selective < cost)
+
+let test_estimated_optimal_is_a_permutation () =
+  let db = uniform_db ~tuples:60 ~domain:10 [ "p"; "r"; "s" ] in
+  let catalog = Estimate.analyze db in
+  let body = (q "q(X, W) :- p(X, Y), r(Y, Z), s(Z, W).").Query.body in
+  let order, cost = Estimate.optimal catalog body in
+  check_bool "finite" true (Float.is_finite cost);
+  Alcotest.(check (slist string String.compare))
+    "permutation"
+    (List.map Atom.to_string body)
+    (List.map Atom.to_string order)
+
+let test_estimated_plan_quality () =
+  (* the estimated-optimal order, costed against TRUE sizes, can never
+     beat the true optimum, and on uniform data should be close *)
+  let db = uniform_db ~tuples:80 ~domain:10 [ "p"; "r"; "s" ] in
+  let catalog = Estimate.analyze db in
+  let body = (q "q(X, W) :- p(X, Y), r(Y, Z), s(Z, W).").Query.body in
+  let est_order, _ = Estimate.optimal catalog body in
+  let _, true_optimal = M2.optimal db body in
+  let realized = M2.cost_of_order db est_order in
+  check_bool "never beats the true optimum" true (realized >= true_optimal);
+  check_bool "within 2x on uniform data" true
+    (float_of_int realized <= 2. *. float_of_int true_optimal)
+
+let suite =
+  [
+    ("full-scan cardinality exact", `Quick, test_atom_cardinality_base);
+    ("constant selection 1/V rule", `Quick, test_constant_selection_estimate);
+    ("missing relation", `Quick, test_missing_relation);
+    ("repeated variable shrinks", `Quick, test_repeated_var_shrinks);
+    ("order cost sane", `Quick, test_order_cost_positive_and_sensitive);
+    ("estimated optimal is a permutation", `Quick, test_estimated_optimal_is_a_permutation);
+    ("estimated plan quality", `Quick, test_estimated_plan_quality);
+  ]

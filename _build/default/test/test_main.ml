@@ -1,0 +1,21 @@
+let () =
+  Alcotest.run "vplan"
+    [
+      ("cq", Test_cq.suite);
+      ("containment", Test_containment.suite);
+      ("relational", Test_relational.suite);
+      ("views", Test_views.suite);
+      ("rewrite", Test_rewrite.suite);
+      ("edge-cases", Test_edge_cases.suite);
+      ("cost", Test_cost.suite);
+      ("estimate", Test_estimate.suite);
+      ("m3", Test_m3.suite);
+      ("baselines", Test_baselines.suite);
+      ("ucq", Test_ucq.suite);
+      ("builtins", Test_builtins.suite);
+      ("datalog", Test_datalog.suite);
+      ("inverse-rules", Test_inverse_rules.suite);
+      ("planner", Test_planner.suite);
+      ("workload", Test_workload.suite);
+      ("properties", Test_properties.suite);
+    ]
