@@ -46,12 +46,53 @@ let full =
     queries_per_point = 40;
   }
 
+(* CoreCover performance knobs, settable from the command line; every
+   combination produces the same rewritings. *)
+let opt_domains = ref 1
+let opt_indexed = ref true
+let opt_buckets = ref true
+
+let corecover_gmrs ~query ~views () =
+  Corecover.gmrs ~indexed:!opt_indexed ~buckets:!opt_buckets ~domains:!opt_domains ~query
+    ~views ()
+
+(* Rows of the timing figures, collected for [--out FILE.json]. *)
+type json_row = {
+  experiment : string;
+  row_views : int;
+  row_queries : int;
+  avg_ms : float;
+  min_ms : float;
+  max_ms : float;
+  avg_gmrs : float;
+}
+
+let json_rows : json_row list ref = ref []
+
+let write_json ~mode oc =
+  Printf.fprintf oc "{\n";
+  Printf.fprintf oc "  \"mode\": %S,\n" mode;
+  Printf.fprintf oc "  \"domains\": %d,\n" !opt_domains;
+  Printf.fprintf oc "  \"indexed\": %b,\n" !opt_indexed;
+  Printf.fprintf oc "  \"buckets\": %b,\n" !opt_buckets;
+  Printf.fprintf oc "  \"rows\": [";
+  List.iteri
+    (fun i r ->
+      Printf.fprintf oc "%s\n    { \"experiment\": %S, \"views\": %d, \"queries\": %d,"
+        (if i = 0 then "" else ",")
+        r.experiment r.row_views r.row_queries;
+      Printf.fprintf oc " \"avg_ms\": %.3f, \"min_ms\": %.3f, \"max_ms\": %.3f, \"gmrs\": %.1f }"
+        r.avg_ms r.min_ms r.max_ms r.avg_gmrs)
+    (List.rev !json_rows);
+  Printf.fprintf oc "\n  ]\n}\n";
+  close_out oc
+
 let header title = Format.printf "@.== %s ==@." title
 
 (* ------------------------------------------------------------------ *)
 (* Figures 6 and 8: time for CoreCover to generate all GMRs.           *)
 
-let time_figure ~shape ~nondistinguished ~settings ~title =
+let time_figure ~name ~shape ~nondistinguished ~settings ~title =
   header title;
   Format.printf "%8s %12s %12s %12s %8s@." "views" "avg-ms" "min-ms" "max-ms" "GMRs";
   List.iter
@@ -74,7 +115,7 @@ let time_figure ~shape ~nondistinguished ~settings ~title =
         | inst ->
             let result, ms =
               time_ms (fun () ->
-                  Corecover.gmrs ~query:inst.Generator.query ~views:inst.views ())
+                  corecover_gmrs ~query:inst.Generator.query ~views:inst.views ())
             in
             times := ms :: !times;
             gmrs := !gmrs + List.length result.rewritings
@@ -86,6 +127,17 @@ let time_figure ~shape ~nondistinguished ~settings ~title =
           let avg = List.fold_left ( +. ) 0. times /. float_of_int n in
           let min_t = List.fold_left min infinity times in
           let max_t = List.fold_left max neg_infinity times in
+          json_rows :=
+            {
+              experiment = name;
+              row_views = num_views;
+              row_queries = n;
+              avg_ms = avg;
+              min_ms = min_t;
+              max_ms = max_t;
+              avg_gmrs = float_of_int !gmrs /. float_of_int n;
+            }
+            :: !json_rows;
           Format.printf "%8d %12.1f %12.1f %12.1f %8.1f@." num_views avg min_t max_t
             (float_of_int !gmrs /. float_of_int n))
     settings.view_counts
@@ -108,7 +160,7 @@ let classes_figure ~shape ~settings ~title =
          to the (nearly constant) representatives; [stats.num_view_tuples]
          counts tuples of the representative views only. *)
       let all_tuples =
-        View_tuple.compute ~query:r.minimized_query ~views:inst.views
+        View_tuple.compute ~query:r.minimized_query inst.views
       in
       Format.printf "%8d %8d %14d %12d %14d@." num_views r.stats.num_view_classes
         r.stats.num_view_tuples r.stats.num_representative_tuples
@@ -483,7 +535,7 @@ let micro () =
                ignore (Containment.equivalent carloc_q carloc_q)));
         Test.make ~name:"view-tuples-carloc"
           (Staged.stage (fun () ->
-               ignore (View_tuple.compute ~query:carloc_q ~views:carloc_v)));
+               ignore (View_tuple.compute ~query:carloc_q carloc_v)));
       ]
   in
   let instance = Toolkit.Instance.monotonic_clock in
@@ -507,11 +559,11 @@ let experiments settings =
     ("table2", fun () -> table2 ());
     ( "fig6a",
       fun () ->
-        time_figure ~shape:Generator.Star ~nondistinguished:0 ~settings
+        time_figure ~name:"fig6a" ~shape:Generator.Star ~nondistinguished:0 ~settings
           ~title:"Figure 6(a): star queries, all variables distinguished" );
     ( "fig6b",
       fun () ->
-        time_figure ~shape:Generator.Star ~nondistinguished:1 ~settings
+        time_figure ~name:"fig6b" ~shape:Generator.Star ~nondistinguished:1 ~settings
           ~title:"Figure 6(b): star queries, 1 variable nondistinguished" );
     ( "fig7",
       fun () ->
@@ -519,11 +571,11 @@ let experiments settings =
           ~title:"Figure 7: equivalence classes, star queries" );
     ( "fig8a",
       fun () ->
-        time_figure ~shape:Generator.Chain ~nondistinguished:0 ~settings
+        time_figure ~name:"fig8a" ~shape:Generator.Chain ~nondistinguished:0 ~settings
           ~title:"Figure 8(a): chain queries, all variables distinguished" );
     ( "fig8b",
       fun () ->
-        time_figure ~shape:Generator.Chain ~nondistinguished:1 ~settings
+        time_figure ~name:"fig8b" ~shape:Generator.Chain ~nondistinguished:1 ~settings
           ~title:"Figure 8(b): chain queries, 1 variable nondistinguished" );
     ( "fig9",
       fun () ->
@@ -540,23 +592,83 @@ let experiments settings =
     ("micro", fun () -> micro ());
   ]
 
+let usage () =
+  prerr_endline
+    "usage: main.exe [EXPERIMENT...] [--full] [--views N] [--domains N]\n\
+    \                [--no-index] [--no-buckets] [--out FILE.json]";
+  exit 2
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  let is_full = List.mem "--full" args in
-  let settings = if is_full then full else quick in
-  let wanted = List.filter (fun a -> not (String.length a >= 2 && String.sub a 0 2 = "--")) args in
+  let is_full = ref false in
+  let max_views = ref None in
+  let out_file = ref None in
+  let rec parse wanted = function
+    | [] -> List.rev wanted
+    | "--full" :: rest ->
+        is_full := true;
+        parse wanted rest
+    | "--no-index" :: rest ->
+        opt_indexed := false;
+        parse wanted rest
+    | "--no-buckets" :: rest ->
+        opt_buckets := false;
+        parse wanted rest
+    | "--domains" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some d when d >= 1 ->
+            opt_domains := d;
+            parse wanted rest
+        | _ -> usage ())
+    | "--views" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some v when v >= 1 ->
+            max_views := Some v;
+            parse wanted rest
+        | _ -> usage ())
+    | "--out" :: file :: rest ->
+        out_file := Some file;
+        parse wanted rest
+    | a :: _ when String.length a >= 2 && String.sub a 0 2 = "--" -> usage ()
+    | a :: rest -> parse (a :: wanted) rest
+  in
+  let wanted = parse [] args in
+  let settings =
+    let s = if !is_full then full else quick in
+    match !max_views with
+    | None -> s
+    | Some cap -> { s with view_counts = List.filter (fun n -> n <= cap) s.view_counts }
+  in
   let all = experiments settings in
   let to_run =
     match wanted with
     | [] | [ "all" ] -> List.map fst all
     | names -> names
   in
-  Format.printf "vplan benchmark harness (%s settings)@."
-    (if is_full then "paper-scale" else "quick");
+  let mode = if !is_full then "paper-scale" else "quick" in
+  (* open the output file before the experiments run, so a bad path fails
+     in seconds rather than after the full benchmark *)
+  let out =
+    match !out_file with
+    | None -> None
+    | Some path -> (
+        match open_out path with
+        | oc -> Some (path, oc)
+        | exception Sys_error msg ->
+            Printf.eprintf "cannot open --out file: %s\n" msg;
+            exit 1)
+  in
+  Format.printf "vplan benchmark harness (%s settings)@." mode;
   List.iter
     (fun name ->
       match List.assoc_opt name all with
       | Some run -> run ()
       | None -> Format.printf "unknown experiment %S (known: %s)@." name
                   (String.concat ", " (List.map fst all)))
-    to_run
+    to_run;
+  match out with
+  | None -> ()
+  | Some (path, oc) ->
+      write_json ~mode oc;
+      close_out oc;
+      Format.printf "@.wrote %d timing rows to %s@." (List.length !json_rows) path

@@ -39,13 +39,17 @@ let rewrite_cmd =
     Arg.(value & flag & info [ "no-group" ] ~doc:"Disable equivalence-class grouping of views.")
   in
   let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print view tuples and tuple-cores.") in
-  let run file all_minimal no_group verbose =
+  let domains =
+    Arg.(value & opt int 1 & info [ "domains" ] ~docv:"N"
+           ~doc:"Fan the per-view evaluation across $(docv) domains (same result for any value).")
+  in
+  let run file all_minimal no_group domains verbose =
     let query, rest = parse_program_file file in
     let views, _ = split_views_and_candidates query rest in
     let result =
       if all_minimal then
-        Vplan.Corecover.all_minimal ~group_views:(not no_group) ~query ~views ()
-      else Vplan.Corecover.gmrs ~group_views:(not no_group) ~query ~views ()
+        Vplan.Corecover.all_minimal ~group_views:(not no_group) ~domains ~query ~views ()
+      else Vplan.Corecover.gmrs ~group_views:(not no_group) ~domains ~query ~views ()
     in
     Format.printf "query (minimized): %a@." Vplan.Query.pp result.minimized_query;
     Format.printf "views: %d in %d equivalence classes@." result.stats.num_views
@@ -74,7 +78,7 @@ let rewrite_cmd =
   in
   Cmd.v
     (Cmd.info "rewrite" ~doc:"Generate rewritings of a query using views (CoreCover).")
-    Term.(const run $ file $ all_minimal $ no_group $ verbose)
+    Term.(const run $ file $ all_minimal $ no_group $ domains $ verbose)
 
 (* ------------------------------------------------------------------ *)
 (* plan                                                                *)

@@ -1,0 +1,39 @@
+(* A minimal Domain-based fork/join pool (OCaml 5 stdlib only).
+
+   Work is split into one contiguous chunk per worker before any domain is
+   spawned: there is no shared queue, no work stealing, and therefore no
+   scheduling nondeterminism.  Results are reassembled in chunk order, so
+   [map f xs] returns exactly [List.map f xs] for a pure [f], whatever the
+   worker count.  [f] must not rely on shared mutable state unless that
+   state is itself domain-safe. *)
+
+let recommended () = Domain.recommended_domain_count ()
+
+let chunk_bounds ~workers n =
+  (* worker [w] handles [fst bounds.(w) .. snd bounds.(w) - 1]; the first
+     [n mod workers] chunks take one extra element *)
+  let base = n / workers and extra = n mod workers in
+  Array.init workers (fun w ->
+      let start = (w * base) + min w extra in
+      let len = base + if w < extra then 1 else 0 in
+      (start, start + len))
+
+let map ?(domains = 1) f xs =
+  let n = List.length xs in
+  let workers = max 1 (min domains n) in
+  if workers = 1 then List.map f xs
+  else begin
+    let arr = Array.of_list xs in
+    let bounds = chunk_bounds ~workers n in
+    let run_chunk w =
+      let start, stop = bounds.(w) in
+      List.init (stop - start) (fun i -> f arr.(start + i))
+    in
+    (* spawn workers 1..n-1; the calling domain computes chunk 0 itself *)
+    let handles =
+      Array.init (workers - 1) (fun i -> Domain.spawn (fun () -> run_chunk (i + 1)))
+    in
+    let first = run_chunk 0 in
+    let rest = Array.to_list (Array.map Domain.join handles) in
+    List.concat (first :: rest)
+  end

@@ -1,0 +1,20 @@
+(** A minimal Domain-based fork/join pool (OCaml 5 stdlib, no dependencies).
+
+    The pool is {e work-stealing-free}: the input is split into one
+    contiguous chunk per worker up front and results are reassembled in
+    chunk order.  Consequently [map ~domains f xs = List.map f xs] for any
+    pure [f] and any worker count — parallelism never changes results,
+    only wall-clock time.  This is the determinism contract CoreCover
+    relies on when fanning per-view and per-tuple work out. *)
+
+(** [recommended ()] is [Domain.recommended_domain_count ()]: a sensible
+    upper bound for the [domains] argument on this machine. *)
+val recommended : unit -> int
+
+(** [map ~domains f xs] applies [f] to every element of [xs] using up to
+    [domains] domains (including the calling one) and returns the results
+    in input order.  [domains <= 1] (the default) runs sequentially with
+    no domain spawned.  If [f] raises in any chunk, the exception is
+    re-raised after the calling domain's own chunk completes; remaining
+    domains finish their chunks before being discarded. *)
+val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list

@@ -32,7 +32,11 @@ module Prng = Vplan_relational.Prng
 module Relation = Vplan_relational.Relation
 module Database = Vplan_relational.Database
 module Eval = Vplan_relational.Eval
+module Indexed_db = Vplan_relational.Indexed_db
 module Datagen = Vplan_relational.Datagen
+
+(* domain-based fan-out *)
+module Parallel = Vplan_parallel.Parallel
 
 (* view machinery *)
 module View = Vplan_views.View

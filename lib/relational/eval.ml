@@ -41,8 +41,51 @@ end)
 let dedup envs = Env_set.elements (Env_set.of_list envs)
 let extend db envs atom = dedup (List.concat_map (fun e -> match_atom db e atom) envs)
 
+(* Selectivity-ordered scheduling: repeatedly pick the atom with the most
+   bound arguments (constants, or variables bound by an already-scheduled
+   atom), tie-breaking on smaller relation, then on original position.  A
+   static greedy order — reordering a join never changes the resulting
+   environment set, only the intermediate sizes. *)
+let schedule db atoms =
+  let relation_card (a : Atom.t) =
+    match Database.find a.pred db with Some r -> Relation.cardinality r | None -> 0
+  in
+  let rec pick bound acc = function
+    | [] -> List.rev acc
+    | remaining ->
+        let score (i, (a : Atom.t)) =
+          let b =
+            List.length
+              (List.filter
+                 (function
+                   | Term.Cst _ -> true
+                   | Term.Var x -> Names.Sset.mem x bound)
+                 a.args)
+          in
+          (-b, relation_card a, i)
+        in
+        let best =
+          List.fold_left
+            (fun best cand -> if score cand < score best then cand else best)
+            (List.hd remaining) (List.tl remaining)
+        in
+        let bound = Names.Sset.union bound (Atom.var_set (snd best)) in
+        pick bound (snd best :: acc)
+          (List.filter (fun (i, _) -> i <> fst best) remaining)
+  in
+  pick Names.Sset.empty [] (List.mapi (fun i a -> (i, a)) atoms)
+
+(* Starting from the single empty environment, every environment alive
+   after k join steps binds exactly the variables of the k processed
+   atoms, and an environment together with an atom's pattern determines
+   the matched tuple — so no two environments can collapse into one and
+   the per-step dedup of [extend] would be a no-op.  Deduplication is
+   therefore deferred to projection time (callers build sets from the
+   result). *)
 let satisfying_envs db atoms =
-  List.fold_left (fun envs atom -> extend db envs atom) [ empty_env ] atoms
+  List.fold_left
+    (fun envs atom -> List.concat_map (fun e -> match_atom db e atom) envs)
+    [ empty_env ] (schedule db atoms)
 
 let project ~onto envs =
   dedup (List.map (fun env -> Names.Smap.filter (fun x _ -> Names.Sset.mem x onto) env) envs)

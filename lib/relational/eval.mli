@@ -25,8 +25,14 @@ val match_atom : Database.t -> env -> Atom.t -> env list
     [List.concat_map (fun e -> match_atom db e atom) envs], deduplicated. *)
 val extend : Database.t -> env list -> Atom.t -> env list
 
-(** [satisfying_envs db atoms] joins all atoms in order, starting from the
-    empty environment. *)
+(** [satisfying_envs db atoms] joins all atoms, starting from the empty
+    environment.  Atoms are scheduled selectivity-first (most bound
+    arguments, then smallest relation) — reordering never changes the
+    resulting environment set — and deduplication is deferred to
+    projection time: starting from the single empty environment no two
+    intermediate environments can be equal, so the result is
+    duplicate-free by construction.  The order of the returned list is
+    unspecified. *)
 val satisfying_envs : Database.t -> Atom.t list -> env list
 
 (** [project ~onto envs] deduplicates environments restricted to the

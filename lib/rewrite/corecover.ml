@@ -1,6 +1,7 @@
 open Vplan_cq
 open Vplan_views
 module Minimize = Vplan_containment.Minimize
+module Parallel = Vplan_parallel.Parallel
 
 type stats = {
   num_views : int;
@@ -24,16 +25,29 @@ type result = {
    canonical database, compute tuple-cores, group views into equivalence
    classes and view tuples into same-core classes, and keep one
    representative (view tuple, core) pair per class. *)
-let prepare ~group_views ~query ~views =
+let prepare ~group_views ~indexed ~buckets ~domains ~query ~views =
   let qm = Minimize.minimize query in
+  (* Subgoal sets are bitmasks in a native int ([Tuple_core.mask], the
+     cover universe): more subgoals than bits would overflow silently. *)
+  if List.length qm.Query.body > Sys.int_size - 1 then
+    invalid_arg
+      (Printf.sprintf "Corecover: query has %d subgoals after minimization; at most %d supported"
+         (List.length qm.Query.body) (Sys.int_size - 1));
   let view_classes =
-    if group_views then Equiv_class.group_views views else List.map (fun v -> [ v ]) views
+    if group_views then Equiv_class.group_views ~buckets views
+    else List.map (fun v -> [ v ]) views
   in
   let representative_views = Equiv_class.representatives view_classes in
-  let view_tuples = View_tuple.compute ~query:qm ~views:representative_views in
-  let with_cores = List.map (fun tv -> (tv, Tuple_core.compute ~query:qm tv)) view_tuples in
+  let engine = if indexed then `Indexed else `Nested_loop in
+  let view_tuples = View_tuple.compute ~engine ~domains ~query:qm representative_views in
+  let with_cores =
+    Parallel.map ~domains (fun tv -> (tv, Tuple_core.compute ~query:qm tv)) view_tuples
+  in
   let tuple_classes =
-    Equiv_class.group ~eq:(fun (_, c1) (_, c2) -> Tuple_core.same_cover c1 c2) with_cores
+    (* [same_cover] is mask equality, so hash-bucketing by mask gives the
+       same classes in one probe per tuple instead of a pairwise scan *)
+    if buckets then Equiv_class.group_by ~key:(fun (_, c) -> c.Tuple_core.mask) with_cores
+    else Equiv_class.group ~eq:(fun (_, c1) (_, c2) -> Tuple_core.same_cover c1 c2) with_cores
   in
   let reps = Equiv_class.representatives tuple_classes in
   (qm, view_classes, view_tuples, tuple_classes, reps)
@@ -41,9 +55,9 @@ let prepare ~group_views ~query ~views =
 let build_rewriting (qm : Query.t) (chosen : View_tuple.t list) =
   Query.make_exn qm.head (List.map (fun tv -> tv.View_tuple.atom) chosen)
 
-let run ~group_views ~verify ~query ~views ~covers_of =
+let run ~group_views ~indexed ~buckets ~domains ~verify ~query ~views ~covers_of =
   let qm, view_classes, view_tuples, tuple_classes, reps =
-    prepare ~group_views ~query ~views
+    prepare ~group_views ~indexed ~buckets ~domains ~query ~views
   in
   let nonempty =
     List.filter (fun (_, core) -> not (Tuple_core.is_empty core)) reps
@@ -84,16 +98,20 @@ let run ~group_views ~verify ~query ~views ~covers_of =
       };
   }
 
-let gmrs ?(group_views = true) ?(verify = false) ~query ~views () =
-  run ~group_views ~verify ~query ~views ~covers_of:(fun ~universe sets ->
-      Set_cover.minimum_covers ~universe sets)
+let gmrs ?(group_views = true) ?(indexed = true) ?(buckets = true) ?(domains = 1)
+    ?(verify = false) ~query ~views () =
+  run ~group_views ~indexed ~buckets ~domains ~verify ~query ~views
+    ~covers_of:(fun ~universe sets -> Set_cover.minimum_covers ~universe sets)
 
-let all_minimal ?(group_views = true) ?(verify = false) ?(max_results = 10_000) ~query ~views () =
-  run ~group_views ~verify ~query ~views ~covers_of:(fun ~universe sets ->
-      Set_cover.irredundant_covers ~max_results ~universe sets)
+let all_minimal ?(group_views = true) ?(indexed = true) ?(buckets = true) ?(domains = 1)
+    ?(verify = false) ?(max_results = 10_000) ~query ~views () =
+  run ~group_views ~indexed ~buckets ~domains ~verify ~query ~views
+    ~covers_of:(fun ~universe sets -> Set_cover.irredundant_covers ~max_results ~universe sets)
 
 let has_rewriting ~query ~views =
-  let qm, _, _, _, reps = prepare ~group_views:true ~query ~views in
+  let qm, _, _, _, reps =
+    prepare ~group_views:true ~indexed:true ~buckets:true ~domains:1 ~query ~views
+  in
   let universe = (1 lsl List.length qm.Query.body) - 1 in
   let union = List.fold_left (fun acc (_, core) -> acc lor core.Tuple_core.mask) 0 reps in
   union land universe = universe

@@ -47,17 +47,42 @@ type result = {
     equivalence-class representative choice).
 
     [group_views] (default [true]) groups equivalent views first.
+    [indexed] (default [true]) evaluates views over the canonical database
+    with the hash-indexed engine ({!Vplan_relational.Indexed_db}) instead
+    of the plain nested-loop join.
+    [buckets] (default [true]) buckets views by canonical signature before
+    the pairwise equivalence checks and view tuples by core bitmask.
+    [domains] (default 1) fans the per-view evaluation and per-tuple core
+    computation across that many domains.
+    All four toggles are pure performance knobs: every combination returns
+    the same [result].
     [verify] (default [false]) double-checks every produced rewriting with
     the expansion-equivalence test and raises [Failure] on a counterexample
-    — used by the test suite. *)
-val gmrs : ?group_views:bool -> ?verify:bool -> query:Query.t -> views:View.t list -> unit -> result
+    — used by the test suite.
+
+    @raise Invalid_argument if the minimized query has more subgoals than
+    fit in a native-int bitmask ([Sys.int_size - 1], i.e. 62 on 64-bit). *)
+val gmrs :
+  ?group_views:bool ->
+  ?indexed:bool ->
+  ?buckets:bool ->
+  ?domains:int ->
+  ?verify:bool ->
+  query:Query.t ->
+  views:View.t list ->
+  unit ->
+  result
 
 (** [all_minimal ~query ~views ()] runs CoreCover{^ *}: every irredundant
     cover yields a minimal rewriting; [max_results] bounds the enumeration
     (default 10_000).  The [filters] field lists the empty-core view tuples
-    an optimizer may append as filtering subgoals under M2. *)
+    an optimizer may append as filtering subgoals under M2.  Performance
+    toggles and the subgoal-count guard are as in {!gmrs}. *)
 val all_minimal :
   ?group_views:bool ->
+  ?indexed:bool ->
+  ?buckets:bool ->
+  ?domains:int ->
   ?verify:bool ->
   ?max_results:int ->
   query:Query.t ->
@@ -67,5 +92,7 @@ val all_minimal :
 
 (** [has_rewriting ~query ~views] decides existence of an equivalent
     rewriting (the union of all tuple-cores must cover the query subgoals —
-    Theorem 4.1). *)
+    Theorem 4.1).
+
+    @raise Invalid_argument on over-wide queries, as in {!gmrs}. *)
 val has_rewriting : query:Query.t -> views:View.t list -> bool

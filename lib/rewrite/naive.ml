@@ -16,7 +16,7 @@ let candidate_rewriting (qm : Query.t) tuples =
 
 let rewritings_of_size ~query ~views k =
   let qm = Minimize.minimize query in
-  let tuples = View_tuple.compute ~query:qm ~views in
+  let tuples = View_tuple.compute ~query:qm views in
   combinations k tuples
   |> List.filter_map (candidate_rewriting qm)
   |> List.filter (Expansion.is_equivalent_rewriting ~views ~query)

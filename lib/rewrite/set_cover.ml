@@ -15,35 +15,68 @@ let lowest_uncovered ~universe covered =
     let rec find bit = if remaining land (1 lsl bit) <> 0 then bit else find (bit + 1) in
     Some (find 0)
 
-module Cover_set = Set.Make (struct
-  type t = int list
-
-  let compare = List.compare Int.compare
-end)
-
 (* Enumerate covers by always branching on the lowest uncovered subgoal.
    Every irredundant cover admits an ordering in which each chosen set
    covers the then-lowest uncovered subgoal, so this enumeration reaches
-   all of them; results are deduplicated as sorted index lists. *)
+   all of them.
+
+   Each chosen set "claims" the bit it was chosen for.  To generate every
+   cover exactly once (rather than once per claim assignment, deduplicated
+   afterwards), only canonical claim assignments are explored: the
+   claimant of a bit must be the smallest-index member of the final cover
+   containing that bit.  Concretely, candidate [i] is rejected when some
+   earlier claim [(b, s)] has [i] containing [b] with [i < s] — in any
+   completion, [s] would not be [b]'s smallest-index claimant.  The
+   canonical assignment itself always survives this test, so exactly one
+   search path reaches each cover. *)
 let enumerate ~universe sets ~size_bound ~keep ~max_results =
   let n = Array.length sets in
-  let results = ref Cover_set.empty in
-  let rec go chosen covered depth =
-    if Cover_set.cardinal !results >= max_results then ()
+  let nbits =
+    let rec go b = if universe lsr b = 0 then b else go (b + 1) in
+    go 0
+  in
+  (* candidates.(b): indices of sets containing bit b, ascending — the
+     branching loop touches only sets that can claim the bit. *)
+  let candidates = Array.make (max nbits 1) [] in
+  for i = n - 1 downto 0 do
+    let s = sets.(i) land universe in
+    if s <> 0 then
+      for b = 0 to nbits - 1 do
+        if s land (1 lsl b) <> 0 then candidates.(b) <- i :: candidates.(b)
+      done
+  done;
+  let results = ref [] in
+  let count = ref 0 in
+  let rec go chosen covered depth claims =
+    if !count >= max_results then ()
     else
       match lowest_uncovered ~universe covered with
       | None ->
           let cover = List.sort Int.compare chosen in
-          if keep cover then results := Cover_set.add cover !results
+          if keep cover then begin
+            results := cover :: !results;
+            incr count
+          end
       | Some bit ->
           if depth < size_bound then
-            for i = 0 to n - 1 do
-              if sets.(i) land (1 lsl bit) <> 0 && not (List.mem i chosen) then
-                go (i :: chosen) (covered lor sets.(i)) (depth + 1)
-            done
+            List.iter
+              (fun i ->
+                let canonical =
+                  List.for_all
+                    (fun (b_mask, s) -> sets.(i) land b_mask = 0 || i > s)
+                    claims
+                in
+                if canonical then
+                  go (i :: chosen)
+                    (covered lor sets.(i))
+                    (depth + 1)
+                    ((1 lsl bit, i) :: claims))
+              candidates.(bit)
   in
-  go [] 0 0;
-  Cover_set.elements !results
+  go [] 0 0 [];
+  (* DFS emission follows claim order, not index order; sort to present
+     covers in lexicographic order of their sorted index lists. *)
+  List.sort (List.compare Int.compare) !results
 
 let minimum_covers ~universe sets =
   if universe = 0 then [ [] ]

@@ -7,7 +7,7 @@ let relevant_views ~query ~views =
   let qm = Minimize.minimize query in
   List.filter
     (fun view ->
-      View_tuple.compute ~query:qm ~views:[ view ]
+      View_tuple.compute ~query:qm [ view ]
       |> List.exists (fun tv ->
              not (Tuple_core.is_empty (Tuple_core.compute ~query:qm tv))))
     views

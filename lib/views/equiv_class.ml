@@ -1,4 +1,6 @@
 open Vplan_cq
+module Containment = Vplan_containment.Containment
+module Minimize = Vplan_containment.Minimize
 
 let group ~eq xs =
   (* Classes are kept in reverse insertion order internally; each class
@@ -19,6 +21,23 @@ let group ~eq xs =
   in
   List.map List.rev classes
 
+let group_by ~key xs =
+  (* [group ~eq:(fun a b -> key a = key b)] in one hash probe per element:
+     same classes, same first-occurrence class order, same member order. *)
+  let table = Hashtbl.create 64 in
+  let order = ref [] in
+  List.iter
+    (fun x ->
+      let k = key x in
+      match Hashtbl.find_opt table k with
+      | Some members -> members := x :: !members
+      | None ->
+          let members = ref [ x ] in
+          Hashtbl.add table k members;
+          order := members :: !order)
+    xs;
+  List.rev_map (fun members -> List.rev !members) !order
+
 let representatives groups = List.filter_map (function x :: _ -> Some x | [] -> None) groups
 
 (* Views have distinct head predicates, so plain query equivalence would
@@ -26,8 +45,108 @@ let representatives groups = List.filter_map (function x :: _ -> Some x | [] -> 
 let erase_head_pred (v : Query.t) =
   Query.make_exn (Atom.make "__view" v.head.Atom.args) v.body
 
-let group_views views =
-  group
-    ~eq:(fun v1 v2 ->
-      Vplan_containment.Containment.equivalent (erase_head_pred v1) (erase_head_pred v2))
-    views
+(* ------------------------------------------------------------------ *)
+(* Signature fingerprints                                              *)
+
+(* A cheap canonical fingerprint, invariant under variable renaming, such
+   that equal signatures are NECESSARY for view equivalence: equivalent
+   queries have isomorphic minimized queries (cores are unique up to
+   renaming), and the fingerprint is a function of the minimized query
+   that no renaming can change.  Views are bucketed by signature and the
+   expensive pairwise homomorphism checks run only within a bucket. *)
+let signature (v : Query.t) =
+  let v = Minimize.minimize (erase_head_pred v) in
+  let buf = Buffer.create 128 in
+  (* head pattern: constants verbatim, variables by first occurrence *)
+  let head_args = v.head.Atom.args in
+  let first_occurrence x =
+    let rec find i = function
+      | [] -> assert false
+      | Term.Var y :: _ when String.equal x y -> i
+      | _ :: rest -> find (i + 1) rest
+    in
+    find 0 head_args
+  in
+  Buffer.add_string buf "h:";
+  List.iter
+    (fun arg ->
+      match arg with
+      | Term.Cst c -> Buffer.add_string buf ("c" ^ Term.const_to_string c ^ ";")
+      | Term.Var x -> Buffer.add_string buf ("v" ^ string_of_int (first_occurrence x) ^ ";"))
+    head_args;
+  (* body predicate/arity multiset *)
+  let preds =
+    List.map (fun (a : Atom.t) -> a.pred ^ "/" ^ string_of_int (Atom.arity a)) v.body
+    |> List.sort String.compare
+  in
+  Buffer.add_string buf "|b:";
+  List.iter (fun p -> Buffer.add_string buf (p ^ ";")) preds;
+  (* per-variable join-degree profile: for each variable, its head
+     positions and its (predicate, argument position) body occurrences
+     with multiplicity; the multiset of profiles, sorted *)
+  let occurrences = Hashtbl.create 16 in
+  let record x entry =
+    let existing = match Hashtbl.find_opt occurrences x with Some l -> l | None -> [] in
+    Hashtbl.replace occurrences x (entry :: existing)
+  in
+  List.iteri
+    (fun pos arg ->
+      match arg with Term.Var x -> record x ("H" ^ string_of_int pos) | Term.Cst _ -> ())
+    head_args;
+  List.iter
+    (fun (a : Atom.t) ->
+      List.iteri
+        (fun pos arg ->
+          match arg with
+          | Term.Var x -> record x (a.pred ^ "." ^ string_of_int pos)
+          | Term.Cst _ -> ())
+        a.args)
+    v.body;
+  let profiles =
+    Hashtbl.fold
+      (fun _ entries acc -> String.concat "," (List.sort String.compare entries) :: acc)
+      occurrences []
+    |> List.sort String.compare
+  in
+  Buffer.add_string buf "|v:";
+  List.iter (fun p -> Buffer.add_string buf (p ^ ";")) profiles;
+  Buffer.contents buf
+
+let view_equivalent v1 v2 =
+  Containment.equivalent (erase_head_pred v1) (erase_head_pred v2)
+
+let group_views ?(buckets = true) views =
+  if not buckets then group ~eq:view_equivalent views
+  else begin
+    (* Bucket views by signature; compare only against representatives of
+       classes in the same bucket.  Since equal signatures are necessary
+       for equivalence, the skipped cross-bucket comparisons would all
+       have failed: classes, class order and member order are identical to
+       the unbucketed [group]. *)
+    let table : (string, (Query.t * Query.t list ref) list ref) Hashtbl.t =
+      Hashtbl.create 64
+    in
+    let order = ref [] in
+    List.iter
+      (fun v ->
+        let s = signature v in
+        let bucket =
+          match Hashtbl.find_opt table s with
+          | Some b -> b
+          | None ->
+              let b = ref [] in
+              Hashtbl.add table s b;
+              b
+        in
+        let rec find = function
+          | [] ->
+              let cell = (v, ref [ v ]) in
+              bucket := !bucket @ [ cell ];
+              order := cell :: !order
+          | (rep, members) :: rest ->
+              if view_equivalent rep v then members := v :: !members else find rest
+        in
+        find !bucket)
+      views;
+    List.rev_map (fun (_, members) -> List.rev !members) !order
+  end

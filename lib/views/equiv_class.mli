@@ -6,16 +6,41 @@
     running CoreCover on one representative per class.  The number of
     representative view tuples is then bounded by the number of query
     subgoals, independent of the number of views — the key to the
-    scalability results of Section 7 (Figures 7 and 9). *)
+    scalability results of Section 7 (Figures 7 and 9).
+
+    Naively the view grouping performs a pairwise NP-hard equivalence
+    check per (view, class) pair.  {!group_views} instead buckets views by
+    a cheap canonical {!signature} that is invariant under variable
+    renaming and {e necessary} for equivalence, so the homomorphism
+    searches only run within a bucket — near-linear on the paper's
+    star/chain workloads while producing exactly the same classes. *)
+
+open Vplan_cq
 
 (** [group ~eq xs] partitions [xs] into classes of the (assumed
     transitive) relation [eq], preserving first-occurrence order of class
     representatives.  Quadratic in the number of classes. *)
 val group : eq:('a -> 'a -> bool) -> 'a list -> 'a list list
 
+(** [group_by ~key xs] is [group ~eq:(fun a b -> key a = key b)] computed
+    with one hash probe per element: same classes, same order.  Used to
+    bucket view tuples by their tuple-core bitmask. *)
+val group_by : key:('a -> int) -> 'a list -> 'a list list
+
 (** [representatives groups] takes the first member of each class. *)
 val representatives : 'a list list -> 'a list
 
+(** [signature v] is a canonical fingerprint of the view: the sorted
+    predicate/arity multiset, head-argument pattern and per-variable
+    join-degree profile of the {e minimized} view body.  Equivalent views
+    have isomorphic minimized queries (cores are unique up to renaming),
+    and the fingerprint never mentions variable names, so equal signatures
+    are necessary for equivalence — bucketing by signature is a sound
+    partition refinement. *)
+val signature : Query.t -> string
+
 (** [group_views views] groups views equivalent as queries (ignoring their
-    distinct head predicate names: [v1 ≡ v5] in the car-loc-part example). *)
-val group_views : View.t list -> View.t list list
+    distinct head predicate names: [v1 ≡ v5] in the car-loc-part example).
+    [buckets] (default [true]) enables signature bucketing; the resulting
+    classes are identical either way. *)
+val group_views : ?buckets:bool -> View.t list -> View.t list list

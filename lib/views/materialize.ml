@@ -1,8 +1,11 @@
 open Vplan_relational
 
 let views base vs =
+  (* one interned image of the base: every view evaluation shares the
+     lazily built per-(predicate, bound positions) indexes *)
+  let idb = Indexed_db.of_database base in
   List.fold_left
-    (fun db view -> Database.add_relation (View.name view) (Eval.answers base view) db)
+    (fun db view -> Database.add_relation (View.name view) (Indexed_db.answers idb view) db)
     Database.empty vs
 
 let answers_via_rewriting view_db p = Eval.answers view_db p

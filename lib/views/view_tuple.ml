@@ -10,19 +10,29 @@ let equal t1 t2 = Atom.equal t1.atom t2.atom
 let compare t1 t2 = Atom.compare t1.atom t2.atom
 let pp ppf t = Atom.pp ppf t.atom
 
-let compute ~query ~views =
+let compute ?(engine = `Indexed) ?(domains = 1) ~query views =
   let canonical = Canonical.freeze query in
   let db = Canonical.database canonical in
-  List.concat_map
-    (fun view ->
-      let result = Eval.answers db view in
-      Relation.fold
-        (fun tuple acc ->
-          let args = Canonical.thaw_tuple canonical tuple in
-          { atom = Atom.make (View.name view) args; view } :: acc)
-        result []
-      |> List.rev)
-    views
+  let answers =
+    match engine with
+    | `Nested_loop -> Eval.answers db
+    | `Indexed ->
+        (* one interned database for all views: each (predicate, bound
+           positions) index is built once; index construction is
+           mutex-guarded, so the parallel fan-out can share it *)
+        let idb = Indexed_db.of_database db in
+        Indexed_db.answers idb
+  in
+  let tuples_of_view view =
+    let result = answers view in
+    Relation.fold
+      (fun tuple acc ->
+        let args = Canonical.thaw_tuple canonical tuple in
+        { atom = Atom.make (View.name view) args; view } :: acc)
+      result []
+    |> List.rev
+  in
+  List.concat (Vplan_parallel.Parallel.map ~domains tuples_of_view views)
 
 let expansion ~avoid tv =
   let avoid = Names.Sset.union avoid (Atom.var_set tv.atom) in

@@ -18,9 +18,24 @@ val equal : t -> t -> bool
 val compare : t -> t -> int
 val pp : Format.formatter -> t -> unit
 
-(** [compute ~query ~views] computes [T(Q,V)].  The query should normally
-    be minimized first (CoreCover step 1). *)
-val compute : query:Query.t -> views:View.t list -> t list
+(** [compute ~query views] computes [T(Q,V)].  The query should normally
+    be minimized first (CoreCover step 1).
+
+    [engine] selects the evaluation engine applied to the canonical
+    database: [`Indexed] (default) interns it once and probes lazily built
+    hash indexes ({!Vplan_relational.Indexed_db}); [`Nested_loop] is the
+    plain backtracking join of {!Vplan_relational.Eval}.  Both produce the
+    same tuples in the same order.
+
+    [domains] (default 1) fans the per-view evaluation out across that
+    many domains ({!Vplan_parallel.Parallel.map}); the result is
+    independent of the worker count. *)
+val compute :
+  ?engine:[ `Indexed | `Nested_loop ] ->
+  ?domains:int ->
+  query:Query.t ->
+  View.t list ->
+  t list
 
 (** [expansion ~avoid tv] is the expansion [t{_v}{^exp}] of the view tuple:
     the view's body with head variables bound to the tuple's arguments and

@@ -1,0 +1,32 @@
+The benchmark harness writes its timing rows as JSON with --out.  Timings
+vary run to run, so every float is normalized before snapshotting; the
+integer columns (views, queries) are seed-deterministic.
+
+  $ vplan_bench fig6a --views 50 --out bench.json | sed -E 's/[0-9]+\.[0-9]+/NUM/g'
+  vplan benchmark harness (quick settings)
+  
+  == Figure 6(a): star queries, all variables distinguished ==
+     views       avg-ms       min-ms       max-ms     GMRs
+        10          NUM          NUM          NUM      NUM
+        50          NUM          NUM          NUM     NUM
+  
+  wrote 2 timing rows to bench.json
+
+  $ sed -E 's/[0-9]+\.[0-9]+/NUM/g' bench.json
+  {
+    "mode": "quick",
+    "domains": 1,
+    "indexed": true,
+    "buckets": true,
+    "rows": [
+      { "experiment": "fig6a", "views": 10, "queries": 3, "avg_ms": NUM, "min_ms": NUM, "max_ms": NUM, "gmrs": NUM },
+      { "experiment": "fig6a", "views": 50, "queries": 3, "avg_ms": NUM, "min_ms": NUM, "max_ms": NUM, "gmrs": NUM }
+    ]
+  }
+
+The perf toggles are accepted and leave the result columns unchanged:
+
+  $ vplan_bench fig6a --views 10 --no-index --no-buckets --domains 2 --out bench2.json | sed -E 's/[0-9]+\.[0-9]+/NUM/g' | tail -3
+        10          NUM          NUM          NUM      NUM
+  
+  wrote 1 timing rows to bench2.json

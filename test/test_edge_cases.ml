@@ -97,7 +97,7 @@ let test_same_view_multiple_tuples () =
   (* one view definition can yield several view tuples on one query *)
   let query = q "q(X, Y, Z) :- p(X, Y), p(Y, Z)." in
   let views = qs [ "v(A, B) :- p(A, B)." ] in
-  let tuples = View_tuple.compute ~query:(Minimize.minimize query) ~views in
+  let tuples = View_tuple.compute ~query:(Minimize.minimize query) views in
   check_int "two view tuples" 2 (List.length tuples)
 
 let test_unsatisfiable_rewriting_candidate () =
@@ -126,6 +126,26 @@ let test_wide_relation () =
   let r = closed_world_check ~query ~views ~base in
   check_bool "wide relation rewrites" true (r.rewritings <> [])
 
+let test_too_many_subgoals () =
+  (* tuple-core bitmasks live in a native int: queries wider than that must
+     be rejected up front instead of overflowing [1 lsl n] silently *)
+  let n = Sys.int_size in
+  let body =
+    String.concat ", " (List.init n (fun i -> Printf.sprintf "p%d(X%d, X%d)" i i (i + 1)))
+  in
+  let head_vars = String.concat ", " (List.init (n + 1) (fun i -> Printf.sprintf "X%d" i)) in
+  let query = q (Printf.sprintf "q(%s) :- %s." head_vars body) in
+  let views = qs [ "v(A, B) :- p0(A, B)." ] in
+  let raises f =
+    match f () with
+    | exception Invalid_argument _ -> true
+    | _ -> false
+  in
+  check_bool "gmrs rejects over-wide query" true (raises (fun () ->
+      Corecover.gmrs ~query ~views ()));
+  check_bool "has_rewriting rejects over-wide query" true (raises (fun () ->
+      Corecover.has_rewriting ~query ~views))
+
 let suite =
   [
     ("boolean query", `Quick, test_boolean_query);
@@ -140,4 +160,5 @@ let suite =
     ("unsatisfiable candidate", `Quick, test_unsatisfiable_rewriting_candidate);
     ("repeated head variable in query", `Quick, test_head_var_repeated_in_query);
     ("wide relation", `Quick, test_wide_relation);
+    ("too many subgoals", `Quick, test_too_many_subgoals);
   ]

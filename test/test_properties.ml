@@ -89,7 +89,7 @@ let tuple_core_unique =
       let query = Minimize.minimize query in
       List.for_all
         (fun tv -> List.length (Tuple_core.compute_all_maximal ~query tv) = 1)
-        (View_tuple.compute ~query ~views))
+        (View_tuple.compute ~query views))
 
 (* CoreCover soundness: every produced rewriting is an equivalent
    rewriting (symbolic check). *)
@@ -406,7 +406,7 @@ let theorem_4_1 =
     (fun (query, views, pick) -> print_instance (query, views) ^ " pick " ^ string_of_int pick)
     (fun (query, views, pick) ->
       let qm = Minimize.minimize query in
-      let tuples = View_tuple.compute ~query:qm ~views in
+      let tuples = View_tuple.compute ~query:qm views in
       if tuples = [] then true
       else begin
         (* pseudo-randomly choose a subset of the view tuples *)
@@ -507,6 +507,41 @@ let set_cover_props =
           List.for_all (fun c' -> List.length c' = k) covers
           && List.for_all (fun i -> List.length i >= k) irr)
 
+(* The CoreCover performance toggles — view grouping, indexed evaluation,
+   signature/mask bucketing, parallel fan-out — are pure optimizations:
+   every configuration must produce the same rewritings on generated
+   star/chain workloads. *)
+let corecover_configs_agree =
+  let gen =
+    Gen.(
+      triple
+        (oneofl [ Generator.Star; Generator.Chain ])
+        (int_range 2 25) (int_range 0 10_000))
+  in
+  make_test ~count:40 ~name:"CoreCover configurations produce identical rewritings" gen
+    (fun (shape, num_views, seed) ->
+      Printf.sprintf "%s views=%d seed=%d"
+        (match shape with Generator.Star -> "star" | _ -> "chain")
+        num_views seed)
+    (fun (shape, num_views, seed) ->
+      let config = { Generator.default with shape; num_views; seed } in
+      match Generator.generate_with_rewriting ~max_attempts:50 config with
+      | exception Failure _ -> true
+      | inst ->
+          let query = inst.Generator.query and views = inst.views in
+          let rewritings r =
+            List.sort Query.compare r.Corecover.rewritings
+          in
+          let reference = rewritings (Corecover.gmrs ~query ~views ()) in
+          List.for_all
+            (fun variant -> List.equal Query.equal reference (rewritings (variant ())))
+            [
+              (fun () -> Corecover.gmrs ~group_views:false ~query ~views ());
+              (fun () -> Corecover.gmrs ~indexed:false ~query ~views ());
+              (fun () -> Corecover.gmrs ~buckets:false ~query ~views ());
+              (fun () -> Corecover.gmrs ~domains:4 ~query ~views ());
+            ])
+
 let suite =
   [
     parser_roundtrip;
@@ -538,4 +573,5 @@ let suite =
     view_selection_correct;
     datalog_engines_agree;
     set_cover_props;
+    corecover_configs_agree;
   ]

@@ -7,7 +7,7 @@ open Helpers
 (* ---------------- tuple-cores ---------------- *)
 
 let core_strings ~query ~views =
-  View_tuple.compute ~query ~views
+  View_tuple.compute ~query views
   |> List.map (fun tv ->
          let core = Tuple_core.compute ~query tv in
          ( Atom.to_string tv.View_tuple.atom,
@@ -55,7 +55,7 @@ let test_tuple_core_uniqueness () =
             ("unique core for " ^ Atom.to_string tv.View_tuple.atom)
             1
             (List.length (Tuple_core.compute_all_maximal ~query tv)))
-        (View_tuple.compute ~query ~views))
+        (View_tuple.compute ~query views))
     checks
 
 let test_tuple_core_mapping_is_witness () =
@@ -77,7 +77,7 @@ let test_tuple_core_mapping_is_witness () =
               (List.exists (Atom.equal image) expansion))
           core.Tuple_core.subgoals
       end)
-    (View_tuple.compute ~query ~views)
+    (View_tuple.compute ~query views)
 
 let test_distinguished_blocks_core () =
   (* a view hiding a distinguished query variable cannot cover the
@@ -287,7 +287,7 @@ let test_lemma_3_2_p1_to_p2 () =
 let test_lemma_3_2_atoms_are_view_tuples () =
   let open Car_loc_part in
   let tuples =
-    View_tuple.compute ~query:(Minimize.minimize query) ~views
+    View_tuple.compute ~query:(Minimize.minimize query) views
     |> List.map (fun tv -> tv.View_tuple.atom)
   in
   List.iter

@@ -82,7 +82,7 @@ let test_canonical_database () =
 
 let test_view_tuples_carloc () =
   let open Car_loc_part in
-  let tuples = View_tuple.compute ~query ~views in
+  let tuples = View_tuple.compute ~query views in
   let atoms = List.map (fun tv -> Atom.to_string tv.View_tuple.atom) tuples in
   let expect =
     [ "v1(M,anderson,C)"; "v2(S,M,C)"; "v3(S)"; "v4(M,anderson,C,S)"; "v5(M,anderson,C)" ]
@@ -91,14 +91,14 @@ let test_view_tuples_carloc () =
 
 let test_view_tuples_example41 () =
   let open Example_4_1 in
-  let tuples = View_tuple.compute ~query ~views in
+  let tuples = View_tuple.compute ~query views in
   let atoms = List.map (fun tv -> Atom.to_string tv.View_tuple.atom) tuples in
   Alcotest.(check (slist string String.compare))
     "T(Q,V)" [ "v1(X,Z)"; "v1(Z,Z)"; "v2(Z,Y)" ] atoms
 
 let test_view_tuple_expansion () =
   let open Example_4_1 in
-  let tuples = View_tuple.compute ~query ~views in
+  let tuples = View_tuple.compute ~query views in
   let v2_tuple =
     List.find (fun tv -> tv.View_tuple.view.Query.head.Atom.pred = "v2") tuples
   in
@@ -115,7 +115,7 @@ let test_view_with_constant_no_tuple () =
      produces no view tuple *)
   let query = q "q(X) :- e(X, Y)." in
   let views = qs [ "v(A) :- e(A, b)." ] in
-  check_int "no tuples" 0 (List.length (View_tuple.compute ~query ~views))
+  check_int "no tuples" 0 (List.length (View_tuple.compute ~query views))
 
 let test_view_equivalence_classes () =
   let open Car_loc_part in
