@@ -52,9 +52,27 @@ let opt_domains = ref 1
 let opt_indexed = ref true
 let opt_buckets = ref true
 
+(* resource-governance knobs: a fresh budget is created per timed query so
+   limits apply to each run rather than the whole sweep *)
+let opt_timeout = ref None
+let opt_max_steps = ref None
+let opt_max_covers = ref None
+let any_truncated = ref false
+
+let budget_of_opts () =
+  if !opt_timeout = None && !opt_max_steps = None then None
+  else Some (Budget.create ?deadline_ms:!opt_timeout ?max_steps:!opt_max_steps ())
+
 let corecover_gmrs ~query ~views () =
-  Corecover.gmrs ~indexed:!opt_indexed ~buckets:!opt_buckets ~domains:!opt_domains ~query
-    ~views ()
+  let r =
+    Corecover.gmrs ?budget:(budget_of_opts ()) ?max_covers:!opt_max_covers
+      ~indexed:!opt_indexed ~buckets:!opt_buckets ~domains:!opt_domains ~query
+      ~views ()
+  in
+  (match r.completeness with
+  | Corecover.Truncated _ -> any_truncated := true
+  | Corecover.Complete -> ());
+  r
 
 (* Rows of the timing figures, collected for [--out FILE.json]. *)
 type json_row = {
@@ -65,6 +83,7 @@ type json_row = {
   min_ms : float;
   max_ms : float;
   avg_gmrs : float;
+  row_truncated : int;
 }
 
 let json_rows : json_row list ref = ref []
@@ -81,8 +100,9 @@ let write_json ~mode oc =
       Printf.fprintf oc "%s\n    { \"experiment\": %S, \"views\": %d, \"queries\": %d,"
         (if i = 0 then "" else ",")
         r.experiment r.row_views r.row_queries;
-      Printf.fprintf oc " \"avg_ms\": %.3f, \"min_ms\": %.3f, \"max_ms\": %.3f, \"gmrs\": %.1f }"
-        r.avg_ms r.min_ms r.max_ms r.avg_gmrs)
+      Printf.fprintf oc
+        " \"avg_ms\": %.3f, \"min_ms\": %.3f, \"max_ms\": %.3f, \"gmrs\": %.1f, \"truncated\": %d }"
+        r.avg_ms r.min_ms r.max_ms r.avg_gmrs r.row_truncated)
     (List.rev !json_rows);
   Printf.fprintf oc "\n  ]\n}\n";
   close_out oc
@@ -94,10 +114,11 @@ let header title = Format.printf "@.== %s ==@." title
 
 let time_figure ~name ~shape ~nondistinguished ~settings ~title =
   header title;
-  Format.printf "%8s %12s %12s %12s %8s@." "views" "avg-ms" "min-ms" "max-ms" "GMRs";
+  Format.printf "%8s %12s %12s %12s %8s %10s@." "views" "avg-ms" "min-ms" "max-ms" "GMRs"
+    "truncated";
   List.iter
     (fun num_views ->
-      let times = ref [] and gmrs = ref 0 and skipped = ref 0 in
+      let times = ref [] and gmrs = ref 0 and skipped = ref 0 and truncated = ref 0 in
       for qi = 0 to settings.queries_per_point - 1 do
         let config =
           {
@@ -118,7 +139,10 @@ let time_figure ~name ~shape ~nondistinguished ~settings ~title =
                   corecover_gmrs ~query:inst.Generator.query ~views:inst.views ())
             in
             times := ms :: !times;
-            gmrs := !gmrs + List.length result.rewritings
+            gmrs := !gmrs + List.length result.rewritings;
+            (match result.Corecover.completeness with
+            | Corecover.Truncated _ -> incr truncated
+            | Corecover.Complete -> ())
       done;
       match !times with
       | [] -> Format.printf "%8d %12s@." num_views "(no rewritable workload)"
@@ -136,10 +160,12 @@ let time_figure ~name ~shape ~nondistinguished ~settings ~title =
               min_ms = min_t;
               max_ms = max_t;
               avg_gmrs = float_of_int !gmrs /. float_of_int n;
+              row_truncated = !truncated;
             }
             :: !json_rows;
-          Format.printf "%8d %12.1f %12.1f %12.1f %8.1f@." num_views avg min_t max_t
-            (float_of_int !gmrs /. float_of_int n))
+          Format.printf "%8d %12.1f %12.1f %12.1f %8.1f %10d@." num_views avg min_t max_t
+            (float_of_int !gmrs /. float_of_int n)
+            !truncated)
     settings.view_counts
 
 (* ------------------------------------------------------------------ *)
@@ -595,7 +621,8 @@ let experiments settings =
 let usage () =
   prerr_endline
     "usage: main.exe [EXPERIMENT...] [--full] [--views N] [--domains N]\n\
-    \                [--no-index] [--no-buckets] [--out FILE.json]";
+    \                [--no-index] [--no-buckets] [--out FILE.json]\n\
+    \                [--timeout MS] [--max-steps N] [--max-covers N]";
   exit 2
 
 let () =
@@ -624,6 +651,24 @@ let () =
         match int_of_string_opt n with
         | Some v when v >= 1 ->
             max_views := Some v;
+            parse wanted rest
+        | _ -> usage ())
+    | "--timeout" :: ms :: rest -> (
+        match float_of_string_opt ms with
+        | Some v when v > 0. ->
+            opt_timeout := Some v;
+            parse wanted rest
+        | _ -> usage ())
+    | "--max-steps" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some v when v >= 1 ->
+            opt_max_steps := Some v;
+            parse wanted rest
+        | _ -> usage ())
+    | "--max-covers" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some v when v >= 1 ->
+            opt_max_covers := Some v;
             parse wanted rest
         | _ -> usage ())
     | "--out" :: file :: rest ->
@@ -666,9 +711,10 @@ let () =
       | None -> Format.printf "unknown experiment %S (known: %s)@." name
                   (String.concat ", " (List.map fst all)))
     to_run;
-  match out with
+  (match out with
   | None -> ()
   | Some (path, oc) ->
       write_json ~mode oc;
       close_out oc;
-      Format.printf "@.wrote %d timing rows to %s@." (List.length !json_rows) path
+      Format.printf "@.wrote %d timing rows to %s@." (List.length !json_rows) path);
+  if !any_truncated then exit 3

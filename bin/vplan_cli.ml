@@ -13,15 +13,51 @@ let read_file path =
     ~finally:(fun () -> close_in ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
+(* Exit codes: 0 complete, 1 runtime error, 2 parse/usage error, 3 result
+   truncated by a budget.  Runtime failures print one diagnostic line
+   instead of dying with a backtrace. *)
+let or_die f =
+  try f () with
+  | Vplan.Vplan_error.Error e ->
+      Format.eprintf "error: %s@." (Vplan.Vplan_error.to_string e);
+      exit (match e with Vplan.Vplan_error.Parse _ -> 2 | _ -> 1)
+  | Invalid_argument msg | Failure msg | Sys_error msg ->
+      Format.eprintf "error: %s@." msg;
+      exit 1
+
 let parse_program_file path =
   match Vplan.Parser.parse_program (read_file path) with
-  | Error msg ->
-      Format.eprintf "%s: parse error: %s@." path msg;
+  | Error e ->
+      Format.eprintf "%s:%s@." path (Vplan.Vplan_error.parse_to_string e);
       exit 2
   | Ok [] ->
       Format.eprintf "%s: empty program@." path;
       exit 2
   | Ok (query :: rest) -> (query, rest)
+
+(* Shared --timeout/--max-steps/--max-covers options for budgeted
+   commands. *)
+let timeout_arg =
+  Arg.(value & opt (some float) None
+       & info [ "timeout" ] ~docv:"MS"
+           ~doc:"Wall-clock deadline in milliseconds; on expiry the result \
+                 produced so far is printed and the exit code is 3.")
+
+let max_steps_arg =
+  Arg.(value & opt (some int) None
+       & info [ "max-steps" ] ~docv:"N"
+           ~doc:"Deterministic step budget over all search loops; on \
+                 exhaustion the exit code is 3.")
+
+let max_covers_arg =
+  Arg.(value & opt (some int) None
+       & info [ "max-covers" ] ~docv:"N"
+           ~doc:"Stop after enumerating $(docv) covers; when the cap fires \
+                 the exit code is 3.")
+
+let budget_of ~timeout ~max_steps =
+  if timeout = None && max_steps = None then None
+  else Some (Vplan.Budget.create ?deadline_ms:timeout ?max_steps ())
 
 let split_views_and_candidates (query : Vplan.Query.t) rules =
   let qpred = query.head.Vplan.Atom.pred in
@@ -43,13 +79,18 @@ let rewrite_cmd =
     Arg.(value & opt int 1 & info [ "domains" ] ~docv:"N"
            ~doc:"Fan the per-view evaluation across $(docv) domains (same result for any value).")
   in
-  let run file all_minimal no_group domains verbose =
+  let run file all_minimal no_group domains verbose timeout max_steps max_covers =
+   or_die @@ fun () ->
     let query, rest = parse_program_file file in
     let views, _ = split_views_and_candidates query rest in
+    let budget = budget_of ~timeout ~max_steps in
     let result =
       if all_minimal then
-        Vplan.Corecover.all_minimal ~group_views:(not no_group) ~domains ~query ~views ()
-      else Vplan.Corecover.gmrs ~group_views:(not no_group) ~domains ~query ~views ()
+        Vplan.Corecover.all_minimal ?budget ?max_results:max_covers
+          ~group_views:(not no_group) ~domains ~query ~views ()
+      else
+        Vplan.Corecover.gmrs ?budget ?max_covers ~group_views:(not no_group)
+          ~domains ~query ~views ()
     in
     Format.printf "query (minimized): %a@." Vplan.Query.pp result.minimized_query;
     Format.printf "views: %d in %d equivalence classes@." result.stats.num_views
@@ -68,25 +109,34 @@ let rewrite_cmd =
       List.iter (fun tv -> Format.printf " %a" Vplan.View_tuple.pp tv) result.filters;
       Format.printf "@."
     end;
-    (match result.rewritings with
-    | [] -> Format.printf "no equivalent rewriting exists@."
-    | rs ->
+    (match (result.rewritings, result.completeness) with
+    | [], Vplan.Corecover.Complete -> Format.printf "no equivalent rewriting exists@."
+    | [], Vplan.Corecover.Truncated _ ->
+        Format.printf "no rewriting found before the cutoff@."
+    | rs, _ ->
         Format.printf "%s (%d):@."
           (if all_minimal then "minimal rewritings" else "globally-minimal rewritings")
           (List.length rs);
-        List.iter (fun p -> Format.printf "  %a@." Vplan.Query.pp p) rs)
+        List.iter (fun p -> Format.printf "  %a@." Vplan.Query.pp p) rs);
+    match result.completeness with
+    | Vplan.Corecover.Complete -> ()
+    | Vplan.Corecover.Truncated reason ->
+        Format.eprintf "warning: result truncated: %s@."
+          (Vplan.Vplan_error.to_string reason);
+        exit 3
   in
   Cmd.v
     (Cmd.info "rewrite" ~doc:"Generate rewritings of a query using views (CoreCover).")
-    Term.(const run $ file $ all_minimal $ no_group $ domains $ verbose)
+    Term.(const run $ file $ all_minimal $ no_group $ domains $ verbose
+          $ timeout_arg $ max_steps_arg $ max_covers_arg)
 
 (* ------------------------------------------------------------------ *)
 (* plan                                                                *)
 
 let database_of_file path =
   match Vplan.Parser.parse_facts (read_file path) with
-  | Error msg ->
-      Format.eprintf "%s: parse error: %s@." path msg;
+  | Error e ->
+      Format.eprintf "%s:%s@." path (Vplan.Vplan_error.parse_to_string e);
       exit 2
   | Ok facts -> Vplan.Database.of_facts facts
 
@@ -104,6 +154,7 @@ let plan_cmd =
     Arg.(value & flag & info [ "explain" ] ~doc:"Print the plan step by step with the sizes incurred.")
   in
   let run file data cost explain =
+   or_die @@ fun () ->
     let query, rest = parse_program_file file in
     let views, _ = split_views_and_candidates query rest in
     let base = database_of_file data in
@@ -150,6 +201,7 @@ let plan_cmd =
 let classify_cmd =
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
   let run file =
+   or_die @@ fun () ->
     let query, rest = parse_program_file file in
     let views, candidates = split_views_and_candidates query rest in
     if candidates = [] then Format.printf "no candidate rewritings in the file@."
@@ -194,6 +246,7 @@ let certain_cmd =
          & info [ "algorithm" ] ~docv:"ALGO" ~doc:"minicon (maximally-contained union) or inverse-rules.")
   in
   let run file data algorithm =
+   or_die @@ fun () ->
     let query, rest = parse_program_file file in
     let views, _ = split_views_and_candidates query rest in
     let base = database_of_file data in
@@ -230,6 +283,7 @@ let datalog_cmd =
   in
   let magic = Arg.(value & flag & info [ "magic" ] ~doc:"Use the magic-sets transformation.") in
   let run file data query_str magic =
+   or_die @@ fun () ->
     let program =
       match Vplan.Program.parse (read_file file) with
       | Ok p -> p
@@ -240,9 +294,9 @@ let datalog_cmd =
     let base = database_of_file data in
     let query =
       match Vplan.Parser.parse_atom query_str with
-      | Ok a -> a
-      | Error msg ->
-          Format.eprintf "--query: %s@." msg;
+      | Ok e -> e
+      | Error e ->
+          Format.eprintf "--query: %s@." (Vplan.Vplan_error.parse_to_string e);
           exit 2
     in
     let answers =
@@ -273,6 +327,7 @@ let generate_cmd =
   let nondist = Arg.(value & opt int 0 & info [ "nondistinguished" ] ~docv:"D") in
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED") in
   let run shape views subgoals nondist seed =
+   or_die @@ fun () ->
     let config =
       {
         Vplan.Generator.default with

@@ -21,14 +21,28 @@ type state = {
   mutable query : Vplan.Query.t option;
   mutable views : Vplan.View.t list;
   mutable base : Vplan.Database.t;
+  mutable timeout_ms : float option;
+  mutable max_steps : int option;
+  mutable max_covers : int option;
 }
 
-let state = { query = None; views = []; base = Vplan.Database.empty }
+let state =
+  {
+    query = None;
+    views = [];
+    base = Vplan.Database.empty;
+    timeout_ms = None;
+    max_steps = None;
+    max_covers = None;
+  }
 
 let help () =
   print_endline
     "commands: query <rule>. | view <rule>. | fact <atom>. | load FILE | data FILE\n\
-    \          show | rewrite [all] | plan m1|m2|m3 | answer | certain | reset | help | quit"
+    \          show | rewrite [all] | plan m1|m2|m3 | answer | certain | reset | help | quit\n\
+    \          set timeout MS | set max-steps N | set max-covers N | set off"
+
+let parse_error e = Format.printf "error: %s@." (Vplan.Vplan_error.parse_to_string e)
 
 let read_file path =
   let ic = open_in path in
@@ -46,7 +60,7 @@ let cmd_query rest =
   | Ok q ->
       state.query <- Some q;
       Format.printf "query: %a@." Vplan.Query.pp q
-  | Error e -> Format.printf "error: %s@." e
+  | Error e -> parse_error e
 
 let cmd_view rest =
   match Vplan.Parser.parse_rule rest with
@@ -56,7 +70,7 @@ let cmd_view rest =
           state.views <- state.views @ [ v ];
           Format.printf "view: %a@." Vplan.Query.pp v
       | Error e -> Format.printf "error: %s@." e)
-  | Error e -> Format.printf "error: %s@." e
+  | Error e -> parse_error e
 
 let cmd_fact rest =
   match Vplan.Parser.parse_facts rest with
@@ -65,7 +79,7 @@ let cmd_fact rest =
         (fun (pred, tuple) -> state.base <- Vplan.Database.add_fact pred tuple state.base)
         facts;
       Format.printf "%d fact(s) added@." (List.length facts)
-  | Error e -> Format.printf "error: %s@." e
+  | Error e -> parse_error e
 
 let cmd_load path =
   match Vplan.Planner.parse_problem (read_file path) with
@@ -81,7 +95,7 @@ let cmd_data path =
   | Ok facts ->
       state.base <- Vplan.Database.of_facts facts;
       Format.printf "loaded %d fact(s)@." (List.length facts)
-  | Error e -> Format.printf "error: %s@." e
+  | Error e -> parse_error e
   | exception Sys_error e -> Format.printf "error: %s@." e
 
 let cmd_show () =
@@ -91,15 +105,58 @@ let cmd_show () =
   List.iter (fun v -> Format.printf "view:  %a@." Vplan.Query.pp v) state.views;
   Format.printf "base facts: %d@." (Vplan.Database.total_size state.base)
 
+let budget_of_state () =
+  if state.timeout_ms = None && state.max_steps = None then None
+  else
+    (* a fresh budget per command: limits apply to each run, not the
+       whole session *)
+    Some (Vplan.Budget.create ?deadline_ms:state.timeout_ms ?max_steps:state.max_steps ())
+
 let cmd_rewrite all =
   with_query (fun query ->
+      let budget = budget_of_state () in
       let result =
-        if all then Vplan.Corecover.all_minimal ~query ~views:state.views ()
-        else Vplan.Corecover.gmrs ~query ~views:state.views ()
+        if all then
+          Vplan.Corecover.all_minimal ?budget ?max_results:state.max_covers
+            ~query ~views:state.views ()
+        else
+          Vplan.Corecover.gmrs ?budget ?max_covers:state.max_covers ~query
+            ~views:state.views ()
       in
-      match result.rewritings with
+      (match result.rewritings with
       | [] -> print_endline "no equivalent rewriting"
-      | rs -> List.iter (fun p -> Format.printf "%a@." Vplan.Query.pp p) rs)
+      | rs -> List.iter (fun p -> Format.printf "%a@." Vplan.Query.pp p) rs);
+      match result.completeness with
+      | Vplan.Corecover.Complete -> ()
+      | Vplan.Corecover.Truncated reason ->
+          Format.printf "(truncated: %s)@." (Vplan.Vplan_error.to_string reason))
+
+let cmd_set rest =
+  match String.split_on_char ' ' rest |> List.filter (fun s -> s <> "") with
+  | [ "off" ] ->
+      state.timeout_ms <- None;
+      state.max_steps <- None;
+      state.max_covers <- None;
+      print_endline "budget off"
+  | [ "timeout"; ms ] -> (
+      match float_of_string_opt ms with
+      | Some v when v > 0. ->
+          state.timeout_ms <- Some v;
+          Format.printf "timeout: %gms@." v
+      | _ -> print_endline "usage: set timeout MS")
+  | [ "max-steps"; n ] -> (
+      match int_of_string_opt n with
+      | Some v when v > 0 ->
+          state.max_steps <- Some v;
+          Format.printf "max-steps: %d@." v
+      | _ -> print_endline "usage: set max-steps N")
+  | [ "max-covers"; n ] -> (
+      match int_of_string_opt n with
+      | Some v when v > 0 ->
+          state.max_covers <- Some v;
+          Format.printf "max-covers: %d@." v
+      | _ -> print_endline "usage: set max-covers N")
+  | _ -> print_endline "usage: set timeout MS | set max-steps N | set max-covers N | set off"
 
 let cmd_plan model =
   with_query (fun query ->
@@ -161,6 +218,7 @@ let handle line =
     | "load" -> cmd_load rest; true
     | "data" -> cmd_data rest; true
     | "show" -> cmd_show (); true
+    | "set" -> cmd_set rest; true
     | "rewrite" -> cmd_rewrite (rest = "all"); true
     | "plan" -> cmd_plan rest; true
     | "answer" -> cmd_answer (); true
@@ -175,13 +233,26 @@ let handle line =
         Format.printf "unknown command %S (try: help)@." other;
         true
 
+(* Fault containment: a command that raises must not kill the session.
+   Typed errors, Invalid_argument/Failure (legacy guards) and file-system
+   errors print one line; everything else is reported with its exception
+   text.  Only End_of_file and quit end the loop. *)
+let handle_safe line =
+  try handle line with
+  | Vplan.Vplan_error.Error e ->
+      Format.printf "error: %s@." (Vplan.Vplan_error.to_string e);
+      true
+  | Invalid_argument msg | Failure msg | Sys_error msg ->
+      Format.printf "error: %s@." msg;
+      true
+
 let () =
   let interactive = Unix.isatty Unix.stdin in
-  if interactive then print_endline "vplan repl — type 'help' for commands";
+  if interactive then print_endline "vplan repl \u{2014} type 'help' for commands";
   let rec loop () =
     if interactive then (print_string "vplan> "; flush stdout);
     match input_line stdin with
-    | line -> if handle line then loop ()
+    | line -> if handle_safe line then loop ()
     | exception End_of_file -> ()
   in
   loop ()

@@ -48,7 +48,7 @@ let () =
          part(s3, ford, springfield). part(s4, honda, shelby)."
     with
     | Ok facts -> Database.of_facts facts
-    | Error msg -> failwith msg
+    | Error e -> failwith (Vplan_error.parse_to_string e)
   in
   let t = Optimizer.create ~query ~views ~base in
   (match Optimizer.best_m2 t with

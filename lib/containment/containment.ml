@@ -8,10 +8,12 @@ let head_seed ~(from_q : Query.t) ~(to_q : Query.t) =
       (fun acc p t -> match acc with None -> None | Some s -> Subst.unify_term s p t)
       (Some Subst.empty) h1.Atom.args h2.Atom.args
 
-let mapping ~from_q ~to_q =
+let mapping_under ?budget ~from_q ~to_q () =
   match head_seed ~from_q ~to_q with
   | None -> None
-  | Some seed -> Homomorphism.find ~seed from_q.Query.body to_q.Query.body
+  | Some seed -> Homomorphism.find ?budget ~seed from_q.Query.body to_q.Query.body
+
+let mapping ~from_q ~to_q = mapping_under ~from_q ~to_q ()
 
 let mappings ~from_q ~to_q =
   match head_seed ~from_q ~to_q with
@@ -19,9 +21,13 @@ let mappings ~from_q ~to_q =
   | Some seed -> Homomorphism.find_all ~seed from_q.Query.body to_q.Query.body
 
 (* q1 ⊑ q2 iff there is a containment mapping from q2 to q1. *)
-let is_contained q1 q2 = mapping ~from_q:q2 ~to_q:q1 <> None
-let equivalent q1 q2 = is_contained q1 q2 && is_contained q2 q1
-let properly_contained q1 q2 = is_contained q1 q2 && not (is_contained q2 q1)
+let is_contained ?budget q1 q2 = mapping_under ?budget ~from_q:q2 ~to_q:q1 () <> None
+
+let equivalent ?budget q1 q2 =
+  is_contained ?budget q1 q2 && is_contained ?budget q2 q1
+
+let properly_contained ?budget q1 q2 =
+  is_contained ?budget q1 q2 && not (is_contained ?budget q2 q1)
 
 let isomorphic q1 q2 =
   let q1 = Query.dedup_body q1 and q2 = Query.dedup_body q2 in

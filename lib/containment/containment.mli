@@ -14,14 +14,15 @@ val mapping : from_q:Query.t -> to_q:Query.t -> Subst.t option
 val mappings : from_q:Query.t -> to_q:Query.t -> Subst.t list
 
 (** [is_contained q1 q2] decides [q1 ⊑ q2] ([q1]'s answers are a subset of
-    [q2]'s on every database). *)
-val is_contained : Query.t -> Query.t -> bool
+    [q2]'s on every database).  A [?budget] bounds the underlying
+    homomorphism search; on exhaustion [Vplan_error.Error] is raised. *)
+val is_contained : ?budget:Vplan_core.Budget.t -> Query.t -> Query.t -> bool
 
 (** [equivalent q1 q2] decides [q1 ≡ q2]. *)
-val equivalent : Query.t -> Query.t -> bool
+val equivalent : ?budget:Vplan_core.Budget.t -> Query.t -> Query.t -> bool
 
 (** [properly_contained q1 q2] decides [q1 ⊑ q2 ∧ q2 ⋢ q1]. *)
-val properly_contained : Query.t -> Query.t -> bool
+val properly_contained : ?budget:Vplan_core.Budget.t -> Query.t -> Query.t -> bool
 
 (** [isomorphic q1 q2] decides whether the queries are identical up to a
     renaming of variables and reordering/deduplication of body atoms —

@@ -29,10 +29,16 @@ let order_patterns ~seed index patterns =
   in
   List.stable_sort (fun a b -> compare (score a) (score b)) patterns
 
-let iter_all ?(seed = Subst.empty) patterns targets ~f =
+let iter_all ?budget ?(seed = Subst.empty) patterns targets ~f =
   let index = index_targets targets in
   let patterns = order_patterns ~seed index patterns in
   let stopped = ref false in
+  (* resolve the option once; the tick itself is a single closure call *)
+  let tick =
+    match budget with
+    | None -> fun () -> ()
+    | Some b -> fun () -> Vplan_core.Budget.check b
+  in
   let rec go subst = function
     | [] -> if f subst = `Stop then stopped := true
     | (a : Atom.t) :: rest ->
@@ -40,10 +46,12 @@ let iter_all ?(seed = Subst.empty) patterns targets ~f =
           match Names.Smap.find_opt a.pred index with Some l -> l | None -> []
         in
         let try_candidate cand =
-          if not !stopped then
+          if not !stopped then begin
+            tick ();
             match Atom.unify subst a cand with
             | Some subst' -> go subst' rest
             | None -> ()
+          end
         in
         List.iter try_candidate candidates
   in
@@ -51,19 +59,19 @@ let iter_all ?(seed = Subst.empty) patterns targets ~f =
 
 exception Found of Subst.t
 
-let find ?(seed = Subst.empty) patterns targets =
+let find ?budget ?(seed = Subst.empty) patterns targets =
   match
-    iter_all ~seed patterns targets ~f:(fun s -> raise (Found s))
+    iter_all ?budget ~seed patterns targets ~f:(fun s -> raise (Found s))
   with
   | () -> None
   | exception Found s -> Some s
 
-let exists ?seed patterns targets = find ?seed patterns targets <> None
+let exists ?budget ?seed patterns targets = find ?budget ?seed patterns targets <> None
 
-let find_all ?(seed = Subst.empty) ?limit patterns targets =
+let find_all ?budget ?(seed = Subst.empty) ?limit patterns targets =
   let results = ref [] in
   let count = ref 0 in
-  iter_all ~seed patterns targets ~f:(fun s ->
+  iter_all ?budget ~seed patterns targets ~f:(fun s ->
       if not (List.exists (Subst.equal s) !results) then begin
         results := s :: !results;
         incr count

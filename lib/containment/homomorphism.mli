@@ -10,26 +10,36 @@
     The search is backtracking and worst-case exponential — deciding
     containment of conjunctive queries is NP-complete — but the
     most-constrained-first atom ordering and predicate indexing keep it
-    fast at the scales of the paper's workloads. *)
+    fast at the scales of the paper's workloads.  Because the search has
+    no polynomial bound, every entry point accepts a [?budget]
+    ({!Vplan_core.Budget.t}) ticked once per candidate tried, so a
+    deadline or cancellation cuts the search off within one step. *)
 
 open Vplan_cq
 
 (** [find ~seed patterns targets] returns a substitution extending [seed]
     that maps every atom of [patterns] to an atom of [targets], or [None].
     [seed] typically carries the head correspondence. *)
-val find : ?seed:Subst.t -> Atom.t list -> Atom.t list -> Subst.t option
+val find :
+  ?budget:Vplan_core.Budget.t ->
+  ?seed:Subst.t -> Atom.t list -> Atom.t list -> Subst.t option
 
 (** [exists ~seed patterns targets] is [find ... <> None]. *)
-val exists : ?seed:Subst.t -> Atom.t list -> Atom.t list -> bool
+val exists :
+  ?budget:Vplan_core.Budget.t ->
+  ?seed:Subst.t -> Atom.t list -> Atom.t list -> bool
 
 (** [find_all ~seed ~limit patterns targets] enumerates distinct
     homomorphisms (at most [limit] of them when given).  Two search
     branches producing the same substitution are deduplicated. *)
-val find_all : ?seed:Subst.t -> ?limit:int -> Atom.t list -> Atom.t list -> Subst.t list
+val find_all :
+  ?budget:Vplan_core.Budget.t ->
+  ?seed:Subst.t -> ?limit:int -> Atom.t list -> Atom.t list -> Subst.t list
 
 (** [iter_all ~seed patterns targets ~f] calls [f] on every homomorphism
     found, without materializing the list; [f] returning [`Stop] aborts the
     enumeration.  Duplicate substitutions may be visited more than once
     when distinct target atoms induce the same bindings. *)
 val iter_all :
+  ?budget:Vplan_core.Budget.t ->
   ?seed:Subst.t -> Atom.t list -> Atom.t list -> f:(Subst.t -> [ `Continue | `Stop ]) -> unit

@@ -4,14 +4,14 @@ open Vplan_cq
    Q' with body ⊆ Q's body via the identity embedding.  Equivalence after
    removal therefore reduces to a single check: Q' ⊑ Q, i.e. a containment
    mapping from Q to Q'. *)
-let removal_keeps_equivalence q body' =
+let removal_keeps_equivalence ?budget q body' =
   match Query.with_body q body' with
   | Error _ -> false (* head variable lost: removal breaks safety *)
-  | Ok q' -> Containment.is_contained q' q
+  | Ok q' -> Containment.is_contained ?budget q' q
 
 let remove_nth l n = List.filteri (fun i _ -> i <> n) l
 
-let minimize q =
+let minimize ?budget q =
   let q = Query.dedup_body q in
   let rec loop (q : Query.t) =
     let n = List.length q.body in
@@ -19,7 +19,7 @@ let minimize q =
       if i >= n then q
       else
         let body' = remove_nth q.body i in
-        if body' <> [] && removal_keeps_equivalence q body' then
+        if body' <> [] && removal_keeps_equivalence ?budget q body' then
           loop (Query.make_exn q.head body')
         else try_remove (i + 1)
     in

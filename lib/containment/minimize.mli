@@ -8,8 +8,9 @@ open Vplan_cq
 
 (** [minimize q] returns the core of [q]: an equivalent query whose body is
     a subset of [q]'s body from which no atom can be removed without losing
-    equivalence. *)
-val minimize : Query.t -> Query.t
+    equivalence.  A [?budget] bounds the underlying containment searches;
+    on exhaustion [Vplan_error.Error] is raised. *)
+val minimize : ?budget:Vplan_core.Budget.t -> Query.t -> Query.t
 
 (** [is_minimal q] holds when no body atom of [q] is redundant. *)
 val is_minimal : Query.t -> bool

@@ -5,7 +5,15 @@
    scheduling nondeterminism.  Results are reassembled in chunk order, so
    [map f xs] returns exactly [List.map f xs] for a pure [f], whatever the
    worker count.  [f] must not rely on shared mutable state unless that
-   state is itself domain-safe. *)
+   state is itself domain-safe.
+
+   [map] is an exception barrier: a chunk's exception is caught inside its
+   own domain (so Domain.join never raises) and every handle is joined
+   before the first failure — by chunk index, not completion order — is
+   re-raised on the calling domain. *)
+
+module Budget = Vplan_core.Budget
+module Vplan_error = Vplan_core.Vplan_error
 
 let recommended () = Domain.recommended_domain_count ()
 
@@ -18,7 +26,7 @@ let chunk_bounds ~workers n =
       let len = base + if w < extra then 1 else 0 in
       (start, start + len))
 
-let map ?(domains = 1) f xs =
+let map ?budget ?(domains = 1) f xs =
   let n = List.length xs in
   let workers = max 1 (min domains n) in
   if workers = 1 then List.map f xs
@@ -29,11 +37,38 @@ let map ?(domains = 1) f xs =
       let start, stop = bounds.(w) in
       List.init (stop - start) (fun i -> f arr.(start + i))
     in
+    let attempt w =
+      match run_chunk w with
+      | r -> Ok r
+      | exception e ->
+          let bt = Printexc.get_raw_backtrace () in
+          (* wake sibling chunks that poll the shared budget *)
+          Option.iter Budget.cancel budget;
+          Error (e, bt)
+    in
     (* spawn workers 1..n-1; the calling domain computes chunk 0 itself *)
     let handles =
-      Array.init (workers - 1) (fun i -> Domain.spawn (fun () -> run_chunk (i + 1)))
+      Array.init (workers - 1) (fun i -> Domain.spawn (fun () -> attempt (i + 1)))
     in
-    let first = run_chunk 0 in
-    let rest = Array.to_list (Array.map Domain.join handles) in
-    List.concat (first :: rest)
+    let first = attempt 0 in
+    (* [attempt] catches everything, so every join succeeds: all domains
+       are reclaimed before any error propagates *)
+    let results = Array.append [| first |] (Array.map Domain.join handles) in
+    let is_cancelled = function
+      | Error (Vplan_error.Error Vplan_error.Cancelled, _) -> true
+      | _ -> false
+    in
+    (* Deterministic surfacing: prefer the lowest-indexed root cause; a
+       Cancelled failure is only the root cause if nothing else failed
+       (it may have been induced by another chunk's cancel above). *)
+    let first_error =
+      match Array.find_opt (fun r -> Result.is_error r && not (is_cancelled r)) results with
+      | Some e -> Some e
+      | None -> Array.find_opt Result.is_error results
+    in
+    match first_error with
+    | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+    | Some (Ok _) | None ->
+        List.concat_map (function Ok r -> r | Error _ -> assert false)
+          (Array.to_list results)
   end

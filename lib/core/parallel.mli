@@ -5,7 +5,12 @@
     chunk order.  Consequently [map ~domains f xs = List.map f xs] for any
     pure [f] and any worker count — parallelism never changes results,
     only wall-clock time.  This is the determinism contract CoreCover
-    relies on when fanning per-view and per-tuple work out. *)
+    relies on when fanning per-view and per-tuple work out.
+
+    [map] is also an {e exception barrier}: every spawned domain is
+    joined before the call returns or raises, whichever chunk failed —
+    no domain ever leaks, so repeated failing calls cannot exhaust the
+    runtime's domain limit. *)
 
 (** [recommended ()] is [Domain.recommended_domain_count ()]: a sensible
     upper bound for the [domains] argument on this machine. *)
@@ -14,7 +19,16 @@ val recommended : unit -> int
 (** [map ~domains f xs] applies [f] to every element of [xs] using up to
     [domains] domains (including the calling one) and returns the results
     in input order.  [domains <= 1] (the default) runs sequentially with
-    no domain spawned.  If [f] raises in any chunk, the exception is
-    re-raised after the calling domain's own chunk completes; remaining
-    domains finish their chunks before being discarded. *)
-val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
+    no domain spawned.
+
+    Error handling is deterministic: if any chunk raises, all domains
+    are first joined, then the exception of the {e lowest-numbered}
+    failing chunk is re-raised with its original backtrace — the same
+    exception a sequential [List.map f xs] would surface first.  When a
+    [?budget] is supplied, a failing chunk also {!Budget.cancel}s it so
+    sibling chunks that tick the budget stop within one loop iteration
+    instead of running to completion; such induced [Cancelled] failures
+    are never chosen over the root cause.  [f] must not rely on shared
+    mutable state unless that state is itself domain-safe. *)
+val map :
+  ?budget:Vplan_core.Budget.t -> ?domains:int -> ('a -> 'b) -> 'a list -> 'b list

@@ -19,7 +19,7 @@ let problem_of_program = function
 
 let parse_problem src =
   match Parser.parse_program src with
-  | Error msg -> Error msg
+  | Error e -> Error (Vplan_core.Vplan_error.parse_to_string e)
   | Ok rules -> problem_of_program rules
 
 type analysis = {

@@ -13,6 +13,10 @@
       List.iter (Format.printf "%a@." Vplan.Query.pp) result.rewritings
     ]} *)
 
+(* resource governance: budgets, typed errors *)
+module Budget = Vplan_core.Budget
+module Vplan_error = Vplan_core.Vplan_error
+
 (* conjunctive-query kernel *)
 module Names = Vplan_cq.Names
 module Term = Vplan_cq.Term

@@ -1,3 +1,5 @@
+module Vplan_error = Vplan_core.Vplan_error
+
 type token =
   | Tident of string
   | Tvar of string
@@ -9,7 +11,10 @@ type token =
   | Tdot
   | Teof
 
-exception Error of string
+(* 1-based source position of a token's first character *)
+type pos = { line : int; col : int }
+
+let fail_at p msg = Vplan_error.parse_at ~line:p.line ~col:p.col msg
 
 let is_lower c = (c >= 'a' && c <= 'z')
 let is_upper c = (c >= 'A' && c <= 'Z') || c = '_'
@@ -19,46 +24,57 @@ let is_digit c = c >= '0' && c <= '9'
 let tokenize src =
   let n = String.length src in
   let tokens = ref [] in
-  let emit t = tokens := t :: !tokens in
   let i = ref 0 in
   let line = ref 1 in
-  let fail msg = raise (Error (Printf.sprintf "line %d: %s" !line msg)) in
+  let bol = ref 0 in
+  (* tokens never span lines, so [line]/[bol] are valid for the whole token *)
+  let pos_at idx = { line = !line; col = idx - !bol + 1 } in
+  (* position just past the last emitted token: where Teof is reported,
+     even when trailing whitespace or comments follow it *)
+  let last_end = ref { line = 1; col = 1 } in
+  let emit t start =
+    tokens := (t, pos_at start) :: !tokens;
+    last_end := pos_at !i
+  in
+  let fail msg = fail_at (pos_at !i) msg in
   while !i < n do
     let c = src.[!i] in
-    if c = '\n' then (incr line; incr i)
+    if c = '\n' then (incr line; incr i; bol := !i)
     else if c = ' ' || c = '\t' || c = '\r' then incr i
     else if c = '%' || c = '#' then begin
       while !i < n && src.[!i] <> '\n' do incr i done
     end
-    else if c = '(' then (emit Tlparen; incr i)
-    else if c = ')' then (emit Trparen; incr i)
-    else if c = ',' then (emit Tcomma; incr i)
-    else if c = '.' then (emit Tdot; incr i)
+    else if c = '(' then (let s = !i in incr i; emit Tlparen s)
+    else if c = ')' then (let s = !i in incr i; emit Trparen s)
+    else if c = ',' then (let s = !i in incr i; emit Tcomma s)
+    else if c = '.' then (let s = !i in incr i; emit Tdot s)
     else if c = ':' then begin
-      if !i + 1 < n && src.[!i + 1] = '-' then (emit Tturnstile; i := !i + 2)
+      if !i + 1 < n && src.[!i + 1] = '-' then
+        (let s = !i in i := !i + 2; emit Tturnstile s)
       else fail "expected ':-'"
     end
     else if is_digit c || (c = '-' && !i + 1 < n && is_digit src.[!i + 1]) then begin
       let start = !i in
       incr i;
       while !i < n && is_digit src.[!i] do incr i done;
-      emit (Tint (int_of_string (String.sub src start (!i - start))))
+      emit (Tint (int_of_string (String.sub src start (!i - start)))) start
     end
     else if is_lower c || is_upper c then begin
       let start = !i in
       while !i < n && is_ident_char src.[!i] do incr i done;
       let word = String.sub src start (!i - start) in
-      if is_upper c then emit (Tvar word) else emit (Tident word)
+      if is_upper c then emit (Tvar word) start else emit (Tident word) start
     end
     else fail (Printf.sprintf "unexpected character %C" c)
   done;
-  emit Teof;
+  tokens := (Teof, !last_end) :: !tokens;
   List.rev !tokens
 
 (* A tiny recursive-descent parser over the token list. *)
-type state = { mutable toks : token list }
+type state = { mutable toks : (token * pos) list }
 
-let peek st = match st.toks with [] -> Teof | t :: _ -> t
+let peek st = match st.toks with [] -> Teof | (t, _) :: _ -> t
+let peek_pos st = match st.toks with [] -> { line = 1; col = 1 } | (_, p) :: _ -> p
 
 let advance st =
   match st.toks with
@@ -78,14 +94,16 @@ let describe = function
 
 let expect st tok what =
   if peek st = tok then advance st
-  else raise (Error (Printf.sprintf "expected %s, found %s" what (describe (peek st))))
+  else
+    fail_at (peek_pos st)
+      (Printf.sprintf "expected %s, found %s" what (describe (peek st)))
 
 let parse_term st =
   match peek st with
   | Tvar x -> advance st; Term.Var x
   | Tident s -> advance st; Term.Cst (Term.Str s)
   | Tint i -> advance st; Term.Cst (Term.Int i)
-  | t -> raise (Error ("expected a term, found " ^ describe t))
+  | t -> fail_at (peek_pos st) ("expected a term, found " ^ describe t)
 
 let parse_atom st =
   match peek st with
@@ -97,16 +115,18 @@ let parse_atom st =
         match peek st with
         | Tcomma -> advance st; args (t :: acc)
         | Trparen -> advance st; List.rev (t :: acc)
-        | tok -> raise (Error ("expected ',' or ')', found " ^ describe tok))
+        | tok -> fail_at (peek_pos st) ("expected ',' or ')', found " ^ describe tok)
       in
       let args = match peek st with
         | Trparen -> advance st; []
         | _ -> args []
       in
       Atom.make pred args
-  | t -> raise (Error ("expected a predicate name, found " ^ describe t))
+  | t -> fail_at (peek_pos st) ("expected a predicate name, found " ^ describe t)
 
 let parse_rule_tokens st =
+  (* semantic errors (e.g. an unsafe head) blame the start of the rule *)
+  let rule_pos = peek_pos st in
   let head = parse_atom st in
   expect st Tturnstile "':-'";
   let rec body acc =
@@ -114,14 +134,15 @@ let parse_rule_tokens st =
     match peek st with
     | Tcomma -> advance st; body (a :: acc)
     | Tdot -> advance st; List.rev (a :: acc)
-    | tok -> raise (Error ("expected ',' or '.', found " ^ describe tok))
+    | tok -> fail_at (peek_pos st) ("expected ',' or '.', found " ^ describe tok)
   in
   let body = body [] in
   match Query.make head body with
   | Ok q -> q
-  | Error msg -> raise (Error msg)
+  | Error msg -> fail_at rule_pos msg
 
-let wrap f s = try Ok (f s) with Error msg -> Error msg
+let wrap f s =
+  try Ok (f s) with Vplan_error.Error (Vplan_error.Parse e) -> Error e
 
 let parse_rule =
   wrap (fun s ->
@@ -133,7 +154,9 @@ let parse_rule =
 let parse_rule_exn s =
   match parse_rule s with
   | Ok q -> q
-  | Error msg -> invalid_arg ("Parser.parse_rule_exn: " ^ msg ^ " in " ^ s)
+  | Error e ->
+      invalid_arg
+        ("Parser.parse_rule_exn: " ^ Vplan_error.parse_to_string e ^ " in " ^ s)
 
 let parse_program =
   wrap (fun s ->
@@ -152,13 +175,14 @@ let parse_facts =
         match peek st with
         | Teof -> List.rev acc
         | _ ->
+            let atom_pos = peek_pos st in
             let a = parse_atom st in
             expect st Tdot "'.'";
             let consts =
               List.map
                 (function
                   | Term.Cst c -> c
-                  | Term.Var x -> raise (Error ("fact contains variable " ^ x)))
+                  | Term.Var x -> fail_at atom_pos ("fact contains variable " ^ x))
                 a.Atom.args
             in
             loop ((a.Atom.pred, consts) :: acc)

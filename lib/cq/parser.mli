@@ -10,23 +10,31 @@
     identifiers beginning with a lower-case letter are symbolic constants in
     argument position and predicate names in predicate position.  Integer
     literals are integer constants.  Comments run from [%] or [#] to the
-    end of the line.  Every rule and fact ends with a dot. *)
+    end of the line.  Every rule and fact ends with a dot.
+
+    Errors carry the 1-based line and column of the offending token
+    ({!Vplan_core.Vplan_error.parse_error}); render them with
+    [Vplan_error.parse_to_string] and prefix a file name to obtain the
+    conventional [file:line:col: msg] form. *)
 
 (** [parse_rule s] parses a single rule [head :- body.]. *)
-val parse_rule : string -> (Query.t, string) result
+val parse_rule : string -> (Query.t, Vplan_core.Vplan_error.parse_error) result
 
 (** [parse_rule_exn s] raises [Invalid_argument] on a parse error — use in
     tests and examples where the input is a literal. *)
 val parse_rule_exn : string -> Query.t
 
 (** [parse_program s] parses a sequence of rules. *)
-val parse_program : string -> (Query.t list, string) result
+val parse_program :
+  string -> (Query.t list, Vplan_core.Vplan_error.parse_error) result
 
 (** [parse_facts s] parses ground facts such as [car(honda, anderson).],
     yielding predicate names with constant tuples.  A non-ground fact is an
     error. *)
-val parse_facts : string -> ((string * Term.const list) list, string) result
+val parse_facts :
+  string ->
+  ((string * Term.const list) list, Vplan_core.Vplan_error.parse_error) result
 
 (** [parse_atom s] parses a single atom such as [reach(sfo, X)] — used for
     command-line query arguments. *)
-val parse_atom : string -> (Atom.t, string) result
+val parse_atom : string -> (Atom.t, Vplan_core.Vplan_error.parse_error) result

@@ -41,7 +41,7 @@ let make_exn rules =
 
 let parse src =
   match Parser.parse_program src with
-  | Error e -> Error e
+  | Error e -> Error (Vplan_core.Vplan_error.parse_to_string e)
   | Ok rules -> make rules
 
 let rules t = t.rules

@@ -1,5 +1,16 @@
 open Vplan_cq
 open Vplan_relational
+module Budget = Vplan_core.Budget
+module Vplan_error = Vplan_core.Vplan_error
+
+(* The round cap and an optional shared budget are both checked at the
+   head of every fixpoint round: a non-terminating (or merely huge)
+   recursion stops with a typed resource error instead of an opaque
+   [Failure], and cancellation from another domain lands between rounds. *)
+let round_check ?budget ~max_rounds round =
+  if round > max_rounds then
+    raise (Vplan_error.Error (Step_limit { limit = max_rounds }));
+  Budget.tick budget
 
 let derive_rule db (r : Query.t) =
   Eval.satisfying_envs db r.body
@@ -8,9 +19,9 @@ let derive_rule db (r : Query.t) =
 let add_facts pred tuples db =
   List.fold_left (fun db t -> Database.add_fact pred t db) db tuples
 
-let naive ?(max_rounds = 10_000) program edb =
+let naive ?budget ?(max_rounds = 10_000) program edb =
   let rec loop db round =
-    if round > max_rounds then failwith "Seminaive.naive: too many rounds";
+    round_check ?budget ~max_rounds round;
     let db' =
       List.fold_left
         (fun acc (r : Query.t) -> add_facts r.head.Atom.pred (derive_rule db r) acc)
@@ -39,7 +50,7 @@ let delta_variants ~idb (r : Query.t) =
   in
   variants [] r.body
 
-let evaluate ?(max_rounds = 10_000) program edb =
+let evaluate ?budget ?(max_rounds = 10_000) program edb =
   let idb = Program.idb_predicates program in
   let rules = Program.rules program in
   (* round 0: plain evaluation of every rule against the EDB *)
@@ -68,7 +79,7 @@ let evaluate ?(max_rounds = 10_000) program edb =
       idb db
   in
   let rec loop db delta round =
-    if round > max_rounds then failwith "Seminaive.evaluate: too many rounds";
+    round_check ?budget ~max_rounds round;
     if Database.total_size delta = 0 then db
     else begin
       (* merge the delta first: non-delta body positions must see the
@@ -121,4 +132,5 @@ let evaluate ?(max_rounds = 10_000) program edb =
   in
   loop edb initial_delta 1
 
-let query ?max_rounds program edb q = Eval.answers (evaluate ?max_rounds program edb) q
+let query ?budget ?max_rounds program edb q =
+  Eval.answers (evaluate ?budget ?max_rounds program edb) q

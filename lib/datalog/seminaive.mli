@@ -11,12 +11,18 @@ open Vplan_relational
 
 (** [evaluate program edb] returns the fixpoint database (EDB facts plus
     all derived IDB facts).  [max_rounds] guards against runaway growth
-    (default 10_000; raises [Failure] when exceeded). *)
-val evaluate : ?max_rounds:int -> Program.t -> Database.t -> Database.t
+    (default 10_000; raises [Vplan_error.Error (Step_limit _)] when
+    exceeded).  A [?budget] is additionally ticked once per round, so a
+    shared deadline or cancellation stops the fixpoint between rounds. *)
+val evaluate :
+  ?budget:Vplan_core.Budget.t -> ?max_rounds:int -> Program.t -> Database.t -> Database.t
 
 (** [naive program edb] — reference implementation for testing. *)
-val naive : ?max_rounds:int -> Program.t -> Database.t -> Database.t
+val naive :
+  ?budget:Vplan_core.Budget.t -> ?max_rounds:int -> Program.t -> Database.t -> Database.t
 
 (** [query program edb q] — evaluate the program and then the conjunctive
     query [q] over the fixpoint. *)
-val query : ?max_rounds:int -> Program.t -> Database.t -> Query.t -> Relation.t
+val query :
+  ?budget:Vplan_core.Budget.t ->
+  ?max_rounds:int -> Program.t -> Database.t -> Query.t -> Relation.t

@@ -18,7 +18,8 @@ open Vplan_views
 
 (** [is_rewriting ~views ~query p] — alias of
     {!Expansion.is_equivalent_rewriting}. *)
-val is_rewriting : views:View.t list -> query:Query.t -> Query.t -> bool
+val is_rewriting :
+  ?budget:Vplan_core.Budget.t -> views:View.t list -> query:Query.t -> Query.t -> bool
 
 (** [is_minimal_query p] — [p] contains no redundant subgoal as a query. *)
 val is_minimal_query : Query.t -> bool

@@ -2,6 +2,8 @@ open Vplan_cq
 open Vplan_views
 module Minimize = Vplan_containment.Minimize
 module Parallel = Vplan_parallel.Parallel
+module Budget = Vplan_core.Budget
+module Vplan_error = Vplan_core.Vplan_error
 
 type stats = {
   num_views : int;
@@ -9,6 +11,8 @@ type stats = {
   num_view_tuples : int;
   num_representative_tuples : int;
 }
+
+type completeness = Complete | Truncated of Vplan_error.t
 
 type result = {
   minimized_query : Query.t;
@@ -18,30 +22,41 @@ type result = {
   tuple_classes : View_tuple.t list list;
   filters : View_tuple.t list;
   rewritings : Query.t list;
+  completeness : completeness;
   stats : stats;
 }
 
 (* Steps 1-3 of both variants: minimize, compute view tuples over the
    canonical database, compute tuple-cores, group views into equivalence
    classes and view tuples into same-core classes, and keep one
-   representative (view tuple, core) pair per class. *)
-let prepare ~group_views ~indexed ~buckets ~domains ~query ~views =
-  let qm = Minimize.minimize query in
+   representative (view tuple, core) pair per class.  The budget is the
+   same object throughout, so a deadline tripping in any stage (or any
+   worker domain) stops the remaining ones at their next tick. *)
+let prepare ~budget ~group_views ~indexed ~buckets ~domains ~query ~views =
+  let qm = Minimize.minimize ?budget query in
   (* Subgoal sets are bitmasks in a native int ([Tuple_core.mask], the
      cover universe): more subgoals than bits would overflow silently. *)
   if List.length qm.Query.body > Sys.int_size - 1 then
-    invalid_arg
-      (Printf.sprintf "Corecover: query has %d subgoals after minimization; at most %d supported"
-         (List.length qm.Query.body) (Sys.int_size - 1));
+    raise
+      (Vplan_error.Error
+         (Width_limit
+            {
+              subgoals = List.length qm.Query.body;
+              max_subgoals = Sys.int_size - 1;
+            }));
   let view_classes =
-    if group_views then Equiv_class.group_views ~buckets views
+    if group_views then Equiv_class.group_views ?budget ~buckets views
     else List.map (fun v -> [ v ]) views
   in
   let representative_views = Equiv_class.representatives view_classes in
   let engine = if indexed then `Indexed else `Nested_loop in
-  let view_tuples = View_tuple.compute ~engine ~domains ~query:qm representative_views in
+  let view_tuples =
+    View_tuple.compute ?budget ~engine ~domains ~query:qm representative_views
+  in
   let with_cores =
-    Parallel.map ~domains (fun tv -> (tv, Tuple_core.compute ~query:qm tv)) view_tuples
+    Parallel.map ?budget ~domains
+      (fun tv -> (tv, Tuple_core.compute ?budget ~query:qm tv))
+      view_tuples
   in
   let tuple_classes =
     (* [same_cover] is mask equality, so hash-bucketing by mask gives the
@@ -55,62 +70,117 @@ let prepare ~group_views ~indexed ~buckets ~domains ~query ~views =
 let build_rewriting (qm : Query.t) (chosen : View_tuple.t list) =
   Query.make_exn qm.head (List.map (fun tv -> tv.View_tuple.atom) chosen)
 
-let run ~group_views ~indexed ~buckets ~domains ~verify ~query ~views ~covers_of =
-  let qm, view_classes, view_tuples, tuple_classes, reps =
-    prepare ~group_views ~indexed ~buckets ~domains ~query ~views
+let run ~budget ~group_views ~indexed ~buckets ~domains ~verify ~query ~views
+    ~covers_of =
+  (* Anytime degradation: a budget tripping before any cover was produced
+     (during minimization, view-tuple or tuple-core computation) yields an
+     empty-but-sound result rather than an exception.  Input errors such
+     as [Width_limit] still raise. *)
+  let fallback e =
+    {
+      minimized_query = query;
+      view_classes = [];
+      view_tuples = [];
+      cores = [];
+      tuple_classes = [];
+      filters = [];
+      rewritings = [];
+      completeness = Truncated e;
+      stats =
+        {
+          num_views = List.length views;
+          num_view_classes = 0;
+          num_view_tuples = 0;
+          num_representative_tuples = 0;
+        };
+    }
   in
-  let nonempty =
-    List.filter (fun (_, core) -> not (Tuple_core.is_empty core)) reps
-  in
-  let filters =
-    List.filter_map
-      (fun (tv, core) -> if Tuple_core.is_empty core then Some tv else None)
-      reps
-  in
-  let tuples = Array.of_list (List.map fst nonempty) in
-  let sets = Array.of_list (List.map (fun (_, c) -> c.Tuple_core.mask) nonempty) in
-  let universe = (1 lsl List.length qm.Query.body) - 1 in
-  let covers = covers_of ~universe sets in
-  let rewritings =
-    List.map (fun cover -> build_rewriting qm (List.map (fun i -> tuples.(i)) cover)) covers
-  in
-  if verify then
-    List.iter
-      (fun p ->
-        if not (Expansion.is_equivalent_rewriting ~views ~query p) then
-          failwith
-            (Format.asprintf "CoreCover produced a non-equivalent rewriting: %a" Query.pp p))
+  match
+    let qm, view_classes, view_tuples, tuple_classes, reps =
+      prepare ~budget ~group_views ~indexed ~buckets ~domains ~query ~views
+    in
+    let nonempty =
+      List.filter (fun (_, core) -> not (Tuple_core.is_empty core)) reps
+    in
+    let filters =
+      List.filter_map
+        (fun (tv, core) -> if Tuple_core.is_empty core then Some tv else None)
+        reps
+    in
+    let tuples = Array.of_list (List.map fst nonempty) in
+    let sets = Array.of_list (List.map (fun (_, c) -> c.Tuple_core.mask) nonempty) in
+    let universe = (1 lsl List.length qm.Query.body) - 1 in
+    let outcome = covers_of ~budget ~universe sets in
+    let rewritings =
+      List.map
+        (fun cover -> build_rewriting qm (List.map (fun i -> tuples.(i)) cover))
+        outcome.Set_cover.covers
+    in
+    let rewritings =
+      if not verify then rewritings
+      else begin
+        (* Keep only rewritings fully verified before a budget cutoff, so
+           everything returned was actually double-checked. *)
+        let verified = ref [] in
+        (try
+           List.iter
+             (fun p ->
+               if Expansion.is_equivalent_rewriting ?budget ~views ~query p then
+                 verified := p :: !verified
+               else
+                 failwith
+                   (Format.asprintf
+                      "CoreCover produced a non-equivalent rewriting: %a" Query.pp p))
+             rewritings
+         with Vplan_error.Error e when Vplan_error.is_resource e -> ());
+        List.rev !verified
+      end
+    in
+    let completeness =
+      match Option.bind budget Budget.stopped with
+      | Some e -> Truncated e
+      | None -> (
+          match outcome.Set_cover.stopped with
+          | Some e -> Truncated e
+          | None -> Complete)
+    in
+    {
+      minimized_query = qm;
+      view_classes;
+      view_tuples;
+      cores = reps;
+      tuple_classes = List.map (List.map fst) tuple_classes;
+      filters;
       rewritings;
-  {
-    minimized_query = qm;
-    view_classes;
-    view_tuples;
-    cores = reps;
-    tuple_classes = List.map (List.map fst) tuple_classes;
-    filters;
-    rewritings;
-    stats =
-      {
-        num_views = List.length views;
-        num_view_classes = List.length view_classes;
-        num_view_tuples = List.length view_tuples;
-        num_representative_tuples = List.length reps;
-      };
-  }
+      completeness;
+      stats =
+        {
+          num_views = List.length views;
+          num_view_classes = List.length view_classes;
+          num_view_tuples = List.length view_tuples;
+          num_representative_tuples = List.length reps;
+        };
+    }
+  with
+  | r -> r
+  | exception Vplan_error.Error e when Vplan_error.is_resource e -> fallback e
 
-let gmrs ?(group_views = true) ?(indexed = true) ?(buckets = true) ?(domains = 1)
-    ?(verify = false) ~query ~views () =
-  run ~group_views ~indexed ~buckets ~domains ~verify ~query ~views
-    ~covers_of:(fun ~universe sets -> Set_cover.minimum_covers ~universe sets)
+let gmrs ?budget ?max_covers ?(group_views = true) ?(indexed = true)
+    ?(buckets = true) ?(domains = 1) ?(verify = false) ~query ~views () =
+  run ~budget ~group_views ~indexed ~buckets ~domains ~verify ~query ~views
+    ~covers_of:(fun ~budget ~universe sets ->
+      Set_cover.minimum_covers_anytime ?budget ?max_results:max_covers ~universe sets)
 
-let all_minimal ?(group_views = true) ?(indexed = true) ?(buckets = true) ?(domains = 1)
-    ?(verify = false) ?(max_results = 10_000) ~query ~views () =
-  run ~group_views ~indexed ~buckets ~domains ~verify ~query ~views
-    ~covers_of:(fun ~universe sets -> Set_cover.irredundant_covers ~max_results ~universe sets)
+let all_minimal ?budget ?(group_views = true) ?(indexed = true) ?(buckets = true)
+    ?(domains = 1) ?(verify = false) ?(max_results = 10_000) ~query ~views () =
+  run ~budget ~group_views ~indexed ~buckets ~domains ~verify ~query ~views
+    ~covers_of:(fun ~budget ~universe sets ->
+      Set_cover.irredundant_covers_anytime ?budget ~max_results ~universe sets)
 
 let has_rewriting ~query ~views =
   let qm, _, _, _, reps =
-    prepare ~group_views:true ~indexed:true ~buckets:true ~domains:1 ~query ~views
+    prepare ~budget:None ~group_views:true ~indexed:true ~buckets:true ~domains:1
+      ~query ~views
   in
   let universe = (1 lsl List.length qm.Query.body) - 1 in
   let union = List.fold_left (fun acc (_, core) -> acc lor core.Tuple_core.mask) 0 reps in

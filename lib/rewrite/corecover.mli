@@ -29,6 +29,12 @@ type stats = {
   num_representative_tuples : int;  (** distinct tuple-cores (incl. empty) *)
 }
 
+(** Whether the run explored its whole search space.  [Truncated e] marks
+    an {e anytime} result: a budget or result cap fired ([e] says which),
+    every returned rewriting is still a sound equivalent rewriting, but
+    others may exist beyond the cutoff. *)
+type completeness = Complete | Truncated of Vplan_core.Vplan_error.t
+
 type result = {
   minimized_query : Query.t;
   view_classes : View.t list list;
@@ -40,6 +46,8 @@ type result = {
   filters : View_tuple.t list;
       (** representative empty-core view tuples (M2 filter candidates) *)
   rewritings : Query.t list;
+  completeness : completeness;
+      (** [Complete] unless a budget or cover cap cut the run short *)
   stats : stats;
 }
 
@@ -60,9 +68,20 @@ type result = {
     the expansion-equivalence test and raises [Failure] on a counterexample
     — used by the test suite.
 
-    @raise Invalid_argument if the minimized query has more subgoals than
-    fit in a native-int bitmask ([Sys.int_size - 1], i.e. 62 on 64-bit). *)
+    [budget] makes the run {e anytime}: when the deadline, step budget or
+    cancellation fires, the call returns normally with every rewriting
+    fully produced (and, under [verify], fully verified) before the
+    cutoff and [completeness = Truncated reason] instead of raising.
+    [max_covers] caps the number of covers enumerated, reported the same
+    way.  Without either, [completeness] is [Complete] and the behavior
+    is unchanged.
+
+    @raise Vplan_error.Error with [Width_limit] if the minimized query has
+    more subgoals than fit in a native-int bitmask ([Sys.int_size - 1],
+    i.e. 62 on 64-bit) — an input error, raised even under a budget. *)
 val gmrs :
+  ?budget:Vplan_core.Budget.t ->
+  ?max_covers:int ->
   ?group_views:bool ->
   ?indexed:bool ->
   ?buckets:bool ->
@@ -75,10 +94,13 @@ val gmrs :
 
 (** [all_minimal ~query ~views ()] runs CoreCover{^ *}: every irredundant
     cover yields a minimal rewriting; [max_results] bounds the enumeration
-    (default 10_000).  The [filters] field lists the empty-core view tuples
-    an optimizer may append as filtering subgoals under M2.  Performance
-    toggles and the subgoal-count guard are as in {!gmrs}. *)
+    (default 10_000, reported as [Truncated (Cover_limit _)] when it
+    fires).  The [filters] field lists the empty-core view tuples an
+    optimizer may append as filtering subgoals under M2.  Performance
+    toggles, [budget] semantics and the subgoal-count guard are as in
+    {!gmrs}. *)
 val all_minimal :
+  ?budget:Vplan_core.Budget.t ->
   ?group_views:bool ->
   ?indexed:bool ->
   ?buckets:bool ->
@@ -94,5 +116,6 @@ val all_minimal :
     rewriting (the union of all tuple-cores must cover the query subgoals —
     Theorem 4.1).
 
-    @raise Invalid_argument on over-wide queries, as in {!gmrs}. *)
+    @raise Vplan_error.Error with [Width_limit] on over-wide queries, as
+    in {!gmrs}. *)
 val has_rewriting : query:Query.t -> views:View.t list -> bool

@@ -1,3 +1,11 @@
+module Budget = Vplan_core.Budget
+module Vplan_error = Vplan_core.Vplan_error
+
+type outcome = {
+  covers : int list list;
+  stopped : Vplan_error.t option;
+}
+
 let union_of sets indices = List.fold_left (fun acc i -> acc lor sets.(i)) 0 indices
 
 let is_cover ~universe sets indices = union_of sets indices land universe = universe
@@ -28,8 +36,12 @@ let lowest_uncovered ~universe covered =
    earlier claim [(b, s)] has [i] containing [b] with [i < s] — in any
    completion, [s] would not be [b]'s smallest-index claimant.  The
    canonical assignment itself always survives this test, so exactly one
-   search path reaches each cover. *)
-let enumerate ~universe sets ~size_bound ~keep ~max_results =
+   search path reaches each cover.
+
+   The enumeration is anytime: covers accumulated before a budget trip or
+   the [max_results] cap are returned with the reason in [stopped]; each
+   is a genuine cover, only exhaustiveness is lost. *)
+let enumerate ?budget ~universe sets ~size_bound ~keep ~max_results =
   let n = Array.length sets in
   let nbits =
     let rec go b = if universe lsr b = 0 then b else go (b + 1) in
@@ -47,9 +59,14 @@ let enumerate ~universe sets ~size_bound ~keep ~max_results =
   done;
   let results = ref [] in
   let count = ref 0 in
+  let stopped = ref None in
   let rec go chosen covered depth claims =
-    if !count >= max_results then ()
-    else
+    if !count >= max_results then begin
+      if max_results < max_int && !stopped = None then
+        stopped := Some (Vplan_error.Cover_limit { limit = max_results })
+    end
+    else begin
+      Budget.tick budget;
       match lowest_uncovered ~universe covered with
       | None ->
           let cover = List.sort Int.compare chosen in
@@ -72,32 +89,43 @@ let enumerate ~universe sets ~size_bound ~keep ~max_results =
                     (depth + 1)
                     ((1 lsl bit, i) :: claims))
               candidates.(bit)
+    end
   in
-  go [] 0 0 [];
+  (try go [] 0 0 []
+   with Vplan_error.Error e when Vplan_error.is_resource e -> stopped := Some e);
   (* DFS emission follows claim order, not index order; sort to present
      covers in lexicographic order of their sorted index lists. *)
-  List.sort (List.compare Int.compare) !results
+  { covers = List.sort (List.compare Int.compare) !results; stopped = !stopped }
 
-let minimum_covers ~universe sets =
-  if universe = 0 then [ [] ]
+let minimum_covers_anytime ?budget ?(max_results = max_int) ~universe sets =
+  if universe = 0 then { covers = [ [] ]; stopped = None }
   else
     let n = Array.length sets in
     let rec try_size k =
-      if k > n then []
+      if k > n then { covers = []; stopped = None }
       else
-        match
-          enumerate ~universe sets ~size_bound:k
+        let o =
+          enumerate ?budget ~universe sets ~size_bound:k
             ~keep:(fun cover -> List.length cover = k)
-            ~max_results:max_int
-        with
-        | [] -> try_size (k + 1)
-        | covers -> covers
+            ~max_results
+        in
+        match o with
+        | { covers = []; stopped = None } -> try_size (k + 1)
+        (* Covers found at size [k] are genuine minimum covers even when
+           the size-[k] pass was cut short: all smaller sizes completed
+           with no cover. *)
+        | o -> o
     in
     try_size 1
 
-let irredundant_covers ?(max_results = max_int) ~universe sets =
-  if universe = 0 then [ [] ]
+let irredundant_covers_anytime ?budget ?(max_results = max_int) ~universe sets =
+  if universe = 0 then { covers = [ [] ]; stopped = None }
   else
-    enumerate ~universe sets ~size_bound:(Array.length sets)
+    enumerate ?budget ~universe sets ~size_bound:(Array.length sets)
       ~keep:(is_irredundant ~universe sets)
       ~max_results
+
+let minimum_covers ~universe sets = (minimum_covers_anytime ~universe sets).covers
+
+let irredundant_covers ?max_results ~universe sets =
+  (irredundant_covers_anytime ?max_results ~universe sets).covers

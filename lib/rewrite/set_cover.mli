@@ -4,7 +4,18 @@
     subgoals with as few tuple-cores as possible (minimum covers, cost
     model M1) or with any irredundant combination (CoreCover{^ *}, cost
     model M2).  Universes are small (one bit per query subgoal), so exact
-    branch-and-bound search is used throughout. *)
+    branch-and-bound search is used throughout.
+
+    The [_anytime] variants run under an optional {!Vplan_core.Budget.t}
+    and return an {!outcome}: the covers enumerated so far plus the reason
+    the enumeration stopped early, if it did.  Every returned cover is a
+    genuine cover — truncation only costs exhaustiveness. *)
+
+type outcome = {
+  covers : int list list;
+  stopped : Vplan_core.Vplan_error.t option;
+      (** [None] when the enumeration ran to completion *)
+}
 
 (** [minimum_covers ~universe sets] returns all covers of the full
     [universe] mask of minimum cardinality, as sorted index lists into
@@ -17,6 +28,25 @@ val minimum_covers : universe:int -> int array -> int list list
     sorted index lists.  [max_results] truncates the enumeration (default
     [max_int]). *)
 val irredundant_covers : ?max_results:int -> universe:int -> int array -> int list list
+
+(** Anytime {!minimum_covers}: covers found at cardinality [k] are genuine
+    minimum covers even if the size-[k] pass is cut short, because all
+    smaller cardinalities were exhausted first. *)
+val minimum_covers_anytime :
+  ?budget:Vplan_core.Budget.t ->
+  ?max_results:int ->
+  universe:int ->
+  int array ->
+  outcome
+
+(** Anytime {!irredundant_covers}; [stopped = Some (Cover_limit _)] when
+    the [max_results] cap fired. *)
+val irredundant_covers_anytime :
+  ?budget:Vplan_core.Budget.t ->
+  ?max_results:int ->
+  universe:int ->
+  int array ->
+  outcome
 
 (** [is_cover ~universe sets indices]. *)
 val is_cover : universe:int -> int array -> int list -> bool

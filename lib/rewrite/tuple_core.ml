@@ -33,7 +33,10 @@ type ctx = {
 
 let make_ctx ~query tv =
   let body = Array.of_list query.Query.body in
-  if Array.length body > 62 then invalid_arg "Tuple_core: more than 62 subgoals";
+  if Array.length body > 62 then
+    raise
+      (Vplan_core.Vplan_error.Error
+         (Width_limit { subgoals = Array.length body; max_subgoals = 62 }));
   let expansion, existentials = View_tuple.expansion ~avoid:(Query.var_set query) tv in
   let var_occurrences =
     Array.to_list body
@@ -122,10 +125,11 @@ let closure_ok ctx subst mask =
         | Some _ | None -> true)
     ctx.var_occurrences
 
-let candidates ctx =
+let candidates ?budget ctx =
   let n = Array.length ctx.body in
   let results = ref [] in
   let rec go i subst mask =
+    Vplan_core.Budget.tick budget;
     if i = n then begin
       if injective ctx subst mask && closure_ok ctx subst mask then
         results := (mask, subst) :: !results
@@ -161,9 +165,9 @@ let of_candidate ctx (mask, subst) =
   in
   { subgoals; mask; mapping = restrict_mapping subst mask ctx.body }
 
-let compute_all_maximal ~query tv =
+let compute_all_maximal ?budget ~query tv =
   let ctx = make_ctx ~query tv in
-  let cands = candidates ctx in
+  let cands = candidates ?budget ctx in
   let maximal =
     List.filter
       (fun (mask, _) ->
@@ -183,8 +187,8 @@ let compute_all_maximal ~query tv =
   in
   List.rev_map (of_candidate ctx) dedup
 
-let compute ~query tv =
-  match compute_all_maximal ~query tv with
+let compute ?budget ~query tv =
+  match compute_all_maximal ?budget ~query tv with
   | [] -> { subgoals = []; mask = 0; mapping = Subst.empty }
   | [ core ] -> core
   | multiple ->

@@ -33,9 +33,12 @@ val pp : Format.formatter -> t -> unit
 val same_cover : t -> t -> bool
 
 (** [compute ~query tv] computes the tuple-core of [tv] for the (minimal)
-    [query].  The query body must have at most 62 subgoals. *)
-val compute : query:Query.t -> View_tuple.t -> t
+    [query].  Raises [Vplan_error.Error (Width_limit _)] when the query
+    body exceeds 62 subgoals.  A [?budget] is ticked at every node of the
+    subset search. *)
+val compute : ?budget:Vplan_core.Budget.t -> query:Query.t -> View_tuple.t -> t
 
 (** All inclusion-maximal candidate cores — singleton for minimal queries
     (Lemma 4.2). *)
-val compute_all_maximal : query:Query.t -> View_tuple.t -> t list
+val compute_all_maximal :
+  ?budget:Vplan_core.Budget.t -> query:Query.t -> View_tuple.t -> t list

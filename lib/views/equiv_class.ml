@@ -54,8 +54,8 @@ let erase_head_pred (v : Query.t) =
    renaming), and the fingerprint is a function of the minimized query
    that no renaming can change.  Views are bucketed by signature and the
    expensive pairwise homomorphism checks run only within a bucket. *)
-let signature (v : Query.t) =
-  let v = Minimize.minimize (erase_head_pred v) in
+let signature ?budget (v : Query.t) =
+  let v = Minimize.minimize ?budget (erase_head_pred v) in
   let buf = Buffer.create 128 in
   (* head pattern: constants verbatim, variables by first occurrence *)
   let head_args = v.head.Atom.args in
@@ -112,11 +112,11 @@ let signature (v : Query.t) =
   List.iter (fun p -> Buffer.add_string buf (p ^ ";")) profiles;
   Buffer.contents buf
 
-let view_equivalent v1 v2 =
-  Containment.equivalent (erase_head_pred v1) (erase_head_pred v2)
+let view_equivalent ?budget v1 v2 =
+  Containment.equivalent ?budget (erase_head_pred v1) (erase_head_pred v2)
 
-let group_views ?(buckets = true) views =
-  if not buckets then group ~eq:view_equivalent views
+let group_views ?budget ?(buckets = true) views =
+  if not buckets then group ~eq:(view_equivalent ?budget) views
   else begin
     (* Bucket views by signature; compare only against representatives of
        classes in the same bucket.  Since equal signatures are necessary
@@ -129,7 +129,7 @@ let group_views ?(buckets = true) views =
     let order = ref [] in
     List.iter
       (fun v ->
-        let s = signature v in
+        let s = signature ?budget v in
         let bucket =
           match Hashtbl.find_opt table s with
           | Some b -> b
@@ -144,7 +144,7 @@ let group_views ?(buckets = true) views =
               bucket := !bucket @ [ cell ];
               order := cell :: !order
           | (rep, members) :: rest ->
-              if view_equivalent rep v then members := v :: !members else find rest
+              if view_equivalent ?budget rep v then members := v :: !members else find rest
         in
         find !bucket)
       views;

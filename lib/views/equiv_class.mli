@@ -37,10 +37,12 @@ val representatives : 'a list list -> 'a list
     and the fingerprint never mentions variable names, so equal signatures
     are necessary for equivalence — bucketing by signature is a sound
     partition refinement. *)
-val signature : Query.t -> string
+val signature : ?budget:Vplan_core.Budget.t -> Query.t -> string
 
 (** [group_views views] groups views equivalent as queries (ignoring their
     distinct head predicate names: [v1 ≡ v5] in the car-loc-part example).
     [buckets] (default [true]) enables signature bucketing; the resulting
-    classes are identical either way. *)
-val group_views : ?buckets:bool -> View.t list -> View.t list list
+    classes are identical either way.  A [?budget] bounds the underlying
+    minimization/equivalence searches. *)
+val group_views :
+  ?budget:Vplan_core.Budget.t -> ?buckets:bool -> View.t list -> View.t list list

@@ -41,12 +41,12 @@ let expand_exn ~views p =
   | Ok q -> q
   | Error `Unsatisfiable -> invalid_arg ("Expansion.expand_exn: unsatisfiable rewriting " ^ Query.to_string p)
 
-let is_equivalent_rewriting ~views ~query p =
+let is_equivalent_rewriting ?budget ~views ~query p =
   View.uses_only_views views p
   &&
   match expand ~views p with
   | Error `Unsatisfiable -> false
-  | Ok pexp -> Vplan_containment.Containment.equivalent pexp query
+  | Ok pexp -> Vplan_containment.Containment.equivalent ?budget pexp query
 
 let expansion_contained_in_query ~views ~query p =
   View.uses_only_views views p

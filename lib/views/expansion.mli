@@ -21,8 +21,10 @@ val expand_exn : views:View.t list -> Query.t -> Query.t
 
 (** [is_equivalent_rewriting ~views ~query p] decides whether [p] is an
     equivalent rewriting of [query] using [views]: [p] uses only view
-    predicates and [P{^exp} ≡ query]. *)
-val is_equivalent_rewriting : views:View.t list -> query:Query.t -> Query.t -> bool
+    predicates and [P{^exp} ≡ query].  A [?budget] bounds the underlying
+    containment searches. *)
+val is_equivalent_rewriting :
+  ?budget:Vplan_core.Budget.t -> views:View.t list -> query:Query.t -> Query.t -> bool
 
 (** [expansion_contained_in_query ~views ~query p] decides [P{^exp} ⊑ Q] —
     the defining property of a {e contained} rewriting (what the bucket and

@@ -10,7 +10,7 @@ let equal t1 t2 = Atom.equal t1.atom t2.atom
 let compare t1 t2 = Atom.compare t1.atom t2.atom
 let pp ppf t = Atom.pp ppf t.atom
 
-let compute ?(engine = `Indexed) ?(domains = 1) ~query views =
+let compute ?budget ?(engine = `Indexed) ?(domains = 1) ~query views =
   let canonical = Canonical.freeze query in
   let db = Canonical.database canonical in
   let answers =
@@ -24,6 +24,8 @@ let compute ?(engine = `Indexed) ?(domains = 1) ~query views =
         Indexed_db.answers idb
   in
   let tuples_of_view view =
+    (* one tick per view: cancellation reaches each worker between views *)
+    Vplan_core.Budget.tick budget;
     let result = answers view in
     Relation.fold
       (fun tuple acc ->
@@ -32,7 +34,7 @@ let compute ?(engine = `Indexed) ?(domains = 1) ~query views =
       result []
     |> List.rev
   in
-  List.concat (Vplan_parallel.Parallel.map ~domains tuples_of_view views)
+  List.concat (Vplan_parallel.Parallel.map ?budget ~domains tuples_of_view views)
 
 let expansion ~avoid tv =
   let avoid = Names.Sset.union avoid (Atom.var_set tv.atom) in

@@ -29,8 +29,13 @@ val pp : Format.formatter -> t -> unit
 
     [domains] (default 1) fans the per-view evaluation out across that
     many domains ({!Vplan_parallel.Parallel.map}); the result is
-    independent of the worker count. *)
+    independent of the worker count.
+
+    A [?budget] is ticked once per view (in whichever domain evaluates
+    it) and shared with the fan-out's exception barrier, so a deadline or
+    cancellation stops all workers within one view evaluation. *)
 val compute :
+  ?budget:Vplan_core.Budget.t ->
   ?engine:[ `Indexed | `Nested_loop ] ->
   ?domains:int ->
   query:Query.t ->

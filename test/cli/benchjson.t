@@ -6,9 +6,9 @@ integer columns (views, queries) are seed-deterministic.
   vplan benchmark harness (quick settings)
   
   == Figure 6(a): star queries, all variables distinguished ==
-     views       avg-ms       min-ms       max-ms     GMRs
-        10          NUM          NUM          NUM      NUM
-        50          NUM          NUM          NUM     NUM
+     views       avg-ms       min-ms       max-ms     GMRs  truncated
+        10          NUM          NUM          NUM      NUM          0
+        50          NUM          NUM          NUM     NUM          0
   
   wrote 2 timing rows to bench.json
 
@@ -19,14 +19,14 @@ integer columns (views, queries) are seed-deterministic.
     "indexed": true,
     "buckets": true,
     "rows": [
-      { "experiment": "fig6a", "views": 10, "queries": 3, "avg_ms": NUM, "min_ms": NUM, "max_ms": NUM, "gmrs": NUM },
-      { "experiment": "fig6a", "views": 50, "queries": 3, "avg_ms": NUM, "min_ms": NUM, "max_ms": NUM, "gmrs": NUM }
+      { "experiment": "fig6a", "views": 10, "queries": 3, "avg_ms": NUM, "min_ms": NUM, "max_ms": NUM, "gmrs": NUM, "truncated": 0 },
+      { "experiment": "fig6a", "views": 50, "queries": 3, "avg_ms": NUM, "min_ms": NUM, "max_ms": NUM, "gmrs": NUM, "truncated": 0 }
     ]
   }
 
 The perf toggles are accepted and leave the result columns unchanged:
 
   $ vplan_bench fig6a --views 10 --no-index --no-buckets --domains 2 --out bench2.json | sed -E 's/[0-9]+\.[0-9]+/NUM/g' | tail -3
-        10          NUM          NUM          NUM      NUM
+        10          NUM          NUM          NUM      NUM          0
   
   wrote 1 timing rows to bench2.json

@@ -1,0 +1,83 @@
+Budgeted execution through the CLI: --timeout, --max-steps and --max-covers
+make every rewrite anytime.  Exit codes: 0 complete, 3 truncated.
+
+  $ cat > carloc.dlog <<'PROGRAM'
+  > q1(S, C) :- car(M, anderson), loc(anderson, C), part(S, M, C).
+  > v1(M, D, C) :- car(M, D), loc(D, C).
+  > v2(S, M, C) :- part(S, M, C).
+  > v4(M, D, C, S) :- car(M, D), loc(D, C), part(S, M, C).
+  > PROGRAM
+
+A generous deadline changes nothing — byte-identical output, exit 0:
+
+  $ vplan_cli rewrite carloc.dlog --timeout 60000
+  query (minimized): q1(S,C) :- car(M,anderson), loc(anderson,C), part(S,M,C)
+  views: 3 in 3 equivalence classes
+  view tuples: 3 (3 representatives)
+  globally-minimal rewritings (1):
+    q1(S,C) :- v4(M,anderson,C,S)
+
+An exhausted step budget returns whatever was produced before the cutoff
+(here: nothing), warns on stderr, and exits 3 instead of raising:
+
+  $ vplan_cli rewrite carloc.dlog --max-steps 1
+  query (minimized): q1(S,C) :- car(M,anderson), loc(anderson,C), part(S,M,C)
+  views: 3 in 0 equivalence classes
+  view tuples: 0 (0 representatives)
+  no rewriting found before the cutoff
+  warning: result truncated: step budget of 1 exhausted
+  [3]
+
+Three pair views, three minimum covers: uncapped, all three GMRs appear.
+
+  $ cat > triple.dlog <<'PROGRAM'
+  > q(X) :- p1(X), p2(X), p3(X).
+  > vab(A) :- p1(A), p2(A).
+  > vbc(A) :- p2(A), p3(A).
+  > vac(A) :- p1(A), p3(A).
+  > PROGRAM
+  $ vplan_cli rewrite triple.dlog
+  query (minimized): q(X) :- p1(X), p2(X), p3(X)
+  views: 3 in 3 equivalence classes
+  view tuples: 3 (3 representatives)
+  globally-minimal rewritings (3):
+    q(X) :- vab(X), vbc(X)
+    q(X) :- vab(X), vac(X)
+    q(X) :- vbc(X), vac(X)
+
+--max-covers 1 keeps the first cover: the returned rewriting is still a
+sound GMR, only exhaustiveness is surrendered.
+
+  $ vplan_cli rewrite triple.dlog --max-covers 1
+  query (minimized): q(X) :- p1(X), p2(X), p3(X)
+  views: 3 in 3 equivalence classes
+  view tuples: 3 (3 representatives)
+  globally-minimal rewritings (1):
+    q(X) :- vab(X), vbc(X)
+  warning: result truncated: cover enumeration capped at 1 results
+  [3]
+
+The REPL accepts the same limits per session and survives the cutoff:
+
+  $ vplan_repl <<'EOF'
+  > query q(X) :- p1(X), p2(X), p3(X).
+  > view vab(A) :- p1(A), p2(A).
+  > view vbc(A) :- p2(A), p3(A).
+  > view vac(A) :- p1(A), p3(A).
+  > set max-covers 1
+  > rewrite
+  > set off
+  > rewrite
+  > quit
+  > EOF
+  query: q(X) :- p1(X), p2(X), p3(X)
+  view: vab(A) :- p1(A), p2(A)
+  view: vbc(A) :- p2(A), p3(A)
+  view: vac(A) :- p1(A), p3(A)
+  max-covers: 1
+  q(X) :- vab(X), vbc(X)
+  (truncated: cover enumeration capped at 1 results)
+  budget off
+  q(X) :- vab(X), vbc(X)
+  q(X) :- vab(X), vac(X)
+  q(X) :- vbc(X), vac(X)

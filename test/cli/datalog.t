@@ -20,5 +20,5 @@ Recursive Datalog evaluation through the CLI, with and without magic sets.
 Bad query atoms are reported:
 
   $ vplan_cli datalog tc.dlog --data tc_data.dlog --query 'reach(sfo, X'
-  --query: expected ',' or ')', found end of input
+  --query: 1:13: expected ',' or ')', found end of input
   [2]

@@ -4,12 +4,12 @@ Error handling: malformed programs are rejected with a message.
   > q(X) :- p(X)
   > PROGRAM
   $ vplan_cli rewrite bad.dlog
-  bad.dlog: parse error: expected ',' or '.', found end of input
+  bad.dlog:1:13: expected ',' or '.', found end of input
   [2]
 
   $ cat > unsafe.dlog <<'PROGRAM'
   > q(X) :- p(Y).
   > PROGRAM
   $ vplan_cli rewrite unsafe.dlog
-  unsafe.dlog: parse error: unsafe query: head variable(s) X not in body
+  unsafe.dlog:1:1: unsafe query: head variable(s) X not in body
   [2]

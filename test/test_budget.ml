@@ -1,0 +1,244 @@
+(* Resource governance: budgets, the anytime CoreCover contract, typed
+   errors on library boundaries, and the Parallel.map exception barrier. *)
+
+open Vplan
+open Helpers
+
+(* -------------------------------------------------------------- *)
+(* Budget mechanics.                                              *)
+
+let test_budget_step_limit () =
+  let b = Budget.create ~max_steps:5 () in
+  let tripped = ref None in
+  (try
+     for _ = 1 to 100 do
+       Budget.check b
+     done
+   with Vplan_error.Error e -> tripped := Some e);
+  (match !tripped with
+  | Some (Vplan_error.Step_limit { limit }) -> check_int "limit recorded" 5 limit
+  | _ -> Alcotest.fail "expected Step_limit");
+  (* the flag is sticky: every later check raises immediately *)
+  (match Budget.check b with
+  | exception Vplan_error.Error (Vplan_error.Step_limit _) -> ()
+  | () -> Alcotest.fail "tripped budget accepted another step");
+  match Budget.stopped b with
+  | Some (Vplan_error.Step_limit _) -> ()
+  | _ -> Alcotest.fail "stopped should report the trip reason"
+
+let test_budget_first_trip_wins () =
+  let b = Budget.create ~max_steps:1 () in
+  (try
+     while true do
+       Budget.check b
+     done
+   with Vplan_error.Error _ -> ());
+  (* a later cancel must not overwrite the original reason *)
+  Budget.cancel b;
+  (match Budget.stopped b with
+  | Some (Vplan_error.Step_limit _) -> ()
+  | _ -> Alcotest.fail "cancel overwrote the first trip reason");
+  let b2 = Budget.create () in
+  Budget.cancel b2;
+  match Budget.check b2 with
+  | exception Vplan_error.Error Vplan_error.Cancelled -> ()
+  | () -> Alcotest.fail "cancelled budget accepted a step"
+
+let test_budget_deadline () =
+  let b = Budget.create ~deadline_ms:5. () in
+  let deadline = Unix.gettimeofday () +. 0.005 in
+  while Unix.gettimeofday () <= deadline do
+    ()
+  done;
+  match
+    (* the deadline is only polled every 64 steps, so give it a chance *)
+    for _ = 1 to 200 do
+      Budget.check b
+    done
+  with
+  | exception Vplan_error.Error (Vplan_error.Timeout { limit_ms; _ }) ->
+      check_bool "limit recorded" true (limit_ms = 5.)
+  | () -> Alcotest.fail "expired deadline never tripped"
+
+(* -------------------------------------------------------------- *)
+(* Parallel.map: exception barrier and deterministic surfacing.    *)
+
+let test_parallel_matches_list_map () =
+  let xs = List.init 101 Fun.id in
+  List.iter
+    (fun domains ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "map with %d domains" domains)
+        (List.map (fun x -> (x * x) + 1) xs)
+        (Parallel.map ~domains (fun x -> (x * x) + 1) xs))
+    [ 1; 2; 4; 7 ]
+
+let test_parallel_no_domain_leak () =
+  (* Before the barrier fix a raising chunk escaped before its siblings
+     were joined, leaking one domain per failure.  200 failing rounds with
+     3 spawned domains each would then hit the system thread limit; with
+     the fix every round raises the original exception and reclaims all
+     domains. *)
+  let xs = List.init 16 Fun.id in
+  for _ = 1 to 200 do
+    match Parallel.map ~domains:4 (fun x -> if x >= 0 then failwith "boom" else x) xs with
+    | _ -> Alcotest.fail "raising worker produced a result"
+    | exception Failure msg -> check_bool "original exception" true (msg = "boom")
+  done
+
+let test_parallel_deterministic_error () =
+  (* elements 5 (chunk 1) and 13 (chunk 3) both fail: the lowest-indexed
+     chunk's error must surface every time, whatever the scheduling *)
+  let xs = List.init 16 Fun.id in
+  for _ = 1 to 50 do
+    match
+      Parallel.map ~domains:4
+        (fun x -> if x = 5 || x = 13 then failwith (Printf.sprintf "e%d" x) else x)
+        xs
+    with
+    | _ -> Alcotest.fail "raising worker produced a result"
+    | exception Failure msg -> Alcotest.(check string) "lowest chunk wins" "e5" msg
+  done
+
+let test_parallel_cancellation_propagates () =
+  (* chunk 0 fails at once; the other chunks spin on the shared budget and
+     only stop because the failure cancelled it.  The surfaced error must
+     still be the root cause, never the induced Cancelled. *)
+  let xs = List.init 16 Fun.id in
+  for _ = 1 to 20 do
+    let budget = Budget.create () in
+    match
+      Parallel.map ~budget ~domains:4
+        (fun x ->
+          if x < 4 then failwith "root cause"
+          else
+            while true do
+              Budget.check budget
+            done)
+        xs
+    with
+    | _ -> Alcotest.fail "raising worker produced a result"
+    | exception Failure msg -> Alcotest.(check string) "root cause wins" "root cause" msg
+    | exception Vplan_error.Error Vplan_error.Cancelled ->
+        Alcotest.fail "induced cancellation surfaced instead of the root cause"
+  done
+
+(* -------------------------------------------------------------- *)
+(* Typed errors on library boundaries.                             *)
+
+let test_seminaive_round_cap_typed () =
+  let program =
+    Program.make_exn
+      (qs [ "path(X, Y) :- edge(X, Y)."; "path(X, Z) :- edge(X, Y), path(Y, Z)." ])
+  in
+  let edb =
+    Database.of_facts
+      (List.map (fun (x, y) -> ("edge", [ Term.Int x; Term.Int y ]))
+         [ (1, 2); (2, 3); (3, 4); (4, 5) ])
+  in
+  (* the 5-node chain needs several rounds; one round cannot finish *)
+  (match Seminaive.evaluate ~max_rounds:1 program edb with
+  | _ -> Alcotest.fail "round cap did not fire"
+  | exception Vplan_error.Error (Vplan_error.Step_limit { limit }) ->
+      check_int "cap reported" 1 limit);
+  (* a shared budget stops the fixpoint between rounds the same way *)
+  let budget = Budget.create ~max_steps:1 () in
+  match Seminaive.evaluate ~budget program edb with
+  | _ -> Alcotest.fail "step budget did not stop the fixpoint"
+  | exception Vplan_error.Error (Vplan_error.Step_limit _) -> ()
+
+(* -------------------------------------------------------------- *)
+(* Anytime CoreCover.                                              *)
+
+let test_corecover_cover_cap_anytime () =
+  (* three pair views with pairwise-distinct tuple-cores: any two of them
+     cover the three subgoals, so there are exactly three minimum covers *)
+  let query = q "q(X) :- p1(X), p2(X), p3(X)." in
+  let views =
+    qs
+      [
+        "vab(A) :- p1(A), p2(A).";
+        "vbc(A) :- p2(A), p3(A).";
+        "vac(A) :- p1(A), p3(A).";
+      ]
+  in
+  let full = Corecover.gmrs ~query ~views () in
+  check_int "three GMRs uncapped" 3 (List.length full.rewritings);
+  check_bool "uncapped run complete" true (full.completeness = Corecover.Complete);
+  let capped = Corecover.gmrs ~max_covers:1 ~query ~views () in
+  check_int "one GMR under the cap" 1 (List.length capped.rewritings);
+  (match capped.completeness with
+  | Corecover.Truncated (Vplan_error.Cover_limit { limit }) -> check_int "cap" 1 limit
+  | _ -> Alcotest.fail "capped run not flagged as truncated");
+  (* the anytime contract: whatever comes back is a real rewriting *)
+  List.iter
+    (fun p ->
+      check_bool "returned rewriting is equivalent" true
+        (Expansion.is_equivalent_rewriting ~views ~query p))
+    capped.rewritings
+
+(* An adversarial workload: 16 unary subgoals over one distinguished
+   variable, one view per 8-element subset of the subgoals.  The C(16,8) =
+   12870 views have pairwise-distinct tuple-cores — no equivalence class or
+   core bucketing collapses anything — and the minimum covers are the
+   thousands of complementary pairs, so an unbudgeted run grinds through
+   ~10^7 cover candidates.  A ~50ms deadline must cut it short quickly
+   while keeping every returned rewriting sound. *)
+let test_corecover_deadline_adversarial () =
+  let n = 16 and size = 8 in
+  let body =
+    String.concat ", " (List.init n (fun j -> Printf.sprintf "p%d(X)" (j + 1)))
+  in
+  let query = q (Printf.sprintf "q(X) :- %s." body) in
+  let subsets =
+    let rec go i remaining acc =
+      if remaining = 0 then [ acc ]
+      else if i >= n then []
+      else go (i + 1) (remaining - 1) (i :: acc) @ go (i + 1) remaining acc
+    in
+    go 0 size []
+  in
+  let views =
+    List.mapi
+      (fun vi members ->
+        let body =
+          String.concat ", " (List.map (fun j -> Printf.sprintf "p%d(A)" (j + 1)) members)
+        in
+        q (Printf.sprintf "v%d(A) :- %s." vi body))
+      subsets
+  in
+  check_int "C(16,8) views" 12870 (List.length views);
+  let deadline_ms = 50. in
+  let budget = Budget.create ~deadline_ms () in
+  let t0 = Unix.gettimeofday () in
+  let r = Corecover.gmrs ~budget ~query ~views () in
+  let elapsed_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+  (match r.completeness with
+  | Corecover.Truncated (Vplan_error.Timeout _) -> ()
+  | Corecover.Truncated e ->
+      Alcotest.fail ("truncated for the wrong reason: " ^ Vplan_error.to_string e)
+  | Corecover.Complete -> Alcotest.fail "63^8-cover workload claimed completeness");
+  (* generous CI margin, but far below the minutes an unbudgeted run needs *)
+  check_bool
+    (Printf.sprintf "returned in %.0fms (deadline %.0fms)" elapsed_ms deadline_ms)
+    true
+    (elapsed_ms < 20. *. deadline_ms);
+  List.iter
+    (fun p ->
+      check_bool "pre-cutoff rewriting is equivalent" true
+        (Expansion.is_equivalent_rewriting ~views ~query p))
+    r.rewritings
+
+let suite =
+  [
+    ("budget step limit", `Quick, test_budget_step_limit);
+    ("budget first trip wins", `Quick, test_budget_first_trip_wins);
+    ("budget deadline", `Quick, test_budget_deadline);
+    ("parallel map = List.map", `Quick, test_parallel_matches_list_map);
+    ("parallel no domain leak", `Quick, test_parallel_no_domain_leak);
+    ("parallel deterministic error", `Quick, test_parallel_deterministic_error);
+    ("parallel cancellation", `Quick, test_parallel_cancellation_propagates);
+    ("seminaive typed round cap", `Quick, test_seminaive_round_cap_typed);
+    ("corecover cover cap anytime", `Quick, test_corecover_cover_cap_anytime);
+    ("corecover ~50ms deadline", `Quick, test_corecover_deadline_adversarial);
+  ]

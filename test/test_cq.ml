@@ -155,28 +155,33 @@ let test_parser_roundtrip () =
   Alcotest.(check string) "roundtrip" original (Query.to_string parsed)
 
 let test_parser_errors () =
-  let expect_error s =
+  let expect_error_at s (line, col) =
     match Parser.parse_rule s with
-    | Error _ -> ()
+    | Error (e : Vplan_error.parse_error) ->
+        check_int ("line of " ^ s) line e.line;
+        check_int ("col of " ^ s) col e.col
     | Ok _ -> Alcotest.fail ("accepted bad input: " ^ s)
   in
-  expect_error "q(X) :- p(X)";          (* missing dot *)
-  expect_error "q(X) - p(X).";          (* bad turnstile *)
-  expect_error "q(X) :- p(X,).";        (* dangling comma *)
-  expect_error "q(X) :- p(Y).";         (* unsafe *)
-  expect_error "Q(X) :- p(X)."          (* upper-case predicate *)
+  (* missing dot: reported where the input ends, after the last token *)
+  expect_error_at "q(X) :- p(X)" (1, 13);
+  expect_error_at "q(X) - p(X)." (1, 6);   (* bad turnstile *)
+  expect_error_at "q(X) :- p(X,)." (1, 13); (* dangling comma *)
+  expect_error_at "q(X) :- p(Y)." (1, 1);  (* unsafe: blames the rule start *)
+  expect_error_at "Q(X) :- p(X)." (1, 1);  (* upper-case predicate *)
+  (* positions track lines and columns across multi-line input *)
+  expect_error_at "q(X) :-\n  p(X),\n  r(X,)." (3, 7)
 
 let test_parser_integers_and_comments () =
   let program = "% leading comment\nq(X) :- p(X, 42), p(X, -7). # trailing\n" in
   match Parser.parse_program program with
-  | Error msg -> Alcotest.fail msg
+  | Error e -> Alcotest.fail (Vplan_error.parse_to_string e)
   | Ok [ query ] ->
       check_int "constants" 2 (List.length (Query.constants query))
   | Ok _ -> Alcotest.fail "expected one rule"
 
 let test_parse_facts () =
   match Parser.parse_facts "car(honda, anderson). loc(anderson, 3)." with
-  | Error msg -> Alcotest.fail msg
+  | Error e -> Alcotest.fail (Vplan_error.parse_to_string e)
   | Ok facts ->
       check_int "two facts" 2 (List.length facts);
       (match Parser.parse_facts "car(X, anderson)." with

@@ -138,7 +138,7 @@ let test_too_many_subgoals () =
   let views = qs [ "v(A, B) :- p0(A, B)." ] in
   let raises f =
     match f () with
-    | exception Invalid_argument _ -> true
+    | exception Vplan_error.Error (Vplan_error.Width_limit _) -> true
     | _ -> false
   in
   check_bool "gmrs rejects over-wide query" true (raises (fun () ->

@@ -7,6 +7,7 @@ let () =
       ("views", Test_views.suite);
       ("rewrite", Test_rewrite.suite);
       ("edge-cases", Test_edge_cases.suite);
+      ("budget", Test_budget.suite);
       ("cost", Test_cost.suite);
       ("estimate", Test_estimate.suite);
       ("m3", Test_m3.suite);

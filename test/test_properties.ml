@@ -542,6 +542,41 @@ let corecover_configs_agree =
               (fun () -> Corecover.gmrs ~domains:4 ~query ~views ());
             ])
 
+(* Budgets make CoreCover anytime, never unsound: whatever a step-limited
+   run returns is a subset of the unbudgeted run's rewritings, and a run
+   that was cut short is flagged as truncated (a complete one must return
+   everything). *)
+let corecover_budget_anytime =
+  let gen =
+    Gen.(
+      triple
+        (oneofl [ Generator.Star; Generator.Chain ])
+        (int_range 2 25)
+        (pair (int_range 0 10_000) (int_range 1 2_000)))
+  in
+  make_test ~count:40 ~name:"CoreCover under a step budget returns a sound subset" gen
+    (fun (shape, num_views, (seed, max_steps)) ->
+      Printf.sprintf "%s views=%d seed=%d max_steps=%d"
+        (match shape with Generator.Star -> "star" | _ -> "chain")
+        num_views seed max_steps)
+    (fun (shape, num_views, (seed, max_steps)) ->
+      let config = { Generator.default with shape; num_views; seed } in
+      match Generator.generate_with_rewriting ~max_attempts:50 config with
+      | exception Failure _ -> true
+      | inst ->
+          let query = inst.Generator.query and views = inst.views in
+          let reference = (Corecover.gmrs ~query ~views ()).Corecover.rewritings in
+          let budget = Budget.create ~max_steps () in
+          let r = Corecover.gmrs ~budget ~query ~views () in
+          List.for_all
+            (fun p -> List.exists (Query.equal p) reference)
+            r.Corecover.rewritings
+          &&
+          match r.Corecover.completeness with
+          | Corecover.Complete ->
+              List.equal Query.equal reference r.Corecover.rewritings
+          | Corecover.Truncated e -> Vplan_error.is_resource e)
+
 let suite =
   [
     parser_roundtrip;
@@ -574,4 +609,5 @@ let suite =
     datalog_engines_agree;
     set_cover_props;
     corecover_configs_agree;
+    corecover_budget_anytime;
   ]
