@@ -22,6 +22,7 @@
      endpoints the paper's chain head-policy remark
      openworld certain answers: inverse rules vs MiniCon MCR
      estimate  statistics-based join ordering vs true sizes
+     serve     resident service: cold vs warm-cache throughput
      micro     bechamel micro-benchmarks of the core operations *)
 
 open Vplan
@@ -88,12 +89,39 @@ type json_row = {
 
 let json_rows : json_row list ref = ref []
 
+(* Metrics of the [serve] experiment, collected for [--out FILE.json]. *)
+type service_metrics = {
+  sm_views : int;
+  sm_distinct : int;
+  sm_repetitions : int;
+  sm_cold_qps : float;
+  sm_warm_qps : float;
+  sm_speedup : float;
+  sm_hit_rate : float;
+  sm_p50_ms : float;
+  sm_p95_ms : float;
+  sm_truncated : int;
+}
+
+let service_metrics : service_metrics option ref = ref None
+
 let write_json ~mode oc =
   Printf.fprintf oc "{\n";
   Printf.fprintf oc "  \"mode\": %S,\n" mode;
   Printf.fprintf oc "  \"domains\": %d,\n" !opt_domains;
   Printf.fprintf oc "  \"indexed\": %b,\n" !opt_indexed;
   Printf.fprintf oc "  \"buckets\": %b,\n" !opt_buckets;
+  (match !service_metrics with
+  | None -> ()
+  | Some m ->
+      Printf.fprintf oc
+        "  \"service\": { \"views\": %d, \"distinct_queries\": %d, \"repetitions\": %d,"
+        m.sm_views m.sm_distinct m.sm_repetitions;
+      Printf.fprintf oc
+        " \"cold_qps\": %.1f, \"warm_qps\": %.1f, \"speedup\": %.1f, \"hit_rate\": %.3f,"
+        m.sm_cold_qps m.sm_warm_qps m.sm_speedup m.sm_hit_rate;
+      Printf.fprintf oc " \"p50_ms\": %.3f, \"p95_ms\": %.3f, \"truncated\": %d },\n"
+        m.sm_p50_ms m.sm_p95_ms m.sm_truncated);
   Printf.fprintf oc "  \"rows\": [";
   List.iteri
     (fun i r ->
@@ -515,6 +543,106 @@ let openworld () =
     [ 5; 10; 20; 40 ]
 
 (* ------------------------------------------------------------------ *)
+(* Resident service: cold vs warm-cache throughput at fig6a scale.     *)
+
+let serve ~settings =
+  let num_views = List.fold_left max 0 settings.view_counts in
+  header
+    (Printf.sprintf "Resident service: cold vs warm throughput (star, %d views)"
+       num_views);
+  let config =
+    { Generator.default with shape = Generator.Star; num_views; seed = 7100 + num_views }
+  in
+  let inst = Generator.generate_with_rewriting ~max_attempts:100 config in
+  let q0 = inst.Generator.query and views = inst.views in
+  (* distinct queries: rotations of the head argument list.  The head
+     order is part of the query, so every rotation is a different
+     canonical form (a cold miss), while its body — and hence its
+     rewritability — is unchanged. *)
+  let rotate k l =
+    let n = List.length l in
+    if n = 0 then l
+    else List.init n (fun i -> List.nth l ((i + k) mod n))
+  in
+  let distinct =
+    List.init
+      (max 1 (List.length q0.Query.head.Atom.args))
+      (fun k ->
+        Query.make_exn
+          (Atom.make q0.Query.head.Atom.pred (rotate k q0.Query.head.Atom.args))
+          q0.Query.body)
+  in
+  (* warm rounds resubmit each distinct query as a fresh alpha-variant
+     with the body reversed: isomorphic, so a cache hit, but never the
+     stored rendering *)
+  let variant round (q : Query.t) =
+    let sigma =
+      Subst.of_list
+        (List.mapi
+           (fun i x -> (x, Term.Var (Printf.sprintf "W%d_%d" round i)))
+           (Query.vars q))
+    in
+    let r = Query.apply sigma q in
+    Query.make_exn r.Query.head (List.rev r.Query.body)
+  in
+  let service =
+    Service.create (Catalog.create_exn (List.map View.of_query views))
+  in
+  let run_phase queries =
+    let _, ms =
+      time_ms (fun () ->
+          List.iter
+            (fun q ->
+              let o =
+                Service.rewrite ?budget:(budget_of_opts ())
+                  ?max_covers:!opt_max_covers ~domains:!opt_domains service q
+              in
+              match o.Service.completeness with
+              | Corecover.Truncated _ -> any_truncated := true
+              | Corecover.Complete -> ())
+            queries)
+    in
+    (List.length queries, ms)
+  in
+  let repetitions = 20 in
+  let cold_n, cold_ms = run_phase distinct in
+  let warm_queries =
+    List.concat (List.init repetitions (fun r -> List.map (variant r) distinct))
+  in
+  let warm_n, warm_ms = run_phase warm_queries in
+  let qps n ms = float_of_int n /. (ms /. 1000.) in
+  let cold_qps = qps cold_n cold_ms and warm_qps = qps warm_n warm_ms in
+  let speedup = warm_qps /. cold_qps in
+  let st = Service.stats service in
+  let hit_rate =
+    float_of_int st.Service.hits /. float_of_int (max 1 st.Service.requests)
+  in
+  Format.printf "%8s %10s %12s %12s %8s %8s@." "phase" "requests" "total-ms" "qps"
+    "hits" "misses";
+  Format.printf "%8s %10d %12.1f %12.1f %8d %8d@." "cold" cold_n cold_ms cold_qps 0
+    cold_n;
+  Format.printf "%8s %10d %12.1f %12.1f %8d %8d@." "warm" warm_n warm_ms warm_qps
+    st.Service.hits (st.Service.misses - cold_n);
+  Format.printf
+    "speedup: %.1fx   hit-rate: %.3f   p50: %.3fms   p95: %.3fms   truncated: %d@."
+    speedup hit_rate st.Service.latency.Service.p50_ms
+    st.Service.latency.Service.p95_ms st.Service.truncated;
+  service_metrics :=
+    Some
+      {
+        sm_views = num_views;
+        sm_distinct = List.length distinct;
+        sm_repetitions = repetitions;
+        sm_cold_qps = cold_qps;
+        sm_warm_qps = warm_qps;
+        sm_speedup = speedup;
+        sm_hit_rate = hit_rate;
+        sm_p50_ms = st.Service.latency.Service.p50_ms;
+        sm_p95_ms = st.Service.latency.Service.p95_ms;
+        sm_truncated = st.Service.truncated;
+      }
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks.                                          *)
 
 let micro () =
@@ -615,6 +743,7 @@ let experiments settings =
     ("endpoints", fun () -> endpoints ());
     ("openworld", fun () -> openworld ());
     ("estimate", fun () -> estimate ());
+    ("serve", fun () -> serve ~settings);
     ("micro", fun () -> micro ());
   ]
 

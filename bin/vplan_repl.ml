@@ -24,6 +24,10 @@ type state = {
   mutable timeout_ms : float option;
   mutable max_steps : int option;
   mutable max_covers : int option;
+  (* view-side preprocessing (equivalence classes), kept across commands
+     so repeated rewrites don't regroup the same views; extended
+     incrementally by [view], dropped on [load]/[reset] *)
+  mutable catalog : Vplan.Catalog.t option;
 }
 
 let state =
@@ -34,6 +38,7 @@ let state =
     timeout_ms = None;
     max_steps = None;
     max_covers = None;
+    catalog = None;
   }
 
 let help () =
@@ -68,6 +73,12 @@ let cmd_view rest =
       match Vplan.View.validate_set (v :: state.views) with
       | Ok () ->
           state.views <- state.views @ [ v ];
+          (match state.catalog with
+          | Some c -> (
+              match Vplan.Catalog.add_views c [ v ] with
+              | Ok c' -> state.catalog <- Some c'
+              | Error _ -> state.catalog <- None)
+          | None -> ());
           Format.printf "view: %a@." Vplan.Query.pp v
       | Error e -> Format.printf "error: %s@." e)
   | Error e -> parse_error e
@@ -86,6 +97,7 @@ let cmd_load path =
   | Ok p ->
       state.query <- Some p.Vplan.Planner.query;
       state.views <- p.Vplan.Planner.views;
+      state.catalog <- None;
       Format.printf "loaded query + %d view(s)@." (List.length p.views)
   | Error e -> Format.printf "error: %s@." e
   | exception Sys_error e -> Format.printf "error: %s@." e
@@ -112,16 +124,27 @@ let budget_of_state () =
        whole session *)
     Some (Vplan.Budget.create ?deadline_ms:state.timeout_ms ?max_steps:state.max_steps ())
 
+(* The grouped view classes survive across commands: first rewrite pays
+   for the grouping, later ones reuse it (until the view set changes). *)
+let catalog_of_state ?budget () =
+  match state.catalog with
+  | Some c -> c
+  | None ->
+      let c = Vplan.Catalog.create_exn ?budget state.views in
+      state.catalog <- Some c;
+      c
+
 let cmd_rewrite all =
   with_query (fun query ->
       let budget = budget_of_state () in
+      let view_classes = Vplan.Catalog.view_classes (catalog_of_state ?budget ()) in
       let result =
         if all then
           Vplan.Corecover.all_minimal ?budget ?max_results:state.max_covers
-            ~query ~views:state.views ()
+            ~view_classes ~query ~views:state.views ()
         else
-          Vplan.Corecover.gmrs ?budget ?max_covers:state.max_covers ~query
-            ~views:state.views ()
+          Vplan.Corecover.gmrs ?budget ?max_covers:state.max_covers ~view_classes
+            ~query ~views:state.views ()
       in
       (match result.rewritings with
       | [] -> print_endline "no equivalent rewriting"
@@ -227,6 +250,7 @@ let handle line =
         state.query <- None;
         state.views <- [];
         state.base <- Vplan.Database.empty;
+        state.catalog <- None;
         print_endline "cleared";
         true
     | other ->

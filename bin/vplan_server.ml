@@ -1,0 +1,317 @@
+(* The resident rewriting server: a line-oriented request loop around
+   Vplan.Service.
+
+     dune exec bin/vplan_server.exe -- [--catalog FILE] [--cache N]
+       [--domains N] [--timeout MS] [--max-steps N] [--max-covers N]
+
+   Protocol (one request per line on stdin, responses on stdout):
+
+     catalog load FILE     load a view catalog (every rule in FILE is a view)
+     catalog add <rule>.   add one view to the current catalog (new generation)
+     catalog remove NAME   remove a view by name (new generation)
+     rewrite <rule>.       serve one request:
+                             ok <n> <hit|miss|bypass>
+                             <n rewriting lines>
+                             truncated: <reason>          (when budgeted out)
+     batch N               read the next N lines as rewrite requests and
+                           serve them over the domain pool, in order
+     stats                 catalog, cache, and latency counters
+     set timeout MS | set max-steps N | set max-covers N | set off
+     help                  this text
+     quit                  exit
+
+   Every failure is a single "err <reason>" line; the loop never dies on
+   a bad request. *)
+
+type settings = {
+  mutable timeout_ms : float option;
+  mutable max_steps : int option;
+  mutable max_covers : int option;
+  mutable domains : int;
+  mutable cache_capacity : int;
+  mutable service : Vplan.Service.t option;
+}
+
+let settings =
+  {
+    timeout_ms = None;
+    max_steps = None;
+    max_covers = None;
+    domains = 1;
+    cache_capacity = 512;
+    service = None;
+  }
+
+let help () =
+  print_endline
+    "commands: catalog load FILE | catalog add <rule>. | catalog remove NAME\n\
+    \          rewrite <rule>. | batch N | stats\n\
+    \          set timeout MS | set max-steps N | set max-covers N | set off\n\
+    \          help | quit"
+
+let err fmt = Format.kasprintf (fun s -> Format.printf "err %s@." s) fmt
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* A fresh budget per request: one adversarial query cannot stall the
+   loop, and deadlines start when the request is picked up. *)
+let fresh_budget () =
+  if settings.timeout_ms = None && settings.max_steps = None then None
+  else
+    Some
+      (Vplan.Budget.create ?deadline_ms:settings.timeout_ms
+         ?max_steps:settings.max_steps ())
+
+let with_service f =
+  match settings.service with
+  | None -> err "no catalog loaded (use: catalog load FILE)"
+  | Some s -> f s
+
+let install_catalog cat =
+  match settings.service with
+  | None -> settings.service <- Some (Vplan.Service.create ~cache_capacity:settings.cache_capacity cat)
+  | Some s -> Vplan.Service.set_catalog s cat
+
+let cmd_catalog_load path =
+  match Vplan.Parser.parse_program (read_file path) with
+  | Error e -> err "%s" (Vplan.Vplan_error.parse_to_string e)
+  | exception Sys_error e -> err "%s" e
+  | Ok views -> (
+      match Vplan.Catalog.create views with
+      | Error e -> err "%s" e
+      | Ok cat ->
+          install_catalog cat;
+          Format.printf "ok catalog generation=%d views=%d classes=%d@."
+            (Vplan.Catalog.generation cat)
+            (Vplan.Catalog.num_views cat)
+            (Vplan.Catalog.num_classes cat))
+
+let cmd_catalog_add rest =
+  with_service (fun s ->
+      match Vplan.Parser.parse_rule rest with
+      | Error e -> err "%s" (Vplan.Vplan_error.parse_to_string e)
+      | Ok v -> (
+          match Vplan.Catalog.add_views (Vplan.Service.catalog s) [ v ] with
+          | Error e -> err "%s" e
+          | Ok cat ->
+              Vplan.Service.set_catalog s cat;
+              Format.printf "ok catalog generation=%d views=%d classes=%d@."
+                (Vplan.Catalog.generation cat)
+                (Vplan.Catalog.num_views cat)
+                (Vplan.Catalog.num_classes cat)))
+
+let cmd_catalog_remove name =
+  with_service (fun s ->
+      match Vplan.Catalog.remove_views (Vplan.Service.catalog s) [ name ] with
+      | Error e -> err "%s" e
+      | Ok cat ->
+          Vplan.Service.set_catalog s cat;
+          Format.printf "ok catalog generation=%d views=%d classes=%d@."
+            (Vplan.Catalog.generation cat)
+            (Vplan.Catalog.num_views cat)
+            (Vplan.Catalog.num_classes cat))
+
+let cmd_catalog rest =
+  let sub, arg =
+    match String.index_opt rest ' ' with
+    | None -> (rest, "")
+    | Some i ->
+        ( String.sub rest 0 i,
+          String.trim (String.sub rest (i + 1) (String.length rest - i - 1)) )
+  in
+  match sub with
+  | "load" when arg <> "" -> cmd_catalog_load arg
+  | "add" when arg <> "" -> cmd_catalog_add arg
+  | "remove" when arg <> "" -> cmd_catalog_remove arg
+  | _ -> err "usage: catalog load FILE | catalog add <rule>. | catalog remove NAME"
+
+let print_outcome (o : Vplan.Service.outcome) =
+  let source =
+    match o.Vplan.Service.source with
+    | Vplan.Service.Hit -> "hit"
+    | Vplan.Service.Miss -> "miss"
+    | Vplan.Service.Bypass -> "bypass"
+  in
+  Format.printf "ok %d %s@." (List.length o.Vplan.Service.rewritings) source;
+  List.iter (fun p -> Format.printf "%a@." Vplan.Query.pp p) o.Vplan.Service.rewritings;
+  match o.Vplan.Service.completeness with
+  | Vplan.Corecover.Complete -> ()
+  | Vplan.Corecover.Truncated reason ->
+      Format.printf "truncated: %s@." (Vplan.Vplan_error.to_string reason)
+
+let cmd_rewrite rest =
+  with_service (fun s ->
+      match Vplan.Parser.parse_rule rest with
+      | Error e -> err "%s" (Vplan.Vplan_error.parse_to_string e)
+      | Ok query ->
+          print_outcome
+            (Vplan.Service.rewrite ?budget:(fresh_budget ())
+               ?max_covers:settings.max_covers ~domains:settings.domains s query))
+
+let cmd_batch rest =
+  match int_of_string_opt rest with
+  | None | Some 0 -> err "usage: batch N (then N rewrite-request lines)"
+  | Some n when n < 0 -> err "usage: batch N (then N rewrite-request lines)"
+  | Some n ->
+      with_service (fun s ->
+          let lines =
+            List.init n (fun _ -> match input_line stdin with
+              | line -> Some line
+              | exception End_of_file -> None)
+          in
+          let parsed =
+            List.filter_map
+              (fun line ->
+                Option.map (fun l -> Vplan.Parser.parse_rule (String.trim l)) line)
+              lines
+          in
+          let queries =
+            List.filter_map (function Ok q -> Some q | Error _ -> None) parsed
+          in
+          if List.length parsed < n then err "batch: end of input"
+          else if List.length queries < List.length parsed then
+            err "batch: every line must be a rule"
+          else
+            (* the whole batch fans out over the domain pool; answers come
+               back in request order *)
+            List.iter print_outcome
+              (Vplan.Service.rewrite_batch ~make_budget:fresh_budget
+                 ?max_covers:settings.max_covers ~domains:settings.domains s
+                 queries))
+
+let cmd_stats () =
+  with_service (fun s ->
+      let st = Vplan.Service.stats s in
+      Format.printf "generation=%d views=%d classes=%d@." st.Vplan.Service.generation
+        st.Vplan.Service.num_views st.Vplan.Service.num_view_classes;
+      Format.printf "requests=%d hits=%d misses=%d bypasses=%d@."
+        st.Vplan.Service.requests st.Vplan.Service.hits st.Vplan.Service.misses
+        st.Vplan.Service.bypasses;
+      Format.printf "cache size=%d capacity=%d evictions=%d@."
+        st.Vplan.Service.cache_size st.Vplan.Service.cache_capacity
+        st.Vplan.Service.evictions;
+      Format.printf "truncated=%d@." st.Vplan.Service.truncated;
+      let l = st.Vplan.Service.latency in
+      Format.printf "latency count=%d mean=%.3fms p50=%.3fms p95=%.3fms max=%.3fms@."
+        l.Vplan.Service.count l.Vplan.Service.mean_ms l.Vplan.Service.p50_ms
+        l.Vplan.Service.p95_ms l.Vplan.Service.max_ms)
+
+let cmd_set rest =
+  match String.split_on_char ' ' rest |> List.filter (fun s -> s <> "") with
+  | [ "off" ] ->
+      settings.timeout_ms <- None;
+      settings.max_steps <- None;
+      settings.max_covers <- None;
+      print_endline "ok budget off"
+  | [ "timeout"; ms ] -> (
+      match float_of_string_opt ms with
+      | Some v when v > 0. ->
+          settings.timeout_ms <- Some v;
+          Format.printf "ok timeout=%gms@." v
+      | _ -> err "usage: set timeout MS")
+  | [ "max-steps"; n ] -> (
+      match int_of_string_opt n with
+      | Some v when v > 0 ->
+          settings.max_steps <- Some v;
+          Format.printf "ok max-steps=%d@." v
+      | _ -> err "usage: set max-steps N")
+  | [ "max-covers"; n ] -> (
+      match int_of_string_opt n with
+      | Some v when v > 0 ->
+          settings.max_covers <- Some v;
+          Format.printf "ok max-covers=%d@." v
+      | _ -> err "usage: set max-covers N")
+  | _ -> err "usage: set timeout MS | set max-steps N | set max-covers N | set off"
+
+let split_command line =
+  match String.index_opt line ' ' with
+  | None -> (line, "")
+  | Some i ->
+      ( String.sub line 0 i,
+        String.trim (String.sub line (i + 1) (String.length line - i - 1)) )
+
+let handle line =
+  let line = String.trim line in
+  if line = "" then true
+  else
+    let cmd, rest = split_command line in
+    match cmd with
+    | "quit" | "exit" -> false
+    | "help" -> help (); true
+    | "catalog" -> cmd_catalog rest; true
+    | "rewrite" -> cmd_rewrite rest; true
+    | "batch" -> cmd_batch rest; true
+    | "stats" -> cmd_stats (); true
+    | "set" -> cmd_set rest; true
+    | other -> err "unknown command %S (try: help)" other; true
+
+(* Fault containment, exactly as in the REPL: a request that raises
+   prints one "err" line and the loop continues. *)
+let handle_safe line =
+  try handle line with
+  | Vplan.Vplan_error.Error e ->
+      err "%s" (Vplan.Vplan_error.to_string e);
+      true
+  | Invalid_argument msg | Failure msg | Sys_error msg ->
+      err "%s" msg;
+      true
+
+let usage () =
+  prerr_endline
+    "usage: vplan_server [--catalog FILE] [--cache N] [--domains N]\n\
+    \                    [--timeout MS] [--max-steps N] [--max-covers N]";
+  exit 2
+
+let () =
+  let rec parse_args = function
+    | [] -> ()
+    | "--catalog" :: path :: rest ->
+        cmd_catalog_load path;
+        (match settings.service with None -> exit 1 | Some _ -> ());
+        parse_args rest
+    | "--cache" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some v when v > 0 ->
+            settings.cache_capacity <- v;
+            parse_args rest
+        | _ -> usage ())
+    | "--domains" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some v when v > 0 ->
+            settings.domains <- v;
+            parse_args rest
+        | _ -> usage ())
+    | "--timeout" :: ms :: rest -> (
+        match float_of_string_opt ms with
+        | Some v when v > 0. ->
+            settings.timeout_ms <- Some v;
+            parse_args rest
+        | _ -> usage ())
+    | "--max-steps" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some v when v > 0 ->
+            settings.max_steps <- Some v;
+            parse_args rest
+        | _ -> usage ())
+    | "--max-covers" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some v when v > 0 ->
+            settings.max_covers <- Some v;
+            parse_args rest
+        | _ -> usage ())
+    | _ -> usage ()
+  in
+  parse_args (List.tl (Array.to_list Sys.argv));
+  let interactive = Unix.isatty Unix.stdin in
+  if interactive then print_endline "vplan server \u{2014} type 'help' for commands";
+  let rec loop () =
+    if interactive then (print_string "vplan> "; flush stdout);
+    match input_line stdin with
+    | line -> if handle_safe line then loop ()
+    | exception End_of_file -> ()
+  in
+  loop ()

@@ -91,6 +91,12 @@ module Seminaive = Vplan_datalog.Seminaive
 module Magic = Vplan_datalog.Magic
 module Recursive_views = Vplan_datalog.Recursive_views
 
+(* resident rewriting service: view-catalog sessions, canonical-query
+   rewrite cache, concurrent request dispatch *)
+module Catalog = Vplan_service.Catalog
+module Rewrite_cache = Vplan_service.Rewrite_cache
+module Service = Vplan_service.Service
+
 (* workloads *)
 module Generator = Vplan_workload.Generator
 

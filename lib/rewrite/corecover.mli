@@ -55,6 +55,12 @@ type result = {
     equivalence-class representative choice).
 
     [group_views] (default [true]) groups equivalent views first.
+    [view_classes] supplies a precomputed equivalence-class partition of
+    [views] (as built once by a resident {e catalog},
+    {!Vplan_service.Catalog}), skipping the per-call grouping entirely;
+    when present it overrides [group_views]/[buckets] for that stage.
+    The caller must guarantee the classes partition exactly [views] under
+    view equivalence — the result is then identical to grouping in-call.
     [indexed] (default [true]) evaluates views over the canonical database
     with the hash-indexed engine ({!Vplan_relational.Indexed_db}) instead
     of the plain nested-loop join.
@@ -81,6 +87,7 @@ type result = {
     i.e. 62 on 64-bit) — an input error, raised even under a budget. *)
 val gmrs :
   ?budget:Vplan_core.Budget.t ->
+  ?view_classes:View.t list list ->
   ?max_covers:int ->
   ?group_views:bool ->
   ?indexed:bool ->
@@ -101,6 +108,7 @@ val gmrs :
     {!gmrs}. *)
 val all_minimal :
   ?budget:Vplan_core.Budget.t ->
+  ?view_classes:View.t list list ->
   ?group_views:bool ->
   ?indexed:bool ->
   ?buckets:bool ->

@@ -2,6 +2,142 @@ open Vplan_cq
 open Vplan_views
 module Containment = Vplan_containment.Containment
 
+(* ------------------------------------------------------------------ *)
+(* Order-insensitive canonicalization (cache keying).
+
+   [Query.canonical] is invariant under variable renaming only when the
+   body order is preserved; a cache keyed by it would miss alpha-variant
+   resubmissions with permuted subgoals.  [canonicalize] computes a
+   canonical form invariant under BOTH variable renaming and body
+   permutation, and complete for that relation: two deduplicated queries
+   get the same canonical form iff they are identical up to a variable
+   renaming and a body reordering (the canonical form is itself a query,
+   so equal renderings are isomorphic by construction).
+
+   Head variables are forced: a renaming must preserve the head, so they
+   are labeled V0, V1, ... by first occurrence in the head.  Existential
+   variables are labeled by a small canonical-labeling search: variables
+   are first partitioned by a renaming-invariant occurrence profile
+   (cells sorted by profile), then labels are assigned cell by cell,
+   backtracking over the members of each cell and keeping the assignment
+   whose sorted body rendering is lexicographically least.  Everything
+   the search branches on is a function of the query's isomorphism class
+   alone, so alpha-variant inputs with permuted bodies explore the same
+   candidate set and elect the same minimum. *)
+
+let label i = "V" ^ string_of_int i
+
+(* Renaming-invariant profile of an existential variable: the sorted
+   multiset of its occurrences, each rendered with co-argument kinds
+   (constant, head variable by forced label, self, other existential). *)
+let occurrence_profile ~head_rank (body : Atom.t list) x =
+  let entry (a : Atom.t) pos =
+    let buf = Buffer.create 32 in
+    Buffer.add_string buf (a.pred ^ "/" ^ string_of_int (Atom.arity a));
+    Buffer.add_string buf ("@" ^ string_of_int pos ^ "[");
+    List.iter
+      (fun arg ->
+        match arg with
+        | Term.Cst c -> Buffer.add_string buf ("c" ^ Term.const_to_string c ^ ";")
+        | Term.Var y when String.equal y x -> Buffer.add_string buf "self;"
+        | Term.Var y -> (
+            match Hashtbl.find_opt head_rank y with
+            | Some i -> Buffer.add_string buf ("h" ^ string_of_int i ^ ";")
+            | None -> Buffer.add_string buf "*;"))
+      a.args;
+    Buffer.add_char buf ']';
+    Buffer.contents buf
+  in
+  let entries =
+    List.concat_map
+      (fun (a : Atom.t) ->
+        List.mapi (fun pos arg -> (pos, arg)) a.args
+        |> List.filter_map (fun (pos, arg) ->
+               match arg with
+               | Term.Var y when String.equal y x -> Some (entry a pos)
+               | _ -> None))
+      body
+  in
+  String.concat "|" (List.sort String.compare entries)
+
+(* Bound on the canonical-labeling search: queries whose existential
+   symmetry is too tangled are reported uncacheable rather than risking
+   a factorial blow-up on an adversarial input. *)
+let search_cap = 20_000
+
+exception Blown
+
+let canonicalize (q : Query.t) =
+  let q = Query.dedup_body q in
+  let head_vars = Query.head_vars q in
+  let head_rank = Hashtbl.create 8 in
+  List.iteri (fun i x -> Hashtbl.replace head_rank x i) head_vars;
+  let ex_vars =
+    List.filter (fun x -> not (Hashtbl.mem head_rank x)) (Query.vars q)
+  in
+  if List.length ex_vars > 24 then None
+  else begin
+    let base =
+      List.mapi (fun i x -> (x, Term.Var (label i))) head_vars |> Subst.of_list
+    in
+    let render subst =
+      let body =
+        List.map (fun a -> Atom.apply subst a) q.body
+        |> List.map (fun a -> (Atom.to_string a, a))
+        |> List.sort (fun (s1, _) (s2, _) -> String.compare s1 s2)
+      in
+      ( Atom.to_string (Atom.apply subst q.head)
+        ^ " :- "
+        ^ String.concat ", " (List.map fst body),
+        List.map snd body )
+    in
+    (* cells of existential variables, sorted by invariant profile *)
+    let cells =
+      List.map (fun x -> (occurrence_profile ~head_rank q.body x, x)) ex_vars
+      |> List.sort (fun (p1, _) (p2, _) -> String.compare p1 p2)
+      |> List.fold_left
+           (fun acc (p, x) ->
+             match acc with
+             | (p', xs) :: rest when String.equal p p' -> (p', x :: xs) :: rest
+             | _ -> (p, [ x ]) :: acc)
+           []
+      |> List.rev_map (fun (_, xs) -> List.rev xs)
+    in
+    let nodes = ref 0 in
+    let best = ref None in
+    let n_head = List.length head_vars in
+    let rec assign next subst = function
+      | [] ->
+          incr nodes;
+          if !nodes > search_cap then raise Blown;
+          let rendering, body = render subst in
+          (match !best with
+          | Some (b, _, _) when String.compare b rendering <= 0 -> ()
+          | _ -> best := Some (rendering, body, subst))
+      | [] :: cells -> assign next subst cells
+      | cell :: cells ->
+          List.iter
+            (fun x ->
+              incr nodes;
+              if !nodes > search_cap then raise Blown;
+              let rest = List.filter (fun y -> not (String.equal x y)) cell in
+              assign (next + 1)
+                (Subst.bind x (Term.Var (label next)) subst)
+                (rest :: cells))
+            cell
+    in
+    match assign n_head base cells with
+    | () -> (
+        match !best with
+        | None -> None
+        | Some (_, body, subst) ->
+            let head = Atom.apply subst q.head in
+            Some (Query.make_exn head body, subst))
+    | exception Blown -> None
+  end
+
+let cache_key q = Option.map (fun (c, _) -> Query.to_string c) (canonicalize q)
+
 let to_view_tuple_form ~views ~query (p : Query.t) =
   if not (Expansion.is_equivalent_rewriting ~views ~query p) then None
   else

@@ -16,3 +16,32 @@ open Vplan_views
     rewriting contained in [p] whose atoms are view tuples. *)
 val to_view_tuple_form :
   views:View.t list -> query:Query.t -> Query.t -> Query.t option
+
+(** [canonicalize q] computes a canonical form of [q] invariant under
+    {e both} variable renaming and body-atom reordering — unlike
+    {!Vplan_cq.Query.canonical}, which is order-sensitive.  Returns
+    [Some (canon, sigma)] where [sigma] is a total bijective renaming of
+    [q]'s variables with [Query.apply sigma q] equal to [canon] up to
+    body order; inverting [sigma] maps results computed over [canon]
+    back into [q]'s variables.
+
+    The form is complete for the relation it is invariant under: two
+    queries have equal (as [Query.equal], after {!Vplan_cq.Query.dedup_body})
+    canonical forms iff they are identical up to a variable renaming and
+    a body permutation — exactly
+    {!Vplan_containment.Containment.isomorphic}.  This is what makes it
+    usable as a rewrite-cache key: equal keys never conflate queries
+    with different rewritings.
+
+    Head variables are labeled by their forced first-occurrence order;
+    existential variables by a canonical-labeling search seeded with a
+    renaming-invariant occurrence-profile partition.  [None] when the
+    search exceeds its internal node cap (pathologically symmetric
+    existential structure) — callers should treat such a query as
+    uncacheable, never guess. *)
+val canonicalize : Query.t -> (Query.t * Subst.t) option
+
+(** [cache_key q] is the canonical form rendered as a string, or [None]
+    when [q] is uncacheable.  [cache_key q1 = cache_key q2 <> None] iff
+    the queries are isomorphic. *)
+val cache_key : Query.t -> string option

@@ -1,0 +1,59 @@
+open Vplan_views
+
+type t = {
+  generation : int;
+  views : View.t list;
+  keyed : (string * View.t list) list;
+      (* signature-tagged equivalence classes, the persistent form of
+         [Equiv_class.group_views_keyed] *)
+}
+
+let create ?budget views =
+  match View.validate_set views with
+  | Error e -> Error e
+  | Ok () ->
+      Ok { generation = 1; views; keyed = Equiv_class.group_views_keyed ?budget views }
+
+let create_exn ?budget views =
+  match create ?budget views with
+  | Ok t -> t
+  | Error e -> invalid_arg ("Catalog.create: " ^ e)
+
+let add_views ?budget t vs =
+  match View.validate_set (t.views @ vs) with
+  | Error e -> Error e
+  | Ok () ->
+      Ok
+        {
+          generation = t.generation + 1;
+          views = t.views @ vs;
+          keyed = Equiv_class.add_to_keyed ?budget t.keyed vs;
+        }
+
+let remove_views t names =
+  let missing =
+    List.find_opt (fun n -> not (List.exists (fun v -> View.name v = n) t.views)) names
+  in
+  match missing with
+  | Some n -> Error ("no such view: " ^ n)
+  | None ->
+      let keep v = not (List.mem (View.name v) names) in
+      Ok
+        {
+          generation = t.generation + 1;
+          views = List.filter keep t.views;
+          keyed =
+            List.filter_map
+              (fun (s, members) ->
+                match List.filter keep members with
+                | [] -> None
+                | members -> Some (s, members))
+              t.keyed;
+        }
+
+let generation t = t.generation
+let views t = t.views
+let view_classes t = List.map snd t.keyed
+let num_views t = List.length t.views
+let num_classes t = List.length t.keyed
+let find t name = View.find t.views name

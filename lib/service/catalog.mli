@@ -1,0 +1,61 @@
+(** Resident view catalogs.
+
+    The paper's experiments (Section 7) fix a view set and run hundreds
+    of queries against it; the per-query cost of CoreCover is dominated
+    by view-side work — parsing, minimization, equivalence-class
+    grouping — that does not depend on the query at all.  A [Catalog.t]
+    runs that preprocessing {e once}: it validates the view set, groups
+    the views into equivalence classes (with their canonical signatures,
+    {!Vplan_views.Equiv_class.signature}) and keeps the result as an
+    immutable value that any number of requests — on any number of
+    domains — can share without synchronization.
+
+    Catalogs evolve by {e generations}: {!add_views} and {!remove_views}
+    return a new catalog with the generation counter bumped, reusing the
+    existing class structure instead of regrouping from scratch (adding
+    a view costs one signature plus the within-bucket equivalence
+    checks; removal is a filter).  The partition always equals what
+    {!Vplan_views.Equiv_class.group_views} would compute on the current
+    member list. *)
+
+open Vplan_views
+
+type t
+
+(** [create views] validates the set (distinct names, consistent
+    arities) and runs the view-side preprocessing.  The result is
+    generation 1.  A [?budget] bounds the grouping's minimization and
+    equivalence searches. *)
+val create : ?budget:Vplan_core.Budget.t -> View.t list -> (t, string) result
+
+(** [create_exn views] is {!create}, raising [Invalid_argument] on an
+    invalid set. *)
+val create_exn : ?budget:Vplan_core.Budget.t -> View.t list -> t
+
+(** [add_views t views] is a new generation with [views] appended,
+    grouped incrementally against the existing classes.  Fails like
+    {!create} when a name collides or an arity is inconsistent. *)
+val add_views :
+  ?budget:Vplan_core.Budget.t -> t -> View.t list -> (t, string) result
+
+(** [remove_views t names] is a new generation without the named views.
+    Fails when a name is not a member. *)
+val remove_views : t -> string list -> (t, string) result
+
+(** Monotone generation counter, starting at 1.  Two catalogs with the
+    same generation that came from the same lineage have the same
+    members — the rewrite cache keys its validity on this. *)
+val generation : t -> int
+
+(** Current members, in insertion order. *)
+val views : t -> View.t list
+
+(** The equivalence-class partition, ready to pass to
+    [Corecover.gmrs ~view_classes]. *)
+val view_classes : t -> View.t list list
+
+val num_views : t -> int
+val num_classes : t -> int
+
+(** [find t name] looks a member up by view name. *)
+val find : t -> string -> View.t option

@@ -1,0 +1,216 @@
+open Vplan_cq
+module Corecover = Vplan_rewrite.Corecover
+module Normalize = Vplan_rewrite.Normalize
+module Parallel = Vplan_parallel.Parallel
+module Budget = Vplan_core.Budget
+
+type source = Hit | Miss | Bypass
+
+type outcome = {
+  rewritings : Query.t list;
+  minimized_query : Query.t;
+  completeness : Corecover.completeness;
+  corecover_stats : Corecover.stats;
+  source : source;
+  ms : float;
+}
+
+type latency = {
+  count : int;
+  mean_ms : float;
+  p50_ms : float;
+  p95_ms : float;
+  max_ms : float;
+}
+
+type stats = {
+  generation : int;
+  num_views : int;
+  num_view_classes : int;
+  requests : int;
+  hits : int;
+  misses : int;
+  bypasses : int;
+  evictions : int;
+  cache_size : int;
+  cache_capacity : int;
+  truncated : int;
+  latency : latency;
+}
+
+(* Cached entries keep the canonical query alongside the result: on a
+   hit the requested canonical form is compared against it, so even a
+   (never observed) canonical-form collision could only cause a recompute,
+   never a wrong answer. *)
+type entry = { canon : Query.t; result : Corecover.result }
+
+(* percentile window: the most recent [lat_window] request latencies *)
+let lat_window = 1024
+
+type t = {
+  mutable cat : Catalog.t;
+  cache : entry Rewrite_cache.t;
+  lock : Mutex.t;
+  mutable requests : int;
+  mutable bypasses : int;
+  mutable truncated : int;
+  lat_ring : float array;
+  mutable lat_next : int;  (* total latencies ever recorded *)
+  mutable lat_sum : float;
+  mutable lat_max : float;
+}
+
+let create ?(cache_capacity = 512) cat =
+  {
+    cat;
+    cache = Rewrite_cache.create ~capacity:cache_capacity;
+    lock = Mutex.create ();
+    requests = 0;
+    bypasses = 0;
+    truncated = 0;
+    lat_ring = Array.make lat_window 0.;
+    lat_next = 0;
+    lat_sum = 0.;
+    lat_max = 0.;
+  }
+
+let catalog t = t.cat
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let set_catalog t cat =
+  locked t (fun () ->
+      t.cat <- cat;
+      Rewrite_cache.clear t.cache)
+
+(* [sigma] maps caller variables to canonical ones, bijectively and only
+   var-to-var; its inverse renames canonical-variable results back. *)
+let invert sigma =
+  Subst.of_list
+    (List.map
+       (fun (x, term) ->
+         match term with
+         | Term.Var y -> (y, Term.Var x)
+         | Term.Cst _ -> assert false)
+       (Subst.bindings sigma))
+
+let rename_result inv (r : Corecover.result) =
+  ( List.map (fun p -> Query.apply inv p) r.Corecover.rewritings,
+    Query.apply inv r.Corecover.minimized_query )
+
+let record t ~probed ~completeness ~ms =
+  locked t (fun () ->
+      t.requests <- t.requests + 1;
+      (* [bypasses] counts requests that never probed the cache
+         (uncacheable canonicalization); a truncated request probed and
+         missed, so it is already in the cache's miss counter *)
+      if not probed then t.bypasses <- t.bypasses + 1;
+      (match completeness with
+      | Corecover.Truncated _ -> t.truncated <- t.truncated + 1
+      | Corecover.Complete -> ());
+      t.lat_ring.(t.lat_next mod lat_window) <- ms;
+      t.lat_next <- t.lat_next + 1;
+      t.lat_sum <- t.lat_sum +. ms;
+      if ms > t.lat_max then t.lat_max <- ms)
+
+let outcome_of ~source ~ms rewritings minimized_query (r : Corecover.result) =
+  {
+    rewritings;
+    minimized_query;
+    completeness = r.Corecover.completeness;
+    corecover_stats = r.Corecover.stats;
+    source;
+    ms;
+  }
+
+let rewrite ?budget ?max_covers ?(domains = 1) t query =
+  let clock = Budget.create () in
+  let finish ~probed ~source (rewritings, minimized_query) r =
+    let ms = Budget.elapsed_ms clock in
+    record t ~probed ~completeness:r.Corecover.completeness ~ms;
+    outcome_of ~source ~ms rewritings minimized_query r
+  in
+  (* snapshot the catalog: a concurrent [set_catalog] must not mix
+     generations within one request *)
+  let cat = locked t (fun () -> t.cat) in
+  let run q =
+    Corecover.gmrs ?budget ?max_covers
+      ~view_classes:(Catalog.view_classes cat)
+      ~domains ~query:q ~views:(Catalog.views cat) ()
+  in
+  match Normalize.canonicalize query with
+  | None ->
+      (* canonical-labeling search blew its cap: uncacheable, run as-is *)
+      let r = run query in
+      finish ~probed:false ~source:Bypass
+        (r.Corecover.rewritings, r.Corecover.minimized_query)
+        r
+  | Some (canon, sigma) -> (
+      let key = Query.to_string canon in
+      let inv = invert sigma in
+      let cached =
+        locked t (fun () ->
+            if t.cat != cat then None
+            else
+              match Rewrite_cache.find t.cache key with
+              | Some e when Query.equal e.canon canon -> Some e.result
+              | Some _ | None -> None)
+      in
+      match cached with
+      | Some r -> finish ~probed:true ~source:Hit (rename_result inv r) r
+      | None ->
+          let r = run canon in
+          let source =
+            match r.Corecover.completeness with
+            | Corecover.Complete ->
+                locked t (fun () ->
+                    (* only publish results computed against the live
+                       catalog generation *)
+                    if t.cat == cat then Rewrite_cache.add t.cache key { canon; result = r });
+                Miss
+            | Corecover.Truncated _ -> Bypass
+          in
+          finish ~probed:true ~source (rename_result inv r) r)
+
+let rewrite_batch ?(make_budget = fun () -> None) ?max_covers ?(domains = 1) t
+    queries =
+  Parallel.map ~domains
+    (fun query -> rewrite ?budget:(make_budget ()) ?max_covers t query)
+    queries
+
+let percentile sorted p =
+  match Array.length sorted with
+  | 0 -> 0.
+  | n -> sorted.(min (n - 1) (int_of_float (ceil (p *. float_of_int n)) - 1))
+
+let stats t =
+  locked t (fun () ->
+      let c = Rewrite_cache.counters t.cache in
+      let n = min t.lat_next lat_window in
+      let window = Array.sub t.lat_ring 0 n in
+      Array.sort compare window;
+      let latency =
+        {
+          count = t.lat_next;
+          mean_ms = (if t.lat_next = 0 then 0. else t.lat_sum /. float_of_int t.lat_next);
+          p50_ms = percentile window 0.50;
+          p95_ms = percentile window 0.95;
+          max_ms = t.lat_max;
+        }
+      in
+      {
+        generation = Catalog.generation t.cat;
+        num_views = Catalog.num_views t.cat;
+        num_view_classes = Catalog.num_classes t.cat;
+        requests = t.requests;
+        hits = c.Rewrite_cache.hits;
+        misses = c.Rewrite_cache.misses;
+        bypasses = t.bypasses;
+        evictions = c.Rewrite_cache.evictions;
+        cache_size = c.Rewrite_cache.size;
+        cache_capacity = c.Rewrite_cache.capacity;
+        truncated = t.truncated;
+        latency;
+      })

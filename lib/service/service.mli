@@ -1,0 +1,111 @@
+(** The resident rewriting service: a shared {!Catalog} plus a
+    canonical-query rewrite cache and request statistics.
+
+    Requests are keyed by the order-insensitive canonical form of the
+    query ({!Vplan_rewrite.Normalize.canonicalize}): every request is
+    renamed into canonical variables, CoreCover runs on the canonical
+    query (reusing the catalog's precomputed view classes), and the
+    result is renamed back into the caller's variables.  Because the
+    canonical form is complete for isomorphism, two requests share a
+    cache entry iff they are the same query up to variable renaming and
+    subgoal reordering — and because {e every} request goes through the
+    canonical query, a cache hit is observationally identical to a fresh
+    run: same rewritings, same completeness, same statistics, in the
+    caller's own variables.
+
+    Only [Complete] results are cached.  A [Truncated] result reflects
+    the requester's budget, not the query, so it bypasses the cache
+    entirely: it is neither stored nor ever served to a later request.
+    Conversely a cached [Complete] result is valid for any budget — the
+    search it summarizes finished, so a larger budget could not change
+    it.
+
+    A service value may be shared across domains: the cache and the
+    statistics are guarded by a mutex, and CoreCover itself runs outside
+    the lock.  {!rewrite_batch} fans independent requests out over a
+    domain pool ({!Vplan_parallel.Parallel.map}); answers are
+    deterministic and order-preserving regardless of the worker count —
+    only the hit/miss attribution of concurrent duplicates can vary. *)
+
+open Vplan_cq
+module Corecover := Vplan_rewrite.Corecover
+
+type t
+
+(** How a request was satisfied: from the cache, by a fresh CoreCover
+    run (now cached if [Complete]), or by a fresh run that bypassed the
+    cache ([Truncated] result, or a query whose canonicalization blew
+    its search cap and is treated as uncacheable). *)
+type source = Hit | Miss | Bypass
+
+type outcome = {
+  rewritings : Query.t list;  (** in the caller's variables *)
+  minimized_query : Query.t;  (** in the caller's variables *)
+  completeness : Corecover.completeness;
+  corecover_stats : Corecover.stats;
+  source : source;
+  ms : float;  (** wall-clock latency of this request *)
+}
+
+type latency = {
+  count : int;
+  mean_ms : float;
+  p50_ms : float;
+  p95_ms : float;
+  max_ms : float;
+}
+
+type stats = {
+  generation : int;
+  num_views : int;
+  num_view_classes : int;
+  requests : int;  (** [requests = hits + misses + bypasses] *)
+  hits : int;
+  misses : int;  (** cache probes that missed, truncated runs included *)
+  bypasses : int;  (** requests that never probed (uncacheable queries) *)
+  evictions : int;
+  cache_size : int;
+  cache_capacity : int;
+  truncated : int;  (** requests that returned a [Truncated] result *)
+  latency : latency;  (** over the most recent requests (bounded window) *)
+}
+
+(** [create catalog] — [cache_capacity] (default [512]) bounds the
+    number of cached rewrite results. *)
+val create : ?cache_capacity:int -> Catalog.t -> t
+
+val catalog : t -> Catalog.t
+
+(** [set_catalog t c] swaps the catalog in and {e clears the cache}:
+    cached rewritings are only valid against the view set they were
+    computed with.  Counters survive (they describe the service's
+    lifetime). *)
+val set_catalog : t -> Catalog.t -> unit
+
+(** [rewrite t query] serves one request.  [budget]/[max_covers] bound
+    the CoreCover run on a miss exactly as in {!Corecover.gmrs} — a
+    fresh budget per request keeps one adversarial query from stalling
+    the service.  [domains] fans the per-view work of a miss out.  A
+    [Width_limit] input error raises as usual. *)
+val rewrite :
+  ?budget:Vplan_core.Budget.t ->
+  ?max_covers:int ->
+  ?domains:int ->
+  t ->
+  Query.t ->
+  outcome
+
+(** [rewrite_batch t queries] serves independent requests over a domain
+    pool, returning outcomes in request order.  [domains] is the pool
+    width (each request runs CoreCover sequentially); [make_budget] is
+    called once per request {e in the worker}, so deadlines start when
+    the request is picked up, not when the batch was submitted. *)
+val rewrite_batch :
+  ?make_budget:(unit -> Vplan_core.Budget.t option) ->
+  ?max_covers:int ->
+  ?domains:int ->
+  t ->
+  Query.t list ->
+  outcome list
+
+val stats : t -> stats

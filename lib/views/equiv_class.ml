@@ -115,38 +115,58 @@ let signature ?budget (v : Query.t) =
 let view_equivalent ?budget v1 v2 =
   Containment.equivalent ?budget (erase_head_pred v1) (erase_head_pred v2)
 
+let group_views_keyed ?budget views =
+  (* Bucket views by signature; compare only against representatives of
+     classes in the same bucket.  Since equal signatures are necessary
+     for equivalence, the skipped cross-bucket comparisons would all
+     have failed: classes, class order and member order are identical to
+     the unbucketed [group].  Each class carries its signature so that
+     later views ({!add_to_keyed}) join the search where it left off. *)
+  let table : (string, (Query.t * Query.t list ref) list ref) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let order = ref [] in
+  List.iter
+    (fun v ->
+      let s = signature ?budget v in
+      let bucket =
+        match Hashtbl.find_opt table s with
+        | Some b -> b
+        | None ->
+            let b = ref [] in
+            Hashtbl.add table s b;
+            b
+      in
+      let rec find = function
+        | [] ->
+            let cell = (v, ref [ v ]) in
+            bucket := !bucket @ [ cell ];
+            order := (s, cell) :: !order
+        | (rep, members) :: rest ->
+            if view_equivalent ?budget rep v then members := v :: !members else find rest
+      in
+      find !bucket)
+    views;
+  List.rev_map (fun (s, (_, members)) -> (s, List.rev !members)) !order
+
+let add_to_keyed ?budget classes views =
+  (* Same partition as regrouping [List.concat_map snd classes @ views]
+     from scratch: a new view joins the first existing class whose
+     signature matches and whose representative is equivalent, else opens
+     a class at the end. *)
+  List.fold_left
+    (fun classes v ->
+      let s = signature ?budget v in
+      let rec insert = function
+        | [] -> [ (s, [ v ]) ]
+        | (s', (rep :: _ as members)) :: rest
+          when String.equal s s' && view_equivalent ?budget rep v ->
+            (s', members @ [ v ]) :: rest
+        | cls :: rest -> cls :: insert rest
+      in
+      insert classes)
+    classes views
+
 let group_views ?budget ?(buckets = true) views =
   if not buckets then group ~eq:(view_equivalent ?budget) views
-  else begin
-    (* Bucket views by signature; compare only against representatives of
-       classes in the same bucket.  Since equal signatures are necessary
-       for equivalence, the skipped cross-bucket comparisons would all
-       have failed: classes, class order and member order are identical to
-       the unbucketed [group]. *)
-    let table : (string, (Query.t * Query.t list ref) list ref) Hashtbl.t =
-      Hashtbl.create 64
-    in
-    let order = ref [] in
-    List.iter
-      (fun v ->
-        let s = signature ?budget v in
-        let bucket =
-          match Hashtbl.find_opt table s with
-          | Some b -> b
-          | None ->
-              let b = ref [] in
-              Hashtbl.add table s b;
-              b
-        in
-        let rec find = function
-          | [] ->
-              let cell = (v, ref [ v ]) in
-              bucket := !bucket @ [ cell ];
-              order := cell :: !order
-          | (rep, members) :: rest ->
-              if view_equivalent ?budget rep v then members := v :: !members else find rest
-        in
-        find !bucket)
-      views;
-    List.rev_map (fun (_, members) -> List.rev !members) !order
-  end
+  else List.map snd (group_views_keyed ?budget views)

@@ -39,6 +39,10 @@ val representatives : 'a list list -> 'a list
     partition refinement. *)
 val signature : ?budget:Vplan_core.Budget.t -> Query.t -> string
 
+(** [view_equivalent v1 v2] decides equivalence of two views as queries,
+    ignoring their (necessarily distinct) head predicate names. *)
+val view_equivalent : ?budget:Vplan_core.Budget.t -> Query.t -> Query.t -> bool
+
 (** [group_views views] groups views equivalent as queries (ignoring their
     distinct head predicate names: [v1 ≡ v5] in the car-loc-part example).
     [buckets] (default [true]) enables signature bucketing; the resulting
@@ -46,3 +50,25 @@ val signature : ?budget:Vplan_core.Budget.t -> Query.t -> string
     minimization/equivalence searches. *)
 val group_views :
   ?budget:Vplan_core.Budget.t -> ?buckets:bool -> View.t list -> View.t list list
+
+(** [group_views_keyed views] is {!group_views} with each class tagged by
+    its representative's {!signature} — the persistent form a long-lived
+    view catalog keeps so views can later be added without regrouping the
+    whole set.  [group_views ~buckets:true views
+    = List.map snd (group_views_keyed views)]. *)
+val group_views_keyed :
+  ?budget:Vplan_core.Budget.t -> View.t list -> (string * View.t list) list
+
+(** [add_to_keyed classes views] extends a {!group_views_keyed} partition
+    with new views incrementally: each view joins the first class whose
+    signature matches and whose representative it is equivalent to, or
+    opens a new class at the end.  The result is the same partition (same
+    class order, same member order) as regrouping
+    [List.concat_map snd classes @ views] from scratch.  Cost is one
+    signature plus the within-bucket equivalence checks per added view —
+    independent of the catalog size when signatures differ. *)
+val add_to_keyed :
+  ?budget:Vplan_core.Budget.t ->
+  (string * View.t list) list ->
+  View.t list ->
+  (string * View.t list) list

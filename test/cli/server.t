@@ -1,0 +1,101 @@
+The server speaks a line protocol: catalog management, rewrite requests
+with hit/miss/bypass attribution, and counters.  The latency line is
+timing-dependent, so it is filtered out.
+
+  $ cat > views.dl <<'EOF'
+  > v1(M, D, C) :- car(M, D), loc(D, C).
+  > v2(S, M, C) :- part(S, M, C).
+  > v4(M, D, C, S) :- car(M, D), loc(D, C), part(S, M, C).
+  > EOF
+
+An isomorphic resubmission (variables renamed, subgoals permuted) is a
+cache hit, and the answer comes back in the caller's own variables.
+
+  $ vplan_server <<'SESSION' | grep -v '^latency'
+  > catalog load views.dl
+  > rewrite q1(S, C) :- car(M, anderson), loc(anderson, C), part(S, M, C).
+  > rewrite q1(P, K) :- part(P, N, K), loc(anderson, K), car(N, anderson).
+  > stats
+  > quit
+  > SESSION
+  ok catalog generation=1 views=3 classes=3
+  ok 1 miss
+  q1(S,C) :- v4(M,anderson,C,S)
+  ok 1 hit
+  q1(P,K) :- v4(N,anderson,K,P)
+  generation=1 views=3 classes=3
+  requests=2 hits=1 misses=1 bypasses=0
+  cache size=1 capacity=512 evictions=0
+  truncated=0
+
+Catalog updates bump the generation and invalidate the cache; removing
+v4 changes the best rewriting.  Errors never kill the loop.
+
+  $ vplan_server --catalog views.dl <<'SESSION' | grep -v '^latency'
+  > rewrite q1(S, C) :- car(M, anderson), loc(anderson, C), part(S, M, C).
+  > catalog remove v4
+  > rewrite q1(S, C) :- car(M, anderson), loc(anderson, C), part(S, M, C).
+  > catalog remove nope
+  > rewrite nonsense
+  > catalog add v4(M, D, C, S) :- car(M, D), loc(D, C), part(S, M, C).
+  > rewrite q1(S, C) :- car(M, anderson), loc(anderson, C), part(S, M, C).
+  > quit
+  > SESSION
+  ok catalog generation=1 views=3 classes=3
+  ok 1 miss
+  q1(S,C) :- v4(M,anderson,C,S)
+  ok catalog generation=2 views=2 classes=2
+  ok 1 miss
+  q1(S,C) :- v1(M,anderson,C), v2(S,M,C)
+  err no such view: nope
+  err 1:9: expected '(', found end of input
+  ok catalog generation=3 views=3 classes=3
+  ok 1 miss
+  q1(S,C) :- v4(M,anderson,C,S)
+
+A request that exhausts its budget returns a truncated response and
+bypasses the cache: the next unbudgeted request recomputes (miss, not
+hit) and gets the complete answer.
+
+  $ vplan_server --catalog views.dl <<'SESSION' | grep -v '^latency'
+  > set max-steps 1
+  > rewrite q1(S, C) :- car(M, anderson), loc(anderson, C), part(S, M, C).
+  > set off
+  > rewrite q1(S, C) :- car(M, anderson), loc(anderson, C), part(S, M, C).
+  > stats
+  > quit
+  > SESSION
+  ok catalog generation=1 views=3 classes=3
+  ok max-steps=1
+  ok 0 bypass
+  truncated: step budget of 1 exhausted
+  ok budget off
+  ok 1 miss
+  q1(S,C) :- v4(M,anderson,C,S)
+  generation=1 views=3 classes=3
+  requests=2 hits=0 misses=2 bypasses=0
+  cache size=1 capacity=512 evictions=0
+  truncated=1
+
+Batches fan out over the domain pool and answer in request order.
+Without a catalog there is nothing to rewrite against.
+
+  $ vplan_server <<'SESSION' | grep -v '^latency'
+  > rewrite q1(S) :- part(S, M, C).
+  > SESSION
+  err no catalog loaded (use: catalog load FILE)
+
+  $ vplan_server --catalog views.dl --domains 2 <<'SESSION' | grep -v '^latency'
+  > rewrite q1(S, C) :- car(M, anderson), loc(anderson, C), part(S, M, C).
+  > batch 2
+  > q1(A, B) :- car(N, anderson), loc(anderson, B), part(A, N, B).
+  > q1(P, K) :- part(P, N, K), loc(anderson, K), car(N, anderson).
+  > quit
+  > SESSION
+  ok catalog generation=1 views=3 classes=3
+  ok 1 miss
+  q1(S,C) :- v4(M,anderson,C,S)
+  ok 1 hit
+  q1(A,B) :- v4(N,anderson,B,A)
+  ok 1 hit
+  q1(P,K) :- v4(N,anderson,K,P)

@@ -18,5 +18,6 @@ let () =
       ("inverse-rules", Test_inverse_rules.suite);
       ("planner", Test_planner.suite);
       ("workload", Test_workload.suite);
+      ("service", Test_service.suite);
       ("properties", Test_properties.suite);
     ]
