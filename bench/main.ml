@@ -23,6 +23,7 @@
      openworld certain answers: inverse rules vs MiniCon MCR
      estimate  statistics-based join ordering vs true sizes
      serve     resident service: cold vs warm-cache throughput
+     optimize  plan selection: branch-and-bound engine vs naive candidate loop
      micro     bechamel micro-benchmarks of the core operations *)
 
 open Vplan
@@ -105,6 +106,19 @@ type service_metrics = {
 
 let service_metrics : service_metrics option ref = ref None
 
+(* Rows of the [optimize] experiment, collected for [--out FILE.json]. *)
+type optimizer_row = {
+  or_views : int;
+  or_queries : int;
+  or_candidates : float;  (* avg candidate rewritings per query *)
+  or_baseline_ms : float;  (* naive per-candidate DP fold, total *)
+  or_engine_ms : float;  (* ranked + memoized + branch-and-bound, total *)
+  or_speedup : float;
+  or_cost_equal : bool;  (* engine choice = unpruned fold on every query *)
+}
+
+let optimizer_rows : optimizer_row list ref = ref []
+
 let write_json ~mode oc =
   Printf.fprintf oc "{\n";
   Printf.fprintf oc "  \"mode\": %S,\n" mode;
@@ -122,6 +136,22 @@ let write_json ~mode oc =
         m.sm_cold_qps m.sm_warm_qps m.sm_speedup m.sm_hit_rate;
       Printf.fprintf oc " \"p50_ms\": %.3f, \"p95_ms\": %.3f, \"truncated\": %d },\n"
         m.sm_p50_ms m.sm_p95_ms m.sm_truncated);
+  (match List.rev !optimizer_rows with
+  | [] -> ()
+  | rows ->
+      Printf.fprintf oc "  \"optimizer\": [";
+      List.iteri
+        (fun i r ->
+          Printf.fprintf oc "%s\n    { \"views\": %d, \"queries\": %d,"
+            (if i = 0 then "" else ",")
+            r.or_views r.or_queries;
+          Printf.fprintf oc
+            " \"candidates\": %.1f, \"baseline_ms\": %.3f, \"engine_ms\": %.3f,"
+            r.or_candidates r.or_baseline_ms r.or_engine_ms;
+          Printf.fprintf oc " \"speedup\": %.2f, \"cost_equal\": %b }" r.or_speedup
+            r.or_cost_equal)
+        rows;
+      Printf.fprintf oc "\n  ],\n");
   Printf.fprintf oc "  \"rows\": [";
   List.iteri
     (fun i r ->
@@ -643,6 +673,174 @@ let serve ~settings =
       }
 
 (* ------------------------------------------------------------------ *)
+(* Plan selection: the Select engine vs the naive candidate loop.      *)
+
+(* The pre-engine candidate loop, frozen verbatim: the subset DP as it
+   stood before the selection engine landed — [Names.Sset] unions per
+   state, every subset's environments materialized eagerly, no sharing
+   across candidates, no pruning — folded sequentially keeping the
+   earliest minimum.  This replica is the reference both for timing and
+   for the exactness check; keeping it in the bench makes the
+   engine-vs-loop comparison reproducible as the library evolves. *)
+module Legacy_m2 = struct
+  let width vars = max 1 (Names.Sset.cardinal vars)
+
+  let relation_cells db (a : Atom.t) =
+    Eval.relation_size db a * max 1 (Atom.arity a)
+
+  let optimal db body =
+    let atoms = Array.of_list body in
+    let n = Array.length atoms in
+    if n = 0 then ([], 0)
+    else if n > 20 then invalid_arg "Legacy_m2.optimal: too many subgoals"
+    else begin
+      let full = (1 lsl n) - 1 in
+      let envs = Array.make (full + 1) None in
+      envs.(0) <- Some [ Eval.empty_env ];
+      let rec envs_of s =
+        match envs.(s) with
+        | Some e -> e
+        | None ->
+            let bit = s land -s in
+            let i =
+              let rec find k = if 1 lsl k = bit then k else find (k + 1) in
+              find 0
+            in
+            let e = Eval.extend db (envs_of (s lxor bit)) atoms.(i) in
+            envs.(s) <- Some e;
+            e
+      in
+      let subset_width s =
+        let vars = ref Names.Sset.empty in
+        Array.iteri
+          (fun i a ->
+            if s land (1 lsl i) <> 0 then vars := Names.Sset.union !vars (Atom.var_set a))
+          atoms;
+        width !vars
+      in
+      let ir_cells = Array.make (full + 1) (-1) in
+      let cells_of s =
+        if ir_cells.(s) >= 0 then ir_cells.(s)
+        else begin
+          let v = List.length (envs_of s) * subset_width s in
+          ir_cells.(s) <- v;
+          v
+        end
+      in
+      let best = Array.make (full + 1) max_int in
+      let choice = Array.make (full + 1) (-1) in
+      best.(0) <- 0;
+      for s = 1 to full do
+        let ir = cells_of s in
+        for i = 0 to n - 1 do
+          if s land (1 lsl i) <> 0 then begin
+            let prev = best.(s lxor (1 lsl i)) in
+            if prev < max_int && prev + ir < best.(s) then begin
+              best.(s) <- prev + ir;
+              choice.(s) <- i
+            end
+          end
+        done
+      done;
+      let rec rebuild s acc =
+        if s = 0 then acc
+        else
+          let i = choice.(s) in
+          rebuild (s lxor (1 lsl i)) (atoms.(i) :: acc)
+      in
+      let order = rebuild full [] in
+      let relation_costs =
+        List.fold_left (fun acc a -> acc + relation_cells db a) 0 body
+      in
+      (order, best.(full) + relation_costs)
+    end
+end
+
+let naive_best_m2 view_db candidates =
+  List.fold_left
+    (fun best (p : Query.t) ->
+      let order, cost = Legacy_m2.optimal view_db p.Query.body in
+      match best with
+      | Some (_, _, c) when c <= cost -> best
+      | _ -> Some (p, order, cost))
+    None candidates
+
+let optimize ~settings =
+  header
+    "Plan selection: ranked + memoized + branch-and-bound engine vs naive loop";
+  Format.printf "%8s %8s %12s %14s %12s %10s %12s@." "views" "queries" "candidates"
+    "baseline-ms" "engine-ms" "speedup" "cost-equal";
+  List.iter
+    (fun num_views ->
+      let base_ms = ref 0. and eng_ms = ref 0. in
+      let queries = ref 0 and cands = ref 0 in
+      let equal = ref true in
+      for qi = 0 to settings.queries_per_point - 1 do
+        (* the fig6a star workload, same seeds, over a concrete instance *)
+        let config =
+          {
+            Generator.default with
+            shape = Generator.Star;
+            num_views;
+            seed = 1000 + (qi * 7919) + num_views;
+          }
+        in
+        match Generator.generate_with_rewriting ~max_attempts:100 config with
+        | exception Failure _ -> ()
+        | inst -> (
+            let query = inst.Generator.query and views = inst.views in
+            let base = Generator.base_database ~tuples:12 ~domain:10 inst in
+            let view_db = Materialize.views base views in
+            let r = Corecover.all_minimal ~domains:!opt_domains ~query ~views () in
+            match r.Corecover.rewritings with
+            | [] -> ()
+            | candidates ->
+                incr queries;
+                cands := !cands + List.length candidates;
+                let naive, b_ms =
+                  time_ms (fun () -> naive_best_m2 view_db candidates)
+                in
+                let memo = Subplan.create () in
+                let engine, e_ms =
+                  time_ms (fun () ->
+                      Select.best_m2 ~memo ~domains:!opt_domains view_db candidates)
+                in
+                base_ms := !base_ms +. b_ms;
+                eng_ms := !eng_ms +. e_ms;
+                (* cost must match exactly; the chosen order may resolve
+                   cost ties differently (the legacy DP scans atoms in
+                   the candidate's own order, the engine canonicalizes),
+                   so verify the engine's order against its own cost
+                   model instead *)
+                (match (naive, engine) with
+                | Some (_, _, n_cost), Some c ->
+                    if c.Select.m2_cost <> n_cost then equal := false;
+                    if M2.cost_of_order view_db c.Select.m2_order <> c.Select.m2_cost
+                    then equal := false
+                | None, None -> ()
+                | _ -> equal := false))
+      done;
+      if !queries > 0 then begin
+        let speedup = !base_ms /. Float.max 1e-9 !eng_ms in
+        let avg_cands = float_of_int !cands /. float_of_int !queries in
+        optimizer_rows :=
+          {
+            or_views = num_views;
+            or_queries = !queries;
+            or_candidates = avg_cands;
+            or_baseline_ms = !base_ms;
+            or_engine_ms = !eng_ms;
+            or_speedup = speedup;
+            or_cost_equal = !equal;
+          }
+          :: !optimizer_rows;
+        Format.printf "%8d %8d %12.1f %14.1f %12.1f %9.1fx %12b@." num_views !queries
+          avg_cands !base_ms !eng_ms speedup !equal
+      end
+      else Format.printf "%8d %8s@." num_views "(no rewritable workload)")
+    settings.view_counts
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks.                                          *)
 
 let micro () =
@@ -744,13 +942,14 @@ let experiments settings =
     ("openworld", fun () -> openworld ());
     ("estimate", fun () -> estimate ());
     ("serve", fun () -> serve ~settings);
+    ("optimize", fun () -> optimize ~settings);
     ("micro", fun () -> micro ());
   ]
 
 let usage () =
   prerr_endline
-    "usage: main.exe [EXPERIMENT...] [--full] [--views N] [--domains N]\n\
-    \                [--no-index] [--no-buckets] [--out FILE.json]\n\
+    "usage: main.exe [EXPERIMENT...] [--full | --mode quick|full] [--views N]\n\
+    \                [--domains N] [--no-index] [--no-buckets] [--out FILE.json]\n\
     \                [--timeout MS] [--max-steps N] [--max-covers N]";
   exit 2
 
@@ -764,6 +963,15 @@ let () =
     | "--full" :: rest ->
         is_full := true;
         parse wanted rest
+    | "--mode" :: m :: rest -> (
+        match m with
+        | "quick" ->
+            is_full := false;
+            parse wanted rest
+        | "full" ->
+            is_full := true;
+            parse wanted rest
+        | _ -> usage ())
     | "--no-index" :: rest ->
         opt_indexed := false;
         parse wanted rest

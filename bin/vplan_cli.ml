@@ -14,13 +14,19 @@ let read_file path =
     (fun () -> really_input_string ic (in_channel_length ic))
 
 (* Exit codes: 0 complete, 1 runtime error, 2 parse/usage error, 3 result
-   truncated by a budget.  Runtime failures print one diagnostic line
-   instead of dying with a backtrace. *)
+   truncated or cut off by a budget — whether reported as an anytime
+   result or raised from a search that cannot return partial answers
+   (plan selection).  Runtime failures print one diagnostic line instead
+   of dying with a backtrace. *)
 let or_die f =
   try f () with
   | Vplan.Vplan_error.Error e ->
       Format.eprintf "error: %s@." (Vplan.Vplan_error.to_string e);
-      exit (match e with Vplan.Vplan_error.Parse _ -> 2 | _ -> 1)
+      exit
+        (match e with
+        | Vplan.Vplan_error.Parse _ -> 2
+        | e when Vplan.Vplan_error.is_resource e -> 3
+        | _ -> 1)
   | Invalid_argument msg | Failure msg | Sys_error msg ->
       Format.eprintf "error: %s@." msg;
       exit 1
@@ -153,11 +159,16 @@ let plan_cmd =
   let explain_flag =
     Arg.(value & flag & info [ "explain" ] ~doc:"Print the plan step by step with the sizes incurred.")
   in
-  let run file data cost explain =
+  let domains =
+    Arg.(value & opt int 1 & info [ "domains" ] ~docv:"N"
+           ~doc:"Score candidate rewritings across $(docv) domains (same result for any value).")
+  in
+  let run file data cost explain domains timeout max_steps =
    or_die @@ fun () ->
     let query, rest = parse_program_file file in
     let views, _ = split_views_and_candidates query rest in
     let base = database_of_file data in
+    let budget = budget_of ~timeout ~max_steps in
     let t = Vplan.Optimizer.create ~query ~views ~base in
     (match cost with
     | `M1 -> (
@@ -167,7 +178,7 @@ let plan_cmd =
             Format.printf "rewriting: %a@.cost (subgoals): %d@." Vplan.Query.pp p
               (Vplan.M1.cost p))
     | `M2 -> (
-        match Vplan.Optimizer.best_m2 t with
+        match Vplan.Optimizer.best_m2 ?budget ~domains t with
         | None -> Format.printf "no rewriting@."
         | Some c ->
             Format.printf "rewriting: %a@." Vplan.Query.pp c.m2_rewriting;
@@ -179,7 +190,7 @@ let plan_cmd =
                 c.m2_order)
     | (`M3 | `M3s) as strategy -> (
         let strategy = if strategy = `M3 then `Heuristic else `Supplementary in
-        match Vplan.Optimizer.best_m3 ~strategy t with
+        match Vplan.Optimizer.best_m3 ~strategy ?budget ~domains t with
         | None -> Format.printf "no rewriting@."
         | Some c ->
             Format.printf "rewriting: %a@." Vplan.Query.pp c.m3_rewriting;
@@ -193,7 +204,8 @@ let plan_cmd =
   in
   Cmd.v
     (Cmd.info "plan" ~doc:"Pick a cost-optimal rewriting and physical plan over a concrete database.")
-    Term.(const run $ file $ data $ cost $ explain_flag)
+    Term.(const run $ file $ data $ cost $ explain_flag $ domains $ timeout_arg
+          $ max_steps_arg)
 
 (* ------------------------------------------------------------------ *)
 (* classify                                                            *)

@@ -15,6 +15,11 @@
                              truncated: <reason>          (when budgeted out)
      batch N               read the next N lines as rewrite requests and
                            serve them over the domain pool, in order
+     data load FILE        load ground facts as the base database (enables plan)
+     plan <rule>.          end-to-end plan selection:
+                             ok plan cost=C candidates=K   (or: ok plan none)
+                             <chosen rewriting line>
+                             order: <join order>
      stats                 catalog, cache, and latency counters
      set timeout MS | set max-steps N | set max-covers N | set off
      help                  this text
@@ -45,7 +50,7 @@ let settings =
 let help () =
   print_endline
     "commands: catalog load FILE | catalog add <rule>. | catalog remove NAME\n\
-    \          rewrite <rule>. | batch N | stats\n\
+    \          rewrite <rule>. | batch N | data load FILE | plan <rule>. | stats\n\
     \          set timeout MS | set max-steps N | set max-covers N | set off\n\
     \          help | quit"
 
@@ -183,6 +188,45 @@ let cmd_batch rest =
                  ?max_covers:settings.max_covers ~domains:settings.domains s
                  queries))
 
+let cmd_data rest =
+  let sub, arg =
+    match String.index_opt rest ' ' with
+    | None -> (rest, "")
+    | Some i ->
+        ( String.sub rest 0 i,
+          String.trim (String.sub rest (i + 1) (String.length rest - i - 1)) )
+  in
+  match sub with
+  | "load" when arg <> "" ->
+      with_service (fun s ->
+          match Vplan.Parser.parse_facts (read_file arg) with
+          | Error e -> err "%s" (Vplan.Vplan_error.parse_to_string e)
+          | exception Sys_error e -> err "%s" e
+          | Ok facts ->
+              Vplan.Service.set_base s (Vplan.Database.of_facts facts);
+              Format.printf "ok data facts=%d@." (List.length facts))
+  | _ -> err "usage: data load FILE"
+
+let cmd_plan rest =
+  with_service (fun s ->
+      match Vplan.Parser.parse_rule rest with
+      | Error e -> err "%s" (Vplan.Vplan_error.parse_to_string e)
+      | Ok query -> (
+          match
+            Vplan.Service.plan ?budget:(fresh_budget ())
+              ?max_covers:settings.max_covers ~domains:settings.domains s query
+          with
+          | None -> print_endline "ok plan none"
+          | Some o ->
+              Format.printf "ok plan cost=%d candidates=%d@."
+                o.Vplan.Service.plan_cost o.Vplan.Service.plan_candidates;
+              Format.printf "%a@." Vplan.Query.pp o.Vplan.Service.plan_rewriting;
+              Format.printf "order: %a@."
+                (Format.pp_print_list
+                   ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+                   Vplan.Atom.pp)
+                o.Vplan.Service.plan_order))
+
 let cmd_stats () =
   with_service (fun s ->
       let st = Vplan.Service.stats s in
@@ -194,7 +238,8 @@ let cmd_stats () =
       Format.printf "cache size=%d capacity=%d evictions=%d@."
         st.Vplan.Service.cache_size st.Vplan.Service.cache_capacity
         st.Vplan.Service.evictions;
-      Format.printf "truncated=%d@." st.Vplan.Service.truncated;
+      Format.printf "truncated=%d plan-requests=%d@." st.Vplan.Service.truncated
+        st.Vplan.Service.plan_requests;
       let l = st.Vplan.Service.latency in
       Format.printf "latency count=%d mean=%.3fms p50=%.3fms p95=%.3fms max=%.3fms@."
         l.Vplan.Service.count l.Vplan.Service.mean_ms l.Vplan.Service.p50_ms
@@ -245,6 +290,8 @@ let handle line =
     | "catalog" -> cmd_catalog rest; true
     | "rewrite" -> cmd_rewrite rest; true
     | "batch" -> cmd_batch rest; true
+    | "data" -> cmd_data rest; true
+    | "plan" -> cmd_plan rest; true
     | "stats" -> cmd_stats (); true
     | "set" -> cmd_set rest; true
     | other -> err "unknown command %S (try: help)" other; true

@@ -68,6 +68,8 @@ module M2 = Vplan_cost.M2
 module M3 = Vplan_cost.M3
 module Filter = Vplan_cost.Filter
 module Explain = Vplan_cost.Explain
+module Subplan = Vplan_cost.Subplan
+module Select = Vplan_cost.Select
 module Optimizer = Vplan_cost.Optimizer
 
 (* baselines *)

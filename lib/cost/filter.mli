@@ -12,8 +12,13 @@ open Vplan_views
 
 (** [improve db ~filters body] greedily appends filter atoms while the
     optimal M2 cost decreases.  Returns the chosen body (original subgoals
-    first, chosen filters appended), the optimal ordering and its cost. *)
+    first, chosen filters appended), the optimal ordering and its cost.
+    A [memo] pays off doubly here: the trial bodies [body @ [f]] share
+    all of [body]'s subsets, so each greedy round re-evaluates only the
+    subsets containing the new filter atom. *)
 val improve :
+  ?memo:Subplan.t ->
+  ?budget:Vplan_core.Budget.t ->
   Database.t ->
   filters:View_tuple.t list ->
   Atom.t list ->
@@ -23,4 +28,9 @@ val improve :
     without filters and with the greedy filter choice — handy for tests
     and the ablation bench. *)
 val cost_with_and_without :
-  Database.t -> filters:View_tuple.t list -> Atom.t list -> int * int
+  ?memo:Subplan.t ->
+  ?budget:Vplan_core.Budget.t ->
+  Database.t ->
+  filters:View_tuple.t list ->
+  Atom.t list ->
+  int * int

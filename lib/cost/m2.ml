@@ -1,11 +1,22 @@
 open Vplan_relational
 module Atom = Vplan_cq.Atom
+module Term = Vplan_cq.Term
 module Names = Vplan_cq.Names
+module Budget = Vplan_core.Budget
+module Vplan_error = Vplan_core.Vplan_error
+
+let max_subgoals = 20
+
+let width_limit n =
+  raise (Vplan_error.Error (Vplan_error.Width_limit { subgoals = n; max_subgoals }))
 
 let width vars = max 1 (Names.Sset.cardinal vars)
 
 let relation_cells db (a : Atom.t) =
   Eval.relation_size db a * max 1 (Atom.arity a)
+
+let body_relation_cells db body =
+  List.fold_left (fun acc a -> acc + relation_cells db a) 0 body
 
 let intermediate_sizes db order =
   let _, rev_sizes =
@@ -19,7 +30,7 @@ let intermediate_sizes db order =
   List.rev rev_sizes
 
 let cost_of_order db order =
-  let relation_costs = List.fold_left (fun acc a -> acc + relation_cells db a) 0 order in
+  let relation_costs = body_relation_cells db order in
   let _, _, ir_cells =
     List.fold_left
       (fun (envs, seen, acc) atom ->
@@ -31,75 +42,431 @@ let cost_of_order db order =
   in
   relation_costs + ir_cells
 
+(* Variable sets as bitsets over a per-body variable index: emptiness-of-
+   intersection (the connectivity test) becomes a word operation instead
+   of a [Names.Sset] rebuild per DP state.  A body of up to 20 atoms
+   rarely exceeds 63 distinct variables, but arities are unbounded, so
+   masks are word arrays rather than a single int. *)
+module Mask = struct
+  let zero words = Array.make words 0
+
+  let union a b = Array.init (Array.length a) (fun k -> a.(k) lor b.(k))
+
+  let intersects a b =
+    let n = Array.length a in
+    let rec go k = k < n && (a.(k) land b.(k) <> 0 || go (k + 1)) in
+    go 0
+end
+
+let lowest_index bit =
+  let rec find k = if 1 lsl k = bit then k else find (k + 1) in
+  find 0
+
+(* compiled atom argument: a constant to check, or a variable code *)
+type carg = Ccst of Term.const | Cvar of int
+
+let lower_bound (slots : int array) v =
+  let lo = ref 0 and hi = ref (Array.length slots) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if slots.(mid) < v then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let mem_sorted slots v =
+  let k = lower_bound slots v in
+  k < Array.length slots && slots.(k) = v
+
+let merge_sorted (a : int array) (b : int array) =
+  let la = Array.length a and lb = Array.length b in
+  let out = Array.make (la + lb) 0 in
+  let i = ref 0 and j = ref 0 and k = ref 0 in
+  while !i < la && !j < lb do
+    let x = a.(!i) and y = b.(!j) in
+    if x = y then begin
+      out.(!k) <- x;
+      incr i;
+      incr j
+    end
+    else if x < y then begin
+      out.(!k) <- x;
+      incr i
+    end
+    else begin
+      out.(!k) <- y;
+      incr j
+    end;
+    incr k
+  done;
+  while !i < la do
+    out.(!k) <- a.(!i);
+    incr i;
+    incr k
+  done;
+  while !j < lb do
+    out.(!k) <- b.(!j);
+    incr j;
+    incr k
+  done;
+  if !k = la + lb then out else Array.sub out 0 !k
+
 (* DP over subsets.  With all attributes retained, both the tuple count
    and the width of IR depend only on the joined subgoal set, so
    f(S) = min over g in S of f(S \ {g}) + cells(IR(S)), and the total cost
    adds the (order-independent) relation sizes.  Environments are shared
-   bottom-up: envs(S) is computed from envs(S minus one atom) once. *)
-let optimal db body =
-  let atoms = Array.of_list body in
-  let n = Array.length atoms in
-  if n = 0 then ([], 0)
-  else if n > 20 then invalid_arg "M2.optimal: too many subgoals"
+   bottom-up: envs(S) is computed from envs(S minus one atom) once — or
+   not at all when a [memo] already holds the atom set from an earlier
+   candidate, or when branch-and-bound proves S cannot reach a plan
+   cheaper than [bound].
+
+   Environments are flat constant arrays over the subset's sorted
+   variable codes ({!Subplan.entry}): extending one binds a handful of
+   array cells instead of rebuilding a string-keyed map per atom, which
+   is where the naive evaluator spends most of its time.  Starting from
+   the single empty environment, the environments of a subset are
+   distinct by construction (an environment plus a matched tuple
+   determines the extension), so no deduplication is ever needed, and
+   the set — though not the list order — is canonical per atom set.
+
+   Pruning is sound because every cost term is nonnegative: a state S
+   with (min over predecessors of best) + relation_costs >= bound cannot
+   be a prefix of any ordering of total cost < bound, so its (expensive)
+   environment set is never materialized; and when an entire popcount
+   layer dies, no completion below [bound] exists at all.  Among states
+   that can still reach a total < bound, [best] values are exact and
+   independent of [bound], so the returned ordering of an accepted
+   result never depends on how tight the bound was — the property the
+   parallel candidate loop's determinism rests on. *)
+let dp ~connected ?memo ?budget ?(bound = max_int) db body =
+  let n = List.length body in
+  if n = 0 then Some ([], 0)
+  else if n > max_subgoals then width_limit n
   else begin
-    let full = (1 lsl n) - 1 in
-    let envs = Array.make (full + 1) None in
-    envs.(0) <- Some [ Eval.empty_env ];
-    let rec envs_of s =
-      match envs.(s) with
-      | Some e -> e
-      | None ->
-          (* peel the lowest atom of the subset *)
+    let relation_costs = body_relation_cells db body in
+    if relation_costs >= bound then None
+    else begin
+      (* canonical atom order: with atoms sorted by their rendering, a
+         subset key read off in index order is order-insensitive, so
+         candidates sharing an atom set share memo entries *)
+      let atoms = Array.of_list body in
+      let ids0 = Array.map Atom.to_string atoms in
+      let perm = Array.init n Fun.id in
+      Array.sort (fun i j -> String.compare ids0.(i) ids0.(j)) perm;
+      let atoms = Array.map (fun i -> atoms.(i)) perm in
+      let ids = Array.map (fun i -> ids0.(i)) perm in
+      (* variable codes: drawn from the memo's intern table when present
+         (shared across candidates, so entry slots are canonical), local
+         otherwise.  The "$" prefix keeps variable names out of the atom
+         renderings' namespace. *)
+      let code_of =
+        match memo with
+        | Some m -> fun x -> Subplan.intern m ("$" ^ x)
+        | None ->
+            let local = Hashtbl.create 16 and next = ref 0 in
+            fun x ->
+              match Hashtbl.find_opt local x with
+              | Some c -> c
+              | None ->
+                  let c = !next in
+                  Hashtbl.add local x c;
+                  incr next;
+                  c
+      in
+      let cargs =
+        Array.map
+          (fun (a : Atom.t) ->
+            Array.of_list
+              (List.map
+                 (function Term.Cst c -> Ccst c | Term.Var x -> Cvar (code_of x))
+                 a.Atom.args))
+          atoms
+      in
+      (* sorted distinct variable codes per atom *)
+      let avars =
+        Array.map
+          (fun ca ->
+            Array.to_list ca
+            |> List.filter_map (function Cvar v -> Some v | Ccst _ -> None)
+            |> List.sort_uniq Int.compare
+            |> Array.of_list)
+          cargs
+      in
+      let tuples =
+        Array.map
+          (fun (a : Atom.t) ->
+            match Database.find a.Atom.pred db with
+            | None -> [||]
+            | Some r -> Array.of_list (List.map Array.of_list (Relation.tuples r)))
+          atoms
+      in
+      (* per-atom variable masks over a dense local index, for the
+         connected mode's shares-a-variable test *)
+      let var_ids = Hashtbl.create 16 in
+      let nvars = ref 0 in
+      Array.iter
+        (Array.iter (fun v ->
+             if not (Hashtbl.mem var_ids v) then begin
+               Hashtbl.add var_ids v !nvars;
+               incr nvars
+             end))
+        avars;
+      let words = max 1 ((!nvars + 62) / 63) in
+      let amask =
+        Array.map
+          (fun vs ->
+            let m = Mask.zero words in
+            Array.iter
+              (fun v ->
+                let i = Hashtbl.find var_ids v in
+                m.(i / 63) <- m.(i / 63) lor (1 lsl (i mod 63)))
+              vs;
+            m)
+          avars
+      in
+      let full = (1 lsl n) - 1 in
+      (* subset masks, built incrementally ([||] marks unset) *)
+      let masks = Array.make (full + 1) [||] in
+      masks.(0) <- Mask.zero words;
+      let rec mask_of s =
+        if Array.length masks.(s) > 0 || s = 0 then masks.(s)
+        else begin
           let bit = s land -s in
-          let i =
-            let rec find k = if 1 lsl k = bit then k else find (k + 1) in
-            find 0
-          in
-          let e = Eval.extend db (envs_of (s lxor bit)) atoms.(i) in
-          envs.(s) <- Some e;
-          e
-    in
-    let subset_width s =
-      let vars = ref Names.Sset.empty in
-      Array.iteri
-        (fun i a -> if s land (1 lsl i) <> 0 then vars := Names.Sset.union !vars (Atom.var_set a))
-        atoms;
-      width !vars
-    in
-    let ir_cells = Array.make (full + 1) (-1) in
-    let cells_of s =
-      if ir_cells.(s) >= 0 then ir_cells.(s)
-      else begin
-        let v = List.length (envs_of s) * subset_width s in
-        ir_cells.(s) <- v;
-        v
-      end
-    in
-    let best = Array.make (full + 1) max_int in
-    let choice = Array.make (full + 1) (-1) in
-    best.(0) <- 0;
-    for s = 1 to full do
-      let ir = cells_of s in
-      for i = 0 to n - 1 do
-        if s land (1 lsl i) <> 0 then begin
-          let prev = best.(s lxor (1 lsl i)) in
-          if prev < max_int && prev + ir < best.(s) then begin
-            best.(s) <- prev + ir;
-            choice.(s) <- i
-          end
+          let m = Mask.union (mask_of (s lxor bit)) amask.(lowest_index bit) in
+          masks.(s) <- m;
+          m
         end
-      done
-    done;
-    let rec rebuild s acc =
-      if s = 0 then acc
-      else
-        let i = choice.(s) in
-        rebuild (s lxor (1 lsl i)) (atoms.(i) :: acc)
-    in
-    let order = rebuild full [] in
-    let relation_costs = List.fold_left (fun acc a -> acc + relation_cells db a) 0 body in
-    (order, best.(full) + relation_costs)
+      in
+      (* memo keys: each atom rendering is interned to a small code once
+         per DP, and a subset key packs the codes of its set bits in
+         index order — a few bytes per atom to hash instead of the full
+         renderings *)
+      let codes =
+        match memo with
+        | None -> [||]
+        | Some m -> Array.map (fun id -> Subplan.intern m id) ids
+      in
+      let subset_key s =
+        let b = Buffer.create (4 * n) in
+        for i = 0 to n - 1 do
+          if s land (1 lsl i) <> 0 then Buffer.add_int32_le b (Int32.of_int codes.(i))
+        done;
+        Buffer.contents b
+      in
+      (* Joining an entry with atom [i]: compile the atom's argument
+         positions against the entry's slots once, then run every
+         (environment, tuple) pair through the compiled checks. *)
+      let compiled i (prev : Subplan.entry) =
+        let ca = cargs.(i) in
+        let prev_slots = prev.Subplan.slots in
+        let new_slots = merge_sorted prev_slots avars.(i) in
+        let const_checks = ref [] and slot_checks = ref [] and dup_checks = ref [] in
+        let first_pos = Hashtbl.create 8 in
+        Array.iteri
+          (fun p arg ->
+            match arg with
+            | Ccst c -> const_checks := (p, c) :: !const_checks
+            | Cvar v ->
+                if mem_sorted prev_slots v then
+                  slot_checks := (p, lower_bound prev_slots v) :: !slot_checks
+                else (
+                  match Hashtbl.find_opt first_pos v with
+                  | Some p0 -> dup_checks := (p, p0) :: !dup_checks
+                  | None -> Hashtbl.add first_pos v p))
+          ca;
+        let const_checks = !const_checks
+        and slot_checks = !slot_checks
+        and dup_checks = !dup_checks in
+        let matches (env : Term.const array) (tuple : Term.const array) =
+          List.for_all (fun (p, c) -> Term.equal_const c tuple.(p)) const_checks
+          && List.for_all (fun (p, j) -> Term.equal_const env.(j) tuple.(p)) slot_checks
+          && List.for_all (fun (p, p0) -> Term.equal_const tuple.(p) tuple.(p0)) dup_checks
+        in
+        (new_slots, first_pos, matches)
+      in
+      let join i prev =
+        let new_slots, first_pos, matches = compiled i prev in
+        let nlen = Array.length new_slots in
+        let prev_slots = prev.Subplan.slots in
+        (* value source per new slot: an existing slot or a (first
+           occurrence) tuple position *)
+        let sources =
+          Array.map
+            (fun v ->
+              if mem_sorted prev_slots v then -lower_bound prev_slots v - 1
+              else Hashtbl.find first_pos v)
+            new_slots
+        in
+        let build (env : Term.const array) (tuple : Term.const array) =
+          Array.init nlen (fun k ->
+              let src = sources.(k) in
+              if src >= 0 then tuple.(src) else env.(-src - 1))
+        in
+        let envs =
+          List.concat_map
+            (fun env ->
+              Array.fold_left
+                (fun acc t -> if matches env t then build env t :: acc else acc)
+                [] tuples.(i))
+            prev.Subplan.envs
+        in
+        { Subplan.slots = new_slots; envs; cells = List.length envs * max 1 nlen }
+      in
+      let count_cells i prev =
+        let new_slots, _, matches = compiled i prev in
+        let count =
+          List.fold_left
+            (fun acc env ->
+              Array.fold_left
+                (fun acc t -> if matches env t then acc + 1 else acc)
+                acc tuples.(i))
+            0 prev.Subplan.envs
+        in
+        count * max 1 (Array.length new_slots)
+      in
+      (* environments + IR cells per subset, shared through the memo *)
+      let entries : Subplan.entry option array = Array.make (full + 1) None in
+      entries.(0) <- Some { Subplan.slots = [||]; envs = [ [||] ]; cells = 0 };
+      let rec entry_of s =
+        match entries.(s) with
+        | Some e -> e
+        | None ->
+            let compute () =
+              (* extend from any predecessor already at hand — live in
+                 this DP, or cached by an earlier candidate — before
+                 resorting to the recursive lowest-bit chain, which may
+                 materialize states no ordering of this body needs *)
+              let rec local i =
+                if i >= n then None
+                else if s land (1 lsl i) <> 0 then
+                  match entries.(s lxor (1 lsl i)) with
+                  | Some prev -> Some (i, prev)
+                  | None -> local (i + 1)
+                else local (i + 1)
+              in
+              let cached () =
+                match memo with
+                | None -> None
+                | Some m ->
+                    let rec go i =
+                      if i >= n then None
+                      else if s land (1 lsl i) <> 0 then begin
+                        let p = s lxor (1 lsl i) in
+                        match Subplan.find m (subset_key p) with
+                        | Some prev ->
+                            entries.(p) <- Some prev;
+                            Some (i, prev)
+                        | None -> go (i + 1)
+                      end
+                      else go (i + 1)
+                    in
+                    go 0
+              in
+              match local 0 with
+              | Some (i, prev) -> join i prev
+              | None -> (
+                  match cached () with
+                  | Some (i, prev) -> join i prev
+                  | None ->
+                      let bit = s land -s in
+                      join (lowest_index bit) (entry_of (s lxor bit)))
+            in
+            let e =
+              match memo with
+              | None -> compute ()
+              | Some m -> Subplan.find_or_add m (subset_key s) compute
+            in
+            entries.(s) <- Some e;
+            e
+      in
+      let best = Array.make (full + 1) max_int in
+      let choice = Array.make (full + 1) (-1) in
+      best.(0) <- 0;
+      (* total < bound iff best.(full) < headroom *)
+      let headroom = bound - relation_costs in
+      let exception Dead_layers in
+      (try
+         for k = 1 to n do
+           let layer_live = ref false in
+           (* enumerate the popcount-k subsets with Gosper's hack *)
+           let s = ref ((1 lsl k) - 1) in
+           let continue = ref true in
+           while !continue do
+             let sv = !s in
+             Budget.tick budget;
+             (* cheapest live predecessor; in connected mode the peeled
+                atom must share a variable with the remaining prefix *)
+             let best_prev = ref max_int and arg = ref (-1) in
+             for i = 0 to n - 1 do
+               if sv land (1 lsl i) <> 0 then begin
+                 let p = sv lxor (1 lsl i) in
+                 let bp = best.(p) in
+                 if
+                   bp < !best_prev
+                   && ((not connected) || p = 0 || Mask.intersects amask.(i) (mask_of p))
+                 then begin
+                   best_prev := bp;
+                   arg := i
+                 end
+               end
+             done;
+             if !best_prev < max_int && !best_prev < headroom then begin
+               let cells =
+                 if sv = full then begin
+                   (* terminal state: its environment list is never a
+                      predecessor of anything — within this DP it ends
+                      every ordering, and across candidates no minimal
+                      rewriting's body contains another's — so count the
+                      final join instead of materializing and caching
+                      it.  (The predecessor chosen by [arg] is already
+                      materialized: its [best] was computed above.) *)
+                   let p = full lxor (1 lsl !arg) in
+                   let prev =
+                     match entries.(p) with Some e -> e | None -> entry_of p
+                   in
+                   count_cells !arg prev
+                 end
+                 else (entry_of sv).Subplan.cells
+               in
+               let c = !best_prev + cells in
+               if c < headroom then begin
+                 best.(sv) <- c;
+                 choice.(sv) <- !arg;
+                 layer_live := true
+               end
+             end;
+             if sv = full then continue := false
+             else begin
+               let c = sv land -sv in
+               let r = sv + c in
+               let nxt = ((r lxor sv) lsr 2) / c lor r in
+               if nxt > full then continue := false else s := nxt
+             end
+           done;
+           (* every state of this layer is dead: no completion can beat
+              the incumbent, abandon the whole DP *)
+           if not !layer_live then raise Dead_layers
+         done
+       with Dead_layers -> ());
+      if best.(full) = max_int then None
+      else begin
+        let rec rebuild s acc =
+          if s = 0 then acc
+          else
+            let i = choice.(s) in
+            rebuild (s lxor (1 lsl i)) (atoms.(i) :: acc)
+        in
+        Some (rebuild full [], best.(full) + relation_costs)
+      end
+    end
   end
+
+let optimal_pruned ?memo ?budget ?bound db body =
+  dp ~connected:false ?memo ?budget ?bound db body
+
+let optimal ?memo ?budget db body =
+  match dp ~connected:false ?memo ?budget db body with
+  | Some r -> r
+  | None -> assert false (* without a bound the unrestricted DP always succeeds *)
 
 let optimal_exhaustive db body =
   match Orderings.permutations body with
@@ -111,70 +478,5 @@ let optimal_exhaustive db body =
           if c < best_cost then (order, c) else (best_order, best_cost))
         ([], max_int) perms
 
-(* Cross-product-free DP: identical recurrence, but a subset is only a
-   valid DP state when its atoms form a connected join graph; atom [i]
-   may extend state [S] only if it shares a variable with [S] (or S is
-   empty). *)
-let optimal_connected db body =
-  let atoms = Array.of_list body in
-  let n = Array.length atoms in
-  if n = 0 then Some ([], 0)
-  else if n > 20 then invalid_arg "M2.optimal_connected: too many subgoals"
-  else begin
-    let var_sets = Array.map Atom.var_set atoms in
-    let shares i s_vars = not (Names.Sset.is_empty (Names.Sset.inter var_sets.(i) s_vars)) in
-    let full = (1 lsl n) - 1 in
-    let envs = Array.make (full + 1) None in
-    envs.(0) <- Some [ Eval.empty_env ];
-    let rec envs_of s =
-      match envs.(s) with
-      | Some e -> e
-      | None ->
-          let bit = s land -s in
-          let i =
-            let rec find k = if 1 lsl k = bit then k else find (k + 1) in
-            find 0
-          in
-          let e = Eval.extend db (envs_of (s lxor bit)) atoms.(i) in
-          envs.(s) <- Some e;
-          e
-    in
-    let subset_vars s =
-      let vars = ref Names.Sset.empty in
-      Array.iteri (fun i vs -> if s land (1 lsl i) <> 0 then vars := Names.Sset.union !vars vs)
-        var_sets;
-      !vars
-    in
-    let best = Array.make (full + 1) max_int in
-    let choice = Array.make (full + 1) (-1) in
-    best.(0) <- 0;
-    for s = 1 to full do
-      (* try every last atom i such that the prefix s\{i} was reachable
-         and i connects to it *)
-      for i = 0 to n - 1 do
-        if s land (1 lsl i) <> 0 then begin
-          let prev_set = s lxor (1 lsl i) in
-          let prev = best.(prev_set) in
-          if prev < max_int && (prev_set = 0 || shares i (subset_vars prev_set)) then begin
-            let ir = List.length (envs_of s) * width (subset_vars s) in
-            if prev + ir < best.(s) then begin
-              best.(s) <- prev + ir;
-              choice.(s) <- i
-            end
-          end
-        end
-      done
-    done;
-    if best.(full) = max_int then None
-    else begin
-      let rec rebuild s acc =
-        if s = 0 then acc
-        else
-          let i = choice.(s) in
-          rebuild (s lxor (1 lsl i)) (atoms.(i) :: acc)
-      in
-      let order = rebuild full [] in
-      let relation_costs = List.fold_left (fun acc a -> acc + relation_cells db a) 0 body in
-      Some (order, best.(full) + relation_costs)
-    end
-  end
+let optimal_connected ?memo ?budget ?bound db body =
+  dp ~connected:true ?memo ?budget ?bound db body

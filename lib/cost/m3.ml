@@ -130,14 +130,53 @@ let answers db ~head plan =
   let tuples = List.map (fun env -> Eval.tuple_of_env env head.Atom.args) envs in
   Relation.of_tuples (Atom.arity head) tuples
 
-let optimal db ~annotate body =
-  if List.length body > 8 then invalid_arg "M3.optimal: too many subgoals";
+(* Like [cost_of_plan] but abandons the evaluation as soon as the partial
+   sum reaches [bound]: the per-step terms are nonnegative, so no
+   completion can come back under it. *)
+let cost_of_plan_bounded db ?(bound = max_int) plan =
+  let relation_costs =
+    List.fold_left (fun acc step -> acc + M2.relation_cells db step.subgoal) 0 plan
+  in
+  if relation_costs >= bound then None
+  else begin
+    let exception Over in
+    try
+      let _, total =
+        List.fold_left
+          (fun (envs, acc) step ->
+            let envs = Eval.extend db envs step.evaluated in
+            let envs = Eval.project ~onto:step.kept envs in
+            let w = max 1 (Names.Sset.cardinal step.kept) in
+            let acc = acc + (List.length envs * w) in
+            if relation_costs + acc >= bound then raise Over;
+            (envs, acc))
+          ([ Eval.empty_env ], 0)
+          plan
+      in
+      Some (relation_costs + total)
+    with Over -> None
+  end
+
+let optimal_pruned ?budget ?(bound = max_int) db ~annotate body =
+  (* [Orderings.permutations] raises the typed width-limit error past its
+     cap, which also bounds this fold. *)
   match Orderings.permutations body with
-  | [] -> ([], 0)
+  | [] -> if 0 < bound then Some ([], 0) else None
   | perms ->
-      List.fold_left
-        (fun (best_plan, best_cost) order ->
-          let plan = annotate order in
-          let c = cost_of_plan db plan in
-          if c < best_cost then (plan, c) else (best_plan, best_cost))
-        ([], max_int) perms
+      let best =
+        List.fold_left
+          (fun best order ->
+            Vplan_core.Budget.tick budget;
+            let plan = annotate order in
+            let current = match best with Some (_, c) -> c | None -> bound in
+            match cost_of_plan_bounded db ~bound:current plan with
+            | Some c -> Some (plan, c)
+            | None -> best)
+          None perms
+      in
+      best
+
+let optimal db ~annotate body =
+  match optimal_pruned db ~annotate body with
+  | Some r -> r
+  | None -> assert false (* unbounded search over a non-empty permutation list *)

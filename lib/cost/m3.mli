@@ -58,7 +58,27 @@ val gsr_sizes : Database.t -> plan -> int list
     relation — used to check that dropping never changes the result. *)
 val answers : Database.t -> head:Atom.t -> plan -> Relation.t
 
-(** [optimal db ~annotate body] enumerates all orderings of [body] (at
-    most 8 subgoals), annotates each with [annotate] and returns a
-    cheapest plan with its cost. *)
+(** [cost_of_plan_bounded db ?bound plan] — like {!cost_of_plan}, but
+    returns [None] as soon as the running total reaches [bound] (every
+    per-step term is nonnegative, so the final cost could only be
+    larger).  [Some c] implies [c < bound]. *)
+val cost_of_plan_bounded : Database.t -> ?bound:int -> plan -> int option
+
+(** [optimal db ~annotate body] enumerates all orderings of [body],
+    annotates each with [annotate] and returns a cheapest plan with its
+    cost.  Raises [Vplan_error.Error (Width_limit _)] past
+    {!Orderings.max_subgoals}. *)
 val optimal : Database.t -> annotate:(Atom.t list -> plan) -> Atom.t list -> plan * int
+
+(** [optimal_pruned ?bound db ~annotate body] — branch-and-bound variant
+    of {!optimal}: [None] when no plan costs less than [bound], otherwise
+    the same result as {!optimal}.  Each candidate ordering's evaluation
+    is itself abandoned once it exceeds the best cost seen so far.
+    [budget] is ticked once per permutation. *)
+val optimal_pruned :
+  ?budget:Vplan_core.Budget.t ->
+  ?bound:int ->
+  Database.t ->
+  annotate:(Atom.t list -> plan) ->
+  Atom.t list ->
+  (plan * int) option

@@ -9,24 +9,26 @@ type t = {
   base : Database.t;
   view_db : Database.t;
   corecover : Corecover.result;
+  memo : Subplan.t;
 }
 
 let create ~query ~views ~base =
   let view_db = Materialize.views base views in
   let corecover = Corecover.all_minimal ~query ~views () in
-  { query; views; base; view_db; corecover }
+  { query; views; base; view_db; corecover; memo = Subplan.create () }
 
 let view_database t = t.view_db
 let candidates t = t.corecover.Corecover.rewritings
 let filters t = t.corecover.Corecover.filters
+let memo t = t.memo
 
-type m2_choice = {
+type m2_choice = Select.m2_choice = {
   m2_rewriting : Query.t;
   m2_order : Atom.t list;
   m2_cost : int;
 }
 
-type m3_choice = {
+type m3_choice = Select.m3_choice = {
   m3_rewriting : Query.t;
   m3_plan : M3.plan;
   m3_cost : int;
@@ -35,19 +37,9 @@ type m3_choice = {
 let best_m1 t =
   match M1.best (candidates t) with [] -> None | p :: _ -> Some p
 
-let best_m2 ?(with_filters = true) t =
-  let consider best (p : Query.t) =
-    let body, order, cost =
-      if with_filters then Filter.improve t.view_db ~filters:(filters t) p.body
-      else
-        let order, cost = M2.optimal t.view_db p.body in
-        (p.body, order, cost)
-    in
-    match best with
-    | Some b when b.m2_cost <= cost -> best
-    | _ -> Some { m2_rewriting = Query.make_exn p.head body; m2_order = order; m2_cost = cost }
-  in
-  List.fold_left consider None (candidates t)
+let best_m2 ?(with_filters = true) ?budget ?domains t =
+  let filters = if with_filters then filters t else [] in
+  Select.best_m2 ~memo:t.memo ?budget ?domains ~filters t.view_db (candidates t)
 
 let best_m2_estimated t =
   let catalog = Estimate.analyze t.view_db in
@@ -67,18 +59,12 @@ let best_m2_estimated t =
           m2_cost = M2.cost_of_order t.view_db order;
         }
 
-let best_m3 ~strategy t =
+let best_m3 ~strategy ?budget ?domains t =
   let annotate (p : Query.t) order =
     match strategy with
     | `Supplementary -> M3.supplementary ~head:p.head order
     | `Heuristic -> M3.heuristic ~views:t.views ~query:t.query ~head:p.head order
   in
-  let consider best (p : Query.t) =
-    let plan, cost = M3.optimal t.view_db ~annotate:(annotate p) p.body in
-    match best with
-    | Some b when b.m3_cost <= cost -> best
-    | _ -> Some { m3_rewriting = p; m3_plan = plan; m3_cost = cost }
-  in
-  List.fold_left consider None (candidates t)
+  Select.best_m3 ?budget ?domains ~annotate t.view_db (candidates t)
 
 let answer t = Eval.answers t.base t.query

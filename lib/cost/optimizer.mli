@@ -5,7 +5,13 @@
     The optimizer works against the materialized view relations (the
     closed-world model): rewritings are costed by actually joining view
     relations, which is faithful to M2/M3's definitions on concrete
-    instances. *)
+    instances.
+
+    Candidate selection is delegated to the {!Select} engine: candidates
+    are ranked by estimated cost, pruned by branch-and-bound against the
+    incumbent, share a per-optimizer {!Subplan} memo, and can be scored
+    in parallel — with results identical to the sequential unpruned fold
+    for any domain count. *)
 
 open Vplan_cq
 open Vplan_relational
@@ -15,20 +21,25 @@ type t
 
 (** [create ~query ~views ~base] materializes the views over [base] and
     runs CoreCover{^ *} once to obtain the candidate rewritings and filter
-    tuples. *)
+    tuples.  A fresh subplan memo is attached; it lives as long as [t]
+    and is shared by every [best_m2] call. *)
 val create : query:Query.t -> views:View.t list -> base:Database.t -> t
 
 val view_database : t -> Database.t
 val candidates : t -> Query.t list
 val filters : t -> View_tuple.t list
 
-type m2_choice = {
+(** The optimizer's own cross-candidate subplan memo (valid for
+    {!view_database}). *)
+val memo : t -> Subplan.t
+
+type m2_choice = Select.m2_choice = {
   m2_rewriting : Query.t;  (** chosen rewriting, filters appended if any *)
   m2_order : Atom.t list;  (** optimal join order *)
   m2_cost : int;
 }
 
-type m3_choice = {
+type m3_choice = Select.m3_choice = {
   m3_rewriting : Query.t;
   m3_plan : M3.plan;
   m3_cost : int;
@@ -40,12 +51,23 @@ val best_m1 : t -> Query.t option
 
 (** [best_m2 ?with_filters t] — the M2-cheapest candidate; with
     [with_filters] (default [true]) empty-core view tuples may be appended
-    as filtering subgoals. *)
-val best_m2 : ?with_filters:bool -> t -> m2_choice option
+    as filtering subgoals.  [domains] scores candidates in parallel
+    (identical result); [budget] bounds the whole selection. *)
+val best_m2 :
+  ?with_filters:bool ->
+  ?budget:Vplan_core.Budget.t ->
+  ?domains:int ->
+  t ->
+  m2_choice option
 
 (** [best_m3 ~strategy t] — the M3-cheapest candidate under the given
     annotation strategy. *)
-val best_m3 : strategy:[ `Supplementary | `Heuristic ] -> t -> m3_choice option
+val best_m3 :
+  strategy:[ `Supplementary | `Heuristic ] ->
+  ?budget:Vplan_core.Budget.t ->
+  ?domains:int ->
+  t ->
+  m3_choice option
 
 (** [best_m2_estimated t] — what a statistics-only optimizer would pick:
     candidates are ordered and compared by the {!Estimate} catalog of the

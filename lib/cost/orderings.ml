@@ -1,9 +1,22 @@
-let rec permutations = function
+module Vplan_error = Vplan_core.Vplan_error
+
+let max_subgoals = 8
+
+let rec enumerate = function
   | [] -> [ [] ]
   | l ->
       List.concat
         (List.mapi
            (fun i x ->
              let rest = List.filteri (fun j _ -> j <> i) l in
-             List.map (fun p -> x :: p) (permutations rest))
+             List.map (fun p -> x :: p) (enumerate rest))
            l)
+
+(* The factorial blow-up is memory, not just time: the full permutation
+   list of 10 atoms is 3.6M lists.  Inputs past the cap get the typed
+   width-limit error instead of an OOM. *)
+let permutations l =
+  let n = List.length l in
+  if n > max_subgoals then
+    raise (Vplan_error.Error (Vplan_error.Width_limit { subgoals = n; max_subgoals }));
+  enumerate l

@@ -1,5 +1,11 @@
 (** Enumerating subgoal orderings for the plan optimizers. *)
 
+(** Bodies longer than this are rejected: the permutation list itself
+    would exhaust memory ([10! = 3.6M] lists). *)
+val max_subgoals : int
+
 (** [permutations l] — all permutations; factorial, intended for the small
-    subgoal lists of rewritings. *)
+    subgoal lists of rewritings.  Raises
+    [Vplan_error.Error (Width_limit _)] when [l] has more than
+    {!max_subgoals} elements. *)
 val permutations : 'a list -> 'a list list

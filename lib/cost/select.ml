@@ -1,0 +1,108 @@
+open Vplan_cq
+module Parallel = Vplan_parallel.Parallel
+
+type m2_choice = {
+  m2_rewriting : Query.t;
+  m2_order : Atom.t list;
+  m2_cost : int;
+}
+
+type m3_choice = {
+  m3_rewriting : Query.t;
+  m3_plan : M3.plan;
+  m3_cost : int;
+}
+
+(* Rank candidates cheapest-estimated-first so the incumbent starts
+   strong; keep the original position for the deterministic tie-break.
+   A single candidate needs no catalog scan at all. *)
+let rank db (candidates : Query.t list) =
+  let indexed = List.mapi (fun i p -> (i, p)) candidates in
+  match indexed with
+  | [] | [ _ ] -> indexed
+  | _ ->
+      let est = Estimate.analyze db in
+      let keyed =
+        List.map (fun (i, p) -> (Estimate.order_cost est p.Query.body, i, p)) indexed
+      in
+      let keyed =
+        List.stable_sort
+          (fun (a, i, _) (b, j, _) ->
+            match Float.compare a b with 0 -> Int.compare i j | c -> c)
+          keyed
+      in
+      List.map (fun (_, i, p) -> (i, p)) keyed
+
+let rec note incumbent c =
+  let cur = Atomic.get incumbent in
+  if c < cur && not (Atomic.compare_and_set incumbent cur c) then note incumbent c
+
+(* Score the ranked candidates under a shared incumbent.  Each worker
+   reads [bound = incumbent + 1], so a candidate can only be pruned when
+   it provably costs MORE than the incumbent — ties are always evaluated
+   in full, making the final min-by-(cost, position) independent of
+   domain count and of scheduling. *)
+let run ?budget ?(domains = 1) ~score ranked =
+  match ranked with
+  | [] -> None
+  | first :: rest ->
+      let incumbent = Atomic.make max_int in
+      let eval (idx, cand) =
+        let b = Atomic.get incumbent in
+        let bound = if b = max_int then max_int else b + 1 in
+        match score ~bound cand with
+        | Some (r, cost) ->
+            note incumbent cost;
+            Some (idx, r, cost)
+        | None -> None
+      in
+      let seeded = eval first in
+      let rest_results = Parallel.map ?budget ~domains eval rest in
+      List.fold_left
+        (fun best r ->
+          match (best, r) with
+          | None, r -> r
+          | best, None -> best
+          | Some (bi, _, bc), Some (i, _, c) ->
+              if c < bc || (c = bc && i < bi) then r else best)
+        seeded rest_results
+
+let best_m2 ?memo ?budget ?(domains = 1) ?(filters = []) db candidates =
+  let score ~bound (p : Query.t) =
+    match filters with
+    | [] -> (
+        match M2.optimal_pruned ?memo ?budget ~bound db p.Query.body with
+        | Some (order, cost) -> Some ((p.Query.body, order), cost)
+        | None -> None)
+    | _ :: _ ->
+        (* Filter atoms only ever ADD relation cells, so the bare body's
+           relation cells lower-bound any filtered plan; past the bound,
+           skip without joining anything.  The improvement itself stays
+           exact (greedy comparisons need true costs). *)
+        if M2.body_relation_cells db p.Query.body >= bound then None
+        else
+          let body, order, cost =
+            Filter.improve ?memo ?budget db ~filters p.Query.body
+          in
+          if cost < bound then Some ((body, order), cost) else None
+  in
+  match run ?budget ~domains ~score (rank db candidates) with
+  | None -> None
+  | Some (idx, (body, order), cost) ->
+      let p = List.nth candidates idx in
+      Some
+        {
+          m2_rewriting = Query.make_exn p.Query.head body;
+          m2_order = order;
+          m2_cost = cost;
+        }
+
+let best_m3 ?budget ?(domains = 1) ~annotate db candidates =
+  let score ~bound (p : Query.t) =
+    M3.optimal_pruned ?budget ~bound db ~annotate:(annotate p) p.Query.body
+  in
+  match run ?budget ~domains ~score (rank db candidates) with
+  | None -> None
+  | Some (idx, plan, cost) ->
+      let p = List.nth candidates idx in
+      Some { m3_rewriting = p; m3_plan = plan; m3_cost = cost }

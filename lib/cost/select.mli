@@ -1,0 +1,74 @@
+(** The candidate-selection engine: branch-and-bound over CoreCover's
+    rewritings with shared subplan memoization and optional parallel
+    scoring.
+
+    The naive consumer of CoreCover{^ *} costs every candidate in full
+    and keeps the cheapest.  This engine prunes and shares instead:
+
+    - candidates are {e ranked} by the statistics-only {!Estimate} cost
+      of their bodies, so a likely-cheap plan is costed first and seeds
+      a strong incumbent;
+    - every subsequent candidate is scored against
+      [bound = incumbent + 1]: its M2/M3 search returns [None] without
+      materializing joins as soon as it provably cannot {e strictly
+      beat} the incumbent — candidates {e tying} the global minimum are
+      always evaluated in full, which is what makes the parallel result
+      deterministic;
+    - with [domains > 1] the scoring fans out over a {!Vplan_parallel}
+      pool, the incumbent living in an [Atomic] that every worker
+      CAS-mins after each accepted candidate;
+    - a shared {!Subplan} memo deduplicates join evaluation across
+      candidates (and across requests, when the memo is owned by a
+      resident service catalog).
+
+    Determinism contract: for any [domains], the returned choice is the
+    minimum over candidates of (cost, original candidate position) —
+    exactly the candidate the sequential unpruned fold would keep
+    (earliest on cost ties), with the identical order/plan, because the
+    DP's accepted results are independent of how tight the bound was.
+
+    A [budget] cancels the whole fan-out; {!Vplan_core.Budget} errors
+    propagate as usual. *)
+
+open Vplan_cq
+open Vplan_relational
+open Vplan_views
+
+type m2_choice = {
+  m2_rewriting : Query.t;  (** chosen rewriting, filters appended if any *)
+  m2_order : Atom.t list;  (** optimal join order *)
+  m2_cost : int;
+}
+
+type m3_choice = {
+  m3_rewriting : Query.t;
+  m3_plan : M3.plan;
+  m3_cost : int;
+}
+
+(** [best_m2 db candidates] — the M2-cheapest candidate, or [None] when
+    [candidates] is empty.  With [filters] each candidate is improved by
+    {!Filter.improve} (exact, memo-shared); candidates whose bare-body
+    relation cells already reach the incumbent are skipped without
+    evaluating any join — sound because filters only add relation
+    cells.  Without filters the per-candidate search is
+    {!M2.optimal_pruned} under the incumbent bound. *)
+val best_m2 :
+  ?memo:Subplan.t ->
+  ?budget:Vplan_core.Budget.t ->
+  ?domains:int ->
+  ?filters:View_tuple.t list ->
+  Database.t ->
+  Query.t list ->
+  m2_choice option
+
+(** [best_m3 ~annotate db candidates] — the M3-cheapest candidate under
+    the per-candidate annotation function (supplementary or renaming
+    heuristic), branch-and-bound over the permutation search of each. *)
+val best_m3 :
+  ?budget:Vplan_core.Budget.t ->
+  ?domains:int ->
+  annotate:(Query.t -> Atom.t list -> M3.plan) ->
+  Database.t ->
+  Query.t list ->
+  m3_choice option

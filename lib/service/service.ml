@@ -3,6 +3,10 @@ module Corecover = Vplan_rewrite.Corecover
 module Normalize = Vplan_rewrite.Normalize
 module Parallel = Vplan_parallel.Parallel
 module Budget = Vplan_core.Budget
+module Database = Vplan_relational.Database
+module Materialize = Vplan_views.Materialize
+module Subplan = Vplan_cost.Subplan
+module Select = Vplan_cost.Select
 
 type source = Hit | Miss | Bypass
 
@@ -35,7 +39,16 @@ type stats = {
   cache_size : int;
   cache_capacity : int;
   truncated : int;
+  plan_requests : int;
   latency : latency;
+}
+
+type plan_outcome = {
+  plan_rewriting : Query.t;
+  plan_order : Atom.t list;
+  plan_cost : int;
+  plan_candidates : int;
+  plan_ms : float;
 }
 
 (* Cached entries keep the canonical query alongside the result: on a
@@ -43,6 +56,17 @@ type stats = {
    (never observed) canonical-form collision could only cause a recompute,
    never a wrong answer. *)
 type entry = { canon : Query.t; result : Corecover.result }
+
+(* Plan-selection state, valid for exactly one (catalog, base database)
+   pair: the materialized view relations and the subplan memo keyed over
+   them.  Compared by physical identity — any catalog swap or base load
+   produces fresh values. *)
+type plan_ctx = {
+  p_cat : Catalog.t;
+  p_base : Database.t;
+  p_view_db : Database.t;
+  p_memo : Subplan.t;
+}
 
 (* percentile window: the most recent [lat_window] request latencies *)
 let lat_window = 1024
@@ -54,6 +78,9 @@ type t = {
   mutable requests : int;
   mutable bypasses : int;
   mutable truncated : int;
+  mutable base : Database.t option;
+  mutable pctx : plan_ctx option;
+  mutable plan_requests : int;
   lat_ring : float array;
   mutable lat_next : int;  (* total latencies ever recorded *)
   mutable lat_sum : float;
@@ -68,6 +95,9 @@ let create ?(cache_capacity = 512) cat =
     requests = 0;
     bypasses = 0;
     truncated = 0;
+    base = None;
+    pctx = None;
+    plan_requests = 0;
     lat_ring = Array.make lat_window 0.;
     lat_next = 0;
     lat_sum = 0.;
@@ -83,7 +113,15 @@ let locked t f =
 let set_catalog t cat =
   locked t (fun () ->
       t.cat <- cat;
-      Rewrite_cache.clear t.cache)
+      Rewrite_cache.clear t.cache;
+      t.pctx <- None)
+
+let base t = locked t (fun () -> t.base)
+
+let set_base t db =
+  locked t (fun () ->
+      t.base <- Some db;
+      t.pctx <- None)
 
 (* [sigma] maps caller variables to canonical ones, bijectively and only
    var-to-var; its inverse renames canonical-variable results back. *)
@@ -180,6 +218,59 @@ let rewrite_batch ?(make_budget = fun () -> None) ?max_covers ?(domains = 1) t
     (fun query -> rewrite ?budget:(make_budget ()) ?max_covers t query)
     queries
 
+(* Reuse the cached plan context when both the catalog and the base are
+   the ones it was built for; otherwise materialize the views (outside
+   the lock — it joins every view body) and publish, preferring a
+   concurrently-published equal context so the memo stays shared. *)
+let plan_ctx t cat db =
+  let live ctx = ctx.p_cat == cat && ctx.p_base == db in
+  match locked t (fun () -> t.pctx) with
+  | Some ctx when live ctx -> ctx
+  | _ ->
+      let fresh =
+        {
+          p_cat = cat;
+          p_base = db;
+          p_view_db = Materialize.views db (Catalog.views cat);
+          p_memo = Subplan.create ();
+        }
+      in
+      locked t (fun () ->
+          match t.pctx with
+          | Some ctx when live ctx -> ctx
+          | _ ->
+              t.pctx <- Some fresh;
+              fresh)
+
+let plan ?budget ?max_covers ?(domains = 1) t query =
+  let clock = Budget.create () in
+  let cat, db = locked t (fun () -> (t.cat, t.base)) in
+  match db with
+  | None -> failwith "no base database loaded (use: data load FILE)"
+  | Some db ->
+      let ctx = plan_ctx t cat db in
+      let r =
+        Corecover.all_minimal ?budget ?max_results:max_covers
+          ~view_classes:(Catalog.view_classes cat)
+          ~domains ~query ~views:(Catalog.views cat) ()
+      in
+      let choice =
+        Select.best_m2 ~memo:ctx.p_memo ?budget ~domains
+          ~filters:r.Corecover.filters ctx.p_view_db r.Corecover.rewritings
+      in
+      let ms = Budget.elapsed_ms clock in
+      locked t (fun () -> t.plan_requests <- t.plan_requests + 1);
+      Option.map
+        (fun (c : Select.m2_choice) ->
+          {
+            plan_rewriting = c.Select.m2_rewriting;
+            plan_order = c.Select.m2_order;
+            plan_cost = c.Select.m2_cost;
+            plan_candidates = List.length r.Corecover.rewritings;
+            plan_ms = ms;
+          })
+        choice
+
 let percentile sorted p =
   match Array.length sorted with
   | 0 -> 0.
@@ -212,5 +303,6 @@ let stats t =
         cache_size = c.Rewrite_cache.size;
         cache_capacity = c.Rewrite_cache.capacity;
         truncated = t.truncated;
+        plan_requests = t.plan_requests;
         latency;
       })

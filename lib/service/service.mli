@@ -67,7 +67,17 @@ type stats = {
   cache_size : int;
   cache_capacity : int;
   truncated : int;  (** requests that returned a [Truncated] result *)
+  plan_requests : int;  (** end-to-end {!plan} requests served *)
   latency : latency;  (** over the most recent requests (bounded window) *)
+}
+
+(** Result of an end-to-end {!plan} request. *)
+type plan_outcome = {
+  plan_rewriting : Query.t;  (** chosen rewriting, filters appended if any *)
+  plan_order : Atom.t list;  (** M2-optimal join order of its body *)
+  plan_cost : int;  (** true M2 cost against the materialized views *)
+  plan_candidates : int;  (** candidate rewritings considered *)
+  plan_ms : float;  (** wall-clock latency of this request *)
 }
 
 (** [create catalog] — [cache_capacity] (default [512]) bounds the
@@ -81,6 +91,15 @@ val catalog : t -> Catalog.t
     computed with.  Counters survive (they describe the service's
     lifetime). *)
 val set_catalog : t -> Catalog.t -> unit
+
+(** The loaded base database, if any. *)
+val base : t -> Vplan_relational.Database.t option
+
+(** [set_base t db] loads the base database {!plan} costs candidates
+    against.  Invalidates the service's plan context (materialized view
+    relations and the cross-request subplan memo); the rewrite cache is
+    untouched — rewritings are database-independent. *)
+val set_base : t -> Vplan_relational.Database.t -> unit
 
 (** [rewrite t query] serves one request.  [budget]/[max_covers] bound
     the CoreCover run on a miss exactly as in {!Corecover.gmrs} — a
@@ -107,5 +126,24 @@ val rewrite_batch :
   t ->
   Query.t list ->
   outcome list
+
+(** [plan t query] serves an end-to-end request: CoreCover{^ *}
+    candidates (all minimal rewritings, reusing the catalog's view
+    classes; [max_covers] caps the enumeration), then the {!Select}
+    branch-and-bound engine over them with the service's cross-request
+    subplan memo.  The memo persists between requests and is dropped
+    whenever the catalog or the base database changes, so repeated plans
+    over a stable catalog share join evaluations.  [None] when the query
+    has no rewriting.
+
+    @raise Failure when no base database has been loaded
+    ({!set_base}). *)
+val plan :
+  ?budget:Vplan_core.Budget.t ->
+  ?max_covers:int ->
+  ?domains:int ->
+  t ->
+  Query.t ->
+  plan_outcome option
 
 val stats : t -> stats

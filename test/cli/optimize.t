@@ -1,0 +1,72 @@
+End-to-end plan selection: the CLI scores candidates across domains (the
+result is the same for any domain count), and the server answers plan
+requests against a resident base database, reusing one subplan memo
+across requests.
+
+  $ cat > carloc.dlog <<'PROGRAM'
+  > q1(S, C) :- car(M, anderson), loc(anderson, C), part(S, M, C).
+  > v1(M, D, C) :- car(M, D), loc(D, C).
+  > v2(S, M, C) :- part(S, M, C).
+  > v4(M, D, C, S) :- car(M, D), loc(D, C), part(S, M, C).
+  > PROGRAM
+  $ cat > carloc_data.dlog <<'DATA'
+  > car(honda, anderson). car(toyota, anderson). car(ford, baker).
+  > loc(anderson, springfield). loc(anderson, shelby). loc(baker, springfield).
+  > part(s1, honda, springfield). part(s2, toyota, shelby).
+  > part(s3, ford, springfield). part(s4, honda, shelby).
+  > DATA
+
+  $ vplan_cli plan carloc.dlog --data carloc_data.dlog --cost m2 --domains 3
+  rewriting: q1(S,C) :- v4(M,anderson,C,S)
+  join order: v4(M,anderson,C,S)
+  cost (M2): 25
+  query answer size: 3
+
+Candidate scoring is anytime under a budget: a candidate whose DP
+exhausts the budget is dropped by the fault-contained parallel map, and
+the best plan among the candidates scored so far is still returned
+(here the cheapest-ranked candidate completes within one step).
+
+  $ vplan_cli plan carloc.dlog --data carloc_data.dlog --cost m2 --max-steps 1
+  rewriting: q1(S,C) :- v4(M,anderson,C,S)
+  join order: v4(M,anderson,C,S)
+  cost (M2): 25
+  query answer size: 3
+
+The server needs a base database before it can plan; after `data load`,
+plan requests return the chosen rewriting, join order and M2 cost, and
+repeated requests are answered from the same resident memo.
+
+  $ cat > views.dl <<'EOF'
+  > v1(M, D, C) :- car(M, D), loc(D, C).
+  > v2(S, M, C) :- part(S, M, C).
+  > v4(M, D, C, S) :- car(M, D), loc(D, C), part(S, M, C).
+  > EOF
+  $ cat > facts.dl <<'DATA'
+  > car(honda, anderson). car(toyota, anderson). car(ford, baker).
+  > loc(anderson, springfield). loc(anderson, shelby). loc(baker, springfield).
+  > part(s1, honda, springfield). part(s2, toyota, shelby).
+  > part(s3, ford, springfield). part(s4, honda, shelby).
+  > DATA
+
+  $ vplan_server --catalog views.dl --domains 2 <<'SESSION' | grep -v '^latency'
+  > plan q1(S, C) :- car(M, anderson), loc(anderson, C), part(S, M, C).
+  > data load facts.dl
+  > plan q1(S, C) :- car(M, anderson), loc(anderson, C), part(S, M, C).
+  > plan q1(P, K) :- part(P, N, K), loc(anderson, K), car(N, anderson).
+  > stats
+  > quit
+  > SESSION
+  ok catalog generation=1 views=3 classes=3
+  err no base database loaded (use: data load FILE)
+  ok data facts=10
+  ok plan cost=25 candidates=2
+  q1(S,C) :- v4(M,anderson,C,S)
+  order: v4(M,anderson,C,S)
+  ok plan cost=25 candidates=2
+  q1(P,K) :- v4(N,anderson,K,P)
+  order: v4(N,anderson,K,P)
+  generation=1 views=3 classes=3
+  requests=0 hits=0 misses=0 bypasses=0
+  cache size=0 capacity=512 evictions=0
+  truncated=0 plan-requests=2

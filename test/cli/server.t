@@ -26,7 +26,7 @@ cache hit, and the answer comes back in the caller's own variables.
   generation=1 views=3 classes=3
   requests=2 hits=1 misses=1 bypasses=0
   cache size=1 capacity=512 evictions=0
-  truncated=0
+  truncated=0 plan-requests=0
 
 Catalog updates bump the generation and invalidate the cache; removing
 v4 changes the best rewriting.  Errors never kill the loop.
@@ -75,7 +75,7 @@ hit) and gets the complete answer.
   generation=1 views=3 classes=3
   requests=2 hits=0 misses=2 bypasses=0
   cache size=1 capacity=512 evictions=0
-  truncated=1
+  truncated=1 plan-requests=0
 
 Batches fan out over the domain pool and answer in request order.
 Without a catalog there is nothing to rewrite against.

@@ -111,6 +111,53 @@ let test_m2_connected_dp () =
   check_bool "disconnected rejected" true
     (M2.optimal_connected carloc_view_db disconnected = None)
 
+let test_m2_memo_reuse () =
+  let open Car_loc_part in
+  let memo = Subplan.create () in
+  let _, c1 = M2.optimal ~memo carloc_view_db p3.Query.body in
+  let before = (Subplan.counters memo).Subplan.hits in
+  let _, c2 = M2.optimal ~memo carloc_view_db p3.Query.body in
+  check_int "same cost on reuse" c1 c2;
+  check_bool "second run hits the memo" true
+    ((Subplan.counters memo).Subplan.hits > before);
+  let _, plain = M2.optimal carloc_view_db p3.Query.body in
+  check_int "memo does not change the result" plain c1
+
+let test_m2_pruned_bound () =
+  let open Car_loc_part in
+  let order, cost = M2.optimal carloc_view_db p3.Query.body in
+  (match M2.optimal_pruned ~bound:cost carloc_view_db p3.Query.body with
+  | None -> ()
+  | Some _ -> Alcotest.fail "bound at the optimum must prune everything");
+  (match M2.optimal_pruned ~bound:(cost + 1) carloc_view_db p3.Query.body with
+  | Some (order', cost') ->
+      check_int "same cost under a loose bound" cost cost';
+      Alcotest.(check (list string))
+        "same order under a loose bound"
+        (List.map Atom.to_string order)
+        (List.map Atom.to_string order')
+  | None -> Alcotest.fail "a loose bound must not prune the optimum");
+  check_bool "relation-cells lower bound short-circuits" true
+    (M2.optimal_pruned
+       ~bound:(M2.body_relation_cells carloc_view_db p3.Query.body)
+       carloc_view_db p3.Query.body
+    = None)
+
+let width_error subgoals max_subgoals =
+  Vplan_error.Error (Vplan_error.Width_limit { subgoals; max_subgoals })
+
+let test_width_limits () =
+  let body n =
+    List.init n (fun i -> Atom.make (Printf.sprintf "t%d" i) [ Term.Var "X" ])
+  in
+  Alcotest.check_raises "M2 DP capped at 20" (width_error 21 20) (fun () ->
+      ignore (M2.optimal Car_loc_part.base (body 21)));
+  Alcotest.check_raises "permutations capped at 8" (width_error 9 8) (fun () ->
+      ignore (Orderings.permutations (body 9)));
+  Alcotest.check_raises "M3 optimal capped at 8" (width_error 9 8) (fun () ->
+      let head = Atom.make "q" [] in
+      ignore (M3.optimal Car_loc_part.base ~annotate:(M3.supplementary ~head) (body 9)))
+
 let test_explain_renders () =
   let open Car_loc_part in
   let m2_text =
@@ -195,6 +242,9 @@ let suite =
     ("M2 final IR order-independent", `Quick, test_m2_intermediate_independent_of_prefix_order);
     ("M2 filters improve cost (P3 scenario)", `Quick, test_m2_filter_improves);
     ("M2 connected DP", `Quick, test_m2_connected_dp);
+    ("M2 memo reuse", `Quick, test_m2_memo_reuse);
+    ("M2 branch-and-bound", `Quick, test_m2_pruned_bound);
+    ("typed width limits", `Quick, test_width_limits);
     ("explain renders", `Quick, test_explain_renders);
     ("optimizer M1", `Quick, test_optimizer_m1);
     ("optimizer M2 correct answers", `Quick, test_optimizer_m2_correct_answers);

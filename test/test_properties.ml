@@ -171,6 +171,81 @@ let m2_dp_exact =
       let _, ex = M2.optimal_exhaustive db body in
       dp = ex)
 
+(* The memo and the branch-and-bound pruning are pure optimizations: with
+   a shared memo (probed twice to exercise reuse) and with a bound one
+   above the optimum, the DP still returns the exhaustive optimum — and a
+   bound at the optimum prunes everything. *)
+let m2_memo_pruned_exact =
+  let gen = Gen.pair gen_query gen_database in
+  make_test ~count:150 ~name:"M2 memoized + pruned DP = exhaustive" gen
+    (fun (q, db) -> print_query q ^ " db " ^ string_of_int (Database.total_size db))
+    (fun (q, db) ->
+      let body = (Query.dedup_body q).Query.body in
+      let _, ex = M2.optimal_exhaustive db body in
+      let memo = Subplan.create () in
+      let _, first = M2.optimal ~memo db body in
+      let _, second = M2.optimal ~memo db body in
+      first = ex && second = ex
+      && (match M2.optimal_pruned ~memo ~bound:(ex + 1) db body with
+         | Some (_, c) -> c = ex
+         | None -> false)
+      && M2.optimal_pruned ~memo ~bound:ex db body = None)
+
+(* The connected DP is exact for its search space: it returns the minimum
+   over exactly the connected-prefix orderings (so whenever some optimal
+   ordering is connected — the common case on connected join graphs — it
+   agrees with the unrestricted [optimal]), and [None] exactly when no
+   connected ordering exists. *)
+let m2_connected_exact =
+  let connected_prefix = function
+    | [] -> true
+    | first :: rest ->
+        let rec go seen = function
+          | [] -> true
+          | (a : Atom.t) :: tl ->
+              List.exists (fun x -> Names.Sset.mem x seen) (Atom.vars a)
+              && go (Names.Sset.union seen (Atom.var_set a)) tl
+        in
+        go (Atom.var_set first) rest
+  in
+  let gen = Gen.pair gen_query gen_database in
+  make_test ~count:150 ~name:"M2 connected DP exact over connected orderings" gen
+    (fun (q, db) -> print_query q ^ " db " ^ string_of_int (Database.total_size db))
+    (fun (q, db) ->
+      let body = (Query.dedup_body q).Query.body in
+      let connected = List.filter connected_prefix (Orderings.permutations body) in
+      match M2.optimal_connected db body with
+      | None -> connected = []
+      | Some (order, cost) ->
+          connected_prefix order
+          && cost = M2.cost_of_order db order
+          && cost
+             = List.fold_left (fun acc o -> min acc (M2.cost_of_order db o)) max_int connected
+          && cost >= snd (M2.optimal db body))
+
+(* Parallel candidate scoring is deterministic: the shared-incumbent
+   protocol never prunes a tie, so domain count cannot change the chosen
+   rewriting, ordering or cost. *)
+let best_m2_parallel_deterministic =
+  let gen = Gen.(pair (list_size (int_range 1 5) (gen_body ~max_atoms:3)) gen_database) in
+  make_test ~count:60 ~name:"best_m2: parallel = sequential" gen
+    (fun (bodies, db) ->
+      String.concat " | "
+        (List.map (fun b -> String.concat "," (List.map Atom.to_string b)) bodies)
+      ^ " db " ^ string_of_int (Database.total_size db))
+    (fun (bodies, db) ->
+      let head = Atom.make "q" [] in
+      let candidates = List.map (fun b -> Query.make_exn head b) bodies in
+      let seq = Select.best_m2 ~memo:(Subplan.create ()) ~domains:1 db candidates in
+      let par = Select.best_m2 ~memo:(Subplan.create ()) ~domains:4 db candidates in
+      match (seq, par) with
+      | None, None -> true
+      | Some a, Some b ->
+          a.Select.m2_cost = b.Select.m2_cost
+          && Query.equal a.Select.m2_rewriting b.Select.m2_rewriting
+          && List.equal Atom.equal a.Select.m2_order b.Select.m2_order
+      | _ -> false)
+
 (* M3 plans never change the answer, and the heuristic never costs more
    than the supplementary strategy. *)
 let m3_correct_and_dominant =
@@ -594,6 +669,9 @@ let suite =
     minicon_contained;
     bucket_agrees;
     m2_dp_exact;
+    m2_memo_pruned_exact;
+    m2_connected_exact;
+    best_m2_parallel_deterministic;
     m3_correct_and_dominant;
     inverse_rules_sound_and_complete;
     certain_complete_under_equivalence;
