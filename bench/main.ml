@@ -24,6 +24,7 @@
      estimate  statistics-based join ordering vs true sizes
      serve     resident service: cold vs warm-cache throughput
      optimize  plan selection: branch-and-bound engine vs naive candidate loop
+     observe   tracing overhead: CoreCover with the span tracer on vs off
      micro     bechamel micro-benchmarks of the core operations *)
 
 open Vplan
@@ -119,6 +120,19 @@ type optimizer_row = {
 
 let optimizer_rows : optimizer_row list ref = ref []
 
+(* Metrics of the [observe] experiment, collected for [--out FILE.json]. *)
+type observe_metrics = {
+  ob_views : int;
+  ob_queries : int;
+  ob_passes : int;
+  ob_untraced_ms : float;
+  ob_traced_ms : float;
+  ob_overhead_pct : float;
+  ob_spans : float;  (* average spans recorded per traced request *)
+}
+
+let observe_metrics : observe_metrics option ref = ref None
+
 let write_json ~mode oc =
   Printf.fprintf oc "{\n";
   Printf.fprintf oc "  \"mode\": %S,\n" mode;
@@ -136,6 +150,16 @@ let write_json ~mode oc =
         m.sm_cold_qps m.sm_warm_qps m.sm_speedup m.sm_hit_rate;
       Printf.fprintf oc " \"p50_ms\": %.3f, \"p95_ms\": %.3f, \"truncated\": %d },\n"
         m.sm_p50_ms m.sm_p95_ms m.sm_truncated);
+  (match !observe_metrics with
+  | None -> ()
+  | Some m ->
+      Printf.fprintf oc
+        "  \"observe\": { \"views\": %d, \"queries\": %d, \"passes\": %d,"
+        m.ob_views m.ob_queries m.ob_passes;
+      Printf.fprintf oc " \"untraced_ms\": %.3f, \"traced_ms\": %.3f,"
+        m.ob_untraced_ms m.ob_traced_ms;
+      Printf.fprintf oc " \"overhead_pct\": %.2f, \"spans_per_request\": %.1f },\n"
+        m.ob_overhead_pct m.ob_spans);
   (match List.rev !optimizer_rows with
   | [] -> ()
   | rows ->
@@ -841,6 +865,75 @@ let optimize ~settings =
     settings.view_counts
 
 (* ------------------------------------------------------------------ *)
+(* Observability: CoreCover with the span tracer on vs off.            *)
+
+let observe ~settings =
+  let num_views = List.fold_left max 0 settings.view_counts in
+  header
+    (Printf.sprintf "Observability overhead: span tracer on vs off (star, %d views)"
+       num_views);
+  (* the fig6a workload at the sweep's largest point, same seeds *)
+  let insts =
+    List.filter_map
+      (fun qi ->
+        let config =
+          {
+            Generator.default with
+            shape = Generator.Star;
+            num_views;
+            seed = 1000 + (qi * 7919) + num_views;
+          }
+        in
+        match Generator.generate_with_rewriting ~max_attempts:100 config with
+        | exception Failure _ -> None
+        | inst -> Some inst)
+      (List.init settings.queries_per_point Fun.id)
+  in
+  let passes = 5 in
+  let untraced = ref 0. and traced = ref 0. in
+  let spans = ref 0 and requests = ref 0 in
+  (* each pass runs every query once with the tracer off and once inside
+     [Trace.run]; the order flips between passes so cache warmth and
+     clock drift hit both sides equally *)
+  for pass = 1 to passes do
+    List.iter
+      (fun (inst : Generator.instance) ->
+        let query = inst.Generator.query and views = inst.views in
+        let run_off () =
+          let _, ms = time_ms (fun () -> corecover_gmrs ~query ~views ()) in
+          untraced := !untraced +. ms
+        in
+        let run_on () =
+          let (_, ss), ms =
+            time_ms (fun () -> Trace.run (fun () -> corecover_gmrs ~query ~views ()))
+          in
+          traced := !traced +. ms;
+          spans := !spans + List.length ss;
+          incr requests
+        in
+        if pass mod 2 = 1 then (run_off (); run_on ())
+        else (run_on (); run_off ()))
+      insts
+  done;
+  let overhead = (!traced -. !untraced) /. Float.max 1e-9 !untraced *. 100. in
+  let spans_per_request = float_of_int !spans /. float_of_int (max 1 !requests) in
+  Format.printf "%8s %8s %14s %14s %12s %10s@." "queries" "passes" "untraced-ms"
+    "traced-ms" "overhead" "spans/req";
+  Format.printf "%8d %8d %14.1f %14.1f %11.2f%% %10.1f@." (List.length insts) passes
+    !untraced !traced overhead spans_per_request;
+  observe_metrics :=
+    Some
+      {
+        ob_views = num_views;
+        ob_queries = List.length insts;
+        ob_passes = passes;
+        ob_untraced_ms = !untraced;
+        ob_traced_ms = !traced;
+        ob_overhead_pct = overhead;
+        ob_spans = spans_per_request;
+      }
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks.                                          *)
 
 let micro () =
@@ -943,6 +1036,7 @@ let experiments settings =
     ("estimate", fun () -> estimate ());
     ("serve", fun () -> serve ~settings);
     ("optimize", fun () -> optimize ~settings);
+    ("observe", fun () -> observe ~settings);
     ("micro", fun () -> micro ());
   ]
 

@@ -208,6 +208,74 @@ let plan_cmd =
           $ max_steps_arg)
 
 (* ------------------------------------------------------------------ *)
+(* explain                                                             *)
+
+let explain_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let data =
+    Arg.(value & opt (some file) None
+         & info [ "data" ] ~docv:"DATA"
+             ~doc:"Ground facts for the base relations; when given, the \
+                   trace also covers view materialization and plan \
+                   selection.")
+  in
+  let domains =
+    Arg.(value & opt int 1 & info [ "domains" ] ~docv:"N"
+           ~doc:"Fan the per-view evaluation across $(docv) domains.")
+  in
+  let run file data domains timeout max_steps max_covers =
+   or_die @@ fun () ->
+    let query, rest = parse_program_file file in
+    let views, _ = split_views_and_candidates query rest in
+    let budget = budget_of ~timeout ~max_steps in
+    let clock = Vplan.Budget.create () in
+    let label, spans =
+      match data with
+      | None ->
+          let result, spans =
+            Vplan.Trace.run (fun () ->
+                Vplan.Corecover.gmrs ?budget ?max_covers ~domains ~query ~views ())
+          in
+          (Printf.sprintf "rewritings=%d" (List.length result.rewritings), spans)
+      | Some data ->
+          (* the same pipeline [plan --cost m2] runs, with each stage under
+             the tracer: materialize, CoreCover*, branch-and-bound *)
+          let base = database_of_file data in
+          let choice, spans =
+            Vplan.Trace.run (fun () ->
+                let view_db =
+                  Vplan.Obs.phase "materialize" (fun () ->
+                      Vplan.Materialize.views base views)
+                in
+                let r =
+                  Vplan.Corecover.all_minimal ?budget ?max_results:max_covers
+                    ~domains ~query ~views ()
+                in
+                let memo = Vplan.Subplan.create () in
+                Vplan.Select.best_m2 ~memo ?budget ~domains
+                  ~filters:r.Vplan.Corecover.filters view_db
+                  r.Vplan.Corecover.rewritings)
+          in
+          ( (match choice with
+            | Some c -> Printf.sprintf "plan cost=%d" c.Vplan.Select.m2_cost
+            | None -> "plan none"),
+            spans )
+    in
+    let ms = Vplan.Budget.elapsed_ms clock in
+    Format.printf "explain %s@." label;
+    Format.printf "request %.3f ms, traced %.3f ms in %d spans@." ms
+      (Vplan.Trace.top_level_total spans)
+      (List.length spans);
+    Format.printf "%a" Vplan.Trace.pp_tree spans
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:"Trace one rewrite (or, with --data, plan-selection) request and \
+             print its span tree with per-phase wall time.")
+    Term.(const run $ file $ data $ domains $ timeout_arg $ max_steps_arg
+          $ max_covers_arg)
+
+(* ------------------------------------------------------------------ *)
 (* classify                                                            *)
 
 let classify_cmd =
@@ -375,4 +443,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ rewrite_cmd; plan_cmd; classify_cmd; certain_cmd; datalog_cmd; generate_cmd ]))
+          [ rewrite_cmd; plan_cmd; explain_cmd; classify_cmd; certain_cmd;
+            datalog_cmd; generate_cmd ]))

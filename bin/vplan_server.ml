@@ -17,13 +17,22 @@
                            serve them over the domain pool, in order
      data load FILE        load ground facts as the base database (enables plan)
      plan <rule>.          end-to-end plan selection:
-                             ok plan cost=C candidates=K   (or: ok plan none)
+                             ok plan cost=C candidates=K trace=T
                              <chosen rewriting line>
                              order: <join order>
-     stats                 catalog, cache, and latency counters
-     set timeout MS | set max-steps N | set max-covers N | set off
+     explain <rule>.       trace one request (plan when a base database is
+                           loaded, rewrite otherwise) and print its span
+                           tree with per-phase wall time
+     stats [--json]        catalog, cache, and latency counters
+     metrics               Prometheus-style vplan_* metric lines
+     set timeout MS | set max-steps N | set max-covers N
+     set slow-ms MS | set off
      help                  this text
      quit                  exit
+
+   Every "ok" response to rewrite/batch/plan carries a per-request trace
+   id (trace=T); requests slower than --slow-ms are logged to stderr as
+   "slow trace=T ...", so a slow line joins its response by id.
 
    Every failure is a single "err <reason>" line; the loop never dies on
    a bad request. *)
@@ -34,6 +43,8 @@ type settings = {
   mutable max_covers : int option;
   mutable domains : int;
   mutable cache_capacity : int;
+  mutable slow_ms : float option;
+  mutable next_trace : int;
   mutable service : Vplan.Service.t option;
 }
 
@@ -44,14 +55,28 @@ let settings =
     max_covers = None;
     domains = 1;
     cache_capacity = 512;
+    slow_ms = None;
+    next_trace = 0;
     service = None;
   }
+
+let next_trace_id () =
+  settings.next_trace <- settings.next_trace + 1;
+  settings.next_trace
+
+let slow_log ~trace ~ms detail =
+  match settings.slow_ms with
+  | Some threshold when ms >= threshold ->
+      Format.eprintf "slow trace=%d ms=%.3f %s@." trace ms detail
+  | _ -> ()
 
 let help () =
   print_endline
     "commands: catalog load FILE | catalog add <rule>. | catalog remove NAME\n\
-    \          rewrite <rule>. | batch N | data load FILE | plan <rule>. | stats\n\
-    \          set timeout MS | set max-steps N | set max-covers N | set off\n\
+    \          rewrite <rule>. | batch N | data load FILE | plan <rule>.\n\
+    \          explain <rule>. | stats [--json] | metrics\n\
+    \          set timeout MS | set max-steps N | set max-covers N\n\
+    \          set slow-ms MS | set off\n\
     \          help | quit"
 
 let err fmt = Format.kasprintf (fun s -> Format.printf "err %s@." s) fmt
@@ -141,7 +166,11 @@ let print_outcome (o : Vplan.Service.outcome) =
     | Vplan.Service.Miss -> "miss"
     | Vplan.Service.Bypass -> "bypass"
   in
-  Format.printf "ok %d %s@." (List.length o.Vplan.Service.rewritings) source;
+  let trace = next_trace_id () in
+  Format.printf "ok %d %s trace=%d@."
+    (List.length o.Vplan.Service.rewritings)
+    source trace;
+  slow_log ~trace ~ms:o.Vplan.Service.ms (Printf.sprintf "source=%s" source);
   List.iter (fun p -> Format.printf "%a@." Vplan.Query.pp p) o.Vplan.Service.rewritings;
   match o.Vplan.Service.completeness with
   | Vplan.Corecover.Complete -> ()
@@ -216,10 +245,13 @@ let cmd_plan rest =
             Vplan.Service.plan ?budget:(fresh_budget ())
               ?max_covers:settings.max_covers ~domains:settings.domains s query
           with
-          | None -> print_endline "ok plan none"
+          | None ->
+              Format.printf "ok plan none trace=%d@." (next_trace_id ())
           | Some o ->
-              Format.printf "ok plan cost=%d candidates=%d@."
-                o.Vplan.Service.plan_cost o.Vplan.Service.plan_candidates;
+              let trace = next_trace_id () in
+              Format.printf "ok plan cost=%d candidates=%d trace=%d@."
+                o.Vplan.Service.plan_cost o.Vplan.Service.plan_candidates trace;
+              slow_log ~trace ~ms:o.Vplan.Service.plan_ms "source=plan";
               Format.printf "%a@." Vplan.Query.pp o.Vplan.Service.plan_rewriting;
               Format.printf "order: %a@."
                 (Format.pp_print_list
@@ -227,23 +259,110 @@ let cmd_plan rest =
                    Vplan.Atom.pp)
                 o.Vplan.Service.plan_order))
 
-let cmd_stats () =
+let cmd_stats rest =
   with_service (fun s ->
       let st = Vplan.Service.stats s in
-      Format.printf "generation=%d views=%d classes=%d@." st.Vplan.Service.generation
-        st.Vplan.Service.num_views st.Vplan.Service.num_view_classes;
-      Format.printf "requests=%d hits=%d misses=%d bypasses=%d@."
-        st.Vplan.Service.requests st.Vplan.Service.hits st.Vplan.Service.misses
-        st.Vplan.Service.bypasses;
-      Format.printf "cache size=%d capacity=%d evictions=%d@."
-        st.Vplan.Service.cache_size st.Vplan.Service.cache_capacity
-        st.Vplan.Service.evictions;
-      Format.printf "truncated=%d plan-requests=%d@." st.Vplan.Service.truncated
-        st.Vplan.Service.plan_requests;
       let l = st.Vplan.Service.latency in
-      Format.printf "latency count=%d mean=%.3fms p50=%.3fms p95=%.3fms max=%.3fms@."
-        l.Vplan.Service.count l.Vplan.Service.mean_ms l.Vplan.Service.p50_ms
-        l.Vplan.Service.p95_ms l.Vplan.Service.max_ms)
+      match rest with
+      | "--json" ->
+          (* one line, so a scraper reads exactly one response line *)
+          Format.printf
+            "{\"generation\":%d,\"views\":%d,\"classes\":%d,\"requests\":%d,\
+             \"hits\":%d,\"misses\":%d,\"bypasses\":%d,\"evictions\":%d,\
+             \"cache_size\":%d,\"cache_capacity\":%d,\"truncated\":%d,\
+             \"plan_requests\":%d,\"generation_resets\":%d,\
+             \"latency\":{\"count\":%d,\"mean_ms\":%.3f,\"p50_ms\":%.3f,\
+             \"p95_ms\":%.3f,\"max_ms\":%.3f}}@."
+            st.Vplan.Service.generation st.Vplan.Service.num_views
+            st.Vplan.Service.num_view_classes st.Vplan.Service.requests
+            st.Vplan.Service.hits st.Vplan.Service.misses
+            st.Vplan.Service.bypasses st.Vplan.Service.evictions
+            st.Vplan.Service.cache_size st.Vplan.Service.cache_capacity
+            st.Vplan.Service.truncated st.Vplan.Service.plan_requests
+            st.Vplan.Service.generation_resets l.Vplan.Service.count
+            l.Vplan.Service.mean_ms l.Vplan.Service.p50_ms
+            l.Vplan.Service.p95_ms l.Vplan.Service.max_ms
+      | "" ->
+          Format.printf "generation=%d views=%d classes=%d@." st.Vplan.Service.generation
+            st.Vplan.Service.num_views st.Vplan.Service.num_view_classes;
+          Format.printf "requests=%d hits=%d misses=%d bypasses=%d@."
+            st.Vplan.Service.requests st.Vplan.Service.hits st.Vplan.Service.misses
+            st.Vplan.Service.bypasses;
+          Format.printf "cache size=%d capacity=%d evictions=%d@."
+            st.Vplan.Service.cache_size st.Vplan.Service.cache_capacity
+            st.Vplan.Service.evictions;
+          Format.printf "truncated=%d plan-requests=%d generation-resets=%d@."
+            st.Vplan.Service.truncated st.Vplan.Service.plan_requests
+            st.Vplan.Service.generation_resets;
+          Format.printf "latency count=%d mean=%.3fms p50=%.3fms p95=%.3fms max=%.3fms@."
+            l.Vplan.Service.count l.Vplan.Service.mean_ms l.Vplan.Service.p50_ms
+            l.Vplan.Service.p95_ms l.Vplan.Service.max_ms
+      | _ -> err "usage: stats [--json]")
+
+let cmd_metrics () =
+  with_service (fun s ->
+      let st = Vplan.Service.stats s in
+      (* gauges reflect current state; set them at scrape time *)
+      Vplan.Metrics.set (Vplan.Metrics.gauge "vplan_cache_size")
+        st.Vplan.Service.cache_size;
+      Vplan.Metrics.set (Vplan.Metrics.gauge "vplan_catalog_generation")
+        st.Vplan.Service.generation;
+      Vplan.Metrics.set (Vplan.Metrics.gauge "vplan_catalog_views")
+        st.Vplan.Service.num_views;
+      (match Vplan.Service.subplan_counters s with
+      | None -> ()
+      | Some c ->
+          Vplan.Metrics.set
+            (Vplan.Metrics.gauge "vplan_subplan_memo_size")
+            c.Vplan.Subplan.size;
+          Vplan.Metrics.set
+            (Vplan.Metrics.gauge "vplan_subplan_memo_hits")
+            c.Vplan.Subplan.hits;
+          Vplan.Metrics.set
+            (Vplan.Metrics.gauge "vplan_subplan_memo_misses")
+            c.Vplan.Subplan.misses;
+          Vplan.Metrics.set
+            (Vplan.Metrics.gauge "vplan_subplan_memo_resets")
+            c.Vplan.Subplan.resets);
+      Vplan.Metrics.dump Format.std_formatter;
+      Format.print_flush ())
+
+let cmd_explain rest =
+  with_service (fun s ->
+      match Vplan.Parser.parse_rule rest with
+      | Error e -> err "%s" (Vplan.Vplan_error.parse_to_string e)
+      | Ok query ->
+          let clock = Vplan.Budget.create () in
+          (* plan exercises the full pipeline (all CoreCover phases plus
+             plan selection); without a base database, trace the rewrite
+             path instead *)
+          let label, spans =
+            match Vplan.Service.base s with
+            | Some _ ->
+                let outcome, spans =
+                  Vplan.Trace.run (fun () ->
+                      Vplan.Service.plan ?budget:(fresh_budget ())
+                        ?max_covers:settings.max_covers
+                        ~domains:settings.domains s query)
+                in
+                ((match outcome with Some _ -> "plan" | None -> "plan none"), spans)
+            | None ->
+                let outcome, spans =
+                  Vplan.Trace.run (fun () ->
+                      Vplan.Service.rewrite ?budget:(fresh_budget ())
+                        ?max_covers:settings.max_covers
+                        ~domains:settings.domains s query)
+                in
+                ( Printf.sprintf "rewrite %d"
+                    (List.length outcome.Vplan.Service.rewritings),
+                  spans )
+          in
+          let ms = Vplan.Budget.elapsed_ms clock in
+          Format.printf "ok explain %s request=%.3fms traced=%.3fms spans=%d@."
+            label ms
+            (Vplan.Trace.top_level_total spans)
+            (List.length spans);
+          Format.printf "%a" Vplan.Trace.pp_tree spans)
 
 let cmd_set rest =
   match String.split_on_char ' ' rest |> List.filter (fun s -> s <> "") with
@@ -251,7 +370,14 @@ let cmd_set rest =
       settings.timeout_ms <- None;
       settings.max_steps <- None;
       settings.max_covers <- None;
+      settings.slow_ms <- None;
       print_endline "ok budget off"
+  | [ "slow-ms"; ms ] -> (
+      match float_of_string_opt ms with
+      | Some v when v >= 0. ->
+          settings.slow_ms <- Some v;
+          Format.printf "ok slow-ms=%gms@." v
+      | _ -> err "usage: set slow-ms MS")
   | [ "timeout"; ms ] -> (
       match float_of_string_opt ms with
       | Some v when v > 0. ->
@@ -270,7 +396,10 @@ let cmd_set rest =
           settings.max_covers <- Some v;
           Format.printf "ok max-covers=%d@." v
       | _ -> err "usage: set max-covers N")
-  | _ -> err "usage: set timeout MS | set max-steps N | set max-covers N | set off"
+  | _ ->
+      err
+        "usage: set timeout MS | set max-steps N | set max-covers N | set \
+         slow-ms MS | set off"
 
 let split_command line =
   match String.index_opt line ' ' with
@@ -292,7 +421,9 @@ let handle line =
     | "batch" -> cmd_batch rest; true
     | "data" -> cmd_data rest; true
     | "plan" -> cmd_plan rest; true
-    | "stats" -> cmd_stats (); true
+    | "explain" -> cmd_explain rest; true
+    | "stats" -> cmd_stats rest; true
+    | "metrics" -> cmd_metrics (); true
     | "set" -> cmd_set rest; true
     | other -> err "unknown command %S (try: help)" other; true
 
@@ -310,7 +441,8 @@ let handle_safe line =
 let usage () =
   prerr_endline
     "usage: vplan_server [--catalog FILE] [--cache N] [--domains N]\n\
-    \                    [--timeout MS] [--max-steps N] [--max-covers N]";
+    \                    [--timeout MS] [--max-steps N] [--max-covers N]\n\
+    \                    [--slow-ms MS]";
   exit 2
 
 let () =
@@ -348,6 +480,12 @@ let () =
         match int_of_string_opt n with
         | Some v when v > 0 ->
             settings.max_covers <- Some v;
+            parse_args rest
+        | _ -> usage ())
+    | "--slow-ms" :: ms :: rest -> (
+        match float_of_string_opt ms with
+        | Some v when v >= 0. ->
+            settings.slow_ms <- Some v;
             parse_args rest
         | _ -> usage ())
     | _ -> usage ()

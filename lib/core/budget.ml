@@ -1,3 +1,7 @@
+(* One increment per budget that actually trips (first CAS winner only):
+   re-raises of an already-tripped budget do not count. *)
+let cutoffs_total = Vplan_obs.Metrics.counter "vplan_budget_cutoffs_total"
+
 type t = {
   start : float;
   deadline : float option; (* absolute, seconds since epoch *)
@@ -26,7 +30,8 @@ let elapsed_ms t = (Unix.gettimeofday () -. t.start) *. 1000.
 (* First trip wins across domains: a failed CAS means another domain
    already recorded its reason, which we must preserve. *)
 let trip t err =
-  ignore (Atomic.compare_and_set t.stop None (Some err));
+  if Atomic.compare_and_set t.stop None (Some err) then
+    Vplan_obs.Metrics.incr cutoffs_total;
   match Atomic.get t.stop with
   | Some e -> raise (Vplan_error.Error e)
   | None -> assert false

@@ -14,6 +14,7 @@
 
 module Budget = Vplan_core.Budget
 module Vplan_error = Vplan_core.Vplan_error
+module Trace = Vplan_obs.Trace
 
 let recommended () = Domain.recommended_domain_count ()
 
@@ -46,9 +47,13 @@ let map ?budget ?(domains = 1) f xs =
           Option.iter Budget.cancel budget;
           Error (e, bt)
     in
-    (* spawn workers 1..n-1; the calling domain computes chunk 0 itself *)
+    (* spawn workers 1..n-1; the calling domain computes chunk 0 itself.
+       The spawner's trace context rides along so any span a worker
+       records attaches under the span open at the fan-out point. *)
+    let ctx = Trace.context () in
     let handles =
-      Array.init (workers - 1) (fun i -> Domain.spawn (fun () -> attempt (i + 1)))
+      Array.init (workers - 1) (fun i ->
+          Domain.spawn (fun () -> Trace.with_context ctx (fun () -> attempt (i + 1))))
     in
     let first = attempt 0 in
     (* [attempt] catches everything, so every join succeeds: all domains

@@ -17,6 +17,11 @@
 module Budget = Vplan_core.Budget
 module Vplan_error = Vplan_core.Vplan_error
 
+(* observability: metrics registry, span tracer, phase instrumentation *)
+module Metrics = Vplan_obs.Metrics
+module Trace = Vplan_obs.Trace
+module Obs = Vplan_obs.Obs
+
 (* conjunctive-query kernel *)
 module Names = Vplan_cq.Names
 module Term = Vplan_cq.Term

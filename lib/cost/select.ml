@@ -1,5 +1,11 @@
 open Vplan_cq
 module Parallel = Vplan_parallel.Parallel
+module Obs = Vplan_obs.Obs
+module Trace = Vplan_obs.Trace
+module Metrics = Vplan_obs.Metrics
+
+let candidates_total = Metrics.counter "vplan_select_candidates_total"
+let pruned_total = Metrics.counter "vplan_select_pruned_total"
 
 type m2_choice = {
   m2_rewriting : Query.t;
@@ -47,6 +53,7 @@ let run ?budget ?(domains = 1) ~score ranked =
   | [] -> None
   | first :: rest ->
       let incumbent = Atomic.make max_int in
+      let pruned = Atomic.make 0 in
       let eval (idx, cand) =
         let b = Atomic.get incumbent in
         let bound = if b = max_int then max_int else b + 1 in
@@ -54,10 +61,16 @@ let run ?budget ?(domains = 1) ~score ranked =
         | Some (r, cost) ->
             note incumbent cost;
             Some (idx, r, cost)
-        | None -> None
+        | None ->
+            Atomic.incr pruned;
+            None
       in
       let seeded = eval first in
       let rest_results = Parallel.map ?budget ~domains eval rest in
+      Metrics.add candidates_total (List.length ranked);
+      Metrics.add pruned_total (Atomic.get pruned);
+      Trace.annotate "candidates" (float_of_int (List.length ranked));
+      Trace.annotate "pruned" (float_of_int (Atomic.get pruned));
       List.fold_left
         (fun best r ->
           match (best, r) with
@@ -68,6 +81,10 @@ let run ?budget ?(domains = 1) ~score ranked =
         seeded rest_results
 
 let best_m2 ?memo ?budget ?(domains = 1) ?(filters = []) db candidates =
+  Obs.phase "plan_select" @@ fun () ->
+  let memo_before =
+    if Trace.enabled () then Option.map Subplan.counters memo else None
+  in
   let score ~bound (p : Query.t) =
     match filters with
     | [] -> (
@@ -86,18 +103,28 @@ let best_m2 ?memo ?budget ?(domains = 1) ?(filters = []) db candidates =
           in
           if cost < bound then Some ((body, order), cost) else None
   in
-  match run ?budget ~domains ~score (rank db candidates) with
-  | None -> None
-  | Some (idx, (body, order), cost) ->
-      let p = List.nth candidates idx in
-      Some
-        {
-          m2_rewriting = Query.make_exn p.Query.head body;
-          m2_order = order;
-          m2_cost = cost;
-        }
+  let result =
+    match run ?budget ~domains ~score (rank db candidates) with
+    | None -> None
+    | Some (idx, (body, order), cost) ->
+        let p = List.nth candidates idx in
+        Some
+          {
+            m2_rewriting = Query.make_exn p.Query.head body;
+            m2_order = order;
+            m2_cost = cost;
+          }
+  in
+  (match (memo, memo_before) with
+  | Some m, Some before ->
+      let after = Subplan.counters m in
+      Trace.annotate "memo_hits" (float_of_int (after.hits - before.hits));
+      Trace.annotate "memo_misses" (float_of_int (after.misses - before.misses))
+  | _ -> ());
+  result
 
 let best_m3 ?budget ?(domains = 1) ~annotate db candidates =
+  Obs.phase "plan_select" @@ fun () ->
   let score ~bound (p : Query.t) =
     M3.optimal_pruned ?budget ~bound db ~annotate:(annotate p) p.Query.body
   in

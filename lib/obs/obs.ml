@@ -1,0 +1,25 @@
+(* The one-line instrumentation entry point the pipeline stages use:
+   [Obs.phase "set_cover" f] times [f] into the phase's latency
+   histogram (always on — two clock reads per call) and wraps it in a
+   trace span (only when a trace is active). *)
+
+let phase_hists : (string, Metrics.histogram) Hashtbl.t = Hashtbl.create 16
+let lock = Mutex.create ()
+
+let phase_histogram name =
+  Mutex.lock lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock lock)
+    (fun () ->
+      match Hashtbl.find_opt phase_hists name with
+      | Some h -> h
+      | None ->
+          let h = Metrics.histogram ("vplan_phase_" ^ name ^ "_ms") in
+          Hashtbl.add phase_hists name h;
+          h)
+
+let phase name f =
+  let h = phase_histogram name in
+  let t0 = Unix.gettimeofday () in
+  let finish () = Metrics.observe h ((Unix.gettimeofday () -. t0) *. 1000.) in
+  Trace.with_span name (fun () -> Fun.protect ~finally:finish f)

@@ -1,0 +1,13 @@
+(** Pipeline-phase instrumentation: {!phase} is what CoreCover's stages
+    (and plan selection) wrap themselves in.
+
+    [phase name f] runs [f], observing its wall time into the
+    [vplan_phase_<name>_ms] histogram of {!Metrics} unconditionally, and
+    opening a {!Trace} span named [name] when a trace is active.
+    Exceptions still record both, then propagate. *)
+
+(** The histogram behind a phase name ([vplan_phase_<name>_ms]),
+    registering it on first use. *)
+val phase_histogram : string -> Metrics.histogram
+
+val phase : string -> (unit -> 'a) -> 'a

@@ -1,0 +1,197 @@
+(* A span-based tracer with per-domain buffers.
+
+   One trace session may be active per process ([run]).  Each domain
+   records finished spans into its own buffer — registered with the
+   session once per domain (the only locked operation) and appended to
+   lock-free afterwards — so Parallel.map workers trace without
+   contending.  Buffers are merged when [run] returns, i.e. after every
+   worker has been joined.
+
+   When no session is active, [with_span] is one atomic load and a
+   branch in front of the traced function: the disabled tracer costs
+   nothing on the hot paths. *)
+
+type span = {
+  id : int;
+  parent : int; (* -1 = top-level *)
+  name : string;
+  start_ms : float; (* relative to the session start *)
+  dur_ms : float;
+  domain : int;
+  kv : (string * float) list;
+}
+
+type session = {
+  t0 : float;
+  next_id : int Atomic.t;
+  mutable buffers : span list ref list;
+  reg : Mutex.t;
+}
+
+(* An open (not yet finished) span on this domain's stack. *)
+type frame = { fid : int; mutable fkv : (string * float) list }
+
+(* Domain-local tracing state.  [sess] remembers which session the
+   buffer was registered with: a stale binding (from a previous trace)
+   is re-initialized on first use under the new session. *)
+type local = {
+  mutable sess : session option;
+  mutable buf : span list ref;
+  mutable stack : frame list; (* innermost open span first *)
+  mutable root_parent : int; (* parent of top-level spans on this domain *)
+}
+
+let dls : local Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      { sess = None; buf = ref []; stack = []; root_parent = -1 })
+
+let active : session option Atomic.t = Atomic.make None
+
+let enabled () = match Atomic.get active with Some _ -> true | None -> false
+
+let now_ms () = Unix.gettimeofday () *. 1000.
+
+let bound_local sess =
+  let l = Domain.DLS.get dls in
+  let stale = match l.sess with Some s -> s != sess | None -> true in
+  if stale then begin
+    l.sess <- Some sess;
+    l.buf <- ref [];
+    l.stack <- [];
+    l.root_parent <- -1;
+    Mutex.lock sess.reg;
+    sess.buffers <- l.buf :: sess.buffers;
+    Mutex.unlock sess.reg
+  end;
+  l
+
+let with_span name f =
+  match Atomic.get active with
+  | None -> f ()
+  | Some sess ->
+      let l = bound_local sess in
+      let parent =
+        match l.stack with fr :: _ -> fr.fid | [] -> l.root_parent
+      in
+      let id = Atomic.fetch_and_add sess.next_id 1 in
+      let frame = { fid = id; fkv = [] } in
+      l.stack <- frame :: l.stack;
+      let start = now_ms () in
+      let finish () =
+        let stop = now_ms () in
+        (match l.stack with _ :: rest -> l.stack <- rest | [] -> ());
+        l.buf :=
+          {
+            id;
+            parent;
+            name;
+            start_ms = start -. sess.t0;
+            dur_ms = stop -. start;
+            domain = (Domain.self () :> int);
+            kv = List.rev frame.fkv;
+          }
+          :: !(l.buf)
+      in
+      Fun.protect ~finally:finish f
+
+let annotate key value =
+  match Atomic.get active with
+  | None -> ()
+  | Some sess -> (
+      let l = Domain.DLS.get dls in
+      match l.sess with
+      | Some s when s == sess -> (
+          match l.stack with
+          | fr :: _ ->
+              (* repeated keys accumulate, so a phase run in several
+                 passes (set-cover size levels) reports totals *)
+              fr.fkv <-
+                (match List.assoc_opt key fr.fkv with
+                | Some v0 -> (key, v0 +. value) :: List.remove_assoc key fr.fkv
+                | None -> (key, value) :: fr.fkv)
+          | [] -> ())
+      | _ -> ())
+
+type ctx = session * int
+
+let context () =
+  match Atomic.get active with
+  | None -> None
+  | Some sess ->
+      let l = bound_local sess in
+      let parent =
+        match l.stack with fr :: _ -> fr.fid | [] -> l.root_parent
+      in
+      Some (sess, parent)
+
+let with_context ctx f =
+  match ctx with
+  | None -> f ()
+  | Some (sess, parent) -> (
+      (* only honor the context while its session is still the active
+         one; a context surviving past its [run] is ignored *)
+      match Atomic.get active with
+      | Some live when live == sess ->
+          let l = bound_local sess in
+          let saved = l.root_parent in
+          l.root_parent <- parent;
+          Fun.protect ~finally:(fun () -> l.root_parent <- saved) f
+      | _ -> f ())
+
+let run f =
+  match Atomic.get active with
+  | Some _ ->
+      (* nested traces do not exist: the inner [run] contributes its
+         spans to the outer session instead of starting one *)
+      (f (), [])
+  | None ->
+      let sess =
+        { t0 = now_ms (); next_id = Atomic.make 0; buffers = []; reg = Mutex.create () }
+      in
+      Atomic.set active (Some sess);
+      let result =
+        Fun.protect ~finally:(fun () -> Atomic.set active None) f
+      in
+      (* every domain that recorded has finished by now: [run] is
+         synchronous and Parallel.map joins all its workers *)
+      let spans = List.concat_map (fun b -> !b) sess.buffers in
+      (result, List.sort (fun a b -> Float.compare a.start_ms b.start_ms) spans)
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+
+let children spans id =
+  List.filter (fun s -> s.parent = id) spans
+
+let top_level_total spans =
+  List.fold_left
+    (fun acc s -> if s.parent = -1 then acc +. s.dur_ms else acc)
+    0. spans
+
+let pp_kv ppf kv =
+  match kv with
+  | [] -> ()
+  | kv ->
+      Format.fprintf ppf "  [%s]"
+        (String.concat " "
+           (List.map
+              (fun (k, v) ->
+                if Float.is_integer v && Float.abs v < 1e15 then
+                  Printf.sprintf "%s=%.0f" k v
+                else Printf.sprintf "%s=%g" k v)
+              kv))
+
+let pp_tree ppf spans =
+  let rec pp_forest prefix nodes =
+    let n = List.length nodes in
+    List.iteri
+      (fun i s ->
+        let last = i = n - 1 in
+        let branch = if last then "`- " else "|- " in
+        Format.fprintf ppf "%s%s%-18s %10.3f ms%a@." prefix branch s.name s.dur_ms
+          pp_kv s.kv;
+        let prefix' = prefix ^ if last then "   " else "|  " in
+        pp_forest prefix' (children spans s.id))
+      nodes
+  in
+  pp_forest "" (children spans (-1))

@@ -1,0 +1,72 @@
+(** A span-based tracer with per-domain buffers and zero disabled cost.
+
+    A trace is collected by {!run}: while it executes, every
+    {!with_span} anywhere in the process records a timed span into the
+    recording domain's own buffer (registered with the session once per
+    domain; appends take no lock), and the buffers are merged into one
+    span list when {!run} returns.  Parent links come from the
+    per-domain stack of open spans; {!Vplan_parallel.Parallel.map}
+    forwards the spawning domain's {!context} into its workers, so spans
+    recorded inside a parallel fan-out attach under the span that was
+    open at the spawn point.
+
+    When no trace is active — the steady state — {!with_span} is a
+    single atomic load and branch in front of the wrapped function, so
+    instrumented hot paths keep their uninstrumented cost.
+
+    Timestamps come from one process-wide wall clock read at span entry
+    and exit ([Unix.gettimeofday]; the stdlib exposes no monotonic
+    clock), with durations of sibling spans measured against the same
+    clock — a clock step during a trace can skew spans, never crash.
+
+    Only one session exists at a time: a {!run} nested inside another
+    contributes its spans to the outer session and returns an empty
+    list.  Concurrent requests traced under one session interleave into
+    the same span list. *)
+
+type span = {
+  id : int;
+  parent : int;  (** span id of the parent; [-1] for top-level spans *)
+  name : string;
+  start_ms : float;  (** offset from the session start *)
+  dur_ms : float;
+  domain : int;  (** id of the domain that recorded the span *)
+  kv : (string * float) list;  (** annotations, in {!annotate} order *)
+}
+
+(** Whether a trace session is currently active. *)
+val enabled : unit -> bool
+
+(** [with_span name f] runs [f], recording a span around it when a trace
+    is active (exceptions still record the span, then propagate); calls
+    [f] directly otherwise. *)
+val with_span : string -> (unit -> 'a) -> 'a
+
+(** [annotate key value] attaches a key/value pair to the innermost open
+    span on the calling domain; a no-op when tracing is disabled or no
+    span is open here.  Annotating an existing key adds to its value, so
+    a phase that runs in several passes reports totals. *)
+val annotate : string -> float -> unit
+
+(** A capture of (active session, innermost open span) for handing to
+    another domain. *)
+type ctx
+
+val context : unit -> ctx option
+
+(** [with_context ctx f] runs [f] with its top-level spans parented
+    under [ctx]'s span.  [with_context None f] is [f ()]. *)
+val with_context : ctx option -> (unit -> 'a) -> 'a
+
+(** [run f] collects a trace of [f]: returns [f ()] and the finished
+    spans, sorted by start time.  Spans still open when [f] raises are
+    lost; the session always ends. *)
+val run : (unit -> 'a) -> 'a * span list
+
+(** Sum of the durations of top-level spans — the traced portion of the
+    request, to compare against its measured latency. *)
+val top_level_total : span list -> float
+
+(** Render the spans as an ASCII tree (one line per span: name,
+    duration, annotations), children indented under their parents. *)
+val pp_tree : Format.formatter -> span list -> unit

@@ -4,6 +4,8 @@ module Minimize = Vplan_containment.Minimize
 module Parallel = Vplan_parallel.Parallel
 module Budget = Vplan_core.Budget
 module Vplan_error = Vplan_core.Vplan_error
+module Obs = Vplan_obs.Obs
+module Trace = Vplan_obs.Trace
 
 type stats = {
   num_views : int;
@@ -34,7 +36,7 @@ type result = {
    worker domain) stops the remaining ones at their next tick. *)
 let prepare ~budget ~view_classes ~group_views ~indexed ~buckets ~domains ~query
     ~views =
-  let qm = Minimize.minimize ?budget query in
+  let qm = Obs.phase "minimize" (fun () -> Minimize.minimize ?budget query) in
   (* Subgoal sets are bitmasks in a native int ([Tuple_core.mask], the
      cover universe): more subgoals than bits would overflow silently. *)
   if List.length qm.Query.body > Sys.int_size - 1 then
@@ -46,29 +48,46 @@ let prepare ~budget ~view_classes ~group_views ~indexed ~buckets ~domains ~query
               max_subgoals = Sys.int_size - 1;
             }));
   let view_classes =
-    (* a resident catalog (lib/service) groups its views once and passes
-       the classes in; per-call grouping is the cold-start path *)
-    match view_classes with
-    | Some classes -> classes
-    | None ->
-        if group_views then Equiv_class.group_views ?budget ~buckets views
-        else List.map (fun v -> [ v ]) views
+    Obs.phase "view_classes" (fun () ->
+        (* a resident catalog (lib/service) groups its views once and
+           passes the classes in; per-call grouping is the cold-start
+           path *)
+        let classes =
+          match view_classes with
+          | Some classes -> classes
+          | None ->
+              if group_views then Equiv_class.group_views ?budget ~buckets views
+              else List.map (fun v -> [ v ]) views
+        in
+        Trace.annotate "classes" (float_of_int (List.length classes));
+        classes)
   in
   let representative_views = Equiv_class.representatives view_classes in
   let engine = if indexed then `Indexed else `Nested_loop in
   let view_tuples =
     View_tuple.compute ?budget ~engine ~domains ~query:qm representative_views
   in
-  let with_cores =
-    Parallel.map ?budget ~domains
-      (fun tv -> (tv, Tuple_core.compute ?budget ~query:qm tv))
-      view_tuples
-  in
   let tuple_classes =
-    (* [same_cover] is mask equality, so hash-bucketing by mask gives the
-       same classes in one probe per tuple instead of a pairwise scan *)
-    if buckets then Equiv_class.group_by ~key:(fun (_, c) -> c.Tuple_core.mask) with_cores
-    else Equiv_class.group ~eq:(fun (_, c1) (_, c2) -> Tuple_core.same_cover c1 c2) with_cores
+    Obs.phase "tuple_cores" (fun () ->
+        let with_cores =
+          Parallel.map ?budget ~domains
+            (fun tv -> (tv, Tuple_core.compute ?budget ~query:qm tv))
+            view_tuples
+        in
+        (* [same_cover] is mask equality, so hash-bucketing by mask gives
+           the same classes in one probe per tuple instead of a pairwise
+           scan *)
+        let classes =
+          if buckets then
+            Equiv_class.group_by ~key:(fun (_, c) -> c.Tuple_core.mask) with_cores
+          else
+            Equiv_class.group
+              ~eq:(fun (_, c1) (_, c2) -> Tuple_core.same_cover c1 c2)
+              with_cores
+        in
+        Trace.annotate "tuples" (float_of_int (List.length with_cores));
+        Trace.annotate "classes" (float_of_int (List.length classes));
+        classes)
   in
   let reps = Equiv_class.representatives tuple_classes in
   (qm, view_classes, view_tuples, tuple_classes, reps)
@@ -82,6 +101,7 @@ let run ~budget ~view_classes ~group_views ~indexed ~buckets ~domains ~verify
      (during minimization, view-tuple or tuple-core computation) yields an
      empty-but-sound result rather than an exception.  Input errors such
      as [Width_limit] still raise. *)
+  Obs.phase "corecover" @@ fun () ->
   let fallback e =
     {
       minimized_query = query;
@@ -117,7 +137,7 @@ let run ~budget ~view_classes ~group_views ~indexed ~buckets ~domains ~verify
     let tuples = Array.of_list (List.map fst nonempty) in
     let sets = Array.of_list (List.map (fun (_, c) -> c.Tuple_core.mask) nonempty) in
     let universe = (1 lsl List.length qm.Query.body) - 1 in
-    let outcome = covers_of ~budget ~universe sets in
+    let outcome = Obs.phase "set_cover" (fun () -> covers_of ~budget ~universe sets) in
     let rewritings =
       List.map
         (fun cover -> build_rewriting qm (List.map (fun i -> tuples.(i)) cover))
@@ -125,23 +145,23 @@ let run ~budget ~view_classes ~group_views ~indexed ~buckets ~domains ~verify
     in
     let rewritings =
       if not verify then rewritings
-      else begin
-        (* Keep only rewritings fully verified before a budget cutoff, so
-           everything returned was actually double-checked. *)
-        let verified = ref [] in
-        (try
-           List.iter
-             (fun p ->
-               if Expansion.is_equivalent_rewriting ?budget ~views ~query p then
-                 verified := p :: !verified
-               else
-                 failwith
-                   (Format.asprintf
-                      "CoreCover produced a non-equivalent rewriting: %a" Query.pp p))
-             rewritings
-         with Vplan_error.Error e when Vplan_error.is_resource e -> ());
-        List.rev !verified
-      end
+      else
+        Obs.phase "verify" (fun () ->
+            (* Keep only rewritings fully verified before a budget cutoff,
+               so everything returned was actually double-checked. *)
+            let verified = ref [] in
+            (try
+               List.iter
+                 (fun p ->
+                   if Expansion.is_equivalent_rewriting ?budget ~views ~query p then
+                     verified := p :: !verified
+                   else
+                     failwith
+                       (Format.asprintf
+                          "CoreCover produced a non-equivalent rewriting: %a" Query.pp p))
+                 rewritings
+             with Vplan_error.Error e when Vplan_error.is_resource e -> ());
+            List.rev !verified)
     in
     let completeness =
       match Option.bind budget Budget.stopped with

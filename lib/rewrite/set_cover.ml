@@ -1,5 +1,12 @@
 module Budget = Vplan_core.Budget
 module Vplan_error = Vplan_core.Vplan_error
+module Metrics = Vplan_obs.Metrics
+
+(* Search nodes are counted in a local ref inside the (hot) enumeration
+   loop and flushed to the atomic registry counter once per call, so the
+   instrumented loop body costs one non-atomic increment. *)
+let nodes_total = Metrics.counter "vplan_set_cover_nodes_total"
+let covers_total = Metrics.counter "vplan_set_cover_covers_total"
 
 type outcome = {
   covers : int list list;
@@ -60,12 +67,14 @@ let enumerate ?budget ~universe sets ~size_bound ~keep ~max_results =
   let results = ref [] in
   let count = ref 0 in
   let stopped = ref None in
+  let nodes = ref 0 in
   let rec go chosen covered depth claims =
     if !count >= max_results then begin
       if max_results < max_int && !stopped = None then
         stopped := Some (Vplan_error.Cover_limit { limit = max_results })
     end
     else begin
+      incr nodes;
       Budget.tick budget;
       match lowest_uncovered ~universe covered with
       | None ->
@@ -93,6 +102,10 @@ let enumerate ?budget ~universe sets ~size_bound ~keep ~max_results =
   in
   (try go [] 0 0 []
    with Vplan_error.Error e when Vplan_error.is_resource e -> stopped := Some e);
+  Metrics.add nodes_total !nodes;
+  Metrics.add covers_total !count;
+  Vplan_obs.Trace.annotate "nodes" (float_of_int !nodes);
+  Vplan_obs.Trace.annotate "covers" (float_of_int !count);
   (* DFS emission follows claim order, not index order; sort to present
      covers in lexicographic order of their sorted index lists. *)
   { covers = List.sort (List.compare Int.compare) !results; stopped = !stopped }

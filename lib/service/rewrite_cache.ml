@@ -1,5 +1,14 @@
 (* Hash table + intrusive doubly-linked recency list: O(1) find/add/evict. *)
 
+module Metrics = Vplan_obs.Metrics
+
+(* Global, not per-instance: the registry aggregates over every cache in
+   the process, matching the service-lifetime semantics of the mutable
+   per-instance counters below. *)
+let hits_total = Metrics.counter "vplan_cache_hits_total"
+let misses_total = Metrics.counter "vplan_cache_misses_total"
+let evictions_total = Metrics.counter "vplan_cache_evictions_total"
+
 type 'a node = {
   key : string;
   value : 'a;
@@ -57,11 +66,13 @@ let find t key =
   match Hashtbl.find_opt t.table key with
   | Some node ->
       t.hits <- t.hits + 1;
+      Metrics.incr hits_total;
       unlink t node;
       push_front t node;
       Some node.value
   | None ->
       t.misses <- t.misses + 1;
+      Metrics.incr misses_total;
       None
 
 let add t key value =
@@ -79,7 +90,8 @@ let add t key value =
     | Some victim ->
         unlink t victim;
         Hashtbl.remove t.table victim.key;
-        t.evictions <- t.evictions + 1
+        t.evictions <- t.evictions + 1;
+        Metrics.incr evictions_total
     | None -> assert false
 
 let clear t =

@@ -7,6 +7,14 @@ module Database = Vplan_relational.Database
 module Materialize = Vplan_views.Materialize
 module Subplan = Vplan_cost.Subplan
 module Select = Vplan_cost.Select
+module Metrics = Vplan_obs.Metrics
+
+let requests_total = Metrics.counter "vplan_rewrite_requests_total"
+let bypasses_total = Metrics.counter "vplan_rewrite_bypasses_total"
+let truncated_total = Metrics.counter "vplan_rewrite_truncated_total"
+let plan_requests_total = Metrics.counter "vplan_plan_requests_total"
+let generation_resets_total = Metrics.counter "vplan_generation_resets_total"
+let request_ms = Metrics.histogram "vplan_request_ms"
 
 type source = Hit | Miss | Bypass
 
@@ -40,6 +48,7 @@ type stats = {
   cache_capacity : int;
   truncated : int;
   plan_requests : int;
+  generation_resets : int;
   latency : latency;
 }
 
@@ -81,6 +90,7 @@ type t = {
   mutable base : Database.t option;
   mutable pctx : plan_ctx option;
   mutable plan_requests : int;
+  mutable generation_resets : int;
   lat_ring : float array;
   mutable lat_next : int;  (* total latencies ever recorded *)
   mutable lat_sum : float;
@@ -98,6 +108,7 @@ let create ?(cache_capacity = 512) cat =
     base = None;
     pctx = None;
     plan_requests = 0;
+    generation_resets = 0;
     lat_ring = Array.make lat_window 0.;
     lat_next = 0;
     lat_sum = 0.;
@@ -114,7 +125,11 @@ let set_catalog t cat =
   locked t (fun () ->
       t.cat <- cat;
       Rewrite_cache.clear t.cache;
-      t.pctx <- None)
+      t.pctx <- None;
+      (* the new catalog restarts its generation sequence; counting
+         swaps here lets lifetime counters survive a [catalog load] *)
+      t.generation_resets <- t.generation_resets + 1;
+      Metrics.incr generation_resets_total)
 
 let base t = locked t (fun () -> t.base)
 
@@ -139,6 +154,12 @@ let rename_result inv (r : Corecover.result) =
     Query.apply inv r.Corecover.minimized_query )
 
 let record t ~probed ~completeness ~ms =
+  Metrics.incr requests_total;
+  Metrics.observe request_ms ms;
+  if not probed then Metrics.incr bypasses_total;
+  (match completeness with
+  | Corecover.Truncated _ -> Metrics.incr truncated_total
+  | Corecover.Complete -> ());
   locked t (fun () ->
       t.requests <- t.requests + 1;
       (* [bypasses] counts requests that never probed the cache
@@ -231,7 +252,11 @@ let plan_ctx t cat db =
         {
           p_cat = cat;
           p_base = db;
-          p_view_db = Materialize.views db (Catalog.views cat);
+          p_view_db =
+            (* traced: on the first plan after a catalog/base change this
+               dominates the request, and explain should show it *)
+            Vplan_obs.Obs.phase "materialize" (fun () ->
+                Materialize.views db (Catalog.views cat));
           p_memo = Subplan.create ();
         }
       in
@@ -259,6 +284,8 @@ let plan ?budget ?max_covers ?(domains = 1) t query =
           ~filters:r.Corecover.filters ctx.p_view_db r.Corecover.rewritings
       in
       let ms = Budget.elapsed_ms clock in
+      Metrics.incr plan_requests_total;
+      Metrics.observe request_ms ms;
       locked t (fun () -> t.plan_requests <- t.plan_requests + 1);
       Option.map
         (fun (c : Select.m2_choice) ->
@@ -304,5 +331,9 @@ let stats t =
         cache_capacity = c.Rewrite_cache.capacity;
         truncated = t.truncated;
         plan_requests = t.plan_requests;
+        generation_resets = t.generation_resets;
         latency;
       })
+
+let subplan_counters t =
+  locked t (fun () -> Option.map (fun ctx -> Subplan.counters ctx.p_memo) t.pctx)

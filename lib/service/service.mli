@@ -68,6 +68,11 @@ type stats = {
   cache_capacity : int;
   truncated : int;  (** requests that returned a [Truncated] result *)
   plan_requests : int;  (** end-to-end {!plan} requests served *)
+  generation_resets : int;
+      (** catalog swaps ({!set_catalog}) over the service's lifetime.  A
+          swapped-in catalog restarts its generation sequence, so
+          [generation] alone cannot show that a reload happened; the
+          other counters deliberately survive the swap. *)
   latency : latency;  (** over the most recent requests (bounded window) *)
 }
 
@@ -147,3 +152,8 @@ val plan :
   plan_outcome option
 
 val stats : t -> stats
+
+(** Counters of the cross-request subplan memo, when a plan context is
+    live (at least one {!plan} since the last catalog/base change).
+    Surfaced as gauges by the server's [metrics] command. *)
+val subplan_counters : t -> Vplan_cost.Subplan.counters option

@@ -1,6 +1,14 @@
 open Vplan_cq
 module Containment = Vplan_containment.Containment
 module Minimize = Vplan_containment.Minimize
+module Metrics = Vplan_obs.Metrics
+
+(* How much work the signature bucketing does vs. saves: one signature
+   per view, one pairwise equivalence check per (view, same-bucket class
+   representative) probe.  The unbucketed path would pay a compare per
+   (view, class) pair instead. *)
+let signatures_total = Metrics.counter "vplan_equiv_signatures_total"
+let compares_total = Metrics.counter "vplan_equiv_compares_total"
 
 let group ~eq xs =
   (* Classes are kept in reverse insertion order internally; each class
@@ -55,6 +63,7 @@ let erase_head_pred (v : Query.t) =
    that no renaming can change.  Views are bucketed by signature and the
    expensive pairwise homomorphism checks run only within a bucket. *)
 let signature ?budget (v : Query.t) =
+  Metrics.incr signatures_total;
   let v = Minimize.minimize ?budget (erase_head_pred v) in
   let buf = Buffer.create 128 in
   (* head pattern: constants verbatim, variables by first occurrence *)
@@ -113,6 +122,7 @@ let signature ?budget (v : Query.t) =
   Buffer.contents buf
 
 let view_equivalent ?budget v1 v2 =
+  Metrics.incr compares_total;
   Containment.equivalent ?budget (erase_head_pred v1) (erase_head_pred v2)
 
 let group_views_keyed ?budget views =

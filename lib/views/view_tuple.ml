@@ -11,17 +11,22 @@ let compare t1 t2 = Atom.compare t1.atom t2.atom
 let pp ppf t = Atom.pp ppf t.atom
 
 let compute ?budget ?(engine = `Indexed) ?(domains = 1) ~query views =
-  let canonical = Canonical.freeze query in
-  let db = Canonical.database canonical in
-  let answers =
-    match engine with
-    | `Nested_loop -> Eval.answers db
-    | `Indexed ->
-        (* one interned database for all views: each (predicate, bound
-           positions) index is built once; index construction is
-           mutex-guarded, so the parallel fan-out can share it *)
-        let idb = Indexed_db.of_database db in
-        Indexed_db.answers idb
+  let canonical, answers =
+    Vplan_obs.Obs.phase "canonical_db" (fun () ->
+        let canonical = Canonical.freeze query in
+        let db = Canonical.database canonical in
+        let answers =
+          match engine with
+          | `Nested_loop -> Eval.answers db
+          | `Indexed ->
+              (* one interned database for all views: each (predicate,
+                 bound positions) index is built once; index construction
+                 is mutex-guarded, so the parallel fan-out can share
+                 it *)
+              let idb = Indexed_db.of_database db in
+              Indexed_db.answers idb
+        in
+        (canonical, answers))
   in
   let tuples_of_view view =
     (* one tick per view: cancellation reaches each worker between views *)
@@ -34,7 +39,13 @@ let compute ?budget ?(engine = `Indexed) ?(domains = 1) ~query views =
       result []
     |> List.rev
   in
-  List.concat (Vplan_parallel.Parallel.map ?budget ~domains tuples_of_view views)
+  Vplan_obs.Obs.phase "view_tuples" (fun () ->
+      let tuples =
+        List.concat (Vplan_parallel.Parallel.map ?budget ~domains tuples_of_view views)
+      in
+      Vplan_obs.Trace.annotate "views" (float_of_int (List.length views));
+      Vplan_obs.Trace.annotate "tuples" (float_of_int (List.length tuples));
+      tuples)
 
 let expansion ~avoid tv =
   let avoid = Names.Sset.union avoid (Atom.var_set tv.atom) in

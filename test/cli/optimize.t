@@ -60,13 +60,13 @@ repeated requests are answered from the same resident memo.
   ok catalog generation=1 views=3 classes=3
   err no base database loaded (use: data load FILE)
   ok data facts=10
-  ok plan cost=25 candidates=2
+  ok plan cost=25 candidates=2 trace=1
   q1(S,C) :- v4(M,anderson,C,S)
   order: v4(M,anderson,C,S)
-  ok plan cost=25 candidates=2
+  ok plan cost=25 candidates=2 trace=2
   q1(P,K) :- v4(N,anderson,K,P)
   order: v4(N,anderson,K,P)
   generation=1 views=3 classes=3
   requests=0 hits=0 misses=0 bypasses=0
   cache size=0 capacity=512 evictions=0
-  truncated=0 plan-requests=2
+  truncated=0 plan-requests=2 generation-resets=0

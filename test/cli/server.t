@@ -10,6 +10,7 @@ timing-dependent, so it is filtered out.
 
 An isomorphic resubmission (variables renamed, subgoals permuted) is a
 cache hit, and the answer comes back in the caller's own variables.
+Every rewrite response carries a per-request trace id.
 
   $ vplan_server <<'SESSION' | grep -v '^latency'
   > catalog load views.dl
@@ -19,14 +20,14 @@ cache hit, and the answer comes back in the caller's own variables.
   > quit
   > SESSION
   ok catalog generation=1 views=3 classes=3
-  ok 1 miss
+  ok 1 miss trace=1
   q1(S,C) :- v4(M,anderson,C,S)
-  ok 1 hit
+  ok 1 hit trace=2
   q1(P,K) :- v4(N,anderson,K,P)
   generation=1 views=3 classes=3
   requests=2 hits=1 misses=1 bypasses=0
   cache size=1 capacity=512 evictions=0
-  truncated=0 plan-requests=0
+  truncated=0 plan-requests=0 generation-resets=0
 
 Catalog updates bump the generation and invalidate the cache; removing
 v4 changes the best rewriting.  Errors never kill the loop.
@@ -42,15 +43,15 @@ v4 changes the best rewriting.  Errors never kill the loop.
   > quit
   > SESSION
   ok catalog generation=1 views=3 classes=3
-  ok 1 miss
+  ok 1 miss trace=1
   q1(S,C) :- v4(M,anderson,C,S)
   ok catalog generation=2 views=2 classes=2
-  ok 1 miss
+  ok 1 miss trace=2
   q1(S,C) :- v1(M,anderson,C), v2(S,M,C)
   err no such view: nope
   err 1:9: expected '(', found end of input
   ok catalog generation=3 views=3 classes=3
-  ok 1 miss
+  ok 1 miss trace=3
   q1(S,C) :- v4(M,anderson,C,S)
 
 A request that exhausts its budget returns a truncated response and
@@ -67,15 +68,15 @@ hit) and gets the complete answer.
   > SESSION
   ok catalog generation=1 views=3 classes=3
   ok max-steps=1
-  ok 0 bypass
+  ok 0 bypass trace=1
   truncated: step budget of 1 exhausted
   ok budget off
-  ok 1 miss
+  ok 1 miss trace=2
   q1(S,C) :- v4(M,anderson,C,S)
   generation=1 views=3 classes=3
   requests=2 hits=0 misses=2 bypasses=0
   cache size=1 capacity=512 evictions=0
-  truncated=1 plan-requests=0
+  truncated=1 plan-requests=0 generation-resets=0
 
 Batches fan out over the domain pool and answer in request order.
 Without a catalog there is nothing to rewrite against.
@@ -93,9 +94,100 @@ Without a catalog there is nothing to rewrite against.
   > quit
   > SESSION
   ok catalog generation=1 views=3 classes=3
-  ok 1 miss
+  ok 1 miss trace=1
   q1(S,C) :- v4(M,anderson,C,S)
-  ok 1 hit
+  ok 1 hit trace=2
   q1(A,B) :- v4(N,anderson,B,A)
-  ok 1 hit
+  ok 1 hit trace=3
   q1(P,K) :- v4(N,anderson,K,P)
+
+Lifetime counters survive a catalog reload: the generation restarts at 1
+(new catalog, new sequence) but requests/hits/misses carry over and the
+generation-resets counter records the swap.  stats --json emits the same
+numbers as one machine-readable line (latency values are
+timing-dependent, so only their presence is checked).
+
+  $ vplan_server --catalog views.dl <<'SESSION' | grep -v '^latency' | sed -E 's/"latency":.*/"latency":…}/'
+  > rewrite q1(S, C) :- car(M, anderson), loc(anderson, C), part(S, M, C).
+  > rewrite q1(P, K) :- part(P, N, K), loc(anderson, K), car(N, anderson).
+  > catalog load views.dl
+  > stats
+  > stats --json
+  > quit
+  > SESSION
+  ok catalog generation=1 views=3 classes=3
+  ok 1 miss trace=1
+  q1(S,C) :- v4(M,anderson,C,S)
+  ok 1 hit trace=2
+  q1(P,K) :- v4(N,anderson,K,P)
+  ok catalog generation=1 views=3 classes=3
+  generation=1 views=3 classes=3
+  requests=2 hits=1 misses=1 bypasses=0
+  cache size=0 capacity=512 evictions=0
+  truncated=0 plan-requests=0 generation-resets=1
+  {"generation":1,"views":3,"classes":3,"requests":2,"hits":1,"misses":1,"bypasses":0,"evictions":0,"cache_size":0,"cache_capacity":512,"truncated":0,"plan_requests":0,"generation_resets":1,"latency":…}
+
+The metrics command emits Prometheus-style vplan_* lines: monotone
+counters for the pipeline, per-phase latency histograms, and gauges set
+at scrape time.  Values are timing- and history-dependent, so the cram
+checks the stable ones and the shape of the rest.
+
+  $ vplan_server --catalog views.dl <<'SESSION' > metrics.out
+  > rewrite q1(S, C) :- car(M, anderson), loc(anderson, C), part(S, M, C).
+  > rewrite q1(P, K) :- part(P, N, K), loc(anderson, K), car(N, anderson).
+  > metrics
+  > quit
+  > SESSION
+  $ grep -E '^vplan_(rewrite_requests|rewrite_bypasses|cache_hits|cache_misses|cache_size|catalog_generation|catalog_views)_?\w* ' metrics.out
+  vplan_cache_hits_total 1
+  vplan_cache_misses_total 1
+  vplan_rewrite_requests_total 2
+  vplan_rewrite_bypasses_total 0
+  vplan_cache_size 1
+  vplan_catalog_generation 1
+  vplan_catalog_views 3
+  $ grep -c '^vplan_request_ms_bucket{le=' metrics.out
+  20
+  $ grep '^vplan_request_ms_count' metrics.out
+  vplan_request_ms_count 2
+  $ grep '^vplan_phase_set_cover_ms_count' metrics.out
+  vplan_phase_set_cover_ms_count 1
+
+explain traces one request and prints its span tree.  Without a base
+database it traces the rewrite path; with one it traces plan selection,
+so the tree covers every CoreCover phase plus plan_select.  Durations
+are wall-clock, so they are normalized.
+
+  $ cat > facts.dl <<'EOF'
+  > car(honda, anderson).
+  > loc(anderson, chicago).
+  > part(wheel, honda, chicago).
+  > EOF
+
+  $ vplan_server --catalog views.dl <<'SESSION' | sed -E -e 's/[0-9]+\.[0-9]+ ?ms/X ms/g' -e 's/=X ms/=X/g'
+  > data load facts.dl
+  > explain q1(S, C) :- car(M, anderson), loc(anderson, C), part(S, M, C).
+  > quit
+  > SESSION
+  ok catalog generation=1 views=3 classes=3
+  ok data facts=3
+  ok explain plan request=X traced=X spans=9
+  |- materialize             X ms
+  |- corecover               X ms
+  |  |- minimize                X ms
+  |  |- view_classes            X ms  [classes=3]
+  |  |- canonical_db            X ms
+  |  |- view_tuples             X ms  [views=3 tuples=3]
+  |  |- tuple_cores             X ms  [tuples=3 classes=3]
+  |  `- set_cover               X ms  [nodes=5 covers=2]
+  `- plan_select             X ms  [candidates=2 pruned=1 memo_hits=0 memo_misses=2]
+
+Requests slower than the slow-query threshold are logged to stderr with
+the trace id of the response they belong to; a threshold of 0 logs every
+request.
+
+  $ vplan_server --catalog views.dl --slow-ms 0 <<'SESSION' 2>&1 >/dev/null | sed -E 's/ms=[0-9.]+/ms=X/'
+  > rewrite q1(S, C) :- car(M, anderson), loc(anderson, C), part(S, M, C).
+  > quit
+  > SESSION
+  slow trace=1 ms=X source=miss

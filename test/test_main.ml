@@ -19,5 +19,6 @@ let () =
       ("planner", Test_planner.suite);
       ("workload", Test_workload.suite);
       ("service", Test_service.suite);
+      ("obs", Test_obs.suite);
       ("properties", Test_properties.suite);
     ]

@@ -1,0 +1,186 @@
+(* Tests for the observability layer (lib/obs): histogram bucketing and
+   quantile readout, counter merges across Parallel.map domains, span
+   collection and parent links, and the observer-effect property — a
+   traced pipeline returns exactly what an untraced one does. *)
+
+open Vplan
+open Qcheck_gens
+open Helpers
+module Gen = QCheck2.Gen
+
+let seed =
+  match int_of_string_opt (try Sys.getenv "QCHECK_SEED" with Not_found -> "") with
+  | Some s -> s
+  | None -> 0x5eed
+
+let make_qcheck ?(count = 100) ~name gen print prop =
+  QCheck_alcotest.to_alcotest
+    ~rand:(Random.State.make [| seed |])
+    (QCheck2.Test.make ~count ~name ~print gen prop)
+
+(* Metrics are process-global, so every test registers under its own
+   test_obs_* name and never touches the vplan_* metrics the library
+   itself maintains. *)
+
+(* --- histogram bucketing ------------------------------------------- *)
+
+let bucket_boundaries () =
+  let bounds = Metrics.bucket_bounds in
+  let n = Array.length bounds in
+  for i = 0 to n - 2 do
+    check_bool "bounds ascending" true (bounds.(i) < bounds.(i + 1))
+  done;
+  (* a sample exactly on a bound lands in that bucket (le semantics)… *)
+  Array.iteri
+    (fun i b -> check_int "on-bound sample" i (Metrics.bucket_index b))
+    bounds;
+  (* …and one just above it in the next *)
+  for i = 0 to n - 2 do
+    let just_above = bounds.(i) +. ((bounds.(i + 1) -. bounds.(i)) /. 2.) in
+    check_int "above-bound sample" (i + 1) (Metrics.bucket_index just_above)
+  done;
+  check_int "zero sample" 0 (Metrics.bucket_index 0.);
+  check_int "overflow sample" n (Metrics.bucket_index (bounds.(n - 1) +. 1.))
+
+let clamped_samples () =
+  let h = Metrics.histogram "test_obs_clamp_ms" in
+  Metrics.observe h Float.nan;
+  Metrics.observe h (-5.);
+  let s = Metrics.summary h in
+  check_int "clamped count" 2 s.Metrics.count;
+  check_bool "clamped sum" true (s.Metrics.sum_ms = 0.);
+  check_bool "clamped p50 = first bucket" true
+    (s.Metrics.p50_ms = Metrics.bucket_bounds.(0))
+
+let quantile_readout () =
+  let bounds = Metrics.bucket_bounds in
+  let h = Metrics.histogram "test_obs_quantiles_ms" in
+  (* 50 fast, 40 medium, 9 slow, 1 in the overflow bucket: the rank for
+     p50 (50) is reached by the fast bucket, p90 (90) by the medium one,
+     p99 (99) by the slow one. *)
+  for _ = 1 to 50 do Metrics.observe h 0.5 done;
+  for _ = 1 to 40 do Metrics.observe h 5. done;
+  for _ = 1 to 9 do Metrics.observe h 50. done;
+  Metrics.observe h (bounds.(Array.length bounds - 1) +. 1.);
+  let s = Metrics.summary h in
+  check_int "count" 100 s.Metrics.count;
+  check_bool "p50" true (s.Metrics.p50_ms = bounds.(Metrics.bucket_index 0.5));
+  check_bool "p90" true (s.Metrics.p90_ms = bounds.(Metrics.bucket_index 5.));
+  check_bool "p99" true (s.Metrics.p99_ms = bounds.(Metrics.bucket_index 50.))
+
+let overflow_quantile () =
+  let h = Metrics.histogram "test_obs_overflow_ms" in
+  Metrics.observe h 1e9;
+  let s = Metrics.summary h in
+  check_bool "overflow p50 is infinite" true (s.Metrics.p50_ms = infinity)
+
+(* --- counters across domains --------------------------------------- *)
+
+let counter_cross_domain () =
+  let c = Metrics.counter "test_obs_merge_total" in
+  let items = List.init 64 (fun i -> i) in
+  let _ =
+    Parallel.map ~domains:4
+      (fun n ->
+        for _ = 1 to n do Metrics.incr c done;
+        n)
+      items
+  in
+  let expected = List.fold_left ( + ) 0 items in
+  check_int "cross-domain counter sum" expected (Metrics.value c)
+
+(* --- tracing ------------------------------------------------------- *)
+
+let disabled_is_transparent () =
+  check_bool "disabled" false (Trace.enabled ());
+  check_int "with_span passes through" 42 (Trace.with_span "x" (fun () -> 42));
+  (* annotate outside a session is a no-op, not an error *)
+  Trace.annotate "k" 1.
+
+let span_parent_links () =
+  let (), spans =
+    Trace.run (fun () ->
+        Trace.with_span "outer" (fun () ->
+            Trace.with_span "inner" (fun () ->
+                Trace.annotate "k" 1.5;
+                Trace.annotate "k" 2.5)))
+  in
+  let find name = List.find (fun s -> s.Trace.name = name) spans in
+  let outer = find "outer" and inner = find "inner" in
+  check_int "two spans" 2 (List.length spans);
+  check_int "outer is top-level" (-1) outer.Trace.parent;
+  check_int "inner under outer" outer.Trace.id inner.Trace.parent;
+  check_bool "repeated annotation accumulates" true
+    (inner.Trace.kv = [ ("k", 4.0) ]);
+  check_bool "session closed" false (Trace.enabled ())
+
+let spans_across_domains () =
+  let results, spans =
+    Trace.run (fun () ->
+        Trace.with_span "fanout" (fun () ->
+            Parallel.map ~domains:4
+              (fun i -> Trace.with_span "worker" (fun () -> i * i))
+              (List.init 8 (fun i -> i))))
+  in
+  check_bool "map result intact" true
+    (results = List.map (fun i -> i * i) (List.init 8 (fun i -> i)));
+  let fanout = List.find (fun s -> s.Trace.name = "fanout") spans in
+  let workers = List.filter (fun s -> s.Trace.name = "worker") spans in
+  check_int "every worker span collected" 8 (List.length workers);
+  List.iter
+    (fun w -> check_int "worker parented under fanout" fanout.Trace.id w.Trace.parent)
+    workers;
+  check_bool "top-level total positive" true (Trace.top_level_total spans >= 0.)
+
+(* --- observer effect ----------------------------------------------- *)
+
+(* Tracing a rewrite changes nothing about its answer: same rewritings,
+   same completeness, and the same chosen plan cost downstream. *)
+let traced_equals_untraced =
+  let gen = Gen.pair gen_query (gen_views ~max_views:3 ~max_atoms:2) in
+  make_qcheck ~name:"traced rewrite = untraced rewrite" gen print_instance
+    (fun (query, views) ->
+      let plain = Corecover.gmrs ~query ~views () in
+      let traced, spans = Trace.run (fun () -> Corecover.gmrs ~query ~views ()) in
+      List.equal Query.equal plain.Corecover.rewritings traced.Corecover.rewritings
+      && plain.Corecover.completeness = traced.Corecover.completeness
+      && List.exists (fun s -> s.Trace.name = "corecover") spans)
+
+let traced_equals_untraced_plan =
+  let gen =
+    Gen.triple gen_query (gen_views ~max_views:3 ~max_atoms:2) gen_database
+  in
+  make_qcheck ~count:60 ~name:"traced plan cost = untraced plan cost" gen
+    print_with_db
+    (fun (query, views, db) ->
+      let select r view_db =
+        Select.best_m2 ~memo:(Subplan.create ()) ~filters:r.Corecover.filters
+          view_db r.Corecover.rewritings
+      in
+      let run () =
+        let r = Corecover.all_minimal ~query ~views () in
+        let view_db = Materialize.views db views in
+        select r view_db
+      in
+      let plain = run () in
+      let traced, _ = Trace.run run in
+      match (plain, traced) with
+      | None, None -> true
+      | Some a, Some b ->
+          a.Select.m2_cost = b.Select.m2_cost
+          && Query.equal a.Select.m2_rewriting b.Select.m2_rewriting
+      | _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "histogram bucket boundaries" `Quick bucket_boundaries;
+    Alcotest.test_case "nan and negative samples clamp" `Quick clamped_samples;
+    Alcotest.test_case "p50/p90/p99 readout" `Quick quantile_readout;
+    Alcotest.test_case "overflow-bucket quantile" `Quick overflow_quantile;
+    Alcotest.test_case "counter merges across domains" `Quick counter_cross_domain;
+    Alcotest.test_case "disabled tracer is transparent" `Quick disabled_is_transparent;
+    Alcotest.test_case "span parent links and annotations" `Quick span_parent_links;
+    Alcotest.test_case "spans cross Parallel.map domains" `Quick spans_across_domains;
+    traced_equals_untraced;
+    traced_equals_untraced_plan;
+  ]

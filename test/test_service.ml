@@ -235,6 +235,26 @@ let service_stats_consistent () =
   check_int "one hit" 1 st.Service.hits;
   check_int "latency count" 3 st.Service.latency.Service.count
 
+(* Lifetime counters survive a catalog swap; only the generation-resets
+   counter records it (regression: they used to be conflated with the
+   per-catalog state). *)
+let service_stats_survive_catalog_swap () =
+  let s = service () in
+  ignore (Service.rewrite s Car_loc_part.query);
+  ignore (Service.rewrite s Car_loc_part.query);
+  let before = Service.stats s in
+  check_int "no resets yet" 0 before.Service.generation_resets;
+  Service.set_catalog s (Catalog.create_exn Car_loc_part.views);
+  let after = Service.stats s in
+  check_int "requests survive" before.Service.requests after.Service.requests;
+  check_int "hits survive" before.Service.hits after.Service.hits;
+  check_int "misses survive" before.Service.misses after.Service.misses;
+  check_int "latency count survives" before.Service.latency.Service.count
+    after.Service.latency.Service.count;
+  check_int "one reset recorded" 1 after.Service.generation_resets;
+  Service.set_catalog s (Catalog.create_exn Car_loc_part.views);
+  check_int "resets accumulate" 2 (Service.stats s).Service.generation_resets
+
 (* A cache hit (alpha-renamed, permuted resubmission) returns a rewriting
    set equal, up to renaming, to a fresh Corecover run on the resubmitted
    query.  "Up to renaming" is per-rewriting isomorphism; the sets are
@@ -328,6 +348,8 @@ let suite =
     Alcotest.test_case "service: catalog swap invalidates cache" `Quick
       service_generation_invalidates;
     Alcotest.test_case "service: stats identity" `Quick service_stats_consistent;
+    Alcotest.test_case "service: stats survive catalog swap" `Quick
+      service_stats_survive_catalog_swap;
     service_hit_vs_fresh_qcheck;
     Alcotest.test_case "service: concurrent = sequential" `Quick
       stress_concurrent_vs_sequential;
