@@ -23,6 +23,7 @@
      openworld certain answers: inverse rules vs MiniCon MCR
      estimate  statistics-based join ordering vs true sizes
      serve     resident service: cold vs warm-cache throughput
+     loadgen   TCP serving tier: closed-loop load at 1/8/64/256 clients
      optimize  plan selection: branch-and-bound engine vs naive candidate loop
      observe   tracing overhead: CoreCover with the span tracer on vs off
      micro     bechamel micro-benchmarks of the core operations *)
@@ -107,6 +108,36 @@ type service_metrics = {
 
 let service_metrics : service_metrics option ref = ref None
 
+(* Rows of the [loadgen] experiment (the TCP serving tier under N
+   concurrent client connections), collected for [--out FILE.json]. *)
+type server_row = {
+  sv_clients : int;
+  sv_sent : int;
+  sv_ok : int;
+  sv_hits : int;
+  sv_shed : int;
+  sv_errors : int;
+  sv_qps : float;
+  sv_p50_ms : float;
+  sv_p99_ms : float;
+}
+
+let server_rows : server_row list ref = ref []
+
+(* Catalog swap under live traffic: generation resets observed, and
+   whether any in-flight request was dropped or malformed. *)
+type server_swap = {
+  sw_clients : int;
+  sw_resets : int;
+  sw_ok : int;
+  sw_errors : int;
+  sw_closed_early : int;
+}
+
+let server_swap : server_swap option ref = ref None
+let server_workers = ref 2
+let server_queue = ref 128
+
 (* Rows of the [optimize] experiment, collected for [--out FILE.json]. *)
 type optimizer_row = {
   or_views : int;
@@ -160,6 +191,44 @@ let write_json ~mode oc =
         m.ob_untraced_ms m.ob_traced_ms;
       Printf.fprintf oc " \"overhead_pct\": %.2f, \"spans_per_request\": %.1f },\n"
         m.ob_overhead_pct m.ob_spans);
+  (match List.rev !server_rows with
+  | [] -> ()
+  | rows ->
+      Printf.fprintf oc "  \"server\": {\n";
+      Printf.fprintf oc "    \"workers\": %d, \"queue\": %d, \"cpu_cores\": %d,\n"
+        !server_workers !server_queue
+        (Domain.recommended_domain_count ());
+      let qps_at n =
+        List.find_map
+          (fun r -> if r.sv_clients = n then Some r.sv_qps else None)
+          rows
+      in
+      (match (qps_at 1, qps_at 64) with
+      | Some one, Some sixty_four when one > 0. ->
+          Printf.fprintf oc "    \"scaling_64_over_1\": %.2f,\n"
+            (sixty_four /. one)
+      | _ -> ());
+      (match !server_swap with
+      | None -> ()
+      | Some s ->
+          Printf.fprintf oc
+            "    \"swap\": { \"clients\": %d, \"generation_resets\": %d, \
+             \"ok\": %d, \"errors\": %d, \"closed_early\": %d },\n"
+            s.sw_clients s.sw_resets s.sw_ok s.sw_errors s.sw_closed_early);
+      Printf.fprintf oc "    \"rows\": [";
+      List.iteri
+        (fun i r ->
+          Printf.fprintf oc "%s\n      { \"clients\": %d, \"sent\": %d,"
+            (if i = 0 then "" else ",")
+            r.sv_clients r.sv_sent;
+          Printf.fprintf oc
+            " \"ok\": %d, \"hits\": %d, \"shed\": %d, \"errors\": %d,"
+            r.sv_ok r.sv_hits r.sv_shed r.sv_errors;
+          Printf.fprintf oc
+            " \"qps\": %.1f, \"p50_ms\": %.3f, \"p99_ms\": %.3f }" r.sv_qps
+            r.sv_p50_ms r.sv_p99_ms)
+        rows;
+      Printf.fprintf oc "\n    ]\n  },\n");
   (match List.rev !optimizer_rows with
   | [] -> ()
   | rows ->
@@ -999,6 +1068,198 @@ let micro () =
 
 (* ------------------------------------------------------------------ *)
 
+(* ------------------------------------------------------------------ *)
+(* The TCP serving tier under concurrent closed-loop load.             *)
+
+let opt_port = ref None (* drive an external server instead of in-process *)
+let opt_clients = ref None (* restrict to a single concurrency point *)
+
+(* First integer value of ["key": N] in a flat JSON object. *)
+let int_field json key =
+  let pat = "\"" ^ key ^ "\":" in
+  let plen = String.length pat in
+  let n = String.length json in
+  let rec find i =
+    if i + plen > n then None
+    else if String.sub json i plen = pat then begin
+      let j = ref (i + plen) in
+      let start = !j in
+      while !j < n && json.[!j] >= '0' && json.[!j] <= '9' do
+        incr j
+      done;
+      if !j > start then int_of_string_opt (String.sub json start (!j - start))
+      else None
+    end
+    else find (i + 1)
+  in
+  find 0
+
+let loadgen_bench ~settings =
+  header "Network serving tier: closed-loop load, 1 to 256 clients";
+  (* The workload is the paper's car-loc-part example: per-request work
+     is a warm-cache rewrite of a 3-subgoal query, deliberately tiny so
+     the measurement exercises the serving tier — sockets, framing,
+     queueing, worker scheduling — rather than CoreCover itself. *)
+  let views =
+    List.map Parser.parse_rule_exn
+      [
+        "v1(M, D, C) :- car(M, D), loc(D, C).";
+        "v2(S, M, C) :- part(S, M, C).";
+        "v4(M, D, C, S) :- car(M, D), loc(D, C), part(S, M, C).";
+      ]
+  in
+  let base_rewrite =
+    "rewrite q1(S, C) :- car(M, anderson), loc(anderson, C), part(S, M, C)."
+  in
+  (* pre-rendered isomorphic variants — alpha-renamed, body rotated: all
+     cache hits after the first miss, never the stored rendering *)
+  let variants =
+    Array.init 64 (fun i ->
+        Printf.sprintf
+          "rewrite q1(S%d, C%d) :- loc(anderson, C%d), part(S%d, M%d, C%d), \
+           car(M%d, anderson)."
+          i i i i i i i)
+  in
+  let catalog_file =
+    let f = Filename.temp_file "vplan_loadgen" ".dl" in
+    let oc = open_out f in
+    List.iter
+      (fun v -> Printf.fprintf oc "%s.\n" (Format.asprintf "%a" Query.pp v))
+      views;
+    close_out oc;
+    f
+  in
+  let local = !opt_port = None in
+  let srv, srv_domain, port =
+    if local then begin
+      let shared = Protocol.create_shared ~domains:1 () in
+      Protocol.install_catalog shared
+        (Catalog.create_exn (List.map View.of_query views));
+      let handler () =
+        let sess = Protocol.new_session shared in
+        fun lines ->
+          let reply = Protocol.handle_lines shared sess lines in
+          { Net_server.body = reply.Protocol.text; close = reply.Protocol.close }
+      in
+      let srv =
+        Net_server.create ~workers:!server_workers
+          ~queue_capacity:!server_queue ~extra_lines:Protocol.extra_lines
+          ~handler ()
+      in
+      let d = Domain.spawn (fun () -> Net_server.run srv) in
+      (Some srv, Some d, Net_server.port srv)
+    end
+    else (None, None, Option.get !opt_port)
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (match srv with Some s -> Net_server.stop s | None -> ());
+      (match srv_domain with Some d -> Domain.join d | None -> ());
+      Sys.remove catalog_file)
+  @@ fun () ->
+  (* an external server needs the catalog loaded over the wire *)
+  if not local then begin
+    let c = Loadgen.Client.connect ~port () in
+    (match Loadgen.Client.request c ("catalog load " ^ catalog_file) with
+    | l :: _ when String.length l >= 2 && String.sub l 0 2 = "ok" -> ()
+    | other ->
+        Printf.eprintf "loadgen: catalog load failed: %s\n"
+          (String.concat " | " other);
+        exit 1);
+    Loadgen.Client.close c
+  end;
+  (* warm: the first miss caches the canonical form, after which every
+     variant is a hit *)
+  let warmc = Loadgen.Client.connect ~port () in
+  ignore (Loadgen.Client.request warmc base_rewrite);
+  ignore (Loadgen.Client.request warmc variants.(0));
+  Loadgen.Client.close warmc;
+  let duration_ms = if settings.queries_per_point > 10 then 3000.0 else 1200.0 in
+  let request ~client ~seq =
+    variants.(((client * 31) + seq) mod Array.length variants)
+  in
+  let points =
+    match !opt_clients with None -> [ 1; 8; 64; 256 ] | Some n -> [ n ]
+  in
+  Format.printf "%8s %10s %10s %8s %8s %8s %12s %10s %10s@." "clients" "sent"
+    "ok" "hits" "shed" "errors" "qps" "p50-ms" "p99-ms";
+  List.iter
+    (fun clients ->
+      let r = Loadgen.run ~port ~clients ~duration_ms ~request () in
+      Format.printf "%8d %10d %10d %8d %8d %8d %12.1f %10.3f %10.3f@." clients
+        r.Loadgen.sent r.Loadgen.ok r.Loadgen.hits r.Loadgen.shed
+        r.Loadgen.errors r.Loadgen.qps r.Loadgen.p50_ms r.Loadgen.p99_ms;
+      server_rows :=
+        {
+          sv_clients = clients;
+          sv_sent = r.Loadgen.sent;
+          sv_ok = r.Loadgen.ok;
+          sv_hits = r.Loadgen.hits;
+          sv_shed = r.Loadgen.shed;
+          sv_errors = r.Loadgen.errors;
+          sv_qps = r.Loadgen.qps;
+          sv_p50_ms = r.Loadgen.p50_ms;
+          sv_p99_ms = r.Loadgen.p99_ms;
+        }
+        :: !server_rows)
+    points;
+  (match (!opt_clients, List.rev !server_rows) with
+  | None, rows -> (
+      let qps_at n =
+        List.find_map
+          (fun r -> if r.sv_clients = n then Some r.sv_qps else None)
+          rows
+      in
+      match (qps_at 1, qps_at 64) with
+      | Some one, Some sixty_four when one > 0. ->
+          Format.printf "scaling: %.1fx qps at 64 clients vs 1@."
+            (sixty_four /. one)
+      | _ -> ())
+  | Some _, _ -> ());
+  (* catalog swap under live traffic: closed-loop clients keep hammering
+     while a control connection reloads the catalog mid-run.  Every
+     request must come back well-formed — the generation flips between
+     two immutable catalogs, never through a torn state — and the
+     generation-resets counter must move by exactly one. *)
+  let resets_via () =
+    let c = Loadgen.Client.connect ~port () in
+    let lines = Loadgen.Client.request c "stats --json" in
+    Loadgen.Client.close c;
+    match lines with
+    | [ json ] -> Option.value ~default:0 (int_field json "generation_resets")
+    | _ -> 0
+  in
+  let resets0 = resets_via () in
+  let swap_clients = match !opt_clients with Some n -> min n 64 | None -> 64 in
+  let control =
+    Domain.spawn (fun () ->
+        Unix.sleepf (duration_ms /. 2000.0);
+        let c = Loadgen.Client.connect ~port () in
+        let r = Loadgen.Client.request c ("catalog load " ^ catalog_file) in
+        Loadgen.Client.close c;
+        match r with
+        | l :: _ when String.length l >= 10 && String.sub l 0 10 = "ok catalog"
+          ->
+            true
+        | _ -> false)
+  in
+  let r = Loadgen.run ~port ~clients:swap_clients ~duration_ms ~request () in
+  let swap_ok = Domain.join control in
+  let resets = resets_via () - resets0 in
+  Format.printf
+    "swap under %d clients: resets=%d ok=%d errors=%d closed-early=%d%s@."
+    swap_clients resets r.Loadgen.ok r.Loadgen.errors r.Loadgen.closed_early
+    (if swap_ok then "" else "  (swap request FAILED)");
+  server_swap :=
+    Some
+      {
+        sw_clients = swap_clients;
+        sw_resets = resets;
+        sw_ok = r.Loadgen.ok;
+        sw_errors = r.Loadgen.errors;
+        sw_closed_early = r.Loadgen.closed_early;
+      }
+
 let experiments settings =
   [
     ("table2", fun () -> table2 ());
@@ -1035,6 +1296,7 @@ let experiments settings =
     ("openworld", fun () -> openworld ());
     ("estimate", fun () -> estimate ());
     ("serve", fun () -> serve ~settings);
+    ("loadgen", fun () -> loadgen_bench ~settings);
     ("optimize", fun () -> optimize ~settings);
     ("observe", fun () -> observe ~settings);
     ("micro", fun () -> micro ());
@@ -1044,7 +1306,8 @@ let usage () =
   prerr_endline
     "usage: main.exe [EXPERIMENT...] [--full | --mode quick|full] [--views N]\n\
     \                [--domains N] [--no-index] [--no-buckets] [--out FILE.json]\n\
-    \                [--timeout MS] [--max-steps N] [--max-covers N]";
+    \                [--timeout MS] [--max-steps N] [--max-covers N]\n\
+    \                [--clients N] [--port P]    (loadgen)";
   exit 2
 
 let () =
@@ -1105,6 +1368,30 @@ let () =
     | "--out" :: file :: rest ->
         out_file := Some file;
         parse wanted rest
+    | "--clients" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some v when v >= 1 ->
+            opt_clients := Some v;
+            parse wanted rest
+        | _ -> usage ())
+    | "--port" :: p :: rest -> (
+        match int_of_string_opt p with
+        | Some v when v >= 1 && v < 65536 ->
+            opt_port := Some v;
+            parse wanted rest
+        | _ -> usage ())
+    | "--workers" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some v when v >= 1 ->
+            server_workers := v;
+            parse wanted rest
+        | _ -> usage ())
+    | "--queue" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some v when v >= 1 ->
+            server_queue := v;
+            parse wanted rest
+        | _ -> usage ())
     | a :: _ when String.length a >= 2 && String.sub a 0 2 = "--" -> usage ()
     | a :: rest -> parse (a :: wanted) rest
   in

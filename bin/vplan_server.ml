@@ -1,502 +1,165 @@
-(* The resident rewriting server: a line-oriented request loop around
-   Vplan.Service.
+(* vplan_server — the resident rewriting service, two front ends:
 
-     dune exec bin/vplan_server.exe -- [--catalog FILE] [--cache N]
-       [--domains N] [--timeout MS] [--max-steps N] [--max-covers N]
+   - TCP (default): a concurrent socket server.  One poller domain owns
+     the sockets, a fixed pool of worker domains runs requests off a
+     bounded queue, and a full queue sheds with "err busy" instead of
+     building a latency backlog.  SIGTERM/SIGINT drain gracefully.
+   - stdio (--stdio): the original one-session line protocol on
+     stdin/stdout, for piping and for the cram tests.
 
-   Protocol (one request per line on stdin, responses on stdout):
-
-     catalog load FILE     load a view catalog (every rule in FILE is a view)
-     catalog add <rule>.   add one view to the current catalog (new generation)
-     catalog remove NAME   remove a view by name (new generation)
-     rewrite <rule>.       serve one request:
-                             ok <n> <hit|miss|bypass>
-                             <n rewriting lines>
-                             truncated: <reason>          (when budgeted out)
-     batch N               read the next N lines as rewrite requests and
-                           serve them over the domain pool, in order
-     data load FILE        load ground facts as the base database (enables plan)
-     plan <rule>.          end-to-end plan selection:
-                             ok plan cost=C candidates=K trace=T
-                             <chosen rewriting line>
-                             order: <join order>
-     explain <rule>.       trace one request (plan when a base database is
-                           loaded, rewrite otherwise) and print its span
-                           tree with per-phase wall time
-     stats [--json]        catalog, cache, and latency counters
-     metrics               Prometheus-style vplan_* metric lines
-     set timeout MS | set max-steps N | set max-covers N
-     set slow-ms MS | set off
-     help                  this text
-     quit                  exit
-
-   Every "ok" response to rewrite/batch/plan carries a per-request trace
-   id (trace=T); requests slower than --slow-ms are logged to stderr as
-   "slow trace=T ...", so a slow line joins its response by id.
-
-   Every failure is a single "err <reason>" line; the loop never dies on
-   a bad request. *)
-
-type settings = {
-  mutable timeout_ms : float option;
-  mutable max_steps : int option;
-  mutable max_covers : int option;
-  mutable domains : int;
-  mutable cache_capacity : int;
-  mutable slow_ms : float option;
-  mutable next_trace : int;
-  mutable service : Vplan.Service.t option;
-}
-
-let settings =
-  {
-    timeout_ms = None;
-    max_steps = None;
-    max_covers = None;
-    domains = 1;
-    cache_capacity = 512;
-    slow_ms = None;
-    next_trace = 0;
-    service = None;
-  }
-
-let next_trace_id () =
-  settings.next_trace <- settings.next_trace + 1;
-  settings.next_trace
-
-let slow_log ~trace ~ms detail =
-  match settings.slow_ms with
-  | Some threshold when ms >= threshold ->
-      Format.eprintf "slow trace=%d ms=%.3f %s@." trace ms detail
-  | _ -> ()
-
-let help () =
-  print_endline
-    "commands: catalog load FILE | catalog add <rule>. | catalog remove NAME\n\
-    \          rewrite <rule>. | batch N | data load FILE | plan <rule>.\n\
-    \          explain <rule>. | stats [--json] | metrics\n\
-    \          set timeout MS | set max-steps N | set max-covers N\n\
-    \          set slow-ms MS | set off\n\
-    \          help | quit"
-
-let err fmt = Format.kasprintf (fun s -> Format.printf "err %s@." s) fmt
-
-let read_file path =
-  let ic = open_in path in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () -> really_input_string ic (in_channel_length ic))
-
-(* A fresh budget per request: one adversarial query cannot stall the
-   loop, and deadlines start when the request is picked up. *)
-let fresh_budget () =
-  if settings.timeout_ms = None && settings.max_steps = None then None
-  else
-    Some
-      (Vplan.Budget.create ?deadline_ms:settings.timeout_ms
-         ?max_steps:settings.max_steps ())
-
-let with_service f =
-  match settings.service with
-  | None -> err "no catalog loaded (use: catalog load FILE)"
-  | Some s -> f s
-
-let install_catalog cat =
-  match settings.service with
-  | None -> settings.service <- Some (Vplan.Service.create ~cache_capacity:settings.cache_capacity cat)
-  | Some s -> Vplan.Service.set_catalog s cat
-
-let cmd_catalog_load path =
-  match Vplan.Parser.parse_program (read_file path) with
-  | Error e -> err "%s" (Vplan.Vplan_error.parse_to_string e)
-  | exception Sys_error e -> err "%s" e
-  | Ok views -> (
-      match Vplan.Catalog.create views with
-      | Error e -> err "%s" e
-      | Ok cat ->
-          install_catalog cat;
-          Format.printf "ok catalog generation=%d views=%d classes=%d@."
-            (Vplan.Catalog.generation cat)
-            (Vplan.Catalog.num_views cat)
-            (Vplan.Catalog.num_classes cat))
-
-let cmd_catalog_add rest =
-  with_service (fun s ->
-      match Vplan.Parser.parse_rule rest with
-      | Error e -> err "%s" (Vplan.Vplan_error.parse_to_string e)
-      | Ok v -> (
-          match Vplan.Catalog.add_views (Vplan.Service.catalog s) [ v ] with
-          | Error e -> err "%s" e
-          | Ok cat ->
-              Vplan.Service.set_catalog s cat;
-              Format.printf "ok catalog generation=%d views=%d classes=%d@."
-                (Vplan.Catalog.generation cat)
-                (Vplan.Catalog.num_views cat)
-                (Vplan.Catalog.num_classes cat)))
-
-let cmd_catalog_remove name =
-  with_service (fun s ->
-      match Vplan.Catalog.remove_views (Vplan.Service.catalog s) [ name ] with
-      | Error e -> err "%s" e
-      | Ok cat ->
-          Vplan.Service.set_catalog s cat;
-          Format.printf "ok catalog generation=%d views=%d classes=%d@."
-            (Vplan.Catalog.generation cat)
-            (Vplan.Catalog.num_views cat)
-            (Vplan.Catalog.num_classes cat))
-
-let cmd_catalog rest =
-  let sub, arg =
-    match String.index_opt rest ' ' with
-    | None -> (rest, "")
-    | Some i ->
-        ( String.sub rest 0 i,
-          String.trim (String.sub rest (i + 1) (String.length rest - i - 1)) )
-  in
-  match sub with
-  | "load" when arg <> "" -> cmd_catalog_load arg
-  | "add" when arg <> "" -> cmd_catalog_add arg
-  | "remove" when arg <> "" -> cmd_catalog_remove arg
-  | _ -> err "usage: catalog load FILE | catalog add <rule>. | catalog remove NAME"
-
-let print_outcome (o : Vplan.Service.outcome) =
-  let source =
-    match o.Vplan.Service.source with
-    | Vplan.Service.Hit -> "hit"
-    | Vplan.Service.Miss -> "miss"
-    | Vplan.Service.Bypass -> "bypass"
-  in
-  let trace = next_trace_id () in
-  Format.printf "ok %d %s trace=%d@."
-    (List.length o.Vplan.Service.rewritings)
-    source trace;
-  slow_log ~trace ~ms:o.Vplan.Service.ms (Printf.sprintf "source=%s" source);
-  List.iter (fun p -> Format.printf "%a@." Vplan.Query.pp p) o.Vplan.Service.rewritings;
-  match o.Vplan.Service.completeness with
-  | Vplan.Corecover.Complete -> ()
-  | Vplan.Corecover.Truncated reason ->
-      Format.printf "truncated: %s@." (Vplan.Vplan_error.to_string reason)
-
-let cmd_rewrite rest =
-  with_service (fun s ->
-      match Vplan.Parser.parse_rule rest with
-      | Error e -> err "%s" (Vplan.Vplan_error.parse_to_string e)
-      | Ok query ->
-          print_outcome
-            (Vplan.Service.rewrite ?budget:(fresh_budget ())
-               ?max_covers:settings.max_covers ~domains:settings.domains s query))
-
-let cmd_batch rest =
-  match int_of_string_opt rest with
-  | None | Some 0 -> err "usage: batch N (then N rewrite-request lines)"
-  | Some n when n < 0 -> err "usage: batch N (then N rewrite-request lines)"
-  | Some n ->
-      with_service (fun s ->
-          let lines =
-            List.init n (fun _ -> match input_line stdin with
-              | line -> Some line
-              | exception End_of_file -> None)
-          in
-          let parsed =
-            List.filter_map
-              (fun line ->
-                Option.map (fun l -> Vplan.Parser.parse_rule (String.trim l)) line)
-              lines
-          in
-          let queries =
-            List.filter_map (function Ok q -> Some q | Error _ -> None) parsed
-          in
-          if List.length parsed < n then err "batch: end of input"
-          else if List.length queries < List.length parsed then
-            err "batch: every line must be a rule"
-          else
-            (* the whole batch fans out over the domain pool; answers come
-               back in request order *)
-            List.iter print_outcome
-              (Vplan.Service.rewrite_batch ~make_budget:fresh_budget
-                 ?max_covers:settings.max_covers ~domains:settings.domains s
-                 queries))
-
-let cmd_data rest =
-  let sub, arg =
-    match String.index_opt rest ' ' with
-    | None -> (rest, "")
-    | Some i ->
-        ( String.sub rest 0 i,
-          String.trim (String.sub rest (i + 1) (String.length rest - i - 1)) )
-  in
-  match sub with
-  | "load" when arg <> "" ->
-      with_service (fun s ->
-          match Vplan.Parser.parse_facts (read_file arg) with
-          | Error e -> err "%s" (Vplan.Vplan_error.parse_to_string e)
-          | exception Sys_error e -> err "%s" e
-          | Ok facts ->
-              Vplan.Service.set_base s (Vplan.Database.of_facts facts);
-              Format.printf "ok data facts=%d@." (List.length facts))
-  | _ -> err "usage: data load FILE"
-
-let cmd_plan rest =
-  with_service (fun s ->
-      match Vplan.Parser.parse_rule rest with
-      | Error e -> err "%s" (Vplan.Vplan_error.parse_to_string e)
-      | Ok query -> (
-          match
-            Vplan.Service.plan ?budget:(fresh_budget ())
-              ?max_covers:settings.max_covers ~domains:settings.domains s query
-          with
-          | None ->
-              Format.printf "ok plan none trace=%d@." (next_trace_id ())
-          | Some o ->
-              let trace = next_trace_id () in
-              Format.printf "ok plan cost=%d candidates=%d trace=%d@."
-                o.Vplan.Service.plan_cost o.Vplan.Service.plan_candidates trace;
-              slow_log ~trace ~ms:o.Vplan.Service.plan_ms "source=plan";
-              Format.printf "%a@." Vplan.Query.pp o.Vplan.Service.plan_rewriting;
-              Format.printf "order: %a@."
-                (Format.pp_print_list
-                   ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
-                   Vplan.Atom.pp)
-                o.Vplan.Service.plan_order))
-
-let cmd_stats rest =
-  with_service (fun s ->
-      let st = Vplan.Service.stats s in
-      let l = st.Vplan.Service.latency in
-      match rest with
-      | "--json" ->
-          (* one line, so a scraper reads exactly one response line *)
-          Format.printf
-            "{\"generation\":%d,\"views\":%d,\"classes\":%d,\"requests\":%d,\
-             \"hits\":%d,\"misses\":%d,\"bypasses\":%d,\"evictions\":%d,\
-             \"cache_size\":%d,\"cache_capacity\":%d,\"truncated\":%d,\
-             \"plan_requests\":%d,\"generation_resets\":%d,\
-             \"latency\":{\"count\":%d,\"mean_ms\":%.3f,\"p50_ms\":%.3f,\
-             \"p95_ms\":%.3f,\"max_ms\":%.3f}}@."
-            st.Vplan.Service.generation st.Vplan.Service.num_views
-            st.Vplan.Service.num_view_classes st.Vplan.Service.requests
-            st.Vplan.Service.hits st.Vplan.Service.misses
-            st.Vplan.Service.bypasses st.Vplan.Service.evictions
-            st.Vplan.Service.cache_size st.Vplan.Service.cache_capacity
-            st.Vplan.Service.truncated st.Vplan.Service.plan_requests
-            st.Vplan.Service.generation_resets l.Vplan.Service.count
-            l.Vplan.Service.mean_ms l.Vplan.Service.p50_ms
-            l.Vplan.Service.p95_ms l.Vplan.Service.max_ms
-      | "" ->
-          Format.printf "generation=%d views=%d classes=%d@." st.Vplan.Service.generation
-            st.Vplan.Service.num_views st.Vplan.Service.num_view_classes;
-          Format.printf "requests=%d hits=%d misses=%d bypasses=%d@."
-            st.Vplan.Service.requests st.Vplan.Service.hits st.Vplan.Service.misses
-            st.Vplan.Service.bypasses;
-          Format.printf "cache size=%d capacity=%d evictions=%d@."
-            st.Vplan.Service.cache_size st.Vplan.Service.cache_capacity
-            st.Vplan.Service.evictions;
-          Format.printf "truncated=%d plan-requests=%d generation-resets=%d@."
-            st.Vplan.Service.truncated st.Vplan.Service.plan_requests
-            st.Vplan.Service.generation_resets;
-          Format.printf "latency count=%d mean=%.3fms p50=%.3fms p95=%.3fms max=%.3fms@."
-            l.Vplan.Service.count l.Vplan.Service.mean_ms l.Vplan.Service.p50_ms
-            l.Vplan.Service.p95_ms l.Vplan.Service.max_ms
-      | _ -> err "usage: stats [--json]")
-
-let cmd_metrics () =
-  with_service (fun s ->
-      let st = Vplan.Service.stats s in
-      (* gauges reflect current state; set them at scrape time *)
-      Vplan.Metrics.set (Vplan.Metrics.gauge "vplan_cache_size")
-        st.Vplan.Service.cache_size;
-      Vplan.Metrics.set (Vplan.Metrics.gauge "vplan_catalog_generation")
-        st.Vplan.Service.generation;
-      Vplan.Metrics.set (Vplan.Metrics.gauge "vplan_catalog_views")
-        st.Vplan.Service.num_views;
-      (match Vplan.Service.subplan_counters s with
-      | None -> ()
-      | Some c ->
-          Vplan.Metrics.set
-            (Vplan.Metrics.gauge "vplan_subplan_memo_size")
-            c.Vplan.Subplan.size;
-          Vplan.Metrics.set
-            (Vplan.Metrics.gauge "vplan_subplan_memo_hits")
-            c.Vplan.Subplan.hits;
-          Vplan.Metrics.set
-            (Vplan.Metrics.gauge "vplan_subplan_memo_misses")
-            c.Vplan.Subplan.misses;
-          Vplan.Metrics.set
-            (Vplan.Metrics.gauge "vplan_subplan_memo_resets")
-            c.Vplan.Subplan.resets);
-      Vplan.Metrics.dump Format.std_formatter;
-      Format.print_flush ())
-
-let cmd_explain rest =
-  with_service (fun s ->
-      match Vplan.Parser.parse_rule rest with
-      | Error e -> err "%s" (Vplan.Vplan_error.parse_to_string e)
-      | Ok query ->
-          let clock = Vplan.Budget.create () in
-          (* plan exercises the full pipeline (all CoreCover phases plus
-             plan selection); without a base database, trace the rewrite
-             path instead *)
-          let label, spans =
-            match Vplan.Service.base s with
-            | Some _ ->
-                let outcome, spans =
-                  Vplan.Trace.run (fun () ->
-                      Vplan.Service.plan ?budget:(fresh_budget ())
-                        ?max_covers:settings.max_covers
-                        ~domains:settings.domains s query)
-                in
-                ((match outcome with Some _ -> "plan" | None -> "plan none"), spans)
-            | None ->
-                let outcome, spans =
-                  Vplan.Trace.run (fun () ->
-                      Vplan.Service.rewrite ?budget:(fresh_budget ())
-                        ?max_covers:settings.max_covers
-                        ~domains:settings.domains s query)
-                in
-                ( Printf.sprintf "rewrite %d"
-                    (List.length outcome.Vplan.Service.rewritings),
-                  spans )
-          in
-          let ms = Vplan.Budget.elapsed_ms clock in
-          Format.printf "ok explain %s request=%.3fms traced=%.3fms spans=%d@."
-            label ms
-            (Vplan.Trace.top_level_total spans)
-            (List.length spans);
-          Format.printf "%a" Vplan.Trace.pp_tree spans)
-
-let cmd_set rest =
-  match String.split_on_char ' ' rest |> List.filter (fun s -> s <> "") with
-  | [ "off" ] ->
-      settings.timeout_ms <- None;
-      settings.max_steps <- None;
-      settings.max_covers <- None;
-      settings.slow_ms <- None;
-      print_endline "ok budget off"
-  | [ "slow-ms"; ms ] -> (
-      match float_of_string_opt ms with
-      | Some v when v >= 0. ->
-          settings.slow_ms <- Some v;
-          Format.printf "ok slow-ms=%gms@." v
-      | _ -> err "usage: set slow-ms MS")
-  | [ "timeout"; ms ] -> (
-      match float_of_string_opt ms with
-      | Some v when v > 0. ->
-          settings.timeout_ms <- Some v;
-          Format.printf "ok timeout=%gms@." v
-      | _ -> err "usage: set timeout MS")
-  | [ "max-steps"; n ] -> (
-      match int_of_string_opt n with
-      | Some v when v > 0 ->
-          settings.max_steps <- Some v;
-          Format.printf "ok max-steps=%d@." v
-      | _ -> err "usage: set max-steps N")
-  | [ "max-covers"; n ] -> (
-      match int_of_string_opt n with
-      | Some v when v > 0 ->
-          settings.max_covers <- Some v;
-          Format.printf "ok max-covers=%d@." v
-      | _ -> err "usage: set max-covers N")
-  | _ ->
-      err
-        "usage: set timeout MS | set max-steps N | set max-covers N | set \
-         slow-ms MS | set off"
-
-let split_command line =
-  match String.index_opt line ' ' with
-  | None -> (line, "")
-  | Some i ->
-      ( String.sub line 0 i,
-        String.trim (String.sub line (i + 1) (String.length line - i - 1)) )
-
-let handle line =
-  let line = String.trim line in
-  if line = "" then true
-  else
-    let cmd, rest = split_command line in
-    match cmd with
-    | "quit" | "exit" -> false
-    | "help" -> help (); true
-    | "catalog" -> cmd_catalog rest; true
-    | "rewrite" -> cmd_rewrite rest; true
-    | "batch" -> cmd_batch rest; true
-    | "data" -> cmd_data rest; true
-    | "plan" -> cmd_plan rest; true
-    | "explain" -> cmd_explain rest; true
-    | "stats" -> cmd_stats rest; true
-    | "metrics" -> cmd_metrics (); true
-    | "set" -> cmd_set rest; true
-    | other -> err "unknown command %S (try: help)" other; true
-
-(* Fault containment, exactly as in the REPL: a request that raises
-   prints one "err" line and the loop continues. *)
-let handle_safe line =
-  try handle line with
-  | Vplan.Vplan_error.Error e ->
-      err "%s" (Vplan.Vplan_error.to_string e);
-      true
-  | Invalid_argument msg | Failure msg | Sys_error msg ->
-      err "%s" msg;
-      true
+   Both speak exactly the same protocol (Vplan.Protocol). *)
 
 let usage () =
   prerr_endline
     "usage: vplan_server [--catalog FILE] [--cache N] [--domains N]\n\
     \                    [--timeout MS] [--max-steps N] [--max-covers N]\n\
-    \                    [--slow-ms MS]";
+    \                    [--slow-ms MS]\n\
+    \                    [--stdio | --listen PORT] [--host ADDR]\n\
+    \                    [--workers N] [--queue N] [--max-requests N]\n\
+    \                    [--port-file FILE]";
   exit 2
 
+type mode = Tcp | Stdio
+
 let () =
+  let catalog_file = ref None in
+  let cache_capacity = ref None in
+  let domains = ref None in
+  let timeout_ms = ref None in
+  let max_steps = ref None in
+  let max_covers = ref None in
+  let slow_ms = ref None in
+  let mode = ref Tcp in
+  let host = ref "127.0.0.1" in
+  let port = ref 0 in
+  let workers = ref 2 in
+  let queue = ref 128 in
+  let max_requests = ref None in
+  let port_file = ref None in
+  let int_arg n k =
+    match int_of_string_opt n with Some v when v > 0 -> k v | _ -> usage ()
+  in
+  let float_arg ?(min = 0.) ms k =
+    match float_of_string_opt ms with Some v when v >= min -> k v | _ -> usage ()
+  in
   let rec parse_args = function
     | [] -> ()
     | "--catalog" :: path :: rest ->
-        cmd_catalog_load path;
-        (match settings.service with None -> exit 1 | Some _ -> ());
+        catalog_file := Some path;
         parse_args rest
-    | "--cache" :: n :: rest -> (
-        match int_of_string_opt n with
-        | Some v when v > 0 ->
-            settings.cache_capacity <- v;
+    | "--cache" :: n :: rest ->
+        int_arg n (fun v -> cache_capacity := Some v);
+        parse_args rest
+    | "--domains" :: n :: rest ->
+        int_arg n (fun v -> domains := Some v);
+        parse_args rest
+    | "--timeout" :: ms :: rest ->
+        float_arg ~min:epsilon_float ms (fun v -> timeout_ms := Some v);
+        parse_args rest
+    | "--max-steps" :: n :: rest ->
+        int_arg n (fun v -> max_steps := Some v);
+        parse_args rest
+    | "--max-covers" :: n :: rest ->
+        int_arg n (fun v -> max_covers := Some v);
+        parse_args rest
+    | "--slow-ms" :: ms :: rest ->
+        float_arg ms (fun v -> slow_ms := Some v);
+        parse_args rest
+    | "--stdio" :: rest ->
+        mode := Stdio;
+        parse_args rest
+    | "--listen" :: p :: rest -> (
+        match int_of_string_opt p with
+        | Some v when v >= 0 && v < 65536 ->
+            port := v;
             parse_args rest
         | _ -> usage ())
-    | "--domains" :: n :: rest -> (
-        match int_of_string_opt n with
-        | Some v when v > 0 ->
-            settings.domains <- v;
-            parse_args rest
-        | _ -> usage ())
-    | "--timeout" :: ms :: rest -> (
-        match float_of_string_opt ms with
-        | Some v when v > 0. ->
-            settings.timeout_ms <- Some v;
-            parse_args rest
-        | _ -> usage ())
-    | "--max-steps" :: n :: rest -> (
-        match int_of_string_opt n with
-        | Some v when v > 0 ->
-            settings.max_steps <- Some v;
-            parse_args rest
-        | _ -> usage ())
-    | "--max-covers" :: n :: rest -> (
-        match int_of_string_opt n with
-        | Some v when v > 0 ->
-            settings.max_covers <- Some v;
-            parse_args rest
-        | _ -> usage ())
-    | "--slow-ms" :: ms :: rest -> (
-        match float_of_string_opt ms with
-        | Some v when v >= 0. ->
-            settings.slow_ms <- Some v;
-            parse_args rest
-        | _ -> usage ())
+    | "--host" :: h :: rest ->
+        host := h;
+        parse_args rest
+    | "--workers" :: n :: rest ->
+        int_arg n (fun v -> workers := v);
+        parse_args rest
+    | "--queue" :: n :: rest ->
+        int_arg n (fun v -> queue := v);
+        parse_args rest
+    | "--max-requests" :: n :: rest ->
+        int_arg n (fun v -> max_requests := Some v);
+        parse_args rest
+    | "--port-file" :: f :: rest ->
+        port_file := Some f;
+        parse_args rest
     | _ -> usage ()
   in
   parse_args (List.tl (Array.to_list Sys.argv));
-  let interactive = Unix.isatty Unix.stdin in
-  if interactive then print_endline "vplan server \u{2014} type 'help' for commands";
-  let rec loop () =
-    if interactive then (print_string "vplan> "; flush stdout);
-    match input_line stdin with
-    | line -> if handle_safe line then loop ()
-    | exception End_of_file -> ()
+  let shared =
+    Vplan.Protocol.create_shared ?cache_capacity:!cache_capacity
+      ?domains:!domains ?timeout_ms:!timeout_ms ?max_steps:!max_steps
+      ?max_covers:!max_covers ?slow_ms:!slow_ms ()
   in
-  loop ()
+  (* --catalog behaves exactly like an initial "catalog load FILE"
+     request: same ok/err line, but a failure is fatal at startup. *)
+  (match !catalog_file with
+  | None -> ()
+  | Some path ->
+      let boot = Vplan.Protocol.new_session shared in
+      let reply =
+        Vplan.Protocol.handle_lines shared boot [ "catalog load " ^ path ]
+      in
+      print_string reply.Vplan.Protocol.text;
+      flush stdout;
+      if Vplan.Protocol.service shared = None then exit 1);
+  match !mode with
+  | Stdio ->
+      let session = Vplan.Protocol.new_session shared in
+      let interactive = Unix.isatty Unix.stdin in
+      if interactive then
+        print_endline "vplan server \u{2014} type 'help' for commands";
+      let read_line () =
+        match input_line stdin with
+        | line -> Some line
+        | exception End_of_file -> None
+      in
+      let rec loop () =
+        if interactive then (
+          print_string "vplan> ";
+          flush stdout);
+        match input_line stdin with
+        | line ->
+            let reply = Vplan.Protocol.handle shared session ~read_line line in
+            print_string reply.Vplan.Protocol.text;
+            flush stdout;
+            if not reply.Vplan.Protocol.close then loop ()
+        | exception End_of_file -> ()
+      in
+      loop ()
+  | Tcp ->
+      let handler () =
+        let session = Vplan.Protocol.new_session shared in
+        fun lines ->
+          let reply = Vplan.Protocol.handle_lines shared session lines in
+          {
+            Vplan.Net_server.body = reply.Vplan.Protocol.text;
+            close = reply.Vplan.Protocol.close;
+          }
+      in
+      let server =
+        Vplan.Net_server.create ~host:!host ~port:!port ~workers:!workers
+          ~queue_capacity:!queue ?max_requests:!max_requests
+          ~extra_lines:Vplan.Protocol.extra_lines ~handler ()
+      in
+      let bound = Vplan.Net_server.port server in
+      (match !port_file with
+      | None -> ()
+      | Some f ->
+          let oc = open_out f in
+          output_string oc (string_of_int bound);
+          output_char oc '\n';
+          close_out oc);
+      Printf.printf "listening host=%s port=%d workers=%d queue=%d\n%!" !host
+        bound !workers !queue;
+      let stop _ = Vplan.Net_server.stop server in
+      Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+      Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+      Vplan.Net_server.run server;
+      Printf.printf "drained\n%!"

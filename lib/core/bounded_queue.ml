@@ -1,0 +1,84 @@
+(* A fixed ring under one mutex: at the scale of a request queue the
+   lock is uncontended next to the work each element represents, and a
+   single ordering makes FIFO and close-then-drain semantics easy to
+   get right across domains. *)
+
+type 'a t = {
+  buf : 'a option array;
+  cap : int;
+  mutable head : int;  (* next pop position *)
+  mutable len : int;
+  mutable closed : bool;
+  lock : Mutex.t;
+  not_empty : Condition.t;
+  not_full : Condition.t;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Bounded_queue.create: capacity < 1";
+  {
+    buf = Array.make capacity None;
+    cap = capacity;
+    head = 0;
+    len = 0;
+    closed = false;
+    lock = Mutex.create ();
+    not_empty = Condition.create ();
+    not_full = Condition.create ();
+  }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let enqueue t x =
+  t.buf.((t.head + t.len) mod t.cap) <- Some x;
+  t.len <- t.len + 1;
+  Condition.signal t.not_empty
+
+let dequeue t =
+  let x = t.buf.(t.head) in
+  t.buf.(t.head) <- None;
+  t.head <- (t.head + 1) mod t.cap;
+  t.len <- t.len - 1;
+  Condition.signal t.not_full;
+  match x with Some v -> v | None -> assert false
+
+let try_push t x =
+  locked t (fun () ->
+      if t.closed || t.len = t.cap then false
+      else begin
+        enqueue t x;
+        true
+      end)
+
+let push t x =
+  locked t (fun () ->
+      while (not t.closed) && t.len = t.cap do
+        Condition.wait t.not_full t.lock
+      done;
+      if t.closed then false
+      else begin
+        enqueue t x;
+        true
+      end)
+
+let pop t =
+  locked t (fun () ->
+      while t.len = 0 && not t.closed do
+        Condition.wait t.not_empty t.lock
+      done;
+      if t.len = 0 then None else Some (dequeue t))
+
+let try_pop t =
+  locked t (fun () -> if t.len = 0 then None else Some (dequeue t))
+
+let close t =
+  locked t (fun () ->
+      t.closed <- true;
+      Condition.broadcast t.not_empty;
+      Condition.broadcast t.not_full)
+
+let is_closed t = locked t (fun () -> t.closed)
+let length t = locked t (fun () -> t.len)
+let capacity t = t.cap

@@ -1,0 +1,46 @@
+(** A bounded multi-producer multi-consumer queue over domains.
+
+    The queue is a fixed-capacity ring guarded by one mutex and two
+    condition variables; any number of domains may push and pop
+    concurrently.  Capacity is the admission-control surface: a full
+    queue makes {!try_push} return [false] immediately, which is what
+    lets a server shed load with a fast error instead of queueing
+    unbounded latency behind slow requests.
+
+    {!close} drains gracefully: pending elements are still delivered,
+    new pushes are refused, and once the ring is empty every blocked
+    {!pop} returns [None] — the idiom for shutting a worker pool down
+    without losing accepted work. *)
+
+type 'a t
+
+(** [create ~capacity] — @raise Invalid_argument when [capacity < 1]. *)
+val create : capacity:int -> 'a t
+
+(** [try_push t x] enqueues [x] unless the queue is full or closed;
+    [false] means the element was {e not} accepted.  Never blocks. *)
+val try_push : 'a t -> 'a -> bool
+
+(** [push t x] blocks until space is available; [false] only when the
+    queue is (or becomes) closed while waiting. *)
+val push : 'a t -> 'a -> bool
+
+(** [pop t] blocks until an element is available, FIFO.  [None] once
+    the queue is closed {e and} drained. *)
+val pop : 'a t -> 'a option
+
+(** [try_pop t] is nonblocking: [None] when currently empty (even if
+    not closed). *)
+val try_pop : 'a t -> 'a option
+
+(** [close t] refuses further pushes and wakes every waiter.  Elements
+    already accepted are still delivered to {!pop}.  Idempotent. *)
+val close : 'a t -> unit
+
+val is_closed : 'a t -> bool
+
+(** Current number of queued elements (a racy snapshot, like any
+    concurrent size). *)
+val length : 'a t -> int
+
+val capacity : 'a t -> int

@@ -1,0 +1,23 @@
+type outcome = (unit, exn * Printexc.raw_backtrace) result
+
+type t = outcome Domain.t array
+
+let spawn ~workers f =
+  if workers < 1 then invalid_arg "Pool.spawn: workers < 1";
+  Array.init workers (fun i ->
+      Domain.spawn (fun () ->
+          match f i with
+          | () -> Ok ()
+          | exception e -> Error (e, Printexc.get_raw_backtrace ())))
+
+let join t =
+  (* every domain is reclaimed before any failure propagates; the
+     lowest index wins so the surfaced error is deterministic *)
+  let results = Array.map Domain.join t in
+  Array.iter
+    (function
+      | Ok () -> ()
+      | Error (e, bt) -> Printexc.raise_with_backtrace e bt)
+    results
+
+let size t = Array.length t

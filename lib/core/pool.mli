@@ -1,0 +1,22 @@
+(** A fixed pool of long-lived worker domains.
+
+    Where {!Vplan_parallel.Parallel.map} is fork/join — domains spawned
+    for one call and joined before it returns — a [Pool.t] is resident:
+    the domains start once and keep running the worker body (typically a
+    loop popping a {!Bounded_queue}) until that body returns.  {!join}
+    is the only way to reclaim them, and it is an exception barrier in
+    the same style as [Parallel.map]: every domain is joined before the
+    lowest-indexed worker's failure is re-raised. *)
+
+type t
+
+(** [spawn ~workers f] starts [workers] domains ([>= 1]), each running
+    [f i] with its worker index.  Exceptions inside [f] are caught and
+    held for {!join}. *)
+val spawn : workers:int -> (int -> unit) -> t
+
+(** Blocks until every worker body has returned, then re-raises the
+    first (lowest worker index) failure, if any. *)
+val join : t -> unit
+
+val size : t -> int

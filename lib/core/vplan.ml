@@ -104,6 +104,14 @@ module Catalog = Vplan_service.Catalog
 module Rewrite_cache = Vplan_service.Rewrite_cache
 module Service = Vplan_service.Service
 
+(* concurrent serving tier: bounded MPMC queue, resident worker pool,
+   line-protocol front end, TCP socket server, load generator *)
+module Bounded_queue = Vplan_parallel.Bounded_queue
+module Pool = Vplan_parallel.Pool
+module Protocol = Vplan_service.Protocol
+module Net_server = Vplan_service.Net_server
+module Loadgen = Vplan_service.Loadgen
+
 (* workloads *)
 module Generator = Vplan_workload.Generator
 

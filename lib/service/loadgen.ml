@@ -1,0 +1,370 @@
+type result = {
+  clients : int;
+  sent : int;
+  completed : int;
+  ok : int;
+  hits : int;
+  shed : int;
+  errors : int;
+  closed_early : int;
+  elapsed_ms : float;
+  qps : float;
+  p50_ms : float;
+  p99_ms : float;
+  max_ms : float;
+}
+
+(* One driven connection.  [outbox] is bytes not yet written (requests
+   are tiny, so string concatenation on the rare short write is fine);
+   [starts] holds the send timestamp of every in-flight request, FIFO,
+   which is sound because the server answers each connection in request
+   order.  Only the first line of a response matters for
+   classification, so the rest are discarded as they arrive. *)
+type conn = {
+  id : int;
+  fd : Unix.file_descr;
+  mutable outbox : string;
+  inbuf : Buffer.t;
+  starts : float Queue.t;
+  mutable first_line : string option;
+  mutable in_response : bool;
+  mutable seq : int;
+  mutable closed : bool;
+}
+
+let connect_conn ~host ~port id =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+     Unix.setsockopt fd Unix.TCP_NODELAY true;
+     Unix.set_nonblock fd
+   with e ->
+     (try Unix.close fd with Unix.Unix_error (_, _, _) -> ());
+     raise e);
+  {
+    id;
+    fd;
+    outbox = "";
+    inbuf = Buffer.create 256;
+    starts = Queue.create ();
+    first_line = None;
+    in_response = false;
+    seq = 0;
+    closed = false;
+  }
+
+let close_conn c =
+  if not c.closed then (
+    c.closed <- true;
+    try Unix.close c.fd with Unix.Unix_error (_, _, _) -> ())
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else
+    let rank = p *. float_of_int (n - 1) in
+    let lo = int_of_float rank in
+    let hi = min (n - 1) (lo + 1) in
+    let frac = rank -. float_of_int lo in
+    sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
+
+let run ?(host = "127.0.0.1") ~port ~clients ?rate ?max_per_client
+    ?(grace_ms = 2000.0) ~duration_ms ~request () =
+  if clients < 1 then invalid_arg "Loadgen.run: clients must be >= 1";
+  let conns = Array.init clients (connect_conn ~host ~port) in
+  let sent = ref 0 in
+  let completed = ref 0 in
+  let ok = ref 0 in
+  let hits = ref 0 in
+  let shed = ref 0 in
+  let errors = ref 0 in
+  let latencies = ref [] in
+  let nlat = ref 0 in
+  let start = Unix.gettimeofday () in
+  let deadline = start +. (duration_ms /. 1000.0) in
+  let hard_stop = deadline +. (grace_ms /. 1000.0) in
+  let rr = ref 0 in
+  let exhausted c =
+    match max_per_client with Some m -> c.seq >= m | None -> false
+  in
+  let enqueue now c =
+    let line = request ~client:c.id ~seq:c.seq in
+    c.seq <- c.seq + 1;
+    c.outbox <- c.outbox ^ line ^ "\n";
+    Queue.push now c.starts;
+    incr sent;
+    (* optimistic immediate write: the socket buffer is almost always
+       empty in closed loop, and skipping the select round halves the
+       syscalls per request *)
+    match Unix.write_substring c.fd c.outbox 0 (String.length c.outbox) with
+    | n -> c.outbox <- String.sub c.outbox n (String.length c.outbox - n)
+    | exception
+        Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+    ->
+        ()
+    | exception Unix.Unix_error (_, _, _) -> close_conn c
+  in
+  (* Open loop sends on the clock; closed loop sends on completion. *)
+  let schedule now =
+    if now < deadline then
+      match rate with
+      | None ->
+          Array.iter
+            (fun c ->
+              if
+                (not c.closed)
+                && Queue.is_empty c.starts
+                && (not (exhausted c))
+                && c.outbox = ""
+              then enqueue now c)
+            conns
+      | Some r ->
+          let due = int_of_float (r *. (now -. start)) - !sent in
+          for _ = 1 to due do
+            (* Round-robin over live, non-exhausted connections; give up
+               after one full lap so a dead fleet can't spin. *)
+            let placed = ref false in
+            let tries = ref 0 in
+            while (not !placed) && !tries < clients do
+              let c = conns.(!rr mod clients) in
+              incr rr;
+              incr tries;
+              if (not c.closed) && not (exhausted c) then (
+                enqueue now c;
+                placed := true)
+            done
+          done
+  in
+  let on_line c line =
+    if c.in_response then (
+      if line = "." then (
+        c.in_response <- false;
+        incr completed;
+        let t0 = Queue.pop c.starts in
+        let ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+        (match c.first_line with
+        | Some l when String.length l >= 2 && String.sub l 0 2 = "ok" ->
+            incr ok;
+            latencies := ms :: !latencies;
+            incr nlat;
+            let hit =
+              (* first line of a rewrite reply: "ok N hit trace=T" *)
+              match String.split_on_char ' ' l with
+              | _ :: _ :: "hit" :: _ -> true
+              | _ -> false
+            in
+            if hit then incr hits
+        | Some "err busy" -> incr shed
+        | Some _ | None -> incr errors);
+        c.first_line <- None))
+    else (
+      c.in_response <- true;
+      if line = "." then (
+        (* a response that is only the terminator: empty reply *)
+        c.in_response <- false;
+        incr completed;
+        ignore (Queue.pop c.starts);
+        incr errors)
+      else c.first_line <- Some line)
+  in
+  let feed c data len =
+    Buffer.add_subbytes c.inbuf data 0 len;
+    let s = Buffer.contents c.inbuf in
+    Buffer.clear c.inbuf;
+    let n = String.length s in
+    let pos = ref 0 in
+    (try
+       while !pos < n do
+         match String.index_from s !pos '\n' with
+         | exception Not_found ->
+             Buffer.add_substring c.inbuf s !pos (n - !pos);
+             pos := n
+         | nl ->
+             let line = String.sub s !pos (nl - !pos) in
+             let line =
+               let ll = String.length line in
+               if ll > 0 && line.[ll - 1] = '\r' then String.sub line 0 (ll - 1)
+               else line
+             in
+             pos := nl + 1;
+             on_line c line
+       done
+     with Queue.Empty ->
+       (* response without a matching request: protocol desync; drop
+          the connection rather than corrupt the tallies *)
+       close_conn c)
+  in
+  let buf = Bytes.create 65536 in
+  let by_fd = Hashtbl.create (2 * clients) in
+  Array.iter (fun c -> Hashtbl.replace by_fd c.fd c) conns;
+  let finished () =
+    let now = Unix.gettimeofday () in
+    (now >= deadline
+    && Array.for_all
+         (fun c -> c.closed || (Queue.is_empty c.starts && c.outbox = ""))
+         conns)
+    || now >= hard_stop
+    || Array.for_all (fun c -> c.closed) conns
+    || (max_per_client <> None
+       && Array.for_all
+            (fun c ->
+              c.closed || (exhausted c && Queue.is_empty c.starts && c.outbox = ""))
+            conns)
+  in
+  while not (finished ()) do
+    let now = Unix.gettimeofday () in
+    schedule now;
+    let rds =
+      Array.to_list conns
+      |> List.filter_map (fun c -> if c.closed then None else Some c.fd)
+    in
+    let wrs =
+      Array.to_list conns
+      |> List.filter_map (fun c ->
+             if (not c.closed) && c.outbox <> "" then Some c.fd else None)
+    in
+    if rds = [] && wrs = [] then ()
+    else
+      let timeout =
+        match rate with
+        | None -> 0.05
+        | Some r -> Float.max 0.001 (Float.min 0.05 (1.0 /. r))
+      in
+      let rd, wr, _ =
+        try Unix.select rds wrs [] timeout
+        with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+      in
+      List.iter
+        (fun fd ->
+          match Hashtbl.find_opt by_fd fd with
+          | None -> ()
+          | Some c when c.closed -> ()
+          | Some c -> (
+              try
+                let n =
+                  Unix.write_substring c.fd c.outbox 0 (String.length c.outbox)
+                in
+                c.outbox <- String.sub c.outbox n (String.length c.outbox - n)
+              with
+              | Unix.Unix_error
+                  ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+              ->
+                ()
+              | Unix.Unix_error (_, _, _) -> close_conn c))
+        wr;
+      List.iter
+        (fun fd ->
+          match Hashtbl.find_opt by_fd fd with
+          | None -> ()
+          | Some c when c.closed -> ()
+          | Some c -> (
+              match Unix.read c.fd buf 0 (Bytes.length buf) with
+              | 0 -> close_conn c
+              | n -> feed c buf n
+              | exception
+                  Unix.Unix_error
+                    ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+              ->
+                ()
+              | exception Unix.Unix_error (_, _, _) -> close_conn c))
+        rd
+  done;
+  let elapsed_ms = (Unix.gettimeofday () -. start) *. 1000.0 in
+  let closed_early = Array.fold_left (fun a c -> if c.closed then a + 1 else a) 0 conns in
+  Array.iter close_conn conns;
+  let lat = Array.make !nlat 0.0 in
+  List.iteri (fun i v -> lat.(i) <- v) !latencies;
+  Array.sort compare lat;
+  {
+    clients;
+    sent = !sent;
+    completed = !completed;
+    ok = !ok;
+    hits = !hits;
+    shed = !shed;
+    errors = !errors;
+    closed_early;
+    elapsed_ms;
+    qps = (if elapsed_ms > 0.0 then float_of_int !ok /. (elapsed_ms /. 1000.0) else 0.0);
+    p50_ms = percentile lat 0.50;
+    p99_ms = percentile lat 0.99;
+    max_ms = (if !nlat = 0 then 0.0 else lat.(!nlat - 1));
+  }
+
+module Client = struct
+  type t = { fd : Unix.file_descr; inbuf : Buffer.t; mutable eof : bool }
+
+  let connect ?(host = "127.0.0.1") ~port () =
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    (try
+       Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+       Unix.setsockopt fd Unix.TCP_NODELAY true
+     with e ->
+       (try Unix.close fd with Unix.Unix_error (_, _, _) -> ());
+       raise e);
+    { fd; inbuf = Buffer.create 1024; eof = false }
+
+  let send t line =
+    let data = line ^ "\n" in
+    let n = String.length data in
+    let off = ref 0 in
+    while !off < n do
+      match Unix.write_substring t.fd data !off (n - !off) with
+      | w -> off := !off + w
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    done
+
+  (* Pop one complete line out of [inbuf], if present. *)
+  let take_line t =
+    let s = Buffer.contents t.inbuf in
+    match String.index_opt s '\n' with
+    | None -> None
+    | Some nl ->
+        Buffer.clear t.inbuf;
+        Buffer.add_substring t.inbuf s (nl + 1) (String.length s - nl - 1);
+        let line = String.sub s 0 nl in
+        let ll = String.length line in
+        Some
+          (if ll > 0 && line.[ll - 1] = '\r' then String.sub line 0 (ll - 1)
+           else line)
+
+  let read_line t ~deadline =
+    let buf = Bytes.create 8192 in
+    let rec go () =
+      match take_line t with
+      | Some l -> l
+      | None ->
+          if t.eof then failwith "Loadgen.Client: connection closed by server";
+          let remaining = deadline -. Unix.gettimeofday () in
+          if remaining <= 0.0 then
+            failwith "Loadgen.Client: timed out waiting for response";
+          (match Unix.select [ t.fd ] [] [] remaining with
+          | [], _, _ -> ()
+          | _ -> (
+              match Unix.read t.fd buf 0 (Bytes.length buf) with
+              | 0 -> t.eof <- true
+              | n -> Buffer.add_subbytes t.inbuf buf 0 n
+              | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+          go ()
+    in
+    go ()
+
+  let read_response t =
+    let deadline = Unix.gettimeofday () +. 10.0 in
+    let rec go acc =
+      let line = read_line t ~deadline in
+      if line = "." then List.rev acc else go (line :: acc)
+    in
+    go []
+
+  let request t line =
+    send t line;
+    read_response t
+
+  let drain t n = List.init n (fun _ -> read_response t)
+
+  let close t =
+    if not t.eof then t.eof <- true;
+    try Unix.close t.fd with Unix.Unix_error (_, _, _) -> ()
+end

@@ -1,0 +1,457 @@
+(* The line protocol, shared by every front end.  Handlers render into
+   a buffer-backed formatter so one request produces one [reply]; the
+   stdio loop prints it, the TCP server frames it onto the socket. *)
+
+open Vplan_cq
+module Budget = Vplan_core.Budget
+module Vplan_error = Vplan_core.Vplan_error
+module Database = Vplan_relational.Database
+module Subplan = Vplan_cost.Subplan
+module Metrics = Vplan_obs.Metrics
+module Trace = Vplan_obs.Trace
+
+type shared = {
+  mutable service : Service.t option;
+  (* serializes catalog/base read-modify-write cycles (add/remove build
+     on the current catalog); Service itself is domain-safe *)
+  slock : Mutex.t;
+  domains : int;
+  cache_capacity : int;
+  d_timeout_ms : float option;
+  d_max_steps : int option;
+  d_max_covers : int option;
+  d_slow_ms : float option;
+  next_trace : int Atomic.t;
+}
+
+type session = {
+  shared : shared;
+  mutable timeout_ms : float option;
+  mutable max_steps : int option;
+  mutable max_covers : int option;
+  mutable slow_ms : float option;
+}
+
+type reply = { text : string; close : bool }
+
+let create_shared ?(cache_capacity = 512) ?(domains = 1) ?timeout_ms ?max_steps
+    ?max_covers ?slow_ms () =
+  {
+    service = None;
+    slock = Mutex.create ();
+    domains;
+    cache_capacity;
+    d_timeout_ms = timeout_ms;
+    d_max_steps = max_steps;
+    d_max_covers = max_covers;
+    d_slow_ms = slow_ms;
+    next_trace = Atomic.make 0;
+  }
+
+let new_session shared =
+  {
+    shared;
+    timeout_ms = shared.d_timeout_ms;
+    max_steps = shared.d_max_steps;
+    max_covers = shared.d_max_covers;
+    slow_ms = shared.d_slow_ms;
+  }
+
+let service shared = shared.service
+
+let mutating shared f =
+  Mutex.lock shared.slock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock shared.slock) f
+
+let install_catalog shared cat =
+  mutating shared (fun () ->
+      match shared.service with
+      | None ->
+          shared.service <-
+            Some (Service.create ~cache_capacity:shared.cache_capacity cat)
+      | Some s -> Service.set_catalog s cat)
+
+let next_trace_id shared = Atomic.fetch_and_add shared.next_trace 1 + 1
+
+let slow_log (sess : session) ~trace ~ms detail =
+  match sess.slow_ms with
+  | Some threshold when ms >= threshold ->
+      Format.eprintf "slow trace=%d ms=%.3f %s@." trace ms detail
+  | _ -> ()
+
+let err ppf fmt =
+  Format.kasprintf (fun s -> Format.fprintf ppf "err %s@." s) fmt
+
+let help ppf =
+  Format.fprintf ppf
+    "commands: catalog load FILE | catalog add <rule>. | catalog remove NAME\n\
+    \          rewrite <rule>. | batch N | data load FILE | plan <rule>.\n\
+    \          explain <rule>. | stats [--json] | metrics\n\
+    \          set timeout MS | set max-steps N | set max-covers N\n\
+    \          set slow-ms MS | set off\n\
+    \          help | quit@."
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* A fresh budget per request: one adversarial query cannot stall a
+   worker forever, and deadlines start when the request is picked up. *)
+let fresh_budget (sess : session) =
+  if sess.timeout_ms = None && sess.max_steps = None then None
+  else
+    Some
+      (Budget.create ?deadline_ms:sess.timeout_ms ?max_steps:sess.max_steps ())
+
+let with_service shared ppf f =
+  match shared.service with
+  | None -> err ppf "no catalog loaded (use: catalog load FILE)"
+  | Some s -> f s
+
+let pp_catalog_line ppf cat =
+  Format.fprintf ppf "ok catalog generation=%d views=%d classes=%d@."
+    (Catalog.generation cat) (Catalog.num_views cat) (Catalog.num_classes cat)
+
+let cmd_catalog_load shared ppf path =
+  match Parser.parse_program (read_file path) with
+  | Error e -> err ppf "%s" (Vplan_error.parse_to_string e)
+  | exception Sys_error e -> err ppf "%s" e
+  | Ok views -> (
+      match Catalog.create views with
+      | Error e -> err ppf "%s" e
+      | Ok cat ->
+          install_catalog shared cat;
+          pp_catalog_line ppf cat)
+
+let cmd_catalog_add shared ppf rest =
+  with_service shared ppf (fun s ->
+      match Parser.parse_rule rest with
+      | Error e -> err ppf "%s" (Vplan_error.parse_to_string e)
+      | Ok v ->
+          (* the read-modify-write is serialized so concurrent adds
+             both land, whichever order they arrive in *)
+          let outcome =
+            mutating shared (fun () ->
+                match Catalog.add_views (Service.catalog s) [ v ] with
+                | Error e -> Error e
+                | Ok cat ->
+                    Service.set_catalog s cat;
+                    Ok cat)
+          in
+          (match outcome with
+          | Error e -> err ppf "%s" e
+          | Ok cat -> pp_catalog_line ppf cat))
+
+let cmd_catalog_remove shared ppf name =
+  with_service shared ppf (fun s ->
+      let outcome =
+        mutating shared (fun () ->
+            match Catalog.remove_views (Service.catalog s) [ name ] with
+            | Error e -> Error e
+            | Ok cat ->
+                Service.set_catalog s cat;
+                Ok cat)
+      in
+      match outcome with
+      | Error e -> err ppf "%s" e
+      | Ok cat -> pp_catalog_line ppf cat)
+
+let split_command line =
+  match String.index_opt line ' ' with
+  | None -> (line, "")
+  | Some i ->
+      ( String.sub line 0 i,
+        String.trim (String.sub line (i + 1) (String.length line - i - 1)) )
+
+let cmd_catalog shared ppf rest =
+  let sub, arg = split_command rest in
+  match sub with
+  | "load" when arg <> "" -> cmd_catalog_load shared ppf arg
+  | "add" when arg <> "" -> cmd_catalog_add shared ppf arg
+  | "remove" when arg <> "" -> cmd_catalog_remove shared ppf arg
+  | _ ->
+      err ppf "usage: catalog load FILE | catalog add <rule>. | catalog remove NAME"
+
+let print_outcome (sess : session) ppf (o : Service.outcome) =
+  let source =
+    match o.Service.source with
+    | Service.Hit -> "hit"
+    | Service.Miss -> "miss"
+    | Service.Bypass -> "bypass"
+  in
+  let trace = next_trace_id sess.shared in
+  Format.fprintf ppf "ok %d %s trace=%d@."
+    (List.length o.Service.rewritings)
+    source trace;
+  slow_log sess ~trace ~ms:o.Service.ms (Printf.sprintf "source=%s" source);
+  List.iter (fun p -> Format.fprintf ppf "%a@." Query.pp p) o.Service.rewritings;
+  match o.Service.completeness with
+  | Vplan_rewrite.Corecover.Complete -> ()
+  | Vplan_rewrite.Corecover.Truncated reason ->
+      Format.fprintf ppf "truncated: %s@." (Vplan_error.to_string reason)
+
+let cmd_rewrite (sess : session) ppf rest =
+  let shared = sess.shared in
+  with_service shared ppf (fun s ->
+      match Parser.parse_rule rest with
+      | Error e -> err ppf "%s" (Vplan_error.parse_to_string e)
+      | Ok query ->
+          print_outcome sess ppf
+            (Service.rewrite ?budget:(fresh_budget sess)
+               ?max_covers:sess.max_covers ~domains:shared.domains s query))
+
+let cmd_batch (sess : session) ppf ~read_line rest =
+  let shared = sess.shared in
+  match int_of_string_opt rest with
+  | None | Some 0 -> err ppf "usage: batch N (then N rewrite-request lines)"
+  | Some n when n < 0 -> err ppf "usage: batch N (then N rewrite-request lines)"
+  | Some n ->
+      with_service shared ppf (fun s ->
+          let lines = List.init n (fun _ -> read_line ()) in
+          let parsed =
+            List.filter_map
+              (fun line ->
+                Option.map (fun l -> Parser.parse_rule (String.trim l)) line)
+              lines
+          in
+          let queries =
+            List.filter_map (function Ok q -> Some q | Error _ -> None) parsed
+          in
+          if List.length parsed < n then err ppf "batch: end of input"
+          else if List.length queries < List.length parsed then
+            err ppf "batch: every line must be a rule"
+          else
+            (* the whole batch fans out over the domain pool; answers
+               come back in request order *)
+            List.iter (print_outcome sess ppf)
+              (Service.rewrite_batch
+                 ~make_budget:(fun () -> fresh_budget sess)
+                 ?max_covers:sess.max_covers ~domains:shared.domains s queries))
+
+let cmd_data (sess : session) ppf rest =
+  let shared = sess.shared in
+  let sub, arg = split_command rest in
+  match sub with
+  | "load" when arg <> "" ->
+      with_service shared ppf (fun s ->
+          match Parser.parse_facts (read_file arg) with
+          | Error e -> err ppf "%s" (Vplan_error.parse_to_string e)
+          | exception Sys_error e -> err ppf "%s" e
+          | Ok facts ->
+              mutating shared (fun () ->
+                  Service.set_base s (Database.of_facts facts));
+              Format.fprintf ppf "ok data facts=%d@." (List.length facts))
+  | _ -> err ppf "usage: data load FILE"
+
+let cmd_plan (sess : session) ppf rest =
+  let shared = sess.shared in
+  with_service shared ppf (fun s ->
+      match Parser.parse_rule rest with
+      | Error e -> err ppf "%s" (Vplan_error.parse_to_string e)
+      | Ok query -> (
+          match
+            Service.plan ?budget:(fresh_budget sess)
+              ?max_covers:sess.max_covers ~domains:shared.domains s query
+          with
+          | None -> Format.fprintf ppf "ok plan none trace=%d@." (next_trace_id shared)
+          | Some o ->
+              let trace = next_trace_id shared in
+              Format.fprintf ppf "ok plan cost=%d candidates=%d trace=%d@."
+                o.Service.plan_cost o.Service.plan_candidates trace;
+              slow_log sess ~trace ~ms:o.Service.plan_ms "source=plan";
+              Format.fprintf ppf "%a@." Query.pp o.Service.plan_rewriting;
+              Format.fprintf ppf "order: %a@."
+                (Format.pp_print_list
+                   ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+                   Atom.pp)
+                o.Service.plan_order))
+
+let cmd_stats shared ppf rest =
+  with_service shared ppf (fun s ->
+      let st = Service.stats s in
+      let l = st.Service.latency in
+      match rest with
+      | "--json" ->
+          (* one line, so a scraper reads exactly one response line *)
+          Format.fprintf ppf
+            "{\"generation\":%d,\"views\":%d,\"classes\":%d,\"requests\":%d,\
+             \"hits\":%d,\"misses\":%d,\"bypasses\":%d,\"evictions\":%d,\
+             \"cache_size\":%d,\"cache_capacity\":%d,\"truncated\":%d,\
+             \"plan_requests\":%d,\"generation_resets\":%d,\
+             \"latency\":{\"count\":%d,\"mean_ms\":%.3f,\"p50_ms\":%.3f,\
+             \"p95_ms\":%.3f,\"max_ms\":%.3f}}@."
+            st.Service.generation st.Service.num_views st.Service.num_view_classes
+            st.Service.requests st.Service.hits st.Service.misses
+            st.Service.bypasses st.Service.evictions st.Service.cache_size
+            st.Service.cache_capacity st.Service.truncated
+            st.Service.plan_requests st.Service.generation_resets
+            l.Service.count l.Service.mean_ms l.Service.p50_ms l.Service.p95_ms
+            l.Service.max_ms
+      | "" ->
+          Format.fprintf ppf "generation=%d views=%d classes=%d@."
+            st.Service.generation st.Service.num_views st.Service.num_view_classes;
+          Format.fprintf ppf "requests=%d hits=%d misses=%d bypasses=%d@."
+            st.Service.requests st.Service.hits st.Service.misses
+            st.Service.bypasses;
+          Format.fprintf ppf "cache size=%d capacity=%d evictions=%d@."
+            st.Service.cache_size st.Service.cache_capacity st.Service.evictions;
+          Format.fprintf ppf "truncated=%d plan-requests=%d generation-resets=%d@."
+            st.Service.truncated st.Service.plan_requests
+            st.Service.generation_resets;
+          Format.fprintf ppf
+            "latency count=%d mean=%.3fms p50=%.3fms p95=%.3fms max=%.3fms@."
+            l.Service.count l.Service.mean_ms l.Service.p50_ms l.Service.p95_ms
+            l.Service.max_ms
+      | _ -> err ppf "usage: stats [--json]")
+
+let cmd_metrics shared ppf =
+  with_service shared ppf (fun s ->
+      let st = Service.stats s in
+      (* gauges reflect current state; set them at scrape time *)
+      Metrics.set (Metrics.gauge "vplan_cache_size") st.Service.cache_size;
+      Metrics.set (Metrics.gauge "vplan_catalog_generation") st.Service.generation;
+      Metrics.set (Metrics.gauge "vplan_catalog_views") st.Service.num_views;
+      (match Service.subplan_counters s with
+      | None -> ()
+      | Some c ->
+          Metrics.set (Metrics.gauge "vplan_subplan_memo_size") c.Subplan.size;
+          Metrics.set (Metrics.gauge "vplan_subplan_memo_hits") c.Subplan.hits;
+          Metrics.set (Metrics.gauge "vplan_subplan_memo_misses") c.Subplan.misses;
+          Metrics.set (Metrics.gauge "vplan_subplan_memo_resets") c.Subplan.resets);
+      Metrics.dump ppf;
+      Format.pp_print_flush ppf ())
+
+let cmd_explain (sess : session) ppf rest =
+  let shared = sess.shared in
+  with_service shared ppf (fun s ->
+      match Parser.parse_rule rest with
+      | Error e -> err ppf "%s" (Vplan_error.parse_to_string e)
+      | Ok query ->
+          let clock = Budget.create () in
+          (* plan exercises the full pipeline (all CoreCover phases plus
+             plan selection); without a base database, trace the rewrite
+             path instead *)
+          let label, spans =
+            match Service.base s with
+            | Some _ ->
+                let outcome, spans =
+                  Trace.run (fun () ->
+                      Service.plan ?budget:(fresh_budget sess)
+                        ?max_covers:sess.max_covers ~domains:shared.domains s
+                        query)
+                in
+                ((match outcome with Some _ -> "plan" | None -> "plan none"), spans)
+            | None ->
+                let outcome, spans =
+                  Trace.run (fun () ->
+                      Service.rewrite ?budget:(fresh_budget sess)
+                        ?max_covers:sess.max_covers ~domains:shared.domains s
+                        query)
+                in
+                ( Printf.sprintf "rewrite %d"
+                    (List.length outcome.Service.rewritings),
+                  spans )
+          in
+          let ms = Budget.elapsed_ms clock in
+          Format.fprintf ppf "ok explain %s request=%.3fms traced=%.3fms spans=%d@."
+            label ms
+            (Trace.top_level_total spans)
+            (List.length spans);
+          Format.fprintf ppf "%a" Trace.pp_tree spans)
+
+let cmd_set (sess : session) ppf rest =
+  match String.split_on_char ' ' rest |> List.filter (fun s -> s <> "") with
+  | [ "off" ] ->
+      sess.timeout_ms <- None;
+      sess.max_steps <- None;
+      sess.max_covers <- None;
+      sess.slow_ms <- None;
+      Format.fprintf ppf "ok budget off@."
+  | [ "slow-ms"; ms ] -> (
+      match float_of_string_opt ms with
+      | Some v when v >= 0. ->
+          sess.slow_ms <- Some v;
+          Format.fprintf ppf "ok slow-ms=%gms@." v
+      | _ -> err ppf "usage: set slow-ms MS")
+  | [ "timeout"; ms ] -> (
+      match float_of_string_opt ms with
+      | Some v when v > 0. ->
+          sess.timeout_ms <- Some v;
+          Format.fprintf ppf "ok timeout=%gms@." v
+      | _ -> err ppf "usage: set timeout MS")
+  | [ "max-steps"; n ] -> (
+      match int_of_string_opt n with
+      | Some v when v > 0 ->
+          sess.max_steps <- Some v;
+          Format.fprintf ppf "ok max-steps=%d@." v
+      | _ -> err ppf "usage: set max-steps N")
+  | [ "max-covers"; n ] -> (
+      match int_of_string_opt n with
+      | Some v when v > 0 ->
+          sess.max_covers <- Some v;
+          Format.fprintf ppf "ok max-covers=%d@." v
+      | _ -> err ppf "usage: set max-covers N")
+  | _ ->
+      err ppf
+        "usage: set timeout MS | set max-steps N | set max-covers N | set \
+         slow-ms MS | set off"
+
+let extra_lines line =
+  let cmd, rest = split_command (String.trim line) in
+  if cmd <> "batch" then 0
+  else match int_of_string_opt rest with Some n when n > 0 -> n | _ -> 0
+
+(* [true] = keep the connection; [false] = close after this reply. *)
+let dispatch (sess : session) ppf ~read_line line =
+  let shared = sess.shared in
+  let line = String.trim line in
+  if line = "" then true
+  else
+    let cmd, rest = split_command line in
+    match cmd with
+    | "quit" | "exit" -> false
+    | "help" -> help ppf; true
+    | "catalog" -> cmd_catalog shared ppf rest; true
+    | "rewrite" -> cmd_rewrite sess ppf rest; true
+    | "batch" -> cmd_batch sess ppf ~read_line rest; true
+    | "data" -> cmd_data sess ppf rest; true
+    | "plan" -> cmd_plan sess ppf rest; true
+    | "explain" -> cmd_explain sess ppf rest; true
+    | "stats" -> cmd_stats shared ppf rest; true
+    | "metrics" -> cmd_metrics shared ppf; true
+    | "set" -> cmd_set sess ppf rest; true
+    | other -> err ppf "unknown command %S (try: help)" other; true
+
+let handle shared sess ~read_line line =
+  assert (sess.shared == shared);
+  let buf = Buffer.create 256 in
+  let ppf = Format.formatter_of_buffer buf in
+  (* fault containment: a request that raises yields one "err" line and
+     the connection (and every other connection) lives on *)
+  let keep =
+    try dispatch sess ppf ~read_line line with
+    | Vplan_error.Error e ->
+        err ppf "%s" (Vplan_error.to_string e);
+        true
+    | Invalid_argument msg | Failure msg | Sys_error msg ->
+        err ppf "%s" msg;
+        true
+  in
+  Format.pp_print_flush ppf ();
+  { text = Buffer.contents buf; close = not keep }
+
+let handle_lines shared sess lines =
+  match lines with
+  | [] -> { text = ""; close = false }
+  | first :: rest ->
+      let remaining = ref rest in
+      let read_line () =
+        match !remaining with
+        | [] -> None
+        | l :: tl ->
+            remaining := tl;
+            Some l
+      in
+      handle shared sess ~read_line first

@@ -1,0 +1,75 @@
+(** The server's line protocol, factored out of the binary so every
+    front end — the stdio loop, the TCP server, the load generator's
+    in-process fixture, and the tests — speaks exactly the same
+    commands with exactly the same responses.
+
+    A {!shared} value is the process-wide serving state: the resident
+    {!Service} (catalog + rewrite cache + counters), the domain-pool
+    width, and the trace-id counter.  It may be used from many domains
+    at once; catalog and base-database mutations are serialized
+    internally, and {!Service} itself is domain-safe.
+
+    A {!session} is one client's view: its budget settings ([set
+    timeout] and friends apply only to the connection that issued
+    them) and its slow-query threshold.  The stdio loop has a single
+    session; the TCP server creates one per connection.
+
+    Commands (one request per line; [batch N] consumes N further
+    lines):
+
+    {v
+    catalog load FILE | catalog add <rule>. | catalog remove NAME
+    rewrite <rule>. | batch N | data load FILE | plan <rule>.
+    explain <rule>. | stats [--json] | metrics
+    set timeout MS | set max-steps N | set max-covers N
+    set slow-ms MS | set off
+    help | quit
+    v} *)
+
+type shared
+type session
+
+(** One response: the full text (newline-terminated lines) and whether
+    the connection should close after it is delivered. *)
+type reply = { text : string; close : bool }
+
+(** [create_shared ()] — [domains] is the width of the per-request
+    domain pool handed to {!Service.rewrite}/[batch]/[plan];
+    [cache_capacity] bounds the rewrite cache; the remaining options
+    seed every new session's budget defaults. *)
+val create_shared :
+  ?cache_capacity:int ->
+  ?domains:int ->
+  ?timeout_ms:float ->
+  ?max_steps:int ->
+  ?max_covers:int ->
+  ?slow_ms:float ->
+  unit ->
+  shared
+
+val new_session : shared -> session
+
+(** The live service, once a catalog has been loaded. *)
+val service : shared -> Service.t option
+
+(** Install a catalog programmatically (equivalent to a successful
+    [catalog load], without the file). *)
+val install_catalog : shared -> Catalog.t -> unit
+
+(** [extra_lines line] — how many further request lines [line]
+    consumes beyond itself ([batch N] consumes [N]; everything else
+    [0]).  This is what lets a network front end frame a complete
+    request before dispatching it to a worker. *)
+val extra_lines : string -> int
+
+(** [handle shared session ~read_line line] serves one request.
+    [read_line] supplies the extra lines of a multi-line request
+    ([None] at end of input).  Never raises: failures become a single
+    ["err ..."] line. *)
+val handle :
+  shared -> session -> read_line:(unit -> string option) -> string -> reply
+
+(** [handle_lines shared session lines] is {!handle} on the first line
+    with the rest fed through [read_line] — the shape a framed network
+    request arrives in.  The empty list yields an empty reply. *)
+val handle_lines : shared -> session -> string list -> reply

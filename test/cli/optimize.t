@@ -49,7 +49,7 @@ repeated requests are answered from the same resident memo.
   > part(s3, ford, springfield). part(s4, honda, shelby).
   > DATA
 
-  $ vplan_server --catalog views.dl --domains 2 <<'SESSION' | grep -v '^latency'
+  $ vplan_server --stdio --catalog views.dl --domains 2 <<'SESSION' | grep -v '^latency'
   > plan q1(S, C) :- car(M, anderson), loc(anderson, C), part(S, M, C).
   > data load facts.dl
   > plan q1(S, C) :- car(M, anderson), loc(anderson, C), part(S, M, C).

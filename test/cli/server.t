@@ -12,7 +12,7 @@ An isomorphic resubmission (variables renamed, subgoals permuted) is a
 cache hit, and the answer comes back in the caller's own variables.
 Every rewrite response carries a per-request trace id.
 
-  $ vplan_server <<'SESSION' | grep -v '^latency'
+  $ vplan_server --stdio <<'SESSION' | grep -v '^latency'
   > catalog load views.dl
   > rewrite q1(S, C) :- car(M, anderson), loc(anderson, C), part(S, M, C).
   > rewrite q1(P, K) :- part(P, N, K), loc(anderson, K), car(N, anderson).
@@ -32,7 +32,7 @@ Every rewrite response carries a per-request trace id.
 Catalog updates bump the generation and invalidate the cache; removing
 v4 changes the best rewriting.  Errors never kill the loop.
 
-  $ vplan_server --catalog views.dl <<'SESSION' | grep -v '^latency'
+  $ vplan_server --stdio --catalog views.dl <<'SESSION' | grep -v '^latency'
   > rewrite q1(S, C) :- car(M, anderson), loc(anderson, C), part(S, M, C).
   > catalog remove v4
   > rewrite q1(S, C) :- car(M, anderson), loc(anderson, C), part(S, M, C).
@@ -58,7 +58,7 @@ A request that exhausts its budget returns a truncated response and
 bypasses the cache: the next unbudgeted request recomputes (miss, not
 hit) and gets the complete answer.
 
-  $ vplan_server --catalog views.dl <<'SESSION' | grep -v '^latency'
+  $ vplan_server --stdio --catalog views.dl <<'SESSION' | grep -v '^latency'
   > set max-steps 1
   > rewrite q1(S, C) :- car(M, anderson), loc(anderson, C), part(S, M, C).
   > set off
@@ -81,12 +81,12 @@ hit) and gets the complete answer.
 Batches fan out over the domain pool and answer in request order.
 Without a catalog there is nothing to rewrite against.
 
-  $ vplan_server <<'SESSION' | grep -v '^latency'
+  $ vplan_server --stdio <<'SESSION' | grep -v '^latency'
   > rewrite q1(S) :- part(S, M, C).
   > SESSION
   err no catalog loaded (use: catalog load FILE)
 
-  $ vplan_server --catalog views.dl --domains 2 <<'SESSION' | grep -v '^latency'
+  $ vplan_server --stdio --catalog views.dl --domains 2 <<'SESSION' | grep -v '^latency'
   > rewrite q1(S, C) :- car(M, anderson), loc(anderson, C), part(S, M, C).
   > batch 2
   > q1(A, B) :- car(N, anderson), loc(anderson, B), part(A, N, B).
@@ -107,7 +107,7 @@ generation-resets counter records the swap.  stats --json emits the same
 numbers as one machine-readable line (latency values are
 timing-dependent, so only their presence is checked).
 
-  $ vplan_server --catalog views.dl <<'SESSION' | grep -v '^latency' | sed -E 's/"latency":.*/"latency":…}/'
+  $ vplan_server --stdio --catalog views.dl <<'SESSION' | grep -v '^latency' | sed -E 's/"latency":.*/"latency":…}/'
   > rewrite q1(S, C) :- car(M, anderson), loc(anderson, C), part(S, M, C).
   > rewrite q1(P, K) :- part(P, N, K), loc(anderson, K), car(N, anderson).
   > catalog load views.dl
@@ -132,7 +132,7 @@ counters for the pipeline, per-phase latency histograms, and gauges set
 at scrape time.  Values are timing- and history-dependent, so the cram
 checks the stable ones and the shape of the rest.
 
-  $ vplan_server --catalog views.dl <<'SESSION' > metrics.out
+  $ vplan_server --stdio --catalog views.dl <<'SESSION' > metrics.out
   > rewrite q1(S, C) :- car(M, anderson), loc(anderson, C), part(S, M, C).
   > rewrite q1(P, K) :- part(P, N, K), loc(anderson, K), car(N, anderson).
   > metrics
@@ -164,7 +164,7 @@ are wall-clock, so they are normalized.
   > part(wheel, honda, chicago).
   > EOF
 
-  $ vplan_server --catalog views.dl <<'SESSION' | sed -E -e 's/[0-9]+\.[0-9]+ ?ms/X ms/g' -e 's/=X ms/=X/g'
+  $ vplan_server --stdio --catalog views.dl <<'SESSION' | sed -E -e 's/[0-9]+\.[0-9]+ ?ms/X ms/g' -e 's/=X ms/=X/g'
   > data load facts.dl
   > explain q1(S, C) :- car(M, anderson), loc(anderson, C), part(S, M, C).
   > quit
@@ -186,7 +186,7 @@ Requests slower than the slow-query threshold are logged to stderr with
 the trace id of the response they belong to; a threshold of 0 logs every
 request.
 
-  $ vplan_server --catalog views.dl --slow-ms 0 <<'SESSION' 2>&1 >/dev/null | sed -E 's/ms=[0-9.]+/ms=X/'
+  $ vplan_server --stdio --catalog views.dl --slow-ms 0 <<'SESSION' 2>&1 >/dev/null | sed -E 's/ms=[0-9.]+/ms=X/'
   > rewrite q1(S, C) :- car(M, anderson), loc(anderson, C), part(S, M, C).
   > quit
   > SESSION

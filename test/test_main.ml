@@ -19,6 +19,7 @@ let () =
       ("planner", Test_planner.suite);
       ("workload", Test_workload.suite);
       ("service", Test_service.suite);
+      ("server", Test_server.suite);
       ("obs", Test_obs.suite);
       ("properties", Test_properties.suite);
     ]

@@ -1,0 +1,402 @@
+(* The concurrent serving tier: the bounded MPMC queue and worker pool
+   primitives, the shared line-protocol front end, and the TCP server
+   itself — driven over real sockets with the blocking client and the
+   load generator, including a ≥32-client stress run with catalog swaps
+   happening under live traffic. *)
+
+open Vplan
+open Helpers
+
+(* ------------------------------------------------------------------ *)
+(* Bounded_queue                                                       *)
+
+let queue_basics () =
+  let q = Bounded_queue.create ~capacity:2 in
+  check_int "capacity" 2 (Bounded_queue.capacity q);
+  check_bool "push 1" true (Bounded_queue.try_push q 1);
+  check_bool "push 2" true (Bounded_queue.try_push q 2);
+  check_bool "full" false (Bounded_queue.try_push q 3);
+  check_int "length" 2 (Bounded_queue.length q);
+  (match Bounded_queue.try_pop q with
+  | Some v -> check_int "fifo" 1 v
+  | None -> Alcotest.fail "expected a value");
+  check_bool "room again" true (Bounded_queue.try_push q 3);
+  (match (Bounded_queue.try_pop q, Bounded_queue.try_pop q) with
+  | Some a, Some b ->
+      check_int "fifo 2" 2 a;
+      check_int "fifo 3" 3 b
+  | _ -> Alcotest.fail "expected two values");
+  check_bool "empty" true (Bounded_queue.try_pop q = None);
+  (match Bounded_queue.create ~capacity:0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "capacity 0 must be rejected")
+
+let queue_close () =
+  let q = Bounded_queue.create ~capacity:4 in
+  check_bool "push" true (Bounded_queue.push q 1);
+  Bounded_queue.close q;
+  check_bool "closed" true (Bounded_queue.is_closed q);
+  check_bool "no push after close" false (Bounded_queue.try_push q 2);
+  check_bool "blocking push after close" false (Bounded_queue.push q 2);
+  check_bool "drain" true (Bounded_queue.pop q = Some 1);
+  check_bool "drained" true (Bounded_queue.pop q = None)
+
+(* Producers and consumers on separate domains: every pushed item is
+   popped exactly once, blocking push/pop wake correctly, and close
+   releases the consumers. *)
+let queue_cross_domain () =
+  let q = Bounded_queue.create ~capacity:8 in
+  let n = 1000 in
+  let consumers =
+    Array.init 2 (fun _ ->
+        Domain.spawn (fun () ->
+            let sum = ref 0 in
+            let count = ref 0 in
+            let rec loop () =
+              match Bounded_queue.pop q with
+              | Some v ->
+                  sum := !sum + v;
+                  incr count;
+                  loop ()
+              | None -> (!sum, !count)
+            in
+            loop ()))
+  in
+  for i = 1 to n do
+    ignore (Bounded_queue.push q i)
+  done;
+  Bounded_queue.close q;
+  let totals = Array.map Domain.join consumers in
+  let sum = Array.fold_left (fun a (s, _) -> a + s) 0 totals in
+  let count = Array.fold_left (fun a (_, c) -> a + c) 0 totals in
+  check_int "every item popped once" (n * (n + 1) / 2) sum;
+  check_int "item count" n count
+
+(* ------------------------------------------------------------------ *)
+(* Pool                                                                *)
+
+let pool_runs_all () =
+  let hits = Array.make 4 false in
+  let p = Pool.spawn ~workers:4 (fun i -> hits.(i) <- true) in
+  check_int "size" 4 (Pool.size p);
+  Pool.join p;
+  Array.iteri (fun i h -> check_bool (Printf.sprintf "worker %d ran" i) true h) hits
+
+let pool_propagates_failure () =
+  let p =
+    Pool.spawn ~workers:3 (fun i -> if i = 1 then failwith "worker 1 boom")
+  in
+  match Pool.join p with
+  | () -> Alcotest.fail "join must re-raise the worker failure"
+  | exception Failure msg -> check_bool "message" true (msg = "worker 1 boom")
+
+(* ------------------------------------------------------------------ *)
+(* Protocol (in-process, no sockets)                                   *)
+
+let write_views ~tag views =
+  let file = Filename.temp_file ("vplan_test_" ^ tag) ".dl" in
+  let oc = open_out file in
+  List.iter (fun v -> Printf.fprintf oc "%s.\n" (Format.asprintf "%a" Query.pp v)) views;
+  close_out oc;
+  file
+
+let load_catalog shared file =
+  let boot = Protocol.new_session shared in
+  let r = Protocol.handle_lines shared boot [ "catalog load " ^ file ] in
+  if String.length r.Protocol.text < 2 || String.sub r.Protocol.text 0 2 <> "ok"
+  then Alcotest.fail ("catalog load failed: " ^ r.Protocol.text)
+
+let first_line (r : Protocol.reply) =
+  match String.index_opt r.text '\n' with
+  | Some i -> String.sub r.text 0 i
+  | None -> r.text
+
+let protocol_sessions_isolated () =
+  let shared = Protocol.create_shared ~domains:1 () in
+  let file = write_views ~tag:"proto" Car_loc_part.views in
+  load_catalog shared file;
+  let rewrite = "rewrite q1(S, C) :- car(M, anderson), loc(anderson, C), part(S, M, C)." in
+  let a = Protocol.new_session shared in
+  let b = Protocol.new_session shared in
+  let r = Protocol.handle_lines shared a [ "set max-steps 1" ] in
+  check_bool "set ok" true (first_line r = "ok max-steps=1");
+  let ra = Protocol.handle_lines shared a [ rewrite ] in
+  check_bool "a is budgeted (bypass)" true
+    (first_line ra = "ok 0 bypass trace=1");
+  (* the budget was session a's alone: b gets the full answer *)
+  let rb = Protocol.handle_lines shared b [ rewrite ] in
+  check_bool "b unaffected" true (first_line rb = "ok 1 miss trace=2");
+  Sys.remove file
+
+let protocol_extra_lines () =
+  check_int "batch 3" 3 (Protocol.extra_lines "batch 3");
+  check_int "batch  12" 12 (Protocol.extra_lines "batch  12");
+  check_int "rewrite" 0 (Protocol.extra_lines "rewrite q(X) :- a(X).");
+  check_int "malformed batch" 0 (Protocol.extra_lines "batch many")
+
+(* ------------------------------------------------------------------ *)
+(* Net_server fixtures                                                 *)
+
+(* A protocol-backed TCP server on an ephemeral port, torn down (with
+   drain) even if the test body fails. *)
+let with_protocol_server ?(workers = 2) ?(queue = 64) ?max_requests ~views f =
+  let shared = Protocol.create_shared ~domains:1 () in
+  let file = write_views ~tag:"srv" views in
+  load_catalog shared file;
+  let handler () =
+    let sess = Protocol.new_session shared in
+    fun lines ->
+      let reply = Protocol.handle_lines shared sess lines in
+      { Net_server.body = reply.Protocol.text; close = reply.Protocol.close }
+  in
+  let srv =
+    Net_server.create ~workers ~queue_capacity:queue ?max_requests
+      ~extra_lines:Protocol.extra_lines ~handler ()
+  in
+  let d = Domain.spawn (fun () -> Net_server.run srv) in
+  Fun.protect
+    ~finally:(fun () ->
+      Net_server.stop srv;
+      Domain.join d;
+      Sys.remove file)
+    (fun () -> f (Net_server.port srv) shared)
+
+let rewrite_line = "rewrite q1(S, C) :- car(M, anderson), loc(anderson, C), part(S, M, C)."
+let v4_answer = "q1(S,C) :- v4(M,anderson,C,S)"
+
+let starts_with prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let server_roundtrip () =
+  with_protocol_server ~views:Car_loc_part.views (fun port _shared ->
+      let c = Loadgen.Client.connect ~port () in
+      (match Loadgen.Client.request c rewrite_line with
+      | [ l1; l2 ] ->
+          check_bool "miss" true (starts_with "ok 1 miss" l1);
+          check_bool "answer" true (l2 = v4_answer)
+      | other ->
+          Alcotest.failf "unexpected response: %s" (String.concat " | " other));
+      (* an isomorphic resubmission from another connection is a hit *)
+      let c2 = Loadgen.Client.connect ~port () in
+      (match
+         Loadgen.Client.request c2
+           "rewrite q1(P, K) :- part(P, N, K), loc(anderson, K), car(N, anderson)."
+       with
+      | l1 :: _ -> check_bool "hit" true (starts_with "ok 1 hit" l1)
+      | [] -> Alcotest.fail "empty response");
+      (* batch requests are framed across multiple lines *)
+      (match
+         Loadgen.Client.request c
+           "batch 2\nq1(A, B) :- car(N, anderson), loc(anderson, B), part(A, N, B).\nq1(P, K) :- part(P, N, K), loc(anderson, K), car(N, anderson)."
+       with
+      | l :: rest ->
+          check_bool "batch first hit" true (starts_with "ok 1 hit" l);
+          check_int "batch yields two answers" 3 (List.length rest)
+      | [] -> Alcotest.fail "empty batch response");
+      (* quit closes the connection after an empty reply *)
+      check_bool "quit reply empty" true (Loadgen.Client.request c "quit" = []);
+      Loadgen.Client.close c;
+      Loadgen.Client.close c2)
+
+(* A client vanishing mid-conversation must not take the server (or any
+   other client) with it. *)
+let server_survives_disconnect () =
+  with_protocol_server ~views:Car_loc_part.views (fun port _shared ->
+      for _ = 1 to 5 do
+        let c = Loadgen.Client.connect ~port () in
+        Loadgen.Client.send c rewrite_line;
+        (* close without reading the response *)
+        Loadgen.Client.close c
+      done;
+      let c = Loadgen.Client.connect ~port () in
+      (match Loadgen.Client.request c rewrite_line with
+      | l :: _ -> check_bool "still serving" true (starts_with "ok 1" l)
+      | [] -> Alcotest.fail "empty response");
+      Loadgen.Client.close c)
+
+(* Per-connection request budget: the budget is the connection's, not
+   the process's — a fresh connection starts fresh. *)
+let server_request_budget () =
+  with_protocol_server ~max_requests:3 ~views:Car_loc_part.views
+    (fun port _shared ->
+      let a = Loadgen.Client.connect ~port () in
+      for i = 1 to 3 do
+        match Loadgen.Client.request a rewrite_line with
+        | l :: _ ->
+            check_bool (Printf.sprintf "a request %d ok" i) true
+              (starts_with "ok 1" l)
+        | [] -> Alcotest.fail "empty response"
+      done;
+      (match Loadgen.Client.request a rewrite_line with
+      | [ l ] -> check_bool "budget error" true (l = "err request budget exhausted")
+      | other ->
+          Alcotest.failf "unexpected budget response: %s"
+            (String.concat " | " other));
+      (* the connection is then closed by the server *)
+      (match Loadgen.Client.request a rewrite_line with
+      | exception (Failure _ | Unix.Unix_error (_, _, _)) -> ()
+      | _ -> Alcotest.fail "connection should be closed after budget");
+      Loadgen.Client.close a;
+      let b = Loadgen.Client.connect ~port () in
+      (match Loadgen.Client.request b rewrite_line with
+      | l :: _ -> check_bool "b starts fresh" true (starts_with "ok 1" l)
+      | [] -> Alcotest.fail "empty response");
+      Loadgen.Client.close b)
+
+(* Admission control: one worker occupied, a queue of one full — the
+   next requests must shed with "err busy" immediately rather than
+   queue behind the stall. *)
+let server_sheds_when_full () =
+  let gate = Atomic.make false in
+  let handler () =
+   fun lines ->
+    (match lines with
+    | [ "slow" ] ->
+        let rec wait () = if not (Atomic.get gate) then (Unix.sleepf 0.005; wait ()) in
+        wait ()
+    | _ -> ());
+    { Net_server.body = "ok done\n"; close = false }
+  in
+  let srv = Net_server.create ~workers:1 ~queue_capacity:1 ~handler () in
+  let d = Domain.spawn (fun () -> Net_server.run srv) in
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.set gate true;
+      Net_server.stop srv;
+      Domain.join d)
+    (fun () ->
+      let port = Net_server.port srv in
+      let shed0 = Metrics.value (Metrics.counter "vplan_requests_shed_total") in
+      let c1 = Loadgen.Client.connect ~port () in
+      Loadgen.Client.send c1 "slow";
+      Unix.sleepf 0.15;
+      (* worker is now parked in the handler; fill the queue *)
+      let c2 = Loadgen.Client.connect ~port () in
+      Loadgen.Client.send c2 "slow";
+      Unix.sleepf 0.15;
+      (* queue full: these must be shed, and fast *)
+      let shed =
+        List.init 3 (fun _ ->
+            let c = Loadgen.Client.connect ~port () in
+            let r = Loadgen.Client.request c "fast" in
+            Loadgen.Client.close c;
+            r)
+      in
+      List.iteri
+        (fun i r ->
+          check_bool (Printf.sprintf "shed %d" i) true (r = [ "err busy" ]))
+        shed;
+      let shed1 = Metrics.value (Metrics.counter "vplan_requests_shed_total") in
+      check_bool "shed counter moved" true (shed1 - shed0 >= 3);
+      (* open the gate: the parked requests complete normally *)
+      Atomic.set gate true;
+      check_bool "c1 served" true
+        (Loadgen.Client.drain c1 1 = [ [ "ok done" ] ]);
+      check_bool "c2 served" true
+        (Loadgen.Client.drain c2 1 = [ [ "ok done" ] ]);
+      Loadgen.Client.close c1;
+      Loadgen.Client.close c2)
+
+(* ------------------------------------------------------------------ *)
+(* Stress: ≥32 concurrent clients, catalog swaps under live traffic    *)
+
+(* 32 loadgen connections hammer rewrites while a control connection
+   swaps the catalog back and forth between one with v4 (best answer
+   uses v4 alone) and one without (best answer joins v1 and v2).  Every
+   response must be one of the two complete answers — a torn result
+   (half a catalog, a cache entry from the wrong generation) would show
+   up as any other body — and the generation-resets counter must count
+   exactly the swaps. *)
+let server_stress_swap () =
+  with_protocol_server ~workers:2 ~queue:256 ~views:Car_loc_part.views
+    (fun port _shared ->
+      let with_v4 = write_views ~tag:"swap_a" Car_loc_part.views in
+      let without_v4 =
+        write_views ~tag:"swap_b"
+          Car_loc_part.[ v1; v2; v3; v5 ]
+      in
+      let swaps = 6 in
+      let control =
+        Domain.spawn (fun () ->
+            let c = Loadgen.Client.connect ~port () in
+            let ok = ref 0 in
+            for i = 1 to swaps do
+              let file = if i mod 2 = 0 then with_v4 else without_v4 in
+              (match Loadgen.Client.request c ("catalog load " ^ file) with
+              | l :: _ when starts_with "ok catalog" l -> incr ok
+              | _ -> ());
+              (match Loadgen.Client.request c "stats" with
+              | l :: _ when starts_with "generation=" l -> ()
+              | _ -> ());
+              Unix.sleepf 0.05
+            done;
+            Loadgen.Client.close c;
+            !ok)
+      in
+      (* collectors: 4 checker connections record full response bodies *)
+      let checker =
+        Domain.spawn (fun () ->
+            let cs = List.init 4 (fun _ -> Loadgen.Client.connect ~port ()) in
+            let bad = ref [] in
+            for _ = 1 to 12 do
+              List.iter
+                (fun c ->
+                  match Loadgen.Client.request c rewrite_line with
+                  | [ l1; l2 ]
+                    when starts_with "ok 1" l1
+                         && (l2 = v4_answer
+                            || l2 = "q1(S,C) :- v1(M,anderson,C), v2(S,M,C)") ->
+                      ()
+                  | other -> bad := String.concat " | " other :: !bad)
+                cs
+            done;
+            List.iter Loadgen.Client.close cs;
+            !bad)
+      in
+      let res =
+        Loadgen.run ~port ~clients:32 ~duration_ms:600.0
+          ~request:(fun ~client:_ ~seq:_ -> rewrite_line)
+          ()
+      in
+      let control_ok = Domain.join control in
+      let bad = Domain.join checker in
+      check_int "all swaps applied" swaps control_ok;
+      check_bool "no torn results" true (bad = []);
+      check_int "loadgen saw no protocol errors" 0 res.Loadgen.errors;
+      check_int "no loadgen connection died" 0 res.Loadgen.closed_early;
+      check_bool "traffic actually flowed" true (res.Loadgen.ok > 100);
+      check_bool "every request answered" true
+        (res.Loadgen.completed = res.Loadgen.sent);
+      (* the service counted exactly the control connection's swaps *)
+      (match Protocol.service _shared with
+      | None -> Alcotest.fail "service vanished"
+      | Some s ->
+          check_int "generation resets" swaps (Service.stats s).Service.generation_resets);
+      Sys.remove with_v4;
+      Sys.remove without_v4)
+
+let suite =
+  [
+    Alcotest.test_case "bounded queue: fifo, capacity, try ops" `Quick queue_basics;
+    Alcotest.test_case "bounded queue: close semantics" `Quick queue_close;
+    Alcotest.test_case "bounded queue: cross-domain producers/consumers" `Quick
+      queue_cross_domain;
+    Alcotest.test_case "pool: runs every worker" `Quick pool_runs_all;
+    Alcotest.test_case "pool: join re-raises worker failure" `Quick
+      pool_propagates_failure;
+    Alcotest.test_case "protocol: per-session budgets are isolated" `Quick
+      protocol_sessions_isolated;
+    Alcotest.test_case "protocol: multi-line framing hints" `Quick
+      protocol_extra_lines;
+    Alcotest.test_case "tcp: roundtrip, hit attribution, batch, quit" `Quick
+      server_roundtrip;
+    Alcotest.test_case "tcp: client disconnect is contained" `Quick
+      server_survives_disconnect;
+    Alcotest.test_case "tcp: per-connection request budget" `Quick
+      server_request_budget;
+    Alcotest.test_case "tcp: admission control sheds when saturated" `Quick
+      server_sheds_when_full;
+    Alcotest.test_case "tcp: 32-client stress with catalog swaps" `Slow
+      server_stress_swap;
+  ]
