@@ -26,6 +26,7 @@
      loadgen   TCP serving tier: closed-loop load at 1/8/64/256 clients
      optimize  plan selection: branch-and-bound engine vs naive candidate loop
      observe   tracing overhead: CoreCover with the span tracer on vs off
+     recovery  durable store: warm restart vs cold preprocessing, replay
      micro     bechamel micro-benchmarks of the core operations *)
 
 open Vplan
@@ -116,6 +117,7 @@ type server_row = {
   sv_ok : int;
   sv_hits : int;
   sv_shed : int;
+  sv_retried : int;
   sv_errors : int;
   sv_qps : float;
   sv_p50_ms : float;
@@ -164,6 +166,21 @@ type observe_metrics = {
 
 let observe_metrics : observe_metrics option ref = ref None
 
+(* Metrics of the [recovery] experiment, collected for [--out FILE.json]. *)
+type recovery_metrics = {
+  rc_views : int;
+  rc_cold_ms : float;  (* Catalog.create: full preprocessing *)
+  rc_warm_ms : float;  (* Store.open_dir + snapshot restore *)
+  rc_speedup : float;
+  rc_replay_records : int;
+  rc_replay_ms : float;  (* Store.open_dir + journal replay *)
+  rc_journal_kb : float;
+  rc_enospc_readonly : bool;  (* mutation refused after injected ENOSPC *)
+  rc_reads_degraded : bool;  (* rewrite still answers while readonly *)
+}
+
+let recovery_metrics : recovery_metrics option ref = ref None
+
 let write_json ~mode oc =
   Printf.fprintf oc "{\n";
   Printf.fprintf oc "  \"mode\": %S,\n" mode;
@@ -191,6 +208,17 @@ let write_json ~mode oc =
         m.ob_untraced_ms m.ob_traced_ms;
       Printf.fprintf oc " \"overhead_pct\": %.2f, \"spans_per_request\": %.1f },\n"
         m.ob_overhead_pct m.ob_spans);
+  (match !recovery_metrics with
+  | None -> ()
+  | Some m ->
+      Printf.fprintf oc
+        "  \"recovery\": { \"views\": %d, \"cold_ms\": %.3f, \"warm_ms\": %.3f, \"speedup\": %.1f,"
+        m.rc_views m.rc_cold_ms m.rc_warm_ms m.rc_speedup;
+      Printf.fprintf oc
+        " \"replay_records\": %d, \"replay_ms\": %.3f, \"journal_kb\": %.1f,"
+        m.rc_replay_records m.rc_replay_ms m.rc_journal_kb;
+      Printf.fprintf oc " \"enospc_readonly\": %b, \"reads_degraded\": %b },\n"
+        m.rc_enospc_readonly m.rc_reads_degraded);
   (match List.rev !server_rows with
   | [] -> ()
   | rows ->
@@ -222,8 +250,9 @@ let write_json ~mode oc =
             (if i = 0 then "" else ",")
             r.sv_clients r.sv_sent;
           Printf.fprintf oc
-            " \"ok\": %d, \"hits\": %d, \"shed\": %d, \"errors\": %d,"
-            r.sv_ok r.sv_hits r.sv_shed r.sv_errors;
+            " \"ok\": %d, \"hits\": %d, \"shed\": %d, \"retried\": %d, \
+             \"errors\": %d,"
+            r.sv_ok r.sv_hits r.sv_shed r.sv_retried r.sv_errors;
           Printf.fprintf oc
             " \"qps\": %.1f, \"p50_ms\": %.3f, \"p99_ms\": %.3f }" r.sv_qps
             r.sv_p50_ms r.sv_p99_ms)
@@ -1073,6 +1102,8 @@ let micro () =
 
 let opt_port = ref None (* drive an external server instead of in-process *)
 let opt_clients = ref None (* restrict to a single concurrency point *)
+let opt_retries = ref 0 (* resend-on-busy budget per request (0 = off) *)
+let opt_backoff_ms = ref 5.0 (* base of the exponential retry backoff *)
 
 (* First integer value of ["key": N] in a flat JSON object. *)
 let int_field json key =
@@ -1181,14 +1212,18 @@ let loadgen_bench ~settings =
   let points =
     match !opt_clients with None -> [ 1; 8; 64; 256 ] | Some n -> [ n ]
   in
-  Format.printf "%8s %10s %10s %8s %8s %8s %12s %10s %10s@." "clients" "sent"
-    "ok" "hits" "shed" "errors" "qps" "p50-ms" "p99-ms";
+  Format.printf "%8s %10s %10s %8s %8s %8s %8s %12s %10s %10s@." "clients"
+    "sent" "ok" "hits" "shed" "retried" "errors" "qps" "p50-ms" "p99-ms";
   List.iter
     (fun clients ->
-      let r = Loadgen.run ~port ~clients ~duration_ms ~request () in
-      Format.printf "%8d %10d %10d %8d %8d %8d %12.1f %10.3f %10.3f@." clients
-        r.Loadgen.sent r.Loadgen.ok r.Loadgen.hits r.Loadgen.shed
-        r.Loadgen.errors r.Loadgen.qps r.Loadgen.p50_ms r.Loadgen.p99_ms;
+      let r =
+        Loadgen.run ~port ~clients ~retries:!opt_retries
+          ~backoff_ms:!opt_backoff_ms ~duration_ms ~request ()
+      in
+      Format.printf "%8d %10d %10d %8d %8d %8d %8d %12.1f %10.3f %10.3f@."
+        clients r.Loadgen.sent r.Loadgen.ok r.Loadgen.hits r.Loadgen.shed
+        r.Loadgen.retried r.Loadgen.errors r.Loadgen.qps r.Loadgen.p50_ms
+        r.Loadgen.p99_ms;
       server_rows :=
         {
           sv_clients = clients;
@@ -1196,6 +1231,7 @@ let loadgen_bench ~settings =
           sv_ok = r.Loadgen.ok;
           sv_hits = r.Loadgen.hits;
           sv_shed = r.Loadgen.shed;
+          sv_retried = r.Loadgen.retried;
           sv_errors = r.Loadgen.errors;
           sv_qps = r.Loadgen.qps;
           sv_p50_ms = r.Loadgen.p50_ms;
@@ -1260,6 +1296,134 @@ let loadgen_bench ~settings =
         sw_closed_early = r.Loadgen.closed_early;
       }
 
+(* ------------------------------------------------------------------ *)
+(* X9: durable store — warm restart vs cold preprocessing, journal     *)
+(* replay, and ENOSPC degradation.                                     *)
+
+let bench_temp_dir () =
+  let d = Filename.temp_file "vplan_bench_store" "" in
+  Sys.remove d;
+  Unix.mkdir d 0o700;
+  d
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      Unix.rmdir path
+  | _ -> Sys.remove path
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
+let store_ok what = function
+  | Ok v -> v
+  | Error e -> failwith (Printf.sprintf "recovery bench: %s: %s" what e)
+
+let recovery () =
+  header "X9: durable store — warm restart vs cold preprocessing";
+  let n = 1000 in
+  (* chain views over a small schema: the last three atoms are redundant
+     (they fold into the first three), so cold preprocessing pays
+     for real minimization; (a, b, c, d) ranges over 256 combinations,
+     so classes hold ~4 equivalent views each and grouping pays for
+     real within-bucket equivalence checks *)
+  let texts =
+    List.init n (fun i ->
+        let a = i mod 4
+        and b = i / 4 mod 4
+        and c = i / 16 mod 4
+        and d = i / 64 mod 4 in
+        Printf.sprintf
+          "w%d(X0, X4) :- e%d(X0, X1), e%d(X1, X2), e%d(X2, X3), e%d(X3, \
+           X4), e%d(X0, Y), e%d(X1, W), e%d(X2, Z)."
+          i a b c d a b c)
+  in
+  (* cold boot: parse the catalog file, minimize and canonicalize every
+     view, group the equivalence classes *)
+  let cat, cold_ms =
+    time_ms (fun () ->
+        let views =
+          List.map (fun t -> store_ok "parse" (Persist.view_of_text t)) texts
+        in
+        Catalog.create_exn views)
+  in
+  (* warm boot: open the store and restore the snapshot — no
+     recanonicalization, the classes come back keyed *)
+  let dir = bench_temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let st, _ = store_ok "open" (Store.open_dir dir) in
+  store_ok "save" (Store.save st (Persist.snapshot_of cat));
+  Store.close st;
+  let warm_views, warm_ms =
+    time_ms (fun () ->
+        let st, r = store_ok "reopen" (Store.open_dir dir) in
+        let snap = Option.get r.Store.r_snapshot in
+        let cat, _ = store_ok "restore" (Persist.state_of_snapshot snap) in
+        Store.close st;
+        Catalog.num_views cat)
+  in
+  (* journal replay: the same 1000 views as individual acked mutations *)
+  let dir2 = bench_temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir2) @@ fun () ->
+  let st2, _ = store_ok "open journal" (Store.open_dir dir2) in
+  List.iter
+    (fun t -> store_ok "append" (Store.append st2 (Record.Add_view t)))
+    texts;
+  let journal_kb = float_of_int (Store.journal_bytes st2) /. 1024. in
+  Store.close st2;
+  let replay_records, replay_ms =
+    time_ms (fun () ->
+        let st, r = store_ok "reopen journal" (Store.open_dir dir2) in
+        let _, _, applied =
+          store_ok "replay" (Persist.replay (None, None) r.Store.r_replayed)
+        in
+        Store.close st;
+        applied)
+  in
+  (* ENOSPC mid-serving: the mutation is refused, reads keep answering *)
+  let dir3 = bench_temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir3) @@ fun () ->
+  Failpoint.reset ();
+  let st3, _ = store_ok "open degraded" (Store.open_dir dir3) in
+  let shared = Protocol.create_shared ~domains:1 ~store:st3 () in
+  let sess = Protocol.new_session shared in
+  let ask line = (Protocol.handle_lines shared sess [ line ]).Protocol.text in
+  ignore
+    (ask "catalog add v4(M, D, C, S) :- car(M, D), loc(D, C), part(S, M, C).");
+  Failpoint.arm "store.journal.append" (Failpoint.Io_error "ENOSPC");
+  let enospc_readonly =
+    String.starts_with ~prefix:"err readonly"
+      (ask "catalog add v5(X) :- loc(X, X).")
+    && Store.mode st3 = Store.Readonly
+  in
+  let reads_degraded =
+    String.starts_with ~prefix:"ok 1"
+      (ask
+         "rewrite q1(S, C) :- car(M, anderson), loc(anderson, C), part(S, M, \
+          C).")
+  in
+  Failpoint.reset ();
+  Store.close st3;
+  let speedup = if warm_ms > 0. then cold_ms /. warm_ms else infinity in
+  Format.printf "%8s %12s %12s %10s %10s %12s %10s@." "views" "cold-ms"
+    "warm-ms" "speedup" "replay" "replay-ms" "journal";
+  Format.printf "%8d %12.1f %12.1f %9.1fx %10d %12.1f %8.0fkB@." warm_views
+    cold_ms warm_ms speedup replay_records replay_ms journal_kb;
+  Format.printf "enospc: mutation refused readonly=%b, reads still answer=%b@."
+    enospc_readonly reads_degraded;
+  recovery_metrics :=
+    Some
+      {
+        rc_views = warm_views;
+        rc_cold_ms = cold_ms;
+        rc_warm_ms = warm_ms;
+        rc_speedup = speedup;
+        rc_replay_records = replay_records;
+        rc_replay_ms = replay_ms;
+        rc_journal_kb = journal_kb;
+        rc_enospc_readonly = enospc_readonly;
+        rc_reads_degraded = reads_degraded;
+      }
+
 let experiments settings =
   [
     ("table2", fun () -> table2 ());
@@ -1299,6 +1463,7 @@ let experiments settings =
     ("loadgen", fun () -> loadgen_bench ~settings);
     ("optimize", fun () -> optimize ~settings);
     ("observe", fun () -> observe ~settings);
+    ("recovery", fun () -> recovery ());
     ("micro", fun () -> micro ());
   ]
 
@@ -1307,7 +1472,8 @@ let usage () =
     "usage: main.exe [EXPERIMENT...] [--full | --mode quick|full] [--views N]\n\
     \                [--domains N] [--no-index] [--no-buckets] [--out FILE.json]\n\
     \                [--timeout MS] [--max-steps N] [--max-covers N]\n\
-    \                [--clients N] [--port P]    (loadgen)";
+    \                [--clients N] [--port P] [--retries N] [--backoff-ms MS]\n\
+    \                                            (loadgen)";
   exit 2
 
 let () =
@@ -1390,6 +1556,18 @@ let () =
         match int_of_string_opt n with
         | Some v when v >= 1 ->
             server_queue := v;
+            parse wanted rest
+        | _ -> usage ())
+    | "--retries" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some v when v >= 0 ->
+            opt_retries := v;
+            parse wanted rest
+        | _ -> usage ())
+    | "--backoff-ms" :: ms :: rest -> (
+        match float_of_string_opt ms with
+        | Some v when v > 0.0 ->
+            opt_backoff_ms := v;
             parse wanted rest
         | _ -> usage ())
     | a :: _ when String.length a >= 2 && String.sub a 0 2 = "--" -> usage ()

@@ -16,7 +16,7 @@ let usage () =
     \                    [--slow-ms MS]\n\
     \                    [--stdio | --listen PORT] [--host ADDR]\n\
     \                    [--workers N] [--queue N] [--max-requests N]\n\
-    \                    [--port-file FILE]";
+    \                    [--port-file FILE] [--data-dir DIR]";
   exit 2
 
 type mode = Tcp | Stdio
@@ -36,6 +36,7 @@ let () =
   let queue = ref 128 in
   let max_requests = ref None in
   let port_file = ref None in
+  let data_dir = ref None in
   let int_arg n k =
     match int_of_string_opt n with Some v when v > 0 -> k v | _ -> usage ()
   in
@@ -89,13 +90,75 @@ let () =
     | "--port-file" :: f :: rest ->
         port_file := Some f;
         parse_args rest
+    | "--data-dir" :: d :: rest ->
+        data_dir := Some d;
+        parse_args rest
     | _ -> usage ()
   in
   parse_args (List.tl (Array.to_list Sys.argv));
+  (* fault-injection sites are inert unless VPLAN_FAILPOINTS arms them;
+     the crash-matrix tests drive the server through this hook *)
+  Vplan.Failpoint.init_from_env ();
+  let fatal fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 1) fmt in
+  (* Recovery happens before any front end serves: last-good snapshot,
+     then the journal's surviving suffix, exactly once. *)
+  let recovered =
+    match !data_dir with
+    | None -> None
+    | Some dir -> (
+        match Vplan.Store.open_dir dir with
+        | Error e -> fatal "store: %s" e
+        | Ok (st, r) -> (
+            let state =
+              match r.Vplan.Store.r_snapshot with
+              | None -> Ok (None, None)
+              | Some snap -> (
+                  match Vplan.Persist.state_of_snapshot snap with
+                  | Ok (cat, base) -> Ok (Some cat, base)
+                  | Error e -> Error e)
+            in
+            match
+              Result.bind state (fun state ->
+                  Vplan.Persist.replay state r.Vplan.Store.r_replayed)
+            with
+            | Error e -> fatal "recovery: %s" e
+            | Ok (cat, base, replayed) ->
+                Printf.printf
+                  "store dir=%s recovered views=%d replayed=%d \
+                   truncated_bytes=%d\n\
+                   %!"
+                  dir
+                  (match cat with
+                  | Some c -> Vplan.Catalog.num_views c
+                  | None -> 0)
+                  replayed r.Vplan.Store.r_truncated_bytes;
+                Some (st, r, cat, base)))
+  in
   let shared =
+    let store, boot_replayed, boot_truncated =
+      match recovered with
+      | None -> (None, 0, 0)
+      | Some (st, r, _, _) ->
+          ( Some st,
+            List.length r.Vplan.Store.r_replayed,
+            r.Vplan.Store.r_truncated_bytes )
+    in
     Vplan.Protocol.create_shared ?cache_capacity:!cache_capacity
       ?domains:!domains ?timeout_ms:!timeout_ms ?max_steps:!max_steps
-      ?max_covers:!max_covers ?slow_ms:!slow_ms ()
+      ?max_covers:!max_covers ?slow_ms:!slow_ms ?store ~boot_replayed
+      ~boot_truncated ()
+  in
+  (match recovered with
+  | None | Some (_, _, None, _) -> ()
+  | Some (_, _, Some cat, base) ->
+      Vplan.Protocol.install_catalog shared cat;
+      (match (Vplan.Protocol.service shared, base) with
+      | Some s, Some db -> Vplan.Service.set_base s db
+      | _ -> ()));
+  let close_store () =
+    match Vplan.Protocol.store shared with
+    | Some st -> Vplan.Store.close st
+    | None -> ()
   in
   (* --catalog behaves exactly like an initial "catalog load FILE"
      request: same ok/err line, but a failure is fatal at startup. *)
@@ -132,7 +195,8 @@ let () =
             if not reply.Vplan.Protocol.close then loop ()
         | exception End_of_file -> ()
       in
-      loop ()
+      loop ();
+      close_store ()
   | Tcp ->
       let handler () =
         let session = Vplan.Protocol.new_session shared in
@@ -162,4 +226,8 @@ let () =
       Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
       Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
       Vplan.Net_server.run server;
+      (* every acked request's journal record is already fsynced; this
+         closes the fd so the "drained" line means "nothing in flight,
+         nothing buffered" *)
+      close_store ();
       Printf.printf "drained\n%!"

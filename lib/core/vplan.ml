@@ -104,6 +104,17 @@ module Catalog = Vplan_service.Catalog
 module Rewrite_cache = Vplan_service.Rewrite_cache
 module Service = Vplan_service.Service
 
+(* durability: checksummed snapshots, write-ahead journal, crash
+   recovery, fault injection *)
+module Failpoint = Vplan_core.Failpoint
+module Crc32 = Vplan_store.Crc32
+module Codec = Vplan_store.Codec
+module Record = Vplan_store.Record
+module Journal = Vplan_store.Journal
+module Snapshot = Vplan_store.Snapshot
+module Store = Vplan_store.Store
+module Persist = Vplan_service.Persist
+
 (* concurrent serving tier: bounded MPMC queue, resident worker pool,
    line-protocol front end, TCP socket server, load generator *)
 module Bounded_queue = Vplan_parallel.Bounded_queue

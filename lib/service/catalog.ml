@@ -51,8 +51,30 @@ let remove_views t names =
               t.keyed;
         }
 
+(* Restoring from a snapshot trusts the stored partition instead of
+   regrouping — that skip is the entire point of a warm restart.  The
+   checks here are the cheap structural ones: a valid view set, and a
+   partition that covers exactly the member list. *)
+let restore ~generation ~views ~keyed =
+  if generation < 1 then Error "restore: generation must be >= 1"
+  else
+    match View.validate_set views with
+    | Error e -> Error e
+    | Ok () ->
+        let member_names =
+          List.concat_map (fun (_, members) -> List.map View.name members) keyed
+          |> List.sort String.compare
+        in
+        let view_names = List.map View.name views |> List.sort String.compare in
+        if member_names <> view_names then
+          Error "restore: class partition does not cover the view set"
+        else if List.exists (fun (_, members) -> members = []) keyed then
+          Error "restore: empty equivalence class"
+        else Ok { generation; views; keyed }
+
 let generation t = t.generation
 let views t = t.views
+let keyed t = t.keyed
 let view_classes t = List.map snd t.keyed
 let num_views t = List.length t.views
 let num_classes t = List.length t.keyed

@@ -42,6 +42,17 @@ val add_views :
     Fails when a name is not a member. *)
 val remove_views : t -> string list -> (t, string) result
 
+(** [restore ~generation ~views ~keyed] rebuilds a catalog from
+    persisted parts {e without} regrouping — the preprocessing skip that
+    makes a warm restart fast.  Validates the view set and that [keyed]
+    partitions exactly [views]; it trusts the class structure itself,
+    which the snapshot codec protects with a checksum. *)
+val restore :
+  generation:int ->
+  views:View.t list ->
+  keyed:(string * View.t list) list ->
+  (t, string) result
+
 (** Monotone generation counter, starting at 1.  Two catalogs with the
     same generation that came from the same lineage have the same
     members — the rewrite cache keys its validity on this. *)
@@ -53,6 +64,10 @@ val views : t -> View.t list
 (** The equivalence-class partition, ready to pass to
     [Corecover.gmrs ~view_classes]. *)
 val view_classes : t -> View.t list list
+
+(** The signature-tagged partition — the persistent form a snapshot
+    stores and {!restore} consumes. *)
+val keyed : t -> (string * View.t list) list
 
 val num_views : t -> int
 val num_classes : t -> int

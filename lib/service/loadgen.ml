@@ -5,6 +5,7 @@ type result = {
   ok : int;
   hits : int;
   shed : int;
+  retried : int;
   errors : int;
   closed_early : int;
   elapsed_ms : float;
@@ -14,18 +15,29 @@ type result = {
   max_ms : float;
 }
 
+(* Exponential backoff with full jitter: attempt [k] (0-based) waits
+   uniformly in [0, backoff_ms * 2^k].  Jitter decorrelates the fleet —
+   without it every shed client would retry into the same queue-full
+   instant that shed it. *)
+let backoff_delay_s ~backoff_ms attempt =
+  let cap = backoff_ms *. (2.0 ** float_of_int attempt) in
+  Random.float (Float.max 1e-6 cap) /. 1000.0
+
 (* One driven connection.  [outbox] is bytes not yet written (requests
    are tiny, so string concatenation on the rare short write is fine);
-   [starts] holds the send timestamp of every in-flight request, FIFO,
-   which is sound because the server answers each connection in request
-   order.  Only the first line of a response matters for
-   classification, so the rest are discarded as they arrive. *)
+   [starts] holds (send time, request line, attempt) for every
+   in-flight request, FIFO, which is sound because the server answers
+   each connection in request order.  Only the first line of a response
+   matters for classification, so the rest are discarded as they
+   arrive.  [retry_at] is an [err busy] response waiting out its
+   backoff before being resent on this connection. *)
 type conn = {
   id : int;
   fd : Unix.file_descr;
   mutable outbox : string;
   inbuf : Buffer.t;
-  starts : float Queue.t;
+  starts : (float * string * int) Queue.t;
+  mutable retry_at : (float * string * int) option;
   mutable first_line : string option;
   mutable in_response : bool;
   mutable seq : int;
@@ -47,6 +59,7 @@ let connect_conn ~host ~port id =
     outbox = "";
     inbuf = Buffer.create 256;
     starts = Queue.create ();
+    retry_at = None;
     first_line = None;
     in_response = false;
     seq = 0;
@@ -69,14 +82,17 @@ let percentile sorted p =
     sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
 
 let run ?(host = "127.0.0.1") ~port ~clients ?rate ?max_per_client
-    ?(grace_ms = 2000.0) ~duration_ms ~request () =
+    ?(grace_ms = 2000.0) ?(retries = 0) ?(backoff_ms = 5.0) ~duration_ms
+    ~request () =
   if clients < 1 then invalid_arg "Loadgen.run: clients must be >= 1";
+  if retries < 0 then invalid_arg "Loadgen.run: retries must be >= 0";
   let conns = Array.init clients (connect_conn ~host ~port) in
   let sent = ref 0 in
   let completed = ref 0 in
   let ok = ref 0 in
   let hits = ref 0 in
   let shed = ref 0 in
+  let retried = ref 0 in
   let errors = ref 0 in
   let latencies = ref [] in
   let nlat = ref 0 in
@@ -87,12 +103,9 @@ let run ?(host = "127.0.0.1") ~port ~clients ?rate ?max_per_client
   let exhausted c =
     match max_per_client with Some m -> c.seq >= m | None -> false
   in
-  let enqueue now c =
-    let line = request ~client:c.id ~seq:c.seq in
-    c.seq <- c.seq + 1;
+  let post now c line attempt =
     c.outbox <- c.outbox ^ line ^ "\n";
-    Queue.push now c.starts;
-    incr sent;
+    Queue.push (now, line, attempt) c.starts;
     (* optimistic immediate write: the socket buffer is almost always
        empty in closed loop, and skipping the select round halves the
        syscalls per request *)
@@ -104,8 +117,34 @@ let run ?(host = "127.0.0.1") ~port ~clients ?rate ?max_per_client
         ()
     | exception Unix.Unix_error (_, _, _) -> close_conn c
   in
-  (* Open loop sends on the clock; closed loop sends on completion. *)
+  let enqueue now c =
+    let line = request ~client:c.id ~seq:c.seq in
+    c.seq <- c.seq + 1;
+    incr sent;
+    post now c line 0
+  in
+  (* Open loop sends on the clock; closed loop sends on completion.
+     Either way, a due retry goes out first — and past the deadline
+     pending retries are abandoned (counted shed) so the run can end. *)
   let schedule now =
+    Array.iter
+      (fun c ->
+        match c.retry_at with
+        | Some (due, line, attempt) when not c.closed ->
+            if now >= deadline then begin
+              c.retry_at <- None;
+              incr shed
+            end
+            else if now >= due then begin
+              c.retry_at <- None;
+              incr retried;
+              post now c line attempt
+            end
+        | Some _ ->
+            c.retry_at <- None;
+            incr shed
+        | None -> ())
+      conns;
     if now < deadline then
       match rate with
       | None ->
@@ -114,6 +153,7 @@ let run ?(host = "127.0.0.1") ~port ~clients ?rate ?max_per_client
               if
                 (not c.closed)
                 && Queue.is_empty c.starts
+                && c.retry_at = None
                 && (not (exhausted c))
                 && c.outbox = ""
               then enqueue now c)
@@ -140,8 +180,9 @@ let run ?(host = "127.0.0.1") ~port ~clients ?rate ?max_per_client
       if line = "." then (
         c.in_response <- false;
         incr completed;
-        let t0 = Queue.pop c.starts in
-        let ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+        let now = Unix.gettimeofday () in
+        let t0, req_line, attempt = Queue.pop c.starts in
+        let ms = (now -. t0) *. 1000.0 in
         (match c.first_line with
         | Some l when String.length l >= 2 && String.sub l 0 2 = "ok" ->
             incr ok;
@@ -154,7 +195,14 @@ let run ?(host = "127.0.0.1") ~port ~clients ?rate ?max_per_client
               | _ -> false
             in
             if hit then incr hits
-        | Some "err busy" -> incr shed
+        | Some "err busy" ->
+            (* one retry slot per connection is enough: closed loop has
+               one request in flight, and in open loop a second busy
+               just counts as shed rather than stacking a backlog *)
+            if attempt < retries && c.retry_at = None then
+              c.retry_at <-
+                Some (now +. backoff_delay_s ~backoff_ms attempt, req_line, attempt + 1)
+            else incr shed
         | Some _ | None -> incr errors);
         c.first_line <- None))
     else (
@@ -208,7 +256,9 @@ let run ?(host = "127.0.0.1") ~port ~clients ?rate ?max_per_client
     || (max_per_client <> None
        && Array.for_all
             (fun c ->
-              c.closed || (exhausted c && Queue.is_empty c.starts && c.outbox = ""))
+              c.closed
+              || (exhausted c && Queue.is_empty c.starts && c.outbox = ""
+                 && c.retry_at = None))
             conns)
   in
   while not (finished ()) do
@@ -269,6 +319,16 @@ let run ?(host = "127.0.0.1") ~port ~clients ?rate ?max_per_client
               | exception Unix.Unix_error (_, _, _) -> close_conn c))
         rd
   done;
+  (* a retry still waiting out its backoff when the run ends was never
+     resent: it is a shed request, not a completed one *)
+  Array.iter
+    (fun c ->
+      match c.retry_at with
+      | Some _ ->
+          c.retry_at <- None;
+          incr shed
+      | None -> ())
+    conns;
   let elapsed_ms = (Unix.gettimeofday () -. start) *. 1000.0 in
   let closed_early = Array.fold_left (fun a c -> if c.closed then a + 1 else a) 0 conns in
   Array.iter close_conn conns;
@@ -282,6 +342,7 @@ let run ?(host = "127.0.0.1") ~port ~clients ?rate ?max_per_client
     ok = !ok;
     hits = !hits;
     shed = !shed;
+    retried = !retried;
     errors = !errors;
     closed_early;
     elapsed_ms;
@@ -358,9 +419,16 @@ module Client = struct
     in
     go []
 
-  let request t line =
-    send t line;
-    read_response t
+  let request ?(retries = 0) ?(backoff_ms = 5.0) t line =
+    let rec go attempt =
+      send t line;
+      match read_response t with
+      | [ "err busy" ] when attempt < retries ->
+          Unix.sleepf (backoff_delay_s ~backoff_ms attempt);
+          go (attempt + 1)
+      | resp -> resp
+    in
+    go 0
 
   let drain t n = List.init n (fun _ -> read_response t)
 

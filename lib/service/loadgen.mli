@@ -18,11 +18,14 @@
 
 type result = {
   clients : int;
-  sent : int;  (** requests written *)
+  sent : int;  (** distinct requests written (resends not included) *)
   completed : int;  (** responses fully received *)
   ok : int;
   hits : int;  (** [ok] responses attributed to the rewrite cache *)
-  shed : int;  (** [err busy] responses *)
+  shed : int;
+      (** requests given up as [err busy] — retries exhausted, retry
+          window closed, or retrying disabled *)
+  retried : int;  (** resends performed after an [err busy] *)
   errors : int;  (** other [err] responses *)
   closed_early : int;  (** connections that died before the run ended *)
   elapsed_ms : float;
@@ -41,7 +44,14 @@ type result = {
     regardless of outstanding responses.  [max_per_client] stops a
     connection after that many sends (the run ends early when every
     connection is done).  After [duration_ms] no new requests are sent;
-    up to [grace_ms] (default 2000) is then allowed for stragglers. *)
+    up to [grace_ms] (default 2000) is then allowed for stragglers.
+
+    [retries] (default 0: off) resends a request shed with [err busy]
+    up to that many times, after an exponential backoff with full
+    jitter (attempt [k] waits uniformly in [0, backoff_ms * 2^k];
+    [backoff_ms] defaults to 5).  Resends are counted in [retried], not
+    [sent]; only a request whose retries are exhausted — or abandoned
+    at the deadline — counts as [shed], so shed rates stay honest. *)
 val run :
   ?host:string ->
   port:int ->
@@ -49,6 +59,8 @@ val run :
   ?rate:float ->
   ?max_per_client:int ->
   ?grace_ms:float ->
+  ?retries:int ->
+  ?backoff_ms:float ->
   duration_ms:float ->
   request:(client:int -> seq:int -> string) ->
   unit ->
@@ -62,10 +74,13 @@ module Client : sig
   val connect : ?host:string -> port:int -> unit -> t
 
   (** [request t line] sends [line] (or several lines, for [batch])
-      and returns the response lines, terminator excluded.
+      and returns the response lines, terminator excluded.  [retries]
+      (default 0) resends after an [err busy] reply, waiting out an
+      exponential backoff with full jitter between attempts; the
+      returned response is the last attempt's.
       @raise Failure on timeout (10s), closed connection, or if the
       connection already saw EOF. *)
-  val request : t -> string -> string list
+  val request : ?retries:int -> ?backoff_ms:float -> t -> string -> string list
 
   (** [send t line] writes without awaiting a response (for pipelining
       experiments); pair with {!drain}. *)

@@ -9,12 +9,18 @@ module Database = Vplan_relational.Database
 module Subplan = Vplan_cost.Subplan
 module Metrics = Vplan_obs.Metrics
 module Trace = Vplan_obs.Trace
+module Store = Vplan_store.Store
+module Record = Vplan_store.Record
 
 type shared = {
   mutable service : Service.t option;
   (* serializes catalog/base read-modify-write cycles (add/remove build
      on the current catalog); Service itself is domain-safe *)
   slock : Mutex.t;
+  store : Store.t option;
+  (* recovery facts frozen at boot, reported by [health] *)
+  boot_replayed : int;
+  boot_truncated : int;
   domains : int;
   cache_capacity : int;
   d_timeout_ms : float option;
@@ -35,10 +41,13 @@ type session = {
 type reply = { text : string; close : bool }
 
 let create_shared ?(cache_capacity = 512) ?(domains = 1) ?timeout_ms ?max_steps
-    ?max_covers ?slow_ms () =
+    ?max_covers ?slow_ms ?store ?(boot_replayed = 0) ?(boot_truncated = 0) () =
   {
     service = None;
     slock = Mutex.create ();
+    store;
+    boot_replayed;
+    boot_truncated;
     domains;
     cache_capacity;
     d_timeout_ms = timeout_ms;
@@ -58,6 +67,12 @@ let new_session shared =
   }
 
 let service shared = shared.service
+let store shared = shared.store
+
+(* journal-before-ack: every mutation is appended (and fsynced) before
+   it becomes visible; [Ok ()] with no store means ephemeral mode *)
+let persist shared op =
+  match shared.store with None -> Ok () | Some st -> Store.append st op
 
 let mutating shared f =
   Mutex.lock shared.slock;
@@ -87,6 +102,7 @@ let help ppf =
     "commands: catalog load FILE | catalog add <rule>. | catalog remove NAME\n\
     \          rewrite <rule>. | batch N | data load FILE | plan <rule>.\n\
     \          explain <rule>. | stats [--json] | metrics\n\
+    \          save | health\n\
     \          set timeout MS | set max-steps N | set max-covers N\n\
     \          set slow-ms MS | set off\n\
     \          help | quit@."
@@ -114,6 +130,23 @@ let pp_catalog_line ppf cat =
   Format.fprintf ppf "ok catalog generation=%d views=%d classes=%d@."
     (Catalog.generation cat) (Catalog.num_views cat) (Catalog.num_classes cat)
 
+let set_or_create_service shared cat =
+  match shared.service with
+  | Some s -> Service.set_catalog s cat
+  | None ->
+      shared.service <-
+        Some (Service.create ~cache_capacity:shared.cache_capacity cat)
+
+(* Replacing the whole catalog is compaction, not a journal record: the
+   new state does not build on the old one, so it goes straight into a
+   snapshot (which also truncates the journal). *)
+let snapshot_now shared =
+  match (shared.store, shared.service) with
+  | None, _ | _, None -> Ok ()
+  | Some st, Some s ->
+      Store.save st
+        (Persist.snapshot_of ?base:(Service.base s) (Service.catalog s))
+
 let cmd_catalog_load shared ppf path =
   match Parser.parse_program (read_file path) with
   | Error e -> err ppf "%s" (Vplan_error.parse_to_string e)
@@ -121,41 +154,62 @@ let cmd_catalog_load shared ppf path =
   | Ok views -> (
       match Catalog.create views with
       | Error e -> err ppf "%s" e
-      | Ok cat ->
-          install_catalog shared cat;
-          pp_catalog_line ppf cat)
-
-let cmd_catalog_add shared ppf rest =
-  with_service shared ppf (fun s ->
-      match Parser.parse_rule rest with
-      | Error e -> err ppf "%s" (Vplan_error.parse_to_string e)
-      | Ok v ->
-          (* the read-modify-write is serialized so concurrent adds
-             both land, whichever order they arrive in *)
+      | Ok cat -> (
           let outcome =
             mutating shared (fun () ->
-                match Catalog.add_views (Service.catalog s) [ v ] with
-                | Error e -> Error e
-                | Ok cat ->
-                    Service.set_catalog s cat;
-                    Ok cat)
+                set_or_create_service shared cat;
+                snapshot_now shared)
           in
-          (match outcome with
-          | Error e -> err ppf "%s" e
-          | Ok cat -> pp_catalog_line ppf cat))
+          match outcome with
+          | Error e -> err ppf "readonly: %s" e
+          | Ok () -> pp_catalog_line ppf cat))
+
+let cmd_catalog_add shared ppf rest =
+  match Parser.parse_rule rest with
+  | Error e -> err ppf "%s" (Vplan_error.parse_to_string e)
+  | Ok v -> (
+      (* the read-modify-write is serialized so concurrent adds both
+         land, whichever order they arrive in; an add on an empty
+         server bootstraps a one-view catalog (replay does the same) *)
+      let outcome =
+        mutating shared (fun () ->
+            let next =
+              match shared.service with
+              | Some s -> Catalog.add_views (Service.catalog s) [ v ]
+              | None -> Catalog.create [ v ]
+            in
+            match next with
+            | Error e -> Error (`Invalid e)
+            | Ok cat -> (
+                match
+                  persist shared (Record.Add_view (Persist.render_view v))
+                with
+                | Error e -> Error (`Readonly e)
+                | Ok () ->
+                    set_or_create_service shared cat;
+                    Ok cat))
+      in
+      match outcome with
+      | Error (`Invalid e) -> err ppf "%s" e
+      | Error (`Readonly e) -> err ppf "readonly: %s" e
+      | Ok cat -> pp_catalog_line ppf cat)
 
 let cmd_catalog_remove shared ppf name =
   with_service shared ppf (fun s ->
       let outcome =
         mutating shared (fun () ->
             match Catalog.remove_views (Service.catalog s) [ name ] with
-            | Error e -> Error e
-            | Ok cat ->
-                Service.set_catalog s cat;
-                Ok cat)
+            | Error e -> Error (`Invalid e)
+            | Ok cat -> (
+                match persist shared (Record.Remove_view name) with
+                | Error e -> Error (`Readonly e)
+                | Ok () ->
+                    Service.set_catalog s cat;
+                    Ok cat))
       in
       match outcome with
-      | Error e -> err ppf "%s" e
+      | Error (`Invalid e) -> err ppf "%s" e
+      | Error (`Readonly e) -> err ppf "readonly: %s" e
       | Ok cat -> pp_catalog_line ppf cat)
 
 let split_command line =
@@ -239,10 +293,19 @@ let cmd_data (sess : session) ppf rest =
           match Parser.parse_facts (read_file arg) with
           | Error e -> err ppf "%s" (Vplan_error.parse_to_string e)
           | exception Sys_error e -> err ppf "%s" e
-          | Ok facts ->
-              mutating shared (fun () ->
-                  Service.set_base s (Database.of_facts facts));
-              Format.fprintf ppf "ok data facts=%d@." (List.length facts))
+          | Ok facts -> (
+              let outcome =
+                mutating shared (fun () ->
+                    match persist shared (Record.Load_data facts) with
+                    | Error e -> Error e
+                    | Ok () ->
+                        Service.set_base s (Database.of_facts facts);
+                        Ok ())
+              in
+              match outcome with
+              | Error e -> err ppf "readonly: %s" e
+              | Ok () ->
+                  Format.fprintf ppf "ok data facts=%d@." (List.length facts)))
   | _ -> err ppf "usage: data load FILE"
 
 let cmd_plan (sess : session) ppf rest =
@@ -361,6 +424,48 @@ let cmd_explain (sess : session) ppf rest =
             (List.length spans);
           Format.fprintf ppf "%a" Trace.pp_tree spans)
 
+let cmd_save shared ppf =
+  match shared.store with
+  | None -> err ppf "no data dir (start the server with --data-dir DIR)"
+  | Some st ->
+      with_service shared ppf (fun _ ->
+          match mutating shared (fun () -> snapshot_now shared) with
+          | Error e -> err ppf "readonly: %s" e
+          | Ok () ->
+              Format.fprintf ppf "ok saved seq=%d journal_records=%d@."
+                (Store.last_seq st) (Store.journal_records st))
+
+(* One line, always answerable — even with no catalog and no store —
+   so probes can watch a server come up and degrade. *)
+let cmd_health shared ppf =
+  let generation, views =
+    match shared.service with
+    | None -> (0, 0)
+    | Some s ->
+        let cat = Service.catalog s in
+        (Catalog.generation cat, Catalog.num_views cat)
+  in
+  match shared.store with
+  | None ->
+      Format.fprintf ppf "ok health generation=%d views=%d store=ephemeral@."
+        generation views
+  | Some st ->
+      let mode =
+        match Store.mode st with
+        | Store.Durable -> "durable"
+        | Store.Readonly -> "readonly"
+      in
+      let age =
+        match Store.snapshot_age_s st with
+        | None -> "none"
+        | Some a -> Printf.sprintf "%.0fs" a
+      in
+      Format.fprintf ppf
+        "ok health generation=%d views=%d store=%s snapshot_age=%s \
+         replayed=%d truncated_bytes=%d journal_records=%d journal_bytes=%d@."
+        generation views mode age shared.boot_replayed shared.boot_truncated
+        (Store.journal_records st) (Store.journal_bytes st)
+
 let cmd_set (sess : session) ppf rest =
   match String.split_on_char ' ' rest |> List.filter (fun s -> s <> "") with
   | [ "off" ] ->
@@ -421,6 +526,8 @@ let dispatch (sess : session) ppf ~read_line line =
     | "explain" -> cmd_explain sess ppf rest; true
     | "stats" -> cmd_stats shared ppf rest; true
     | "metrics" -> cmd_metrics shared ppf; true
+    | "save" -> cmd_save shared ppf; true
+    | "health" -> cmd_health shared ppf; true
     | "set" -> cmd_set sess ppf rest; true
     | other -> err ppf "unknown command %S (try: help)" other; true
 

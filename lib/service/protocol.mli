@@ -21,10 +21,18 @@
     catalog load FILE | catalog add <rule>. | catalog remove NAME
     rewrite <rule>. | batch N | data load FILE | plan <rule>.
     explain <rule>. | stats [--json] | metrics
+    save | health
     set timeout MS | set max-steps N | set max-covers N
     set slow-ms MS | set off
     help | quit
-    v} *)
+    v}
+
+    When a {!Vplan_store.Store.t} is attached, every mutation ([catalog
+    add]/[catalog remove]/[data load]) is journaled — fsync included —
+    {e before} it becomes visible or acked; [catalog load] and [save]
+    compact into a fresh snapshot.  A store in readonly (degraded) mode
+    makes mutations answer [err readonly: ...] while reads keep
+    serving from memory. *)
 
 type shared
 type session
@@ -35,8 +43,10 @@ type reply = { text : string; close : bool }
 
 (** [create_shared ()] — [domains] is the width of the per-request
     domain pool handed to {!Service.rewrite}/[batch]/[plan];
-    [cache_capacity] bounds the rewrite cache; the remaining options
-    seed every new session's budget defaults. *)
+    [cache_capacity] bounds the rewrite cache; the budget options seed
+    every new session's defaults.  [store] attaches a durability layer
+    (mutations journal before ack); [boot_replayed]/[boot_truncated]
+    are the recovery facts reported by [health]. *)
 val create_shared :
   ?cache_capacity:int ->
   ?domains:int ->
@@ -44,6 +54,9 @@ val create_shared :
   ?max_steps:int ->
   ?max_covers:int ->
   ?slow_ms:float ->
+  ?store:Vplan_store.Store.t ->
+  ?boot_replayed:int ->
+  ?boot_truncated:int ->
   unit ->
   shared
 
@@ -51,6 +64,9 @@ val new_session : shared -> session
 
 (** The live service, once a catalog has been loaded. *)
 val service : shared -> Service.t option
+
+(** The attached store, if the server was started with a data dir. *)
+val store : shared -> Vplan_store.Store.t option
 
 (** Install a catalog programmatically (equivalent to a successful
     [catalog load], without the file). *)

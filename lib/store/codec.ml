@@ -1,0 +1,109 @@
+let ( let* ) = Result.bind
+
+(* -- encoding ------------------------------------------------------- *)
+
+let put_u8 b v =
+  if v < 0 || v > 0xFF then invalid_arg "Codec.put_u8";
+  Buffer.add_char b (Char.chr v)
+
+let put_u32 b v =
+  if v < 0 || v > 0xFFFFFFFF then invalid_arg "Codec.put_u32";
+  Buffer.add_char b (Char.chr ((v lsr 24) land 0xFF));
+  Buffer.add_char b (Char.chr ((v lsr 16) land 0xFF));
+  Buffer.add_char b (Char.chr ((v lsr 8) land 0xFF));
+  Buffer.add_char b (Char.chr (v land 0xFF))
+
+let put_u63 b v =
+  if v < 0 then invalid_arg "Codec.put_u63";
+  for shift = 7 downto 0 do
+    Buffer.add_char b (Char.chr ((v lsr (shift * 8)) land 0xFF))
+  done
+
+let put_i63 b v =
+  for shift = 7 downto 0 do
+    Buffer.add_char b (Char.chr ((v asr (shift * 8)) land 0xFF))
+  done
+
+let put_string b s =
+  put_u32 b (String.length s);
+  Buffer.add_string b s
+
+let put_list put b xs =
+  put_u32 b (List.length xs);
+  List.iter (put b) xs
+
+(* -- decoding ------------------------------------------------------- *)
+
+type reader = { src : string; mutable rpos : int }
+
+let reader ?(pos = 0) src = { src; rpos = pos }
+let pos r = r.rpos
+
+let need r n =
+  if r.rpos + n > String.length r.src then
+    Error
+      (Printf.sprintf "short read: need %d bytes at offset %d, have %d" n
+         r.rpos (String.length r.src - r.rpos))
+  else Ok ()
+
+let get_u8 r =
+  let* () = need r 1 in
+  let v = Char.code r.src.[r.rpos] in
+  r.rpos <- r.rpos + 1;
+  Ok v
+
+let get_u32 r =
+  let* () = need r 4 in
+  let b i = Char.code r.src.[r.rpos + i] in
+  let v = (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3 in
+  r.rpos <- r.rpos + 4;
+  Ok v
+
+let get_u63 r =
+  let* () = need r 8 in
+  let v = ref 0 in
+  (* the top bit must be clear: the value was a non-negative OCaml int *)
+  if Char.code r.src.[r.rpos] land 0x80 <> 0 then
+    Error (Printf.sprintf "u63 out of range at offset %d" r.rpos)
+  else begin
+    for i = 0 to 7 do
+      v := (!v lsl 8) lor Char.code r.src.[r.rpos + i]
+    done;
+    r.rpos <- r.rpos + 8;
+    Ok !v
+  end
+
+let get_i63 r =
+  let* () = need r 8 in
+  (* 64 written bits collapse into the 63-bit int by natural wrapping;
+     the top byte duplicates the sign, so negatives come back exact *)
+  let v = ref 0 in
+  for i = 0 to 7 do
+    v := (!v lsl 8) lor Char.code r.src.[r.rpos + i]
+  done;
+  r.rpos <- r.rpos + 8;
+  Ok !v
+
+let get_string r =
+  let* n = get_u32 r in
+  let* () = need r n in
+  let s = String.sub r.src r.rpos n in
+  r.rpos <- r.rpos + n;
+  Ok s
+
+let get_list get r =
+  let* n = get_u32 r in
+  let rec go acc k =
+    if k = 0 then Ok (List.rev acc)
+    else
+      let* x = get r in
+      go (x :: acc) (k - 1)
+  in
+  go [] n
+
+let expect_end r =
+  if r.rpos = String.length r.src then Ok ()
+  else
+    Error
+      (Printf.sprintf "trailing garbage: %d bytes past end of value"
+         (String.length r.src - r.rpos))

@@ -1,0 +1,53 @@
+(** Binary encoding primitives shared by the snapshot and the journal.
+
+    Fixed-width big-endian integers and length-prefixed strings — no
+    varints, no compression: the formats stay trivially seekable and a
+    decoder can always tell "short" from "corrupt".  Decoding never
+    raises on malformed input; every reader returns a [result] so torn
+    tails and flipped bits surface as values the recovery path can act
+    on. *)
+
+(** {1 Encoding} *)
+
+val put_u8 : Buffer.t -> int -> unit
+
+(** 32-bit big-endian; values outside [0, 2^32) are rejected. *)
+val put_u32 : Buffer.t -> int -> unit
+
+(** 63-bit non-negative integer in 8 big-endian bytes. *)
+val put_u63 : Buffer.t -> int -> unit
+
+(** Signed OCaml int in 8 big-endian two's-complement bytes — the full
+    [min_int, max_int] range, unlike {!put_u63}. *)
+val put_i63 : Buffer.t -> int -> unit
+
+(** Length-prefixed ([put_u32]) bytes. *)
+val put_string : Buffer.t -> string -> unit
+
+(** [put_list put b xs] writes a [put_u32] count then each element. *)
+val put_list : (Buffer.t -> 'a -> unit) -> Buffer.t -> 'a list -> unit
+
+(** {1 Decoding} *)
+
+type reader
+
+val reader : ?pos:int -> string -> reader
+
+(** Bytes consumed so far (absolute offset into the source string). *)
+val pos : reader -> int
+
+val get_u8 : reader -> (int, string) result
+val get_u32 : reader -> (int, string) result
+val get_u63 : reader -> (int, string) result
+val get_i63 : reader -> (int, string) result
+val get_string : reader -> (string, string) result
+val get_list : (reader -> ('a, string) result) -> reader -> ('a list, string) result
+
+(** [expect_end r] fails when trailing bytes remain — a decoded value
+    must account for its whole payload. *)
+val expect_end : reader -> (unit, string) result
+
+(** {1 Combinators} *)
+
+(** Monadic bind on decode results, for chaining readers. *)
+val ( let* ) : ('a, 'e) result -> ('a -> ('b, 'e) result) -> ('b, 'e) result

@@ -1,0 +1,13 @@
+(** CRC-32 (IEEE 802.3 polynomial, the zlib/PNG variant).
+
+    Every persistent byte the store writes travels under one of these
+    checksums: the snapshot payload and each journal record.  On read, a
+    mismatch means a torn or corrupted write — the snapshot is rejected,
+    the journal is truncated at the first bad record. *)
+
+(** [digest s] is the CRC-32 of the whole string, as a non-negative
+    [int] (fits in 32 bits). *)
+val digest : string -> int
+
+(** [digest_sub s ~pos ~len] checksums a slice without copying it. *)
+val digest_sub : string -> pos:int -> len:int -> int

@@ -1,0 +1,117 @@
+module Failpoint = Vplan_core.Failpoint
+
+let ( let* ) = Result.bind
+
+type t = { fd : Unix.file_descr; mutable size : int }
+
+let io_error ctx e =
+  Error (Printf.sprintf "journal %s: %s" ctx (Unix.error_message e))
+
+let open_append path =
+  match Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ] 0o644 with
+  | fd ->
+      let size = (Unix.fstat fd).Unix.st_size in
+      Ok { fd; size }
+  | exception Unix.Unix_error (e, _, _) -> io_error "open" e
+
+let bytes t = t.size
+
+let close t = try Unix.close t.fd with Unix.Unix_error (_, _, _) -> ()
+
+let encode_frame ~seq op =
+  let payload = Buffer.create 64 in
+  Codec.put_u63 payload seq;
+  Record.put_op payload op;
+  let payload = Buffer.contents payload in
+  let frame = Buffer.create (String.length payload + 8) in
+  Codec.put_u32 frame (String.length payload);
+  Codec.put_u32 frame (Crc32.digest payload);
+  Buffer.add_string frame payload;
+  Buffer.contents frame
+
+let write_fully fd data =
+  let b = Bytes.of_string data in
+  let len = Bytes.length b in
+  let rec go off =
+    if off < len then
+      match Unix.write fd b off (len - off) with
+      | n -> go (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  go 0
+
+let append t ~seq op =
+  match Failpoint.hit "store.journal.append" with
+  | Some (Failpoint.Io_error msg) -> Error ("journal append: " ^ msg)
+  | Some (Failpoint.Torn _) | Some Failpoint.Crash | None -> (
+      let frame = encode_frame ~seq op in
+      (match Failpoint.hit "store.journal.append.write" with
+      | Some (Failpoint.Torn n) ->
+          (* a write the kernel accepted but the process never finished:
+             leave exactly [n] bytes of the frame behind, then die *)
+          write_fully t.fd
+            (String.sub frame 0 (min n (String.length frame)));
+          Failpoint.crash ()
+      | Some (Failpoint.Io_error msg) -> failwith ("journal write: " ^ msg)
+      | Some Failpoint.Crash | None -> ());
+      match write_fully t.fd frame with
+      | () -> (
+          ignore (Failpoint.hit "store.journal.append.before_fsync");
+          match Unix.fsync t.fd with
+          | () ->
+              t.size <- t.size + String.length frame;
+              ignore (Failpoint.hit "store.journal.append.after_fsync");
+              Ok ()
+          | exception Unix.Unix_error (e, _, _) -> io_error "fsync" e)
+      | exception Unix.Unix_error (e, _, _) -> io_error "write" e
+      | exception Failure msg -> Error msg)
+
+type replayed = {
+  records : (int * Record.op) list;
+  valid_bytes : int;
+  total_bytes : int;
+}
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let replay path =
+  match read_file path with
+  | exception Sys_error _ ->
+      if Sys.file_exists path then Error ("journal: cannot read " ^ path)
+      else Ok { records = []; valid_bytes = 0; total_bytes = 0 }
+  | data ->
+      let total = String.length data in
+      let rec scan acc pos =
+        if pos + 8 > total then (List.rev acc, pos)
+        else
+          let r = Codec.reader ~pos data in
+          match
+            let* len = Codec.get_u32 r in
+            let* crc = Codec.get_u32 r in
+            if pos + 8 + len > total then Error "short payload"
+            else if Crc32.digest_sub data ~pos:(pos + 8) ~len <> crc then
+              Error "crc mismatch"
+            else
+              let pr = Codec.reader ~pos:(pos + 8) data in
+              let* seq = Codec.get_u63 pr in
+              let* op = Record.get_op pr in
+              if Codec.pos pr <> pos + 8 + len then Error "payload length mismatch"
+              else Ok (seq, op, pos + 8 + len)
+          with
+          | Ok (seq, op, next) -> scan ((seq, op) :: acc) next
+          | Error _ ->
+              (* torn or corrupt tail: everything from here on is dropped *)
+              (List.rev acc, pos)
+      in
+      let records, valid_bytes = scan [] 0 in
+      Ok { records; valid_bytes; total_bytes = total }
+
+let truncate_to path n =
+  match Unix.truncate path n with
+  | () -> Ok ()
+  | exception Unix.Unix_error (e, _, _) ->
+      Error (Printf.sprintf "journal truncate: %s" (Unix.error_message e))

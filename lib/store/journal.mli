@@ -1,0 +1,58 @@
+(** The write-ahead journal: CRC-framed, fsync-before-ack, torn-tail
+    tolerant.
+
+    On disk the journal is a flat sequence of records, each framed as
+
+    {v
+      u32 payload length | u32 CRC-32(payload) | payload
+      payload = u63 sequence number | op (Record.put_op)
+    v}
+
+    {!append} writes the whole frame with one [write] and calls [fsync]
+    before returning: when the caller acks its client, the record is on
+    stable storage.  {!replay} scans from the start and stops at the
+    first frame that is short, fails its CRC, or does not decode — a
+    torn tail from a crash mid-write — reporting the byte offset of the
+    last good record so the caller can {!truncate_to} it before
+    appending again.
+
+    Failpoint sites, armed by the crash-matrix tests
+    ({!Vplan_core.Failpoint}):
+    - [store.journal.append] — entry; [Io_error] models ENOSPC,
+      [Crash] dies before any byte is written
+    - [store.journal.append.write] — [Torn n] writes only the first [n]
+      bytes of the frame, then dies
+    - [store.journal.append.before_fsync] — dies after the full write,
+      before [fsync]
+    - [store.journal.append.after_fsync] — dies with the record durable
+      but the caller's ack unsent *)
+
+type t
+
+(** [open_append path] opens (creating if absent) for appending. *)
+val open_append : string -> (t, string) result
+
+(** [append t ~seq op] frames, writes and fsyncs one record.
+    [Error _] means the record must be considered {e not} written (the
+    file may hold a torn prefix of it; recovery truncates it). *)
+val append : t -> seq:int -> Record.op -> (unit, string) result
+
+(** Current size in bytes of the journal file. *)
+val bytes : t -> int
+
+val close : t -> unit
+
+type replayed = {
+  records : (int * Record.op) list;  (** (seq, op), in file order *)
+  valid_bytes : int;  (** offset just past the last good record *)
+  total_bytes : int;  (** file size; [> valid_bytes] iff the tail is torn *)
+}
+
+(** [replay path] scans the journal; a missing file is an empty journal.
+    Never fails on torn or corrupt data — that is truncated tail, not an
+    error. *)
+val replay : string -> (replayed, string) result
+
+(** [truncate_to path n] cuts the file to [n] bytes (dropping a torn
+    tail found by {!replay}). *)
+val truncate_to : string -> int -> (unit, string) result

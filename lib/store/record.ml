@@ -1,0 +1,67 @@
+open Vplan_cq
+open Codec
+
+type fact = string * Term.const list
+
+type op =
+  | Add_view of string
+  | Remove_view of string
+  | Load_data of fact list
+
+let put_const b = function
+  | Term.Int n ->
+      put_u8 b 0;
+      put_i63 b n
+  | Term.Str s ->
+      put_u8 b 1;
+      put_string b s
+
+let get_const r =
+  let* tag = get_u8 r in
+  match tag with
+  | 0 ->
+      let* n = get_i63 r in
+      Ok (Term.Int n)
+  | 1 ->
+      let* s = get_string r in
+      Ok (Term.Str s)
+  | t -> Error (Printf.sprintf "unknown constant tag %d" t)
+
+let put_fact b (pred, consts) =
+  put_string b pred;
+  put_list put_const b consts
+
+let get_fact r =
+  let* pred = get_string r in
+  let* consts = get_list get_const r in
+  Ok (pred, consts)
+
+let put_op b = function
+  | Add_view text ->
+      put_u8 b 0;
+      put_string b text
+  | Remove_view name ->
+      put_u8 b 1;
+      put_string b name
+  | Load_data facts ->
+      put_u8 b 2;
+      put_list put_fact b facts
+
+let get_op r =
+  let* tag = get_u8 r in
+  match tag with
+  | 0 ->
+      let* text = get_string r in
+      Ok (Add_view text)
+  | 1 ->
+      let* name = get_string r in
+      Ok (Remove_view name)
+  | 2 ->
+      let* facts = get_list get_fact r in
+      Ok (Load_data facts)
+  | t -> Error (Printf.sprintf "unknown op tag %d" t)
+
+let pp_op ppf = function
+  | Add_view text -> Format.fprintf ppf "add %s" text
+  | Remove_view name -> Format.fprintf ppf "remove %s" name
+  | Load_data facts -> Format.fprintf ppf "data (%d facts)" (List.length facts)

@@ -1,0 +1,25 @@
+(** Journal record payloads: the catalog mutations the server acks.
+
+    An op is deliberately {e syntactic} — view definitions travel as
+    their concrete rule text, facts as (predicate, constants) pairs — so
+    the store never depends on the semantic layers above it.  Parsing
+    and preprocessing happen on replay, in the service layer; a journal
+    written by one build remains readable by the next. *)
+
+open Vplan_cq
+
+type fact = string * Term.const list
+
+type op =
+  | Add_view of string  (** parseable rule text, trailing dot included *)
+  | Remove_view of string  (** view name *)
+  | Load_data of fact list  (** replace the base database with these facts *)
+
+val put_const : Buffer.t -> Term.const -> unit
+val get_const : Codec.reader -> (Term.const, string) result
+val put_fact : Buffer.t -> fact -> unit
+val get_fact : Codec.reader -> (fact, string) result
+val put_op : Buffer.t -> op -> unit
+val get_op : Codec.reader -> (op, string) result
+
+val pp_op : Format.formatter -> op -> unit

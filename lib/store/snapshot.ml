@@ -1,0 +1,158 @@
+module Failpoint = Vplan_core.Failpoint
+open Codec
+
+type t = {
+  seq : int;
+  generation : int;
+  views : string list;
+  classes : (string * int list) list;
+  base : Record.fact list option;
+}
+
+let magic = "VPSNAP01"
+
+let encode t =
+  let b = Buffer.create 4096 in
+  put_u63 b t.seq;
+  put_u63 b t.generation;
+  put_list put_string b t.views;
+  put_list
+    (fun b (signature, members) ->
+      put_string b signature;
+      put_list put_u32 b members)
+    b t.classes;
+  (match t.base with
+  | None -> put_u8 b 0
+  | Some facts ->
+      put_u8 b 1;
+      put_list Record.put_fact b facts);
+  let payload = Buffer.contents b in
+  let out = Buffer.create (String.length payload + 16) in
+  Buffer.add_string out magic;
+  put_u32 out (String.length payload);
+  put_u32 out (Crc32.digest payload);
+  Buffer.add_string out payload;
+  Buffer.contents out
+
+let decode data =
+  if String.length data < 16 then Error "snapshot: truncated header"
+  else if String.sub data 0 8 <> magic then
+    Error "snapshot: bad magic (not a vplan snapshot, or unknown version)"
+  else begin
+    let hdr = Codec.reader ~pos:8 data in
+    let* len = get_u32 hdr in
+    let* crc = get_u32 hdr in
+    if 16 + len <> String.length data then
+      Error
+        (Printf.sprintf "snapshot: payload length %d does not match file size %d"
+           len (String.length data))
+    else if Crc32.digest_sub data ~pos:16 ~len <> crc then
+      Error "snapshot: checksum mismatch (torn or corrupted write)"
+    else
+      let r = Codec.reader ~pos:16 data in
+      let* seq = get_u63 r in
+      let* generation = get_u63 r in
+      let* views = get_list get_string r in
+      let* classes =
+        get_list
+          (fun r ->
+            let* signature = get_string r in
+            let* members = get_list get_u32 r in
+            Ok (signature, members))
+          r
+      in
+      let* base_tag = get_u8 r in
+      let* base =
+        match base_tag with
+        | 0 -> Ok None
+        | 1 ->
+            let* facts = get_list Record.get_fact r in
+            Ok (Some facts)
+        | t -> Error (Printf.sprintf "snapshot: unknown base tag %d" t)
+      in
+      let* () = expect_end r in
+      let n = List.length views in
+      if
+        List.exists (fun (_, members) -> List.exists (fun i -> i >= n) members)
+          classes
+      then Error "snapshot: class member index out of range"
+      else Ok { seq; generation; views; classes; base }
+  end
+
+(* -- atomic file replacement ---------------------------------------- *)
+
+let write_fully fd data =
+  let b = Bytes.of_string data in
+  let len = Bytes.length b in
+  let rec go off =
+    if off < len then
+      match Unix.write fd b off (len - off) with
+      | n -> go (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  go 0
+
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | fd ->
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error (_, _, _) -> ())
+        (fun () -> try Unix.fsync fd with Unix.Unix_error (_, _, _) -> ())
+  | exception Unix.Unix_error (_, _, _) -> ()
+
+let write ~dir ~file t =
+  let data = encode t in
+  let target = Filename.concat dir file in
+  let tmp = target ^ ".tmp" in
+  match Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 with
+  | exception Unix.Unix_error (e, _, _) ->
+      Error (Printf.sprintf "snapshot: open %s: %s" tmp (Unix.error_message e))
+  | fd -> (
+      let result =
+        match Failpoint.hit "store.snapshot.write" with
+        | Some (Failpoint.Torn n) ->
+            (* a half-written temp file; the target is never touched *)
+            write_fully fd (String.sub data 0 (min n (String.length data)));
+            Failpoint.crash ()
+        | Some (Failpoint.Io_error msg) -> Error ("snapshot write: " ^ msg)
+        | Some Failpoint.Crash | None -> (
+            match write_fully fd data with
+            | () -> (
+                match Unix.fsync fd with
+                | () -> Ok ()
+                | exception Unix.Unix_error (e, _, _) ->
+                    Error
+                      (Printf.sprintf "snapshot fsync: %s" (Unix.error_message e)))
+            | exception Unix.Unix_error (e, _, _) ->
+                Error (Printf.sprintf "snapshot write: %s" (Unix.error_message e)))
+      in
+      (try Unix.close fd with Unix.Unix_error (_, _, _) -> ());
+      match result with
+      | Error _ as e ->
+          (try Sys.remove tmp with Sys_error _ -> ());
+          e
+      | Ok () -> (
+          ignore (Failpoint.hit "store.snapshot.before_rename");
+          match Unix.rename tmp target with
+          | () ->
+              fsync_dir dir;
+              ignore (Failpoint.hit "store.snapshot.after_rename");
+              Ok ()
+          | exception Unix.Unix_error (e, _, _) ->
+              (try Sys.remove tmp with Sys_error _ -> ());
+              Error (Printf.sprintf "snapshot rename: %s" (Unix.error_message e))))
+
+let read path =
+  if not (Sys.file_exists path) then Ok None
+  else
+    match
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    with
+    | exception Sys_error msg -> Error ("snapshot: " ^ msg)
+    | data -> (
+        match decode data with
+        | Ok t -> Ok (Some t)
+        | Error e -> Error (e ^ " (" ^ path ^ ")"))

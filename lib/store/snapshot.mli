@@ -1,0 +1,38 @@
+(** The checksummed, versioned binary snapshot of everything the server
+    holds: the preprocessed view catalog (rule texts, the
+    signature-keyed equivalence-class partition, the generation
+    counter), the base database, and the journal sequence number the
+    snapshot includes — replay skips records at or below it, which is
+    what makes a crash between snapshot rename and journal truncation
+    harmless.
+
+    On disk: an 8-byte magic+version ["VPSNAP01"], a [u32] payload
+    length, a [u32] CRC-32 of the payload, then the payload.  {!write}
+    goes through a temp file in the same directory, [fsync]s it, renames
+    it over the target and [fsync]s the directory — a reader never
+    observes anything but the old or the new complete snapshot.
+
+    Failpoint sites: [store.snapshot.write] ([Torn]/[Io_error] on the
+    temp-file write), [store.snapshot.before_rename],
+    [store.snapshot.after_rename]. *)
+
+type t = {
+  seq : int;  (** last journal sequence number included *)
+  generation : int;  (** catalog generation at save time *)
+  views : string list;  (** parseable rule texts, catalog insertion order *)
+  classes : (string * int list) list;
+      (** signature-keyed equivalence classes; members are indices into
+          [views] — the preprocessing a warm restart skips *)
+  base : Record.fact list option;  (** base database, when loaded *)
+}
+
+val encode : t -> string
+val decode : string -> (t, string) result
+
+(** [write ~dir ~file t] atomically replaces [dir/file]. *)
+val write : dir:string -> file:string -> t -> (unit, string) result
+
+(** [read path] is [Ok None] when no snapshot exists, [Error _] when one
+    exists but is unreadable or corrupt — after an atomic [write] that
+    means real damage, which must be loud, not silently empty. *)
+val read : string -> (t option, string) result

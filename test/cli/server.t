@@ -191,3 +191,48 @@ request.
   > quit
   > SESSION
   slow trace=1 ms=X source=miss
+
+With --data-dir the catalog survives restarts: mutations are journaled
+before they are acked, a restart replays them, and save compacts the
+journal into a snapshot (replayed drops to 0).  health reports the
+store mode and recovery counters; without a data dir it says ephemeral.
+
+  $ vplan_server --stdio --data-dir store.d <<'SESSION' | grep -v '^latency'
+  > catalog add v1(M, D, C) :- car(M, D), loc(D, C).
+  > catalog add v2(S, M, C) :- part(S, M, C).
+  > catalog add v4(M, D, C, S) :- car(M, D), loc(D, C), part(S, M, C).
+  > quit
+  > SESSION
+  store dir=store.d recovered views=0 replayed=0 truncated_bytes=0
+  ok catalog generation=1 views=1 classes=1
+  ok catalog generation=2 views=2 classes=2
+  ok catalog generation=3 views=3 classes=3
+
+  $ vplan_server --stdio --data-dir store.d <<'SESSION' | grep -v '^latency' | sed -E 's/snapshot_age=[^ ]*/snapshot_age=X/; s/journal_bytes=[0-9]+/journal_bytes=N/'
+  > health
+  > rewrite q1(S, C) :- car(M, anderson), loc(anderson, C), part(S, M, C).
+  > save
+  > health
+  > quit
+  > SESSION
+  store dir=store.d recovered views=3 replayed=3 truncated_bytes=0
+  ok health generation=1 views=3 store=durable snapshot_age=X replayed=3 truncated_bytes=0 journal_records=3 journal_bytes=N
+  ok 1 miss trace=1
+  q1(S,C) :- v4(M,anderson,C,S)
+  ok saved seq=3 journal_records=0
+  ok health generation=1 views=3 store=durable snapshot_age=X replayed=3 truncated_bytes=0 journal_records=0 journal_bytes=N
+
+  $ vplan_server --stdio --data-dir store.d <<'SESSION' | grep -v '^latency'
+  > health
+  > quit
+  > SESSION
+  store dir=store.d recovered views=3 replayed=0 truncated_bytes=0
+  ok health generation=1 views=3 store=durable snapshot_age=0s replayed=0 truncated_bytes=0 journal_records=0 journal_bytes=0
+
+  $ vplan_server --stdio <<'SESSION'
+  > health
+  > save
+  > quit
+  > SESSION
+  ok health generation=0 views=0 store=ephemeral
+  err no data dir (start the server with --data-dir DIR)

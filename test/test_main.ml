@@ -20,6 +20,7 @@ let () =
       ("workload", Test_workload.suite);
       ("service", Test_service.suite);
       ("server", Test_server.suite);
+      ("store", Test_store.suite);
       ("obs", Test_obs.suite);
       ("properties", Test_properties.suite);
     ]
