@@ -22,6 +22,7 @@
      endpoints the paper's chain head-policy remark
      openworld certain answers: inverse rules vs MiniCon MCR
      estimate  statistics-based join ordering vs true sizes
+     joins     hash-join engine vs backtracking evaluator at data scale
      serve     resident service: cold vs warm-cache throughput
      loadgen   TCP serving tier: closed-loop load at 1/8/64/256 clients
      optimize  plan selection: branch-and-bound engine vs naive candidate loop
@@ -153,6 +154,24 @@ type optimizer_row = {
 
 let optimizer_rows : optimizer_row list ref = ref []
 
+(* Rows of the [joins] experiment (hash-join engine at data scale),
+   collected for [--out FILE.json]. *)
+type joins_row = {
+  jn_rows : int;  (* tuples drawn per base relation *)
+  jn_answers : int;
+  jn_intern_ms : float;  (* one-time columnar interning of the base *)
+  jn_exec_ms : float;  (* hash-join engine, build + probe *)
+  jn_eval_ms : float;  (* backtracking evaluator; 0 when skipped *)
+  jn_speedup : float;  (* eval_ms / exec_ms; 0 when eval skipped *)
+  jn_rows_per_sec : float;  (* base rows joined per second by the engine *)
+  jn_oracle_equal : bool;  (* engine = Eval (when run) = Indexed_db *)
+  jn_est_cost : float;  (* estimated M2 cells of the statistics-chosen order *)
+  jn_exact_cost : int;  (* realized M2 cells of that same order *)
+  jn_cost_equal : bool;  (* no order beats the statistics-chosen one *)
+}
+
+let joins_rows : joins_row list ref = ref []
+
 (* Metrics of the [observe] experiment, collected for [--out FILE.json]. *)
 type observe_metrics = {
   ob_views : int;
@@ -272,6 +291,26 @@ let write_json ~mode oc =
             r.or_candidates r.or_baseline_ms r.or_engine_ms;
           Printf.fprintf oc " \"speedup\": %.2f, \"cost_equal\": %b }" r.or_speedup
             r.or_cost_equal)
+        rows;
+      Printf.fprintf oc "\n  ],\n");
+  (match List.rev !joins_rows with
+  | [] -> ()
+  | rows ->
+      Printf.fprintf oc "  \"joins\": [";
+      List.iteri
+        (fun i r ->
+          Printf.fprintf oc "%s\n    { \"rows\": %d, \"answers\": %d,"
+            (if i = 0 then "" else ",")
+            r.jn_rows r.jn_answers;
+          Printf.fprintf oc
+            " \"intern_ms\": %.3f, \"exec_ms\": %.3f, \"eval_ms\": %.3f, \
+             \"speedup\": %.1f,"
+            r.jn_intern_ms r.jn_exec_ms r.jn_eval_ms r.jn_speedup;
+          Printf.fprintf oc
+            " \"rows_per_sec\": %.0f, \"oracle_equal\": %b, \"est_cost\": %.1f, \
+             \"exact_cost\": %d, \"cost_equal\": %b }"
+            r.jn_rows_per_sec r.jn_oracle_equal r.jn_est_cost r.jn_exact_cost
+            r.jn_cost_equal)
         rows;
       Printf.fprintf oc "\n  ],\n");
   Printf.fprintf oc "  \"rows\": [";
@@ -652,6 +691,94 @@ let estimate () =
   | rs ->
       let avg = List.fold_left ( +. ) 0. rs /. float_of_int (List.length rs) in
       Format.printf "average quality loss: %.2fx over %d runs@." avg (List.length rs))
+
+(* ------------------------------------------------------------------ *)
+(* Data-scale execution: hash-join engine vs backtracking evaluator    *)
+(* on a three-way chain join, with the plan-choice agreement between   *)
+(* the statistics-only and the materialized cost modes.                *)
+
+let joins ~settings () =
+  header "Data-scale execution: hash-join engine vs backtracking evaluator";
+  let query =
+    Parser.parse_rule_exn "q(X1, X3) :- r0(0, X1), r1(X1, X2), r2(X2, X3)."
+  in
+  let sizes =
+    if settings.queries_per_point > quick.queries_per_point then
+      [ 10_000; 100_000; 1_000_000 ]
+    else [ 10_000; 100_000 ]
+  in
+  Format.printf "%9s %9s %10s %10s %9s %12s %7s %6s@." "rows" "answers" "exec-ms"
+    "eval-ms" "speedup" "rows/s" "oracle" "cost=";
+  List.iter
+    (fun n ->
+      let domain = max 4 (n / 10) in
+      let spec predicate = { Datagen.predicate; arity = 2; tuples = n; domain } in
+      let db =
+        (* the last column is Zipf-skewed: the engine and the estimator
+           both have to cope with non-uniform data *)
+        Datagen.random_dist (Prng.create (41 + n))
+          [
+            (spec "r0", []);
+            (spec "r1", []);
+            (spec "r2", [ Datagen.Uniform; Datagen.Zipf 0.9 ]);
+          ]
+      in
+      let interned, intern_ms = time_ms (fun () -> Interned.of_database db) in
+      ignore (Exec.answers interned query);
+      let best = ref infinity and ans = ref (Relation.empty 2) in
+      for _ = 1 to 3 do
+        let r, ms = time_ms (fun () -> Exec.answers interned query) in
+        ans := r;
+        if ms < !best then best := ms
+      done;
+      let exec_ms = !best in
+      (* the backtracking evaluator rescans whole relations per binding,
+         so it is only run up to 10^5 rows *)
+      let run_eval = n <= 100_000 in
+      let eval_ans, eval_ms =
+        if run_eval then
+          let r, ms = time_ms (fun () -> Eval.answers db query) in
+          (Some r, ms)
+        else (None, 0.)
+      in
+      let indexed = Indexed_db.answers (Indexed_db.of_database db) query in
+      let oracle_equal =
+        Relation.equal !ans indexed
+        && match eval_ans with None -> true | Some r -> Relation.equal !ans r
+      in
+      (* plan-choice agreement: the order picked from statistics alone
+         must not be beatable by any order under the materialized cost *)
+      let est = Estimate.of_stats (Stats.collect db) in
+      let est_order, est_cost = M2.optimal_estimated est query.Query.body in
+      let exact_cost = M2.cost_of_order db est_order in
+      let cost_equal =
+        M2.optimal_pruned ~bound:exact_cost db query.Query.body = None
+      in
+      let speedup = if run_eval && exec_ms > 0. then eval_ms /. exec_ms else 0. in
+      let rows_per_sec =
+        if exec_ms > 0. then float_of_int (3 * n) /. (exec_ms /. 1000.) else 0.
+      in
+      joins_rows :=
+        {
+          jn_rows = n;
+          jn_answers = Relation.cardinality !ans;
+          jn_intern_ms = intern_ms;
+          jn_exec_ms = exec_ms;
+          jn_eval_ms = eval_ms;
+          jn_speedup = speedup;
+          jn_rows_per_sec = rows_per_sec;
+          jn_oracle_equal = oracle_equal;
+          jn_est_cost = est_cost;
+          jn_exact_cost = exact_cost;
+          jn_cost_equal = cost_equal;
+        }
+        :: !joins_rows;
+      Format.printf "%9d %9d %10.2f %10s %9s %12.0f %7b %6b@." n
+        (Relation.cardinality !ans) exec_ms
+        (if run_eval then Printf.sprintf "%.2f" eval_ms else "-")
+        (if run_eval then Printf.sprintf "%.1fx" speedup else "-")
+        rows_per_sec oracle_equal cost_equal)
+    sizes
 
 (* ------------------------------------------------------------------ *)
 (* Extension: open-world certain answers, two algorithms.              *)
@@ -1357,7 +1484,7 @@ let recovery () =
     time_ms (fun () ->
         let st, r = store_ok "reopen" (Store.open_dir dir) in
         let snap = Option.get r.Store.r_snapshot in
-        let cat, _ = store_ok "restore" (Persist.state_of_snapshot snap) in
+        let cat, _, _ = store_ok "restore" (Persist.state_of_snapshot snap) in
         Store.close st;
         Catalog.num_views cat)
   in
@@ -1459,6 +1586,7 @@ let experiments settings =
     ("endpoints", fun () -> endpoints ());
     ("openworld", fun () -> openworld ());
     ("estimate", fun () -> estimate ());
+    ("joins", fun () -> joins ~settings ());
     ("serve", fun () -> serve ~settings);
     ("loadgen", fun () -> loadgen_bench ~settings);
     ("optimize", fun () -> optimize ~settings);

@@ -163,14 +163,46 @@ let plan_cmd =
     Arg.(value & opt int 1 & info [ "domains" ] ~docv:"N"
            ~doc:"Score candidate rewritings across $(docv) domains (same result for any value).")
   in
-  let run file data cost explain domains timeout max_steps =
+  let cost_mode =
+    Arg.(value
+         & opt (enum [ ("exact", `Exact); ("estimated", `Estimated) ]) `Exact
+         & info [ "cost-mode" ] ~docv:"MODE"
+             ~doc:"With --cost m2: cost candidates exactly (materialized \
+                   view sizes) or from base-table statistics only.")
+  in
+  let run file data cost cost_mode explain domains timeout max_steps =
    or_die @@ fun () ->
     let query, rest = parse_program_file file in
     let views, _ = split_views_and_candidates query rest in
     let base = database_of_file data in
     let budget = budget_of ~timeout ~max_steps in
     let t = Vplan.Optimizer.create ~query ~views ~base in
-    (match cost with
+    (match (cost, cost_mode) with
+    | (`M1 | `M3 | `M3s), `Estimated ->
+        Format.eprintf "error: --cost-mode estimated supports --cost m2 only@.";
+        exit 2
+    | `M2, `Estimated -> (
+        (* statistics-only selection: join selectivities derived from the
+           base-table catalog, views never materialized for costing; the
+           realized cost of the chosen order is printed for comparison *)
+        let stats = Vplan.Stats.collect base in
+        let est = Vplan.Estimate.view_stats (Vplan.Estimate.of_stats stats) views in
+        match
+          Vplan.Select.best_m2_estimated ?budget est (Vplan.Optimizer.candidates t)
+        with
+        | None -> Format.printf "no rewriting@."
+        | Some c ->
+            Format.printf "rewriting: %a@." Vplan.Query.pp c.est_rewriting;
+            Format.printf "join order:";
+            List.iter (fun a -> Format.printf " %a" Vplan.Atom.pp a) c.est_order;
+            Format.printf "@.cost (M2, estimated): %.1f@." c.est_cost;
+            Format.printf "cost (M2, realized): %d@."
+              (Vplan.M2.cost_of_order (Vplan.Optimizer.view_database t) c.est_order);
+            if explain then
+              Vplan.Explain.m2 Format.std_formatter
+                (Vplan.Optimizer.view_database t) c.est_order)
+    | cost, `Exact ->
+    match cost with
     | `M1 -> (
         match Vplan.Optimizer.best_m1 t with
         | None -> Format.printf "no rewriting@."
@@ -204,8 +236,8 @@ let plan_cmd =
   in
   Cmd.v
     (Cmd.info "plan" ~doc:"Pick a cost-optimal rewriting and physical plan over a concrete database.")
-    Term.(const run $ file $ data $ cost $ explain_flag $ domains $ timeout_arg
-          $ max_steps_arg)
+    Term.(const run $ file $ data $ cost $ cost_mode $ explain_flag $ domains
+          $ timeout_arg $ max_steps_arg)
 
 (* ------------------------------------------------------------------ *)
 (* explain                                                             *)

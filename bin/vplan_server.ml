@@ -13,7 +13,7 @@ let usage () =
   prerr_endline
     "usage: vplan_server [--catalog FILE] [--cache N] [--domains N]\n\
     \                    [--timeout MS] [--max-steps N] [--max-covers N]\n\
-    \                    [--slow-ms MS]\n\
+    \                    [--slow-ms MS] [--cost-mode exact|estimated]\n\
     \                    [--stdio | --listen PORT] [--host ADDR]\n\
     \                    [--workers N] [--queue N] [--max-requests N]\n\
     \                    [--port-file FILE] [--data-dir DIR]";
@@ -29,6 +29,7 @@ let () =
   let max_steps = ref None in
   let max_covers = ref None in
   let slow_ms = ref None in
+  let cost_mode = ref None in
   let mode = ref Tcp in
   let host = ref "127.0.0.1" in
   let port = ref 0 in
@@ -65,6 +66,12 @@ let () =
         parse_args rest
     | "--slow-ms" :: ms :: rest ->
         float_arg ms (fun v -> slow_ms := Some v);
+        parse_args rest
+    | "--cost-mode" :: m :: rest ->
+        (match m with
+        | "exact" -> cost_mode := Some Vplan.Service.Exact
+        | "estimated" -> cost_mode := Some Vplan.Service.Estimated
+        | _ -> usage ());
         parse_args rest
     | "--stdio" :: rest ->
         mode := Stdio;
@@ -111,18 +118,33 @@ let () =
         | Ok (st, r) -> (
             let state =
               match r.Vplan.Store.r_snapshot with
-              | None -> Ok (None, None)
+              | None -> Ok (None, None, None)
               | Some snap -> (
                   match Vplan.Persist.state_of_snapshot snap with
-                  | Ok (cat, base) -> Ok (Some cat, base)
+                  | Ok (cat, base, stats) -> Ok (Some cat, base, stats)
                   | Error e -> Error e)
             in
             match
-              Result.bind state (fun state ->
-                  Vplan.Persist.replay state r.Vplan.Store.r_replayed)
+              Result.bind state (fun (cat, base, stats) ->
+                  Result.map
+                    (fun (cat, base, replayed) -> (cat, base, stats, replayed))
+                    (Vplan.Persist.replay (cat, base) r.Vplan.Store.r_replayed))
             with
             | Error e -> fatal "recovery: %s" e
-            | Ok (cat, base, replayed) ->
+            | Ok (cat, base, stats, replayed) ->
+                (* snapshot statistics describe the snapshot's own base;
+                   a journaled Load_data replaced it, so rescan instead *)
+                let stats =
+                  if
+                    List.exists
+                      (fun (_, op) ->
+                        match op with
+                        | Vplan.Record.Load_data _ -> true
+                        | _ -> false)
+                      r.Vplan.Store.r_replayed
+                  then None
+                  else stats
+                in
                 Printf.printf
                   "store dir=%s recovered views=%d replayed=%d \
                    truncated_bytes=%d\n\
@@ -132,28 +154,28 @@ let () =
                   | Some c -> Vplan.Catalog.num_views c
                   | None -> 0)
                   replayed r.Vplan.Store.r_truncated_bytes;
-                Some (st, r, cat, base)))
+                Some (st, r, cat, base, stats)))
   in
   let shared =
     let store, boot_replayed, boot_truncated =
       match recovered with
       | None -> (None, 0, 0)
-      | Some (st, r, _, _) ->
+      | Some (st, r, _, _, _) ->
           ( Some st,
             List.length r.Vplan.Store.r_replayed,
             r.Vplan.Store.r_truncated_bytes )
     in
     Vplan.Protocol.create_shared ?cache_capacity:!cache_capacity
       ?domains:!domains ?timeout_ms:!timeout_ms ?max_steps:!max_steps
-      ?max_covers:!max_covers ?slow_ms:!slow_ms ?store ~boot_replayed
-      ~boot_truncated ()
+      ?max_covers:!max_covers ?slow_ms:!slow_ms ?cost_mode:!cost_mode ?store
+      ~boot_replayed ~boot_truncated ()
   in
   (match recovered with
-  | None | Some (_, _, None, _) -> ()
-  | Some (_, _, Some cat, base) ->
+  | None | Some (_, _, None, _, _) -> ()
+  | Some (_, _, Some cat, base, stats) ->
       Vplan.Protocol.install_catalog shared cat;
       (match (Vplan.Protocol.service shared, base) with
-      | Some s, Some db -> Vplan.Service.set_base s db
+      | Some s, Some db -> Vplan.Service.set_base ?stats s db
       | _ -> ()));
   let close_store () =
     match Vplan.Protocol.store shared with

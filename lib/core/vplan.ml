@@ -44,6 +44,14 @@ module Eval = Vplan_relational.Eval
 module Indexed_db = Vplan_relational.Indexed_db
 module Datagen = Vplan_relational.Datagen
 
+(* data-scale execution: interned columnar storage, hash-join engine *)
+module Interned = Vplan_exec.Interned
+module Exec = Vplan_exec.Exec
+
+(* data statistics: cardinalities, distinct counts, histograms *)
+module Histogram = Vplan_stats.Histogram
+module Stats = Vplan_stats.Stats
+
 (* domain-based fan-out *)
 module Parallel = Vplan_parallel.Parallel
 

@@ -1,9 +1,12 @@
 open Vplan_cq
 open Vplan_relational
+module Histogram = Vplan_stats.Histogram
+module Stats = Vplan_stats.Stats
 
 type relation_stats = {
   card : float;
   distinct : float array; (* per column *)
+  hists : Histogram.t option array; (* per column; [||] when not collected *)
 }
 
 type t = relation_stats Names.Smap.t
@@ -26,12 +29,32 @@ let analyze db =
             {
               card = float_of_int (Relation.cardinality r);
               distinct = Array.map (fun s -> float_of_int (max 1 (Term.Set.cardinal !s))) columns;
+              hists = [||];
             }
           in
           Names.Smap.add pred stats acc)
     Names.Smap.empty (Database.predicates db)
 
-let missing_stats = { card = 0.; distinct = [||] }
+(* The same catalog built from a persisted Stats.t instead of a database
+   scan: cardinalities and distinct counts carry over directly, and the
+   equi-width histograms refine constant selectivities. *)
+let of_stats stats =
+  List.fold_left
+    (fun acc (pred, (tbl : Stats.table)) ->
+      let rs =
+        {
+          card = float_of_int tbl.Stats.card;
+          distinct =
+            Array.map
+              (fun (c : Stats.column) -> float_of_int (max 1 c.Stats.distinct))
+              tbl.Stats.columns;
+          hists = Array.map (fun (c : Stats.column) -> c.Stats.hist) tbl.Stats.columns;
+        }
+      in
+      Names.Smap.add pred rs acc)
+    Names.Smap.empty (Stats.bindings stats)
+
+let missing_stats = { card = 0.; distinct = [||]; hists = [||] }
 
 let stats_for t pred =
   match Names.Smap.find_opt pred t with Some s -> Some s | None -> Some missing_stats
@@ -43,9 +66,15 @@ type profile = {
   p_dv : float Names.Smap.t;
 }
 
+let unit_profile = { p_card = 1.; p_dv = Names.Smap.empty }
+let profile_card p = p.p_card
+let profile_width p = max 1 (Names.Smap.cardinal p.p_dv)
+
 let cap_dv card dv = Names.Smap.map (fun v -> Float.min v (Float.max card 1.)) dv
 
-(* Selections local to one atom: constants and repeated variables. *)
+(* Selections local to one atom: constants and repeated variables.
+   When the column carries a histogram, a constant's selectivity is read
+   off its bucket instead of assuming a uniform 1/V(R,i). *)
 let atom_profile t (a : Atom.t) =
   match stats_for t a.pred with
   | None | Some { card = 0.; _ } -> { p_card = 0.; p_dv = Names.Smap.empty }
@@ -53,12 +82,22 @@ let atom_profile t (a : Atom.t) =
       let column_dv i =
         if i < Array.length stats.distinct then stats.distinct.(i) else 1.
       in
+      let const_selectivity i c =
+        let dv = column_dv i in
+        let uniform = 1. /. dv in
+        match c with
+        | Term.Int n when i < Array.length stats.hists -> (
+            match stats.hists.(i) with
+            | Some h -> Histogram.eq_fraction ~distinct:(int_of_float dv) h n
+            | None -> uniform)
+        | Term.Int _ | Term.Str _ -> uniform
+      in
       let card = ref stats.card in
       let dv = ref Names.Smap.empty in
       List.iteri
         (fun i term ->
           match term with
-          | Term.Cst _ -> card := !card /. column_dv i
+          | Term.Cst c -> card := !card *. const_selectivity i c
           | Term.Var x -> (
               match Names.Smap.find_opt x !dv with
               | None -> dv := Names.Smap.add x (column_dv i) !dv
@@ -92,22 +131,65 @@ let join_profiles left right =
   in
   { p_card = Float.max card 0.; p_dv = cap_dv card dv }
 
-let order_cost t order =
-  let relation_cells =
-    List.fold_left
-      (fun acc (a : Atom.t) ->
-        match stats_for t a.Atom.pred with
-        | Some s -> acc +. (s.card *. float_of_int (max 1 (Atom.arity a)))
-        | None -> acc)
-      0. order
+(* Projection onto a kept-variable set (cost model M3): the tuple count
+   cannot exceed the product of the kept columns' distinct counts. *)
+let project_profile p kept =
+  let dv = Names.Smap.filter (fun x _ -> Names.Sset.mem x kept) p.p_dv in
+  let dv_product =
+    Names.Smap.fold (fun _ v acc -> acc *. v) dv 1.
   in
+  let card = Float.min p.p_card dv_product in
+  { p_card = Float.max card 0.; p_dv = cap_dv card dv }
+
+(* Estimated stats for view relations: a view's cardinality is the
+   estimated size of its body join, and each head column's distinct
+   count is the join profile's estimate for that variable (1 for a
+   constant head argument).  The returned catalog extends [t], so
+   rewriting bodies mixing views and base predicates still estimate. *)
+let view_stats t views =
+  List.fold_left
+    (fun acc (v : Query.t) ->
+      let profile =
+        List.fold_left
+          (fun p a -> join_profiles p (atom_profile t a))
+          unit_profile v.Query.body
+      in
+      let card = profile.p_card in
+      let distinct =
+        Array.of_list
+          (List.map
+             (function
+               | Term.Var x -> (
+                   match Names.Smap.find_opt x profile.p_dv with
+                   | Some dv -> Float.min dv (Float.max card 1.)
+                   | None -> 1.)
+               | Term.Cst _ -> 1.)
+             v.Query.head.Atom.args)
+      in
+      Names.Smap.add v.Query.head.Atom.pred
+        { card; distinct; hists = [||] }
+        acc)
+    t views
+
+(* size(g) on estimated statistics: stored cardinality times arity —
+   the estimated counterpart of [M2.relation_cells]. *)
+let relation_cells_est t (a : Atom.t) =
+  match stats_for t a.Atom.pred with
+  | Some s -> s.card *. float_of_int (max 1 (Atom.arity a))
+  | None -> 0.
+
+let body_relation_cells_est t body =
+  List.fold_left (fun acc a -> acc +. relation_cells_est t a) 0. body
+
+let order_cost t order =
+  let relation_cells = body_relation_cells_est t order in
   let _, ir_cells =
     List.fold_left
       (fun (profile, acc) a ->
         let profile = join_profiles profile (atom_profile t a) in
         let width = float_of_int (max 1 (Names.Smap.cardinal profile.p_dv)) in
         (profile, acc +. (profile.p_card *. width)))
-      ({ p_card = 1.; p_dv = Names.Smap.empty }, 0.)
+      (unit_profile, 0.)
       order
   in
   relation_cells +. ir_cells

@@ -10,8 +10,6 @@ let max_subgoals = 20
 let width_limit n =
   raise (Vplan_error.Error (Vplan_error.Width_limit { subgoals = n; max_subgoals }))
 
-let width vars = max 1 (Names.Sset.cardinal vars)
-
 let relation_cells db (a : Atom.t) =
   Eval.relation_size db a * max 1 (Atom.arity a)
 
@@ -28,19 +26,6 @@ let intermediate_sizes db order =
       order
   in
   List.rev rev_sizes
-
-let cost_of_order db order =
-  let relation_costs = body_relation_cells db order in
-  let _, _, ir_cells =
-    List.fold_left
-      (fun (envs, seen, acc) atom ->
-        let envs = Eval.extend db envs atom in
-        let seen = Names.Sset.union seen (Atom.var_set atom) in
-        (envs, seen, acc + (List.length envs * width seen)))
-      ([ Eval.empty_env ], Names.Sset.empty, 0)
-      order
-  in
-  relation_costs + ir_cells
 
 (* Variable sets as bitsets over a per-body variable index: emptiness-of-
    intersection (the connectivity test) becomes a word operation instead
@@ -109,6 +94,143 @@ let merge_sorted (a : int array) (b : int array) =
     incr k
   done;
   if !k = la + lb then out else Array.sub out 0 !k
+
+(* -- hash-join primitives ------------------------------------------- *)
+(* Shared by the DP's subplan joins and [cost_of_order]: instead of
+   running every (environment, tuple) pair through compiled checks,
+   tuples passing the env-independent checks (constants, repeated fresh
+   variables) are filtered once, then grouped into a hash table keyed on
+   the positions matching already-bound slots; each environment probes
+   with its slot values.  An empty key degenerates to a cross product. *)
+
+let filter_tuples const_checks dup_checks (tuples : Term.const array array) =
+  let out = ref [] in
+  for k = Array.length tuples - 1 downto 0 do
+    let t = tuples.(k) in
+    if
+      List.for_all (fun (p, c) -> Term.equal_const c t.(p)) const_checks
+      && List.for_all (fun (p, p0) -> Term.equal_const t.(p) t.(p0)) dup_checks
+    then out := t :: !out
+  done;
+  !out
+
+let row_key slot_checks (t : Term.const array) =
+  List.map (fun (p, _) -> t.(p)) slot_checks
+
+let env_key slot_checks (env : Term.const array) =
+  List.map (fun (_, j) -> env.(j)) slot_checks
+
+let group_by_key slot_checks filtered =
+  let tbl = Hashtbl.create (max 16 (List.length filtered)) in
+  List.iter
+    (fun t ->
+      let key = row_key slot_checks t in
+      let prev = match Hashtbl.find_opt tbl key with Some l -> l | None -> [] in
+      Hashtbl.replace tbl key (t :: prev))
+    filtered;
+  tbl
+
+(* Compile an atom's argument positions against a slot array. *)
+let compile_checks (cargs : carg array) (slots : int array) =
+  let const_checks = ref [] and slot_checks = ref [] and dup_checks = ref [] in
+  let first_pos = Hashtbl.create 8 in
+  Array.iteri
+    (fun p arg ->
+      match arg with
+      | Ccst c -> const_checks := (p, c) :: !const_checks
+      | Cvar v ->
+          if mem_sorted slots v then
+            slot_checks := (p, lower_bound slots v) :: !slot_checks
+          else (
+            match Hashtbl.find_opt first_pos v with
+            | Some p0 -> dup_checks := (p, p0) :: !dup_checks
+            | None -> Hashtbl.add first_pos v p))
+    cargs;
+  (first_pos, !const_checks, !slot_checks, !dup_checks)
+
+(* value source per new slot: an existing slot or a (first occurrence)
+   tuple position *)
+let sources_for prev_slots first_pos new_slots =
+  Array.map
+    (fun v ->
+      if mem_sorted prev_slots v then -lower_bound prev_slots v - 1
+      else Hashtbl.find first_pos v)
+    new_slots
+
+let build_env sources nlen (env : Term.const array) (tuple : Term.const array) =
+  Array.init nlen (fun k ->
+      let src = sources.(k) in
+      if src >= 0 then tuple.(src) else env.(-src - 1))
+
+let hash_join ~slots ~cargs ~avars ~tuples envs =
+  let new_slots = merge_sorted slots avars in
+  let nlen = Array.length new_slots in
+  let first_pos, const_checks, slot_checks, dup_checks =
+    compile_checks cargs slots
+  in
+  let filtered = filter_tuples const_checks dup_checks tuples in
+  let sources = sources_for slots first_pos new_slots in
+  let out =
+    match slot_checks with
+    | [] ->
+        List.concat_map
+          (fun env -> List.rev_map (fun t -> build_env sources nlen env t) filtered)
+          envs
+    | _ :: _ ->
+        let tbl = group_by_key slot_checks filtered in
+        List.concat_map
+          (fun env ->
+            match Hashtbl.find_opt tbl (env_key slot_checks env) with
+            | None -> []
+            | Some ts -> List.rev_map (fun t -> build_env sources nlen env t) ts)
+          envs
+  in
+  (new_slots, out)
+
+let carg_of code_of (a : Atom.t) =
+  Array.of_list
+    (List.map
+       (function Term.Cst c -> Ccst c | Term.Var x -> Cvar (code_of x))
+       a.Atom.args)
+
+let local_coder () =
+  let local = Hashtbl.create 16 and next = ref 0 in
+  fun x ->
+    match Hashtbl.find_opt local x with
+    | Some c -> c
+    | None ->
+        let c = !next in
+        Hashtbl.add local x c;
+        incr next;
+        c
+
+let avars_of cargs =
+  Array.to_list cargs
+  |> List.filter_map (function Cvar v -> Some v | Ccst _ -> None)
+  |> List.sort_uniq Int.compare
+  |> Array.of_list
+
+let tuples_of db (a : Atom.t) =
+  match Database.find a.Atom.pred db with
+  | None -> [||]
+  | Some r -> Array.of_list (List.map Array.of_list (Relation.tuples r))
+
+let cost_of_order db order =
+  let relation_costs = body_relation_cells db order in
+  let code_of = local_coder () in
+  let _, _, ir_cells =
+    List.fold_left
+      (fun (slots, envs, acc) (a : Atom.t) ->
+        let cargs = carg_of code_of a in
+        let new_slots, envs =
+          hash_join ~slots ~cargs ~avars:(avars_of cargs)
+            ~tuples:(tuples_of db a) envs
+        in
+        (new_slots, envs, acc + (List.length envs * max 1 (Array.length new_slots))))
+      ([||], [ [||] ], 0)
+      order
+  in
+  relation_costs + ir_cells
 
 (* DP over subsets.  With all attributes retained, both the tuple count
    and the width of IR depend only on the joined subgoal set, so
@@ -252,74 +374,45 @@ let dp ~connected ?memo ?budget ?(bound = max_int) db body =
         done;
         Buffer.contents b
       in
-      (* Joining an entry with atom [i]: compile the atom's argument
-         positions against the entry's slots once, then run every
-         (environment, tuple) pair through the compiled checks. *)
-      let compiled i (prev : Subplan.entry) =
-        let ca = cargs.(i) in
-        let prev_slots = prev.Subplan.slots in
-        let new_slots = merge_sorted prev_slots avars.(i) in
-        let const_checks = ref [] and slot_checks = ref [] and dup_checks = ref [] in
-        let first_pos = Hashtbl.create 8 in
-        Array.iteri
-          (fun p arg ->
-            match arg with
-            | Ccst c -> const_checks := (p, c) :: !const_checks
-            | Cvar v ->
-                if mem_sorted prev_slots v then
-                  slot_checks := (p, lower_bound prev_slots v) :: !slot_checks
-                else (
-                  match Hashtbl.find_opt first_pos v with
-                  | Some p0 -> dup_checks := (p, p0) :: !dup_checks
-                  | None -> Hashtbl.add first_pos v p))
-          ca;
-        let const_checks = !const_checks
-        and slot_checks = !slot_checks
-        and dup_checks = !dup_checks in
-        let matches (env : Term.const array) (tuple : Term.const array) =
-          List.for_all (fun (p, c) -> Term.equal_const c tuple.(p)) const_checks
-          && List.for_all (fun (p, j) -> Term.equal_const env.(j) tuple.(p)) slot_checks
-          && List.for_all (fun (p, p0) -> Term.equal_const tuple.(p) tuple.(p0)) dup_checks
-        in
-        (new_slots, first_pos, matches)
-      in
+      (* Joining an entry with atom [i]: one hash build over the atom's
+         filtered tuples, one probe per environment. *)
       let join i prev =
-        let new_slots, first_pos, matches = compiled i prev in
-        let nlen = Array.length new_slots in
-        let prev_slots = prev.Subplan.slots in
-        (* value source per new slot: an existing slot or a (first
-           occurrence) tuple position *)
-        let sources =
-          Array.map
-            (fun v ->
-              if mem_sorted prev_slots v then -lower_bound prev_slots v - 1
-              else Hashtbl.find first_pos v)
-            new_slots
+        let new_slots, envs =
+          hash_join ~slots:prev.Subplan.slots ~cargs:cargs.(i) ~avars:avars.(i)
+            ~tuples:tuples.(i) prev.Subplan.envs
         in
-        let build (env : Term.const array) (tuple : Term.const array) =
-          Array.init nlen (fun k ->
-              let src = sources.(k) in
-              if src >= 0 then tuple.(src) else env.(-src - 1))
-        in
-        let envs =
-          List.concat_map
-            (fun env ->
-              Array.fold_left
-                (fun acc t -> if matches env t then build env t :: acc else acc)
-                [] tuples.(i))
-            prev.Subplan.envs
-        in
-        { Subplan.slots = new_slots; envs; cells = List.length envs * max 1 nlen }
+        {
+          Subplan.slots = new_slots;
+          envs;
+          cells = List.length envs * max 1 (Array.length new_slots);
+        }
       in
       let count_cells i prev =
-        let new_slots, _, matches = compiled i prev in
+        let prev_slots = prev.Subplan.slots in
+        let new_slots = merge_sorted prev_slots avars.(i) in
+        let _, const_checks, slot_checks, dup_checks =
+          compile_checks cargs.(i) prev_slots
+        in
+        let filtered = filter_tuples const_checks dup_checks tuples.(i) in
         let count =
-          List.fold_left
-            (fun acc env ->
-              Array.fold_left
-                (fun acc t -> if matches env t then acc + 1 else acc)
-                acc tuples.(i))
-            0 prev.Subplan.envs
+          match slot_checks with
+          | [] -> List.length prev.Subplan.envs * List.length filtered
+          | _ :: _ ->
+              let counts = Hashtbl.create (max 16 (List.length filtered)) in
+              List.iter
+                (fun t ->
+                  let key = row_key slot_checks t in
+                  let c =
+                    match Hashtbl.find_opt counts key with Some c -> c | None -> 0
+                  in
+                  Hashtbl.replace counts key (c + 1))
+                filtered;
+              List.fold_left
+                (fun acc env ->
+                  match Hashtbl.find_opt counts (env_key slot_checks env) with
+                  | Some c -> acc + c
+                  | None -> acc)
+                0 prev.Subplan.envs
         in
         count * max 1 (Array.length new_slots)
       in
@@ -480,3 +573,115 @@ let optimal_exhaustive db body =
 
 let optimal_connected ?memo ?budget ?bound db body =
   dp ~connected:true ?memo ?budget ?bound db body
+
+(* -- estimated-size mode -------------------------------------------- *)
+
+(* The same subset DP driven by [Estimate] join profiles instead of
+   materialized intermediate relations.  [Estimate.join_profiles] is
+   commutative but not associative (distinct counts are capped by the
+   running cardinality), so a subset's profile is made well-defined by
+   fixing a canonical atom indexing (sorted by rendering, ties by
+   position) and folding every subset along its lowest-bit chain; both
+   the DP and [estimated_cost_of_order] account against these canonical
+   profiles, so the cost of the returned order re-evaluates to the
+   returned cost. *)
+let est_setup est body =
+  let n = List.length body in
+  let atoms = Array.of_list body in
+  let ids0 = Array.map Atom.to_string atoms in
+  let perm = Array.init n Fun.id in
+  Array.sort
+    (fun i j ->
+      match String.compare ids0.(i) ids0.(j) with
+      | 0 -> Int.compare i j
+      | c -> c)
+    perm;
+  let atoms = Array.map (fun i -> atoms.(i)) perm in
+  let aprof = Array.map (Estimate.atom_profile est) atoms in
+  let full = (1 lsl n) - 1 in
+  let profiles = Array.make (full + 1) None in
+  let rec profile_of s =
+    if s = 0 then Estimate.unit_profile
+    else
+      match profiles.(s) with
+      | Some p -> p
+      | None ->
+          let bit = s land -s in
+          let p =
+            Estimate.join_profiles
+              (profile_of (s lxor bit))
+              aprof.(lowest_index bit)
+          in
+          profiles.(s) <- Some p;
+          p
+  in
+  let cells s =
+    let p = profile_of s in
+    Estimate.profile_card p *. float_of_int (Estimate.profile_width p)
+  in
+  (atoms, cells)
+
+let estimated_cost_of_order est order =
+  let n = List.length order in
+  if n = 0 then 0.
+  else if n > max_subgoals then width_limit n
+  else begin
+    let atoms, cells = est_setup est order in
+    (* map each atom of the order to an unused canonical index (bodies
+       may contain duplicate atoms) *)
+    let used = Array.make n false in
+    let index_of a =
+      let id = Atom.to_string a in
+      let rec go i =
+        if i >= n then invalid_arg "M2.estimated_cost_of_order: atom not in body"
+        else if (not used.(i)) && Atom.to_string atoms.(i) = id then begin
+          used.(i) <- true;
+          i
+        end
+        else go (i + 1)
+      in
+      go 0
+    in
+    let _, ir =
+      List.fold_left
+        (fun (s, acc) a ->
+          let s = s lor (1 lsl index_of a) in
+          (s, acc +. cells s))
+        (0, 0.) order
+    in
+    Estimate.body_relation_cells_est est order +. ir
+  end
+
+let optimal_estimated ?budget est body =
+  let n = List.length body in
+  if n = 0 then ([], 0.)
+  else if n > max_subgoals then width_limit n
+  else begin
+    let atoms, cells = est_setup est body in
+    let full = (1 lsl n) - 1 in
+    let best = Array.make (full + 1) Float.infinity in
+    let choice = Array.make (full + 1) (-1) in
+    best.(0) <- 0.;
+    for s = 1 to full do
+      Budget.tick budget;
+      let best_prev = ref Float.infinity and arg = ref (-1) in
+      for i = 0 to n - 1 do
+        if s land (1 lsl i) <> 0 then begin
+          let bp = best.(s lxor (1 lsl i)) in
+          if bp < !best_prev then begin
+            best_prev := bp;
+            arg := i
+          end
+        end
+      done;
+      best.(s) <- !best_prev +. cells s;
+      choice.(s) <- !arg
+    done;
+    let rec rebuild s acc =
+      if s = 0 then acc
+      else
+        let i = choice.(s) in
+        rebuild (s lxor (1 lsl i)) (atoms.(i) :: acc)
+    in
+    (rebuild full [], best.(full) +. Estimate.body_relation_cells_est est body)
+  end

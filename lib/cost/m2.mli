@@ -87,6 +87,27 @@ val optimal_connected :
   Atom.t list ->
   (Atom.t list * int) option
 
+(** {2 Estimated-size mode}
+
+    The same cost measure driven by {!Estimate} join profiles instead
+    of materialized intermediate relations: plans are costed from
+    statistics alone, never touching the data.  Because
+    [Estimate.join_profiles] is not associative, subset profiles are
+    pinned to a canonical fold order, which makes the two functions
+    consistent: {!estimated_cost_of_order} of the order returned by
+    {!optimal_estimated} equals the returned cost. *)
+
+(** [estimated_cost_of_order est order] — estimated M2 cells of the
+    ordering, relation cells included. *)
+val estimated_cost_of_order : Estimate.t -> Atom.t list -> float
+
+(** [optimal_estimated est body] — the ordering minimizing the estimated
+    M2 cost, by DP over subsets (ties resolved deterministically).
+    [budget] is ticked once per DP state.  Raises
+    [Vplan_error.Error (Width_limit _)] past {!max_subgoals}. *)
+val optimal_estimated :
+  ?budget:Budget.t -> Estimate.t -> Atom.t list -> Atom.t list * float
+
 (** [intermediate_sizes db order] lists the {e tuple counts} of
     [IR_1, ..., IR_n] (widths are implied by the variables joined). *)
 val intermediate_sizes : Database.t -> Atom.t list -> int list

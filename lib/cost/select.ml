@@ -123,6 +123,59 @@ let best_m2 ?memo ?budget ?(domains = 1) ?(filters = []) db candidates =
   | _ -> ());
   result
 
+type m2_est_choice = {
+  est_rewriting : Query.t;
+  est_order : Atom.t list;
+  est_cost : float;
+}
+
+type m3_est_choice = {
+  est3_rewriting : Query.t;
+  est3_plan : M3.plan;
+  est3_cost : float;
+}
+
+(* Estimated-mode selection never materializes a join, so there is no
+   expensive search to prune or share: a sequential fold over the
+   candidates is both the simplest and a deterministic choice (first
+   strict minimum wins). *)
+let best_m2_estimated ?budget est candidates =
+  Obs.phase "plan_select" @@ fun () ->
+  Metrics.add candidates_total (List.length candidates);
+  let _, best =
+    List.fold_left
+      (fun (idx, best) (p : Query.t) ->
+        Vplan_core.Budget.tick budget;
+        let order, cost = M2.optimal_estimated ?budget est p.Query.body in
+        let better = match best with None -> true | Some (_, bc) -> cost < bc in
+        ( idx + 1,
+          if better then
+            Some ({ est_rewriting = p; est_order = order; est_cost = cost }, cost)
+          else best ))
+      (0, None) candidates
+  in
+  Option.map fst best
+
+let best_m3_estimated ?budget ~annotate est candidates =
+  Obs.phase "plan_select" @@ fun () ->
+  Metrics.add candidates_total (List.length candidates);
+  let _, best =
+    List.fold_left
+      (fun (idx, best) (p : Query.t) ->
+        Vplan_core.Budget.tick budget;
+        let plan, cost =
+          M3.optimal_estimated ?budget est ~annotate:(annotate p) p.Query.body
+        in
+        let better = match best with None -> true | Some (_, bc) -> cost < bc in
+        ( idx + 1,
+          if better then
+            Some
+              ({ est3_rewriting = p; est3_plan = plan; est3_cost = cost }, cost)
+          else best ))
+      (0, None) candidates
+  in
+  Option.map fst best
+
 let best_m3 ?budget ?(domains = 1) ~annotate db candidates =
   Obs.phase "plan_select" @@ fun () ->
   let score ~bound (p : Query.t) =

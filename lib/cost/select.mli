@@ -62,6 +62,38 @@ val best_m2 :
   Query.t list ->
   m2_choice option
 
+type m2_est_choice = {
+  est_rewriting : Query.t;  (** chosen rewriting *)
+  est_order : Atom.t list;  (** estimated-optimal join order *)
+  est_cost : float;  (** estimated M2 cells *)
+}
+
+type m3_est_choice = {
+  est3_rewriting : Query.t;
+  est3_plan : M3.plan;
+  est3_cost : float;
+}
+
+(** [best_m2_estimated est candidates] — the candidate with the cheapest
+    {!M2.optimal_estimated} cost, computed from statistics alone (no
+    view is ever materialized).  Deterministic: the first candidate
+    achieving the minimum estimated cost wins.  [budget] is ticked per
+    candidate and per DP state. *)
+val best_m2_estimated :
+  ?budget:Vplan_core.Budget.t ->
+  Estimate.t ->
+  Query.t list ->
+  m2_est_choice option
+
+(** [best_m3_estimated ~annotate est candidates] — estimated-mode M3
+    selection over annotated plans. *)
+val best_m3_estimated :
+  ?budget:Vplan_core.Budget.t ->
+  annotate:(Query.t -> Atom.t list -> M3.plan) ->
+  Estimate.t ->
+  Query.t list ->
+  m3_est_choice option
+
 (** [best_m3 ~annotate db candidates] — the M3-cheapest candidate under
     the per-candidate annotation function (supplementary or renaming
     heuristic), branch-and-bound over the permutation search of each. *)

@@ -1,0 +1,380 @@
+open Vplan_cq
+open Vplan_relational
+module Budget = Vplan_core.Budget
+module Obs = Vplan_obs.Obs
+module Metrics = Vplan_obs.Metrics
+
+(* Hash-join evaluation of conjunctive queries over an Interned.t.
+
+   Atoms are joined in the same static order as the backtracking
+   evaluator ([Eval.schedule]); each step is a build/probe hash join
+   keyed on the variables shared between the accumulated environments
+   and the next atom.  Per-atom selections (constants, repeated
+   variables) are applied in one pass before joining; oversized build
+   sides are radix-partitioned; a pairwise semi-join reduction trims
+   selections before any join when the head projects most variables
+   away. *)
+
+let build_rows_c = Metrics.counter "vplan_join_build_rows"
+let probe_rows_c = Metrics.counter "vplan_join_probe_rows"
+let partitions_c = Metrics.counter "vplan_join_partitions_total"
+
+let default_radix_threshold = 65536
+
+(* 2^4 partitions per oversized build: enough to cut a build side well
+   below the threshold again without scattering tiny partitions. *)
+let radix_partitions = 16
+
+type carg =
+  | Const of int  (* interned constant *)
+  | Var of int  (* variable number *)
+  | Unmatchable  (* constant absent from the database: no tuple matches *)
+
+type catom = {
+  rel : Interned.rel;
+  const_checks : (int * int) array;  (* (pos, code) *)
+  dup_checks : (int * int) array;  (* (pos, first pos of same var) *)
+  key_pairs : (int * int) array;  (* (var, pos): vars bound by earlier atoms *)
+  new_vars : (int * int) array;  (* (var, pos): vars first bound here *)
+  var_pos : (int * int) array;  (* (var, first pos) for every distinct var *)
+}
+
+(* Compilation happens in scheduled order: [bound] accumulates the
+   variables the already-compiled prefix binds, which is exactly what
+   splits an atom's variables into probe keys and fresh bindings. *)
+let compile t var_id bound (a : Atom.t) =
+  match Interned.find t a.Atom.pred with
+  | None -> None
+  | Some rel when rel.Interned.arity <> Atom.arity a -> None
+  | Some rel ->
+      let args =
+        Array.of_list
+          (List.map
+             (function
+               | Term.Cst c -> (
+                   match Interned.const_id t c with
+                   | Some id -> Const id
+                   | None -> Unmatchable)
+               | Term.Var x -> Var (var_id x))
+             a.Atom.args)
+      in
+      if
+        Array.exists
+          (function Unmatchable -> true | Const _ | Var _ -> false)
+          args
+      then None
+      else begin
+        let first = Hashtbl.create 8 in
+        let const_checks = ref [] and dup_checks = ref [] in
+        Array.iteri
+          (fun pos arg ->
+            match arg with
+            | Const id -> const_checks := (pos, id) :: !const_checks
+            | Var v -> (
+                match Hashtbl.find_opt first v with
+                | Some p0 -> dup_checks := (pos, p0) :: !dup_checks
+                | None -> Hashtbl.add first v pos)
+            | Unmatchable -> ())
+          args;
+        let key_pairs = ref [] and new_vars = ref [] in
+        Array.iteri
+          (fun pos arg ->
+            match arg with
+            | Var v when Hashtbl.find first v = pos ->
+                if Hashtbl.mem bound v then key_pairs := (v, pos) :: !key_pairs
+                else new_vars := (v, pos) :: !new_vars
+            | Var _ | Const _ | Unmatchable -> ())
+          args;
+        List.iter (fun (v, _) -> Hashtbl.replace bound v ()) !new_vars;
+        let key_pairs = Array.of_list (List.rev !key_pairs) in
+        let new_vars = Array.of_list (List.rev !new_vars) in
+        Some
+          {
+            rel;
+            const_checks = Array.of_list (List.rev !const_checks);
+            dup_checks = Array.of_list (List.rev !dup_checks);
+            key_pairs;
+            new_vars;
+            var_pos = Array.append key_pairs new_vars;
+          }
+      end
+
+(* One pass over the stored relation applying the env-independent checks
+   (constants, repeated variables); the surviving row numbers feed every
+   later build, probe and semi-join. *)
+let select ca =
+  let rel = ca.rel in
+  let out = ref [] in
+  for row = rel.Interned.rows - 1 downto 0 do
+    if
+      Array.for_all
+        (fun (pos, code) -> Interned.get rel row pos = code)
+        ca.const_checks
+      && Array.for_all
+           (fun (pos, p0) -> Interned.get rel row pos = Interned.get rel row p0)
+           ca.dup_checks
+    then out := row :: !out
+  done;
+  Array.of_list !out
+
+let hash_key karr = Array.fold_left (fun h x -> (h * 31) + x + 1) 17 karr
+
+let filter_rows f rows =
+  let out = ref [] in
+  Array.iter (fun r -> if f r then out := r :: !out) rows;
+  Array.of_list (List.rev !out)
+
+(* Pairwise semi-join reduction: for every atom pair sharing variables,
+   keep only the rows of one atom whose shared-variable values occur in
+   the other.  A forward sweep first propagates the selective atoms —
+   the schedule puts bound constants first — into the later, larger
+   selections; a backward sweep then propagates the shrunken tails into
+   the build sides of the first joins.  The common single shared
+   variable hashes raw int codes; only wider keys pay for boxed
+   arrays. *)
+let semijoin_reduce budget catoms sels =
+  Obs.phase "semijoin" (fun () ->
+      let n = Array.length catoms in
+      let pos_map i =
+        let tbl = Hashtbl.create 8 in
+        Array.iter (fun (v, p) -> Hashtbl.replace tbl v p) catoms.(i).var_pos;
+        tbl
+      in
+      (* filter sels.(i) down to the rows whose shared-variable values
+         appear in sels.(j) *)
+      let reduce i j =
+        let map_j = pos_map j in
+        let shared =
+          Array.to_list catoms.(i).var_pos
+          |> List.filter_map (fun (v, pi) ->
+                 match Hashtbl.find_opt map_j v with
+                 | Some pj -> Some (pi, pj)
+                 | None -> None)
+          |> Array.of_list
+        in
+        if Array.length shared > 0 then begin
+          let reli = catoms.(i).rel and relj = catoms.(j).rel in
+          if Array.length shared = 1 then begin
+            let keys = Hashtbl.create (max 16 (Array.length sels.(j))) in
+            let pi, pj = shared.(0) in
+            Array.iter
+              (fun row -> Hashtbl.replace keys (Interned.get relj row pj) ())
+              sels.(j);
+            sels.(i) <-
+              filter_rows
+                (fun row ->
+                  Budget.tick budget;
+                  Hashtbl.mem keys (Interned.get reli row pi))
+                sels.(i)
+          end
+          else begin
+            let keys = Hashtbl.create (max 16 (Array.length sels.(j))) in
+            Array.iter
+              (fun row ->
+                let key =
+                  Array.map (fun (_, pj) -> Interned.get relj row pj) shared
+                in
+                Hashtbl.replace keys key ())
+              sels.(j);
+            sels.(i) <-
+              filter_rows
+                (fun row ->
+                  Budget.tick budget;
+                  Hashtbl.mem keys
+                    (Array.map (fun (pi, _) -> Interned.get reli row pi) shared))
+                sels.(i)
+          end
+        end
+      in
+      for i = 0 to n - 2 do
+        for j = i + 1 to n - 1 do
+          reduce j i
+        done
+      done;
+      for i = n - 2 downto 0 do
+        for j = i + 1 to n - 1 do
+          reduce i j
+        done
+      done)
+
+let extend ca env row =
+  let e = Array.copy env in
+  Array.iter (fun (v, p) -> e.(v) <- Interned.get ca.rel row p) ca.new_vars;
+  e
+
+(* Build a hash table over the selected rows keyed on the shared
+   variables, then probe with every accumulated environment.  The
+   single-variable key is the common case and probes an int-keyed
+   table directly. *)
+let build_probe budget ca rows envs out =
+  Metrics.add build_rows_c (Array.length rows);
+  Metrics.add probe_rows_c (List.length envs);
+  let rel = ca.rel in
+  let kp = ca.key_pairs in
+  if Array.length kp = 1 then begin
+    let v0, p0 = kp.(0) in
+    let tbl = Hashtbl.create (max 16 (Array.length rows)) in
+    Array.iter
+      (fun row ->
+        let key = Interned.get rel row p0 in
+        let prev = match Hashtbl.find_opt tbl key with Some l -> l | None -> [] in
+        Hashtbl.replace tbl key (row :: prev))
+      rows;
+    List.iter
+      (fun env ->
+        Budget.tick budget;
+        match Hashtbl.find_opt tbl env.(v0) with
+        | None -> ()
+        | Some matches ->
+            List.iter
+              (fun row ->
+                Budget.tick budget;
+                out := extend ca env row :: !out)
+              matches)
+      envs
+  end
+  else begin
+    let row_key row = Array.map (fun (_, p) -> Interned.get rel row p) kp in
+    let env_key env = Array.map (fun (v, _) -> env.(v)) kp in
+    let tbl = Hashtbl.create (max 16 (Array.length rows)) in
+    Array.iter
+      (fun row ->
+        let key = row_key row in
+        let prev = match Hashtbl.find_opt tbl key with Some l -> l | None -> [] in
+        Hashtbl.replace tbl key (row :: prev))
+      rows;
+    List.iter
+      (fun env ->
+        Budget.tick budget;
+        match Hashtbl.find_opt tbl (env_key env) with
+        | None -> ()
+        | Some matches ->
+            List.iter
+              (fun row ->
+                Budget.tick budget;
+                out := extend ca env row :: !out)
+              matches)
+      envs
+  end
+
+let step budget radix_threshold ca sel state =
+  match state with
+  | [] -> []
+  | _ ->
+      let out = ref [] in
+      if Array.length ca.key_pairs = 0 then begin
+        (* no shared variable: selection-filtered cross product *)
+        Metrics.add probe_rows_c (List.length state);
+        List.iter
+          (fun env ->
+            Budget.tick budget;
+            Array.iter
+              (fun row ->
+                Budget.tick budget;
+                out := extend ca env row :: !out)
+              sel)
+          state
+      end
+      else if Array.length sel > radix_threshold then begin
+        (* grace/radix partitioning: split both sides on the key hash so
+           each build fits comfortably, then join partition by partition *)
+        let nparts = radix_partitions in
+        Metrics.add partitions_c nparts;
+        let rel = ca.rel in
+        let kp = ca.key_pairs in
+        let row_parts = Array.make nparts [] in
+        Array.iter
+          (fun row ->
+            let h =
+              hash_key (Array.map (fun (_, p) -> Interned.get rel row p) kp)
+              land (nparts - 1)
+            in
+            row_parts.(h) <- row :: row_parts.(h))
+          sel;
+        let env_parts = Array.make nparts [] in
+        List.iter
+          (fun env ->
+            let h =
+              hash_key (Array.map (fun (v, _) -> env.(v)) kp) land (nparts - 1)
+            in
+            env_parts.(h) <- env :: env_parts.(h))
+          state;
+        for p = 0 to nparts - 1 do
+          match env_parts.(p) with
+          | [] -> ()
+          | envs ->
+              build_probe budget ca
+                (Array.of_list (List.rev row_parts.(p)))
+                (List.rev envs) out
+        done
+      end
+      else build_probe budget ca sel state out;
+      List.rev !out
+
+let head_var_count (head : Atom.t) =
+  List.filter_map
+    (function Term.Var x -> Some x | Term.Cst _ -> None)
+    head.Atom.args
+  |> Names.Sset.of_list |> Names.Sset.cardinal
+
+let answers ?budget ?semijoin ?(radix_threshold = default_radix_threshold) t
+    (q : Query.t) =
+  let head = q.Query.head in
+  let head_arity = Atom.arity head in
+  Obs.phase "hash_join" (fun () ->
+      let ordered = Eval.schedule (Interned.database t) q.Query.body in
+      let var_ids = Hashtbl.create 16 in
+      let n_vars = ref 0 in
+      let var_id x =
+        match Hashtbl.find_opt var_ids x with
+        | Some v -> v
+        | None ->
+            let v = !n_vars in
+            Hashtbl.add var_ids x v;
+            incr n_vars;
+            v
+      in
+      let bound = Hashtbl.create 16 in
+      let compiled =
+        List.fold_left
+          (fun acc a ->
+            match acc with
+            | None -> None
+            | Some acc -> (
+                match compile t var_id bound a with
+                | Some ca -> Some (ca :: acc)
+                | None -> None))
+          (Some []) ordered
+      in
+      match compiled with
+      | None -> Relation.empty head_arity
+      | Some rev_catoms ->
+          let catoms = Array.of_list (List.rev rev_catoms) in
+          let sels = Array.map select catoms in
+          let semijoin_on =
+            match semijoin with
+            | Some b -> b
+            | None -> head_var_count head < !n_vars
+          in
+          if semijoin_on && Array.length catoms > 1 then
+            semijoin_reduce budget catoms sels;
+          let state = ref [ Array.make (max 1 !n_vars) (-1) ] in
+          Array.iteri
+            (fun i ca -> state := step budget radix_threshold ca sels.(i) !state)
+            catoms;
+          let tuples =
+            List.map
+              (fun env ->
+                List.map
+                  (function
+                    | Term.Cst c -> c
+                    | Term.Var x -> (
+                        match Hashtbl.find_opt var_ids x with
+                        | Some v when env.(v) >= 0 -> Interned.const t env.(v)
+                        | Some _ | None ->
+                            invalid_arg
+                              ("Exec.answers: unbound head variable " ^ x)))
+                  head.Atom.args)
+              !state
+          in
+          Relation.of_tuples head_arity tuples)

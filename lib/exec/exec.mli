@@ -1,0 +1,44 @@
+(** Hash-join evaluation of conjunctive queries over interned, columnar
+    relations.
+
+    The join order is the same static schedule the backtracking
+    evaluator uses ({!Vplan_relational.Eval.schedule}); each step is a
+    build/probe hash join keyed on the variables shared between the
+    accumulated environments and the next atom.  Build sides larger
+    than the radix threshold are grace-partitioned on the key hash; a
+    pairwise semi-join reduction runs first when the head projects most
+    body variables away.  [answers] agrees with [Eval.answers] on every
+    query (the QCheck oracle property in [test/test_exec.ml]).
+
+    Instrumentation: the whole evaluation runs under an [Obs] phase
+    ["hash_join"] (the reduction under ["semijoin"]), and the counters
+    [vplan_join_build_rows], [vplan_join_probe_rows] and
+    [vplan_join_partitions_total] account rows entering builds, probes
+    issued, and radix partitions created.  When a [Budget] is supplied,
+    one step is charged per probe and per produced row, so a step limit
+    truncates evaluation mid-probe with the usual [Vplan_error]. *)
+
+open Vplan_cq
+open Vplan_relational
+
+(** Build sides above this row count are radix-partitioned (default
+    65536). *)
+val default_radix_threshold : int
+
+(** Number of partitions per radix split. *)
+val radix_partitions : int
+
+(** [answers ?budget ?semijoin ?radix_threshold t q] — the answer
+    relation of [q] (distinct head tuples), equal to [Eval.answers
+    (Interned.database t) q].
+
+    [semijoin] forces the semi-join reduction on or off; by default it
+    runs iff the head has fewer distinct variables than the body
+    (projection-heavy). *)
+val answers :
+  ?budget:Vplan_core.Budget.t ->
+  ?semijoin:bool ->
+  ?radix_threshold:int ->
+  Interned.t ->
+  Query.t ->
+  Relation.t

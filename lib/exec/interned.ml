@@ -1,0 +1,66 @@
+open Vplan_cq
+open Vplan_relational
+
+(* Columnar image of a Database.t: constants are interned to dense int
+   codes once per load, and each relation's tuples live in one flat
+   row-major int array.  A tuple value is two adds and a load away, with
+   no per-tuple boxing — the representation the hash-join inner loops
+   iterate over. *)
+
+type rel = {
+  arity : int;
+  rows : int;
+  data : int array;  (* data.(row * arity + col) = interned constant *)
+}
+
+type t = {
+  db : Database.t;
+  const_ids : (Term.const, int) Hashtbl.t;
+  consts : Term.const array;  (* code -> constant *)
+  rels : (string, rel) Hashtbl.t;
+}
+
+let database t = t.db
+let const_id t c = Hashtbl.find_opt t.const_ids c
+let const t id = t.consts.(id)
+let num_consts t = Array.length t.consts
+let find t name = Hashtbl.find_opt t.rels name
+
+let get r row col = r.data.((row * r.arity) + col)
+
+let tuple_of_row t r row =
+  List.init r.arity (fun col -> t.consts.(get r row col))
+
+let of_database db =
+  let const_ids = Hashtbl.create 256 in
+  let rev_consts = ref [] in
+  let n_consts = ref 0 in
+  let intern c =
+    match Hashtbl.find_opt const_ids c with
+    | Some id -> id
+    | None ->
+        let id = !n_consts in
+        Hashtbl.add const_ids c id;
+        rev_consts := c :: !rev_consts;
+        incr n_consts;
+        id
+  in
+  let rels = Hashtbl.create 16 in
+  List.iter
+    (fun name ->
+      let r = Database.find_exn name db in
+      let arity = Relation.arity r in
+      let rows = Relation.cardinality r in
+      let data = Array.make (max 1 (rows * arity)) 0 in
+      let next = ref 0 in
+      Relation.iter
+        (fun tuple ->
+          List.iter
+            (fun c ->
+              data.(!next) <- intern c;
+              incr next)
+            tuple)
+        r;
+      Hashtbl.add rels name { arity; rows; data })
+    (Database.predicates db);
+  { db; const_ids; consts = Array.of_list (List.rev !rev_consts); rels }

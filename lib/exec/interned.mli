@@ -1,0 +1,39 @@
+(** Interned, columnar relation storage for the hash-join engine.
+
+    Constants are interned to dense integer codes once per load; each
+    relation's tuples are stored in a single flat row-major int array.
+    The representation is immutable after {!of_database}. *)
+
+open Vplan_cq
+open Vplan_relational
+
+type rel = {
+  arity : int;
+  rows : int;
+  data : int array;  (** [data.(row * arity + col)] = interned constant *)
+}
+
+type t
+
+val of_database : Database.t -> t
+
+(** The database this image was built from. *)
+val database : t -> Database.t
+
+(** [const_id t c] — the dense code of [c], or [None] if [c] does not
+    occur anywhere in the database (no tuple can match it). *)
+val const_id : t -> Term.const -> int option
+
+(** [const t id] — the constant behind a code. *)
+val const : t -> int -> Term.const
+
+val num_consts : t -> int
+
+(** [find t pred] — the stored relation named [pred]. *)
+val find : t -> string -> rel option
+
+(** [get r row col] — per-column accessor into the flat array. *)
+val get : rel -> int -> int -> int
+
+(** [tuple_of_row t r row] decodes a stored row back to constants. *)
+val tuple_of_row : t -> rel -> int -> Relation.tuple

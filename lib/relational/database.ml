@@ -13,7 +13,26 @@ let add_fact name tuple db =
   in
   Names.Smap.add name (Relation.add tuple r) db
 
-let of_facts facts = List.fold_left (fun db (name, tuple) -> add_fact name tuple db) empty facts
+(* Bulk load: group facts by predicate, then build each relation with a
+   single sort+dedup pass.  The first tuple of a predicate fixes its
+   arity, matching the incremental [add_fact] behaviour (and error). *)
+let of_facts facts =
+  let by_pred : (string, Relation.tuple list ref) Hashtbl.t = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun (name, tuple) ->
+      match Hashtbl.find_opt by_pred name with
+      | Some l -> l := tuple :: !l
+      | None ->
+          Hashtbl.add by_pred name (ref [ tuple ]);
+          order := name :: !order)
+    facts;
+  List.fold_left
+    (fun db name ->
+      let tuples = List.rev !(Hashtbl.find by_pred name) in
+      let arity = match tuples with [] -> 0 | t :: _ -> List.length t in
+      Names.Smap.add name (Relation.of_tuples arity tuples) db)
+    empty (List.rev !order)
 let find name db = Names.Smap.find_opt name db
 
 let find_exn name db =

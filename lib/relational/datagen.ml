@@ -79,6 +79,58 @@ let random_skewed rng specs =
       Database.add_relation spec.predicate r db)
     Database.empty specs
 
+(* YCSB-style bounded Zipf sampler over [0, domain): inverse-CDF with a
+   precomputed harmonic sum.  theta = 0 degenerates to uniform; theta in
+   (0, 1) skews mass toward small values with a long tail. *)
+let zipf rng ~domain ~theta =
+  if domain <= 0 then invalid_arg "Datagen.zipf: domain must be positive";
+  if theta < 0.0 || theta >= 1.0 then
+    invalid_arg "Datagen.zipf: theta must be in [0, 1)";
+  if domain = 1 then fun () -> 0
+  else begin
+    let n = float_of_int domain in
+    let zetan = ref 0.0 in
+    for i = 1 to domain do
+      zetan := !zetan +. (1.0 /. (float_of_int i ** theta))
+    done;
+    let zetan = !zetan in
+    let zeta2 = 1.0 +. (0.5 ** theta) in
+    let alpha = 1.0 /. (1.0 -. theta) in
+    let eta = (1.0 -. ((2.0 /. n) ** (1.0 -. theta))) /. (1.0 -. (zeta2 /. zetan)) in
+    fun () ->
+      let u = Prng.float rng in
+      let uz = u *. zetan in
+      if uz < 1.0 then 0
+      else if uz < zeta2 then 1
+      else
+        let v = int_of_float (n *. (((eta *. u) -. eta +. 1.0) ** alpha)) in
+        max 0 (min (domain - 1) v)
+  end
+
+type distribution =
+  | Uniform
+  | Zipf of float
+
+let column_sampler rng ~domain = function
+  | Uniform -> fun () -> Prng.int rng domain
+  | Zipf theta -> zipf rng ~domain ~theta
+
+let random_dist rng specs =
+  List.fold_left
+    (fun db (spec, dists) ->
+      let samplers =
+        Array.init spec.arity (fun i ->
+            let d = try List.nth dists i with Failure _ -> Uniform in
+            column_sampler rng ~domain:spec.domain d)
+      in
+      let r =
+        List.init spec.tuples (fun _ ->
+            List.init spec.arity (fun i -> Term.Int (samplers.(i) ())))
+        |> Relation.of_tuples spec.arity
+      in
+      Database.add_relation spec.predicate r db)
+    Database.empty specs
+
 let for_query_skewed rng ~tuples ~domain q =
   let specs =
     Names.Smap.bindings (arities_of_query q)

@@ -37,3 +37,18 @@ val random_skewed : Prng.t -> spec list -> Database.t
 (** [for_query_skewed rng ~tuples ~domain q] — skewed variant of
     {!for_query}. *)
 val for_query_skewed : Prng.t -> tuples:int -> domain:int -> Query.t -> Database.t
+
+(** Per-column value distribution for {!random_dist}. *)
+type distribution =
+  | Uniform
+  | Zipf of float  (** skew parameter theta in [0, 1); 0 is uniform *)
+
+(** [zipf rng ~domain ~theta] returns a sampler drawing from
+    [0 .. domain-1] under a bounded Zipf distribution (YCSB-style
+    inverse CDF).  Deterministic given the generator state. *)
+val zipf : Prng.t -> domain:int -> theta:float -> unit -> int
+
+(** [random_dist rng specs] draws each relation with an explicit
+    per-column distribution list (missing entries default to
+    [Uniform]). *)
+val random_dist : Prng.t -> (spec * distribution list) list -> Database.t

@@ -25,6 +25,13 @@ val match_atom : Database.t -> env -> Atom.t -> env list
     [List.concat_map (fun e -> match_atom db e atom) envs], deduplicated. *)
 val extend : Database.t -> env list -> Atom.t -> env list
 
+(** [schedule db atoms] is the selectivity-first static join order used by
+    {!satisfying_envs}: repeatedly pick the atom with the most bound
+    arguments, tie-breaking on smaller relation, then original position.
+    Exposed so other evaluators (the hash-join engine in [Vplan_exec])
+    drive the same order. *)
+val schedule : Database.t -> Atom.t list -> Atom.t list
+
 (** [satisfying_envs db atoms] joins all atoms, starting from the empty
     environment.  Atoms are scheduled selectivity-first (most bound
     arguments, then smallest relation) — reordering never changes the

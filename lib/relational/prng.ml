@@ -25,6 +25,11 @@ let range t lo hi =
 
 let bool t = Int64.logand (next t) 1L = 1L
 
+let float t =
+  (* top 53 bits give a uniform double in [0, 1) *)
+  Int64.to_float (Int64.shift_right_logical (next t) 11)
+  *. (1.0 /. 9007199254740992.0)
+
 let pick t = function
   | [] -> invalid_arg "Prng.pick: empty list"
   | l -> List.nth l (int t (List.length l))

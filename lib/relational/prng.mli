@@ -18,6 +18,9 @@ val range : t -> int -> int -> int
 (** [bool t] draws a fair coin. *)
 val bool : t -> bool
 
+(** [float t] draws uniformly from [0, 1). *)
+val float : t -> float
+
 (** [pick t l] draws a uniformly random element; raises [Invalid_argument]
     on an empty list. *)
 val pick : t -> 'a list -> 'a

@@ -24,7 +24,19 @@ let add tuple r =
          (List.length tuple) r.arity)
   else { r with tuples = Tuple_set.add tuple r.tuples }
 
-let of_tuples arity tuples = List.fold_left (fun r t -> add t r) (empty arity) tuples
+(* Bulk load: one [of_list] (sort + dedup) pass instead of n balanced
+   insertions.  Arity is still validated per tuple so the error matches
+   the incremental path. *)
+let of_tuples arity tuples =
+  List.iter
+    (fun t ->
+      if List.length t <> arity then
+        invalid_arg
+          (Printf.sprintf
+             "Relation.add: tuple of arity %d into relation of arity %d"
+             (List.length t) arity))
+    tuples;
+  { arity; tuples = Tuple_set.of_list tuples }
 let tuples r = Tuple_set.elements r.tuples
 let tuple_set r = r.tuples
 let mem tuple r = Tuple_set.mem tuple r.tuples

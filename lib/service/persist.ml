@@ -28,7 +28,7 @@ let facts_of_db db =
           a.Atom.args ))
     (Database.facts db)
 
-let snapshot_of ?base cat =
+let snapshot_of ?base ?stats cat =
   let views = Catalog.views cat in
   let index_of =
     let tbl = Hashtbl.create (List.length views) in
@@ -44,6 +44,7 @@ let snapshot_of ?base cat =
         (fun (signature, members) -> (signature, List.map index_of members))
         (Catalog.keyed cat);
     base = Option.map facts_of_db base;
+    stats = Option.map Vplan_stats.Stats.bindings stats;
   }
 
 let state_of_snapshot (s : Snapshot.t) =
@@ -67,7 +68,10 @@ let state_of_snapshot (s : Snapshot.t) =
     Catalog.restore ~generation:s.Snapshot.generation
       ~views:(Array.to_list views) ~keyed:(List.rev keyed)
   in
-  Ok (cat, Option.map Database.of_facts s.Snapshot.base)
+  Ok
+    ( cat,
+      Option.map Database.of_facts s.Snapshot.base,
+      Option.map Vplan_stats.Stats.of_bindings s.Snapshot.stats )
 
 let add_views_batch cat vs =
   match cat with

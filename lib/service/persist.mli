@@ -13,15 +13,22 @@ module Database = Vplan_relational.Database
 module Snapshot = Vplan_store.Snapshot
 module Record = Vplan_store.Record
 
-(** [snapshot_of ?base cat] renders the catalog (and base database, when
-    loaded) into snapshot parts.  The [seq] field is 0; {!Vplan_store.Store.save}
-    overrides it. *)
-val snapshot_of : ?base:Database.t -> Catalog.t -> Snapshot.t
+(** [snapshot_of ?base ?stats cat] renders the catalog (and base
+    database and its load-time statistics, when loaded) into snapshot
+    parts.  The [seq] field is 0; {!Vplan_store.Store.save} overrides
+    it. *)
+val snapshot_of :
+  ?base:Database.t -> ?stats:Vplan_stats.Stats.t -> Catalog.t -> Snapshot.t
 
 (** [state_of_snapshot s] parses the rule texts back and {!Catalog.restore}s
-    the stored partition. *)
+    the stored partition.  Statistics ride along verbatim — they are
+    only meaningful for the snapshot's own base database, so a caller
+    that replays a later [Load_data] must discard them. *)
 val state_of_snapshot :
-  Snapshot.t -> (Catalog.t * Database.t option, string) result
+  Snapshot.t ->
+  ( Catalog.t * Database.t option * Vplan_stats.Stats.t option,
+    string )
+  result
 
 (** [view_of_text text] parses one journaled rule text. *)
 val view_of_text : string -> (View.t, string) result

@@ -27,6 +27,7 @@ type shared = {
   d_max_steps : int option;
   d_max_covers : int option;
   d_slow_ms : float option;
+  d_cost_mode : Service.cost_mode;
   next_trace : int Atomic.t;
 }
 
@@ -36,12 +37,14 @@ type session = {
   mutable max_steps : int option;
   mutable max_covers : int option;
   mutable slow_ms : float option;
+  mutable cost_mode : Service.cost_mode;
 }
 
 type reply = { text : string; close : bool }
 
 let create_shared ?(cache_capacity = 512) ?(domains = 1) ?timeout_ms ?max_steps
-    ?max_covers ?slow_ms ?store ?(boot_replayed = 0) ?(boot_truncated = 0) () =
+    ?max_covers ?slow_ms ?(cost_mode = Service.Exact) ?store
+    ?(boot_replayed = 0) ?(boot_truncated = 0) () =
   {
     service = None;
     slock = Mutex.create ();
@@ -54,6 +57,7 @@ let create_shared ?(cache_capacity = 512) ?(domains = 1) ?timeout_ms ?max_steps
     d_max_steps = max_steps;
     d_max_covers = max_covers;
     d_slow_ms = slow_ms;
+    d_cost_mode = cost_mode;
     next_trace = Atomic.make 0;
   }
 
@@ -64,6 +68,7 @@ let new_session shared =
     max_steps = shared.d_max_steps;
     max_covers = shared.d_max_covers;
     slow_ms = shared.d_slow_ms;
+    cost_mode = shared.d_cost_mode;
   }
 
 let service shared = shared.service
@@ -104,7 +109,7 @@ let help ppf =
     \          explain <rule>. | stats [--json] | metrics\n\
     \          save | health\n\
     \          set timeout MS | set max-steps N | set max-covers N\n\
-    \          set slow-ms MS | set off\n\
+    \          set slow-ms MS | set cost-mode exact|estimated | set off\n\
     \          help | quit@."
 
 let read_file path =
@@ -145,7 +150,8 @@ let snapshot_now shared =
   | None, _ | _, None -> Ok ()
   | Some st, Some s ->
       Store.save st
-        (Persist.snapshot_of ?base:(Service.base s) (Service.catalog s))
+        (Persist.snapshot_of ?base:(Service.base s)
+           ?stats:(Service.base_stats s) (Service.catalog s))
 
 let cmd_catalog_load shared ppf path =
   match Parser.parse_program (read_file path) with
@@ -305,7 +311,15 @@ let cmd_data (sess : session) ppf rest =
               match outcome with
               | Error e -> err ppf "readonly: %s" e
               | Ok () ->
-                  Format.fprintf ppf "ok data facts=%d@." (List.length facts)))
+                  let relations, rows =
+                    match Service.base_stats s with
+                    | None -> (0, 0)
+                    | Some st ->
+                        (Vplan_stats.Stats.num_relations st,
+                         Vplan_stats.Stats.total_rows st)
+                  in
+                  Format.fprintf ppf "ok data facts=%d relations=%d rows=%d@."
+                    (List.length facts) relations rows))
   | _ -> err ppf "usage: data load FILE"
 
 let cmd_plan (sess : session) ppf rest =
@@ -316,13 +330,20 @@ let cmd_plan (sess : session) ppf rest =
       | Ok query -> (
           match
             Service.plan ?budget:(fresh_budget sess)
-              ?max_covers:sess.max_covers ~domains:shared.domains s query
+              ?max_covers:sess.max_covers ~domains:shared.domains
+              ~cost_mode:sess.cost_mode s query
           with
           | None -> Format.fprintf ppf "ok plan none trace=%d@." (next_trace_id shared)
           | Some o ->
               let trace = next_trace_id shared in
-              Format.fprintf ppf "ok plan cost=%d candidates=%d trace=%d@."
-                o.Service.plan_cost o.Service.plan_candidates trace;
+              (match o.Service.plan_cost with
+              | Service.Cells c ->
+                  Format.fprintf ppf "ok plan cost=%d candidates=%d trace=%d@."
+                    c o.Service.plan_candidates trace
+              | Service.Cells_est c ->
+                  Format.fprintf ppf
+                    "ok plan mode=estimated cost_est=%.1f candidates=%d trace=%d@."
+                    c o.Service.plan_candidates trace);
               slow_log sess ~trace ~ms:o.Service.plan_ms "source=plan";
               Format.fprintf ppf "%a@." Query.pp o.Service.plan_rewriting;
               Format.fprintf ppf "order: %a@."
@@ -343,6 +364,7 @@ let cmd_stats shared ppf rest =
              \"hits\":%d,\"misses\":%d,\"bypasses\":%d,\"evictions\":%d,\
              \"cache_size\":%d,\"cache_capacity\":%d,\"truncated\":%d,\
              \"plan_requests\":%d,\"generation_resets\":%d,\
+             \"data_relations\":%d,\"data_rows\":%d,\
              \"latency\":{\"count\":%d,\"mean_ms\":%.3f,\"p50_ms\":%.3f,\
              \"p95_ms\":%.3f,\"max_ms\":%.3f}}@."
             st.Service.generation st.Service.num_views st.Service.num_view_classes
@@ -350,6 +372,7 @@ let cmd_stats shared ppf rest =
             st.Service.bypasses st.Service.evictions st.Service.cache_size
             st.Service.cache_capacity st.Service.truncated
             st.Service.plan_requests st.Service.generation_resets
+            st.Service.data_relations st.Service.data_rows
             l.Service.count l.Service.mean_ms l.Service.p50_ms l.Service.p95_ms
             l.Service.max_ms
       | "" ->
@@ -363,6 +386,9 @@ let cmd_stats shared ppf rest =
           Format.fprintf ppf "truncated=%d plan-requests=%d generation-resets=%d@."
             st.Service.truncated st.Service.plan_requests
             st.Service.generation_resets;
+          if Service.base s <> None then
+            Format.fprintf ppf "data relations=%d rows=%d@."
+              st.Service.data_relations st.Service.data_rows;
           Format.fprintf ppf
             "latency count=%d mean=%.3fms p50=%.3fms p95=%.3fms max=%.3fms@."
             l.Service.count l.Service.mean_ms l.Service.p50_ms l.Service.p95_ms
@@ -402,8 +428,8 @@ let cmd_explain (sess : session) ppf rest =
                 let outcome, spans =
                   Trace.run (fun () ->
                       Service.plan ?budget:(fresh_budget sess)
-                        ?max_covers:sess.max_covers ~domains:shared.domains s
-                        query)
+                        ?max_covers:sess.max_covers ~domains:shared.domains
+                        ~cost_mode:sess.cost_mode s query)
                 in
                 ((match outcome with Some _ -> "plan" | None -> "plan none"), spans)
             | None ->
@@ -445,10 +471,20 @@ let cmd_health shared ppf =
         let cat = Service.catalog s in
         (Catalog.generation cat, Catalog.num_views cat)
   in
+  (* data columns appear only once a base database is resident, so the
+     line stays byte-stable for servers that never load data *)
+  let data =
+    match shared.service with
+    | Some s when Service.base s <> None ->
+        let st = Service.stats s in
+        Printf.sprintf " data_relations=%d data_rows=%d"
+          st.Service.data_relations st.Service.data_rows
+    | _ -> ""
+  in
   match shared.store with
   | None ->
-      Format.fprintf ppf "ok health generation=%d views=%d store=ephemeral@."
-        generation views
+      Format.fprintf ppf "ok health generation=%d views=%d store=ephemeral%s@."
+        generation views data
   | Some st ->
       let mode =
         match Store.mode st with
@@ -462,9 +498,9 @@ let cmd_health shared ppf =
       in
       Format.fprintf ppf
         "ok health generation=%d views=%d store=%s snapshot_age=%s \
-         replayed=%d truncated_bytes=%d journal_records=%d journal_bytes=%d@."
+         replayed=%d truncated_bytes=%d journal_records=%d journal_bytes=%d%s@."
         generation views mode age shared.boot_replayed shared.boot_truncated
-        (Store.journal_records st) (Store.journal_bytes st)
+        (Store.journal_records st) (Store.journal_bytes st) data
 
 let cmd_set (sess : session) ppf rest =
   match String.split_on_char ' ' rest |> List.filter (fun s -> s <> "") with
@@ -498,10 +534,19 @@ let cmd_set (sess : session) ppf rest =
           sess.max_covers <- Some v;
           Format.fprintf ppf "ok max-covers=%d@." v
       | _ -> err ppf "usage: set max-covers N")
+  | [ "cost-mode"; m ] -> (
+      match m with
+      | "exact" ->
+          sess.cost_mode <- Service.Exact;
+          Format.fprintf ppf "ok cost-mode=exact@."
+      | "estimated" ->
+          sess.cost_mode <- Service.Estimated;
+          Format.fprintf ppf "ok cost-mode=estimated@."
+      | _ -> err ppf "usage: set cost-mode exact|estimated")
   | _ ->
       err ppf
         "usage: set timeout MS | set max-steps N | set max-covers N | set \
-         slow-ms MS | set off"
+         slow-ms MS | set cost-mode exact|estimated | set off"
 
 let extra_lines line =
   let cmd, rest = split_command (String.trim line) in

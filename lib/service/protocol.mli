@@ -23,7 +23,7 @@
     explain <rule>. | stats [--json] | metrics
     save | health
     set timeout MS | set max-steps N | set max-covers N
-    set slow-ms MS | set off
+    set slow-ms MS | set cost-mode exact|estimated | set off
     help | quit
     v}
 
@@ -44,9 +44,11 @@ type reply = { text : string; close : bool }
 (** [create_shared ()] — [domains] is the width of the per-request
     domain pool handed to {!Service.rewrite}/[batch]/[plan];
     [cache_capacity] bounds the rewrite cache; the budget options seed
-    every new session's defaults.  [store] attaches a durability layer
-    (mutations journal before ack); [boot_replayed]/[boot_truncated]
-    are the recovery facts reported by [health]. *)
+    every new session's defaults.  [cost_mode] (default [Exact]) seeds
+    every session's plan-costing mode; [set cost-mode] changes it per
+    connection.  [store] attaches a durability layer (mutations journal
+    before ack); [boot_replayed]/[boot_truncated] are the recovery
+    facts reported by [health]. *)
 val create_shared :
   ?cache_capacity:int ->
   ?domains:int ->
@@ -54,6 +56,7 @@ val create_shared :
   ?max_steps:int ->
   ?max_covers:int ->
   ?slow_ms:float ->
+  ?cost_mode:Service.cost_mode ->
   ?store:Vplan_store.Store.t ->
   ?boot_replayed:int ->
   ?boot_truncated:int ->

@@ -7,7 +7,10 @@ module Database = Vplan_relational.Database
 module Materialize = Vplan_views.Materialize
 module Subplan = Vplan_cost.Subplan
 module Select = Vplan_cost.Select
+module Estimate = Vplan_cost.Estimate
+module Stats = Vplan_stats.Stats
 module Metrics = Vplan_obs.Metrics
+module Obs = Vplan_obs.Obs
 
 let requests_total = Metrics.counter "vplan_rewrite_requests_total"
 let bypasses_total = Metrics.counter "vplan_rewrite_bypasses_total"
@@ -49,13 +52,19 @@ type stats = {
   truncated : int;
   plan_requests : int;
   generation_resets : int;
+  data_relations : int;
+  data_rows : int;
   latency : latency;
 }
+
+type cost_mode = Exact | Estimated
+
+type plan_cost = Cells of int | Cells_est of float
 
 type plan_outcome = {
   plan_rewriting : Query.t;
   plan_order : Atom.t list;
-  plan_cost : int;
+  plan_cost : plan_cost;
   plan_candidates : int;
   plan_ms : float;
 }
@@ -77,6 +86,15 @@ type plan_ctx = {
   p_memo : Subplan.t;
 }
 
+(* Estimated-mode planning state, valid for exactly one
+   (catalog, statistics) pair: the estimation catalog extended with
+   per-view statistics.  Never touches the data. *)
+type est_ctx = {
+  e_cat : Catalog.t;
+  e_stats : Stats.t;
+  e_est : Estimate.t;
+}
+
 (* percentile window: the most recent [lat_window] request latencies *)
 let lat_window = 1024
 
@@ -88,7 +106,9 @@ type t = {
   mutable bypasses : int;
   mutable truncated : int;
   mutable base : Database.t option;
+  mutable bstats : Stats.t option;
   mutable pctx : plan_ctx option;
+  mutable ectx : est_ctx option;
   mutable plan_requests : int;
   mutable generation_resets : int;
   lat_ring : float array;
@@ -106,7 +126,9 @@ let create ?(cache_capacity = 512) cat =
     bypasses = 0;
     truncated = 0;
     base = None;
+    bstats = None;
     pctx = None;
+    ectx = None;
     plan_requests = 0;
     generation_resets = 0;
     lat_ring = Array.make lat_window 0.;
@@ -126,17 +148,29 @@ let set_catalog t cat =
       t.cat <- cat;
       Rewrite_cache.clear t.cache;
       t.pctx <- None;
+      t.ectx <- None;
       (* the new catalog restarts its generation sequence; counting
          swaps here lets lifetime counters survive a [catalog load] *)
       t.generation_resets <- t.generation_resets + 1;
       Metrics.incr generation_resets_total)
 
 let base t = locked t (fun () -> t.base)
+let base_stats t = locked t (fun () -> t.bstats)
 
-let set_base t db =
+let set_base ?stats t db =
+  (* statistics are collected (one scan per relation) outside the lock;
+     a recovered snapshot passes its persisted stats and skips the
+     scan *)
+  let stats =
+    match stats with
+    | Some s -> s
+    | None -> Obs.phase "stats_collect" (fun () -> Stats.collect db)
+  in
   locked t (fun () ->
       t.base <- Some db;
-      t.pctx <- None)
+      t.bstats <- Some stats;
+      t.pctx <- None;
+      t.ectx <- None)
 
 (* [sigma] maps caller variables to canonical ones, bijectively and only
    var-to-var; its inverse renames canonical-variable results back. *)
@@ -267,32 +301,73 @@ let plan_ctx t cat db =
               t.pctx <- Some fresh;
               fresh)
 
-let plan ?budget ?max_covers ?(domains = 1) t query =
+(* Same publish discipline for the estimation catalog; building it folds
+   a join profile per view body — cheap, but traced so explain shows
+   where estimated-mode time goes on the first request. *)
+let est_ctx t cat stats =
+  let live ctx = ctx.e_cat == cat && ctx.e_stats == stats in
+  match locked t (fun () -> t.ectx) with
+  | Some ctx when live ctx -> ctx.e_est
+  | _ ->
+      let est =
+        Obs.phase "estimate" (fun () ->
+            Estimate.view_stats (Estimate.of_stats stats) (Catalog.views cat))
+      in
+      let fresh = { e_cat = cat; e_stats = stats; e_est = est } in
+      locked t (fun () ->
+          match t.ectx with
+          | Some ctx when live ctx -> ctx.e_est
+          | _ ->
+              t.ectx <- Some fresh;
+              est)
+
+let plan ?budget ?max_covers ?(domains = 1) ?(cost_mode = Exact) t query =
   let clock = Budget.create () in
-  let cat, db = locked t (fun () -> (t.cat, t.base)) in
+  let cat, db, stats = locked t (fun () -> (t.cat, t.base, t.bstats)) in
   match db with
   | None -> failwith "no base database loaded (use: data load FILE)"
   | Some db ->
-      let ctx = plan_ctx t cat db in
       let r =
         Corecover.all_minimal ?budget ?max_results:max_covers
           ~view_classes:(Catalog.view_classes cat)
           ~domains ~query ~views:(Catalog.views cat) ()
       in
       let choice =
-        Select.best_m2 ~memo:ctx.p_memo ?budget ~domains
-          ~filters:r.Corecover.filters ctx.p_view_db r.Corecover.rewritings
+        match cost_mode with
+        | Exact ->
+            let ctx = plan_ctx t cat db in
+            Option.map
+              (fun (c : Select.m2_choice) ->
+                (c.Select.m2_rewriting, c.Select.m2_order, Cells c.Select.m2_cost))
+              (Select.best_m2 ~memo:ctx.p_memo ?budget ~domains
+                 ~filters:r.Corecover.filters ctx.p_view_db
+                 r.Corecover.rewritings)
+        | Estimated ->
+            (* statistics always exist once a base is loaded ([set_base]
+               collects them when the caller has none) *)
+            let stats =
+              match stats with
+              | Some s -> s
+              | None -> assert false
+            in
+            let est = est_ctx t cat stats in
+            Option.map
+              (fun (c : Select.m2_est_choice) ->
+                ( c.Select.est_rewriting,
+                  c.Select.est_order,
+                  Cells_est c.Select.est_cost ))
+              (Select.best_m2_estimated ?budget est r.Corecover.rewritings)
       in
       let ms = Budget.elapsed_ms clock in
       Metrics.incr plan_requests_total;
       Metrics.observe request_ms ms;
       locked t (fun () -> t.plan_requests <- t.plan_requests + 1);
       Option.map
-        (fun (c : Select.m2_choice) ->
+        (fun (plan_rewriting, plan_order, plan_cost) ->
           {
-            plan_rewriting = c.Select.m2_rewriting;
-            plan_order = c.Select.m2_order;
-            plan_cost = c.Select.m2_cost;
+            plan_rewriting;
+            plan_order;
+            plan_cost;
             plan_candidates = List.length r.Corecover.rewritings;
             plan_ms = ms;
           })
@@ -332,6 +407,10 @@ let stats t =
         truncated = t.truncated;
         plan_requests = t.plan_requests;
         generation_resets = t.generation_resets;
+        data_relations =
+          (match t.bstats with None -> 0 | Some s -> Stats.num_relations s);
+        data_rows =
+          (match t.bstats with None -> 0 | Some s -> Stats.total_rows s);
         latency;
       })
 

@@ -73,14 +73,26 @@ type stats = {
           swapped-in catalog restarts its generation sequence, so
           [generation] alone cannot show that a reload happened; the
           other counters deliberately survive the swap. *)
+  data_relations : int;  (** base relations, from load-time statistics *)
+  data_rows : int;  (** base tuples, from load-time statistics *)
   latency : latency;  (** over the most recent requests (bounded window) *)
 }
+
+(** How {!plan} costs candidate rewritings: [Exact] materializes the
+    view relations and measures true intermediate sizes (the paper's
+    cost model); [Estimated] derives join selectivities from the base
+    statistics collected at load time and never materializes a view. *)
+type cost_mode = Exact | Estimated
+
+type plan_cost =
+  | Cells of int  (** true M2 cells against the materialized views *)
+  | Cells_est of float  (** estimated M2 cells from statistics *)
 
 (** Result of an end-to-end {!plan} request. *)
 type plan_outcome = {
   plan_rewriting : Query.t;  (** chosen rewriting, filters appended if any *)
   plan_order : Atom.t list;  (** M2-optimal join order of its body *)
-  plan_cost : int;  (** true M2 cost against the materialized views *)
+  plan_cost : plan_cost;
   plan_candidates : int;  (** candidate rewritings considered *)
   plan_ms : float;  (** wall-clock latency of this request *)
 }
@@ -101,10 +113,17 @@ val set_catalog : t -> Catalog.t -> unit
 val base : t -> Vplan_relational.Database.t option
 
 (** [set_base t db] loads the base database {!plan} costs candidates
-    against.  Invalidates the service's plan context (materialized view
-    relations and the cross-request subplan memo); the rewrite cache is
-    untouched — rewritings are database-independent. *)
-val set_base : t -> Vplan_relational.Database.t -> unit
+    against, collecting per-relation statistics (cardinalities, distinct
+    counts, histograms) unless [stats] supplies previously collected
+    ones — the warm-restart path, where the snapshot carries them.
+    Invalidates the service's plan contexts (materialized view
+    relations, the cross-request subplan memo, and the estimation
+    catalog); the rewrite cache is untouched — rewritings are
+    database-independent. *)
+val set_base : ?stats:Vplan_stats.Stats.t -> t -> Vplan_relational.Database.t -> unit
+
+(** Statistics for the loaded base database, if any. *)
+val base_stats : t -> Vplan_stats.Stats.t option
 
 (** [rewrite t query] serves one request.  [budget]/[max_covers] bound
     the CoreCover run on a miss exactly as in {!Corecover.gmrs} — a
@@ -141,12 +160,18 @@ val rewrite_batch :
     over a stable catalog share join evaluations.  [None] when the query
     has no rewriting.
 
+    [cost_mode] (default [Exact]) selects how candidates are costed;
+    [Estimated] plans from the load-time statistics alone, reusing a
+    cached estimation catalog the same way exact mode reuses its
+    materialized views.
+
     @raise Failure when no base database has been loaded
     ({!set_base}). *)
 val plan :
   ?budget:Vplan_core.Budget.t ->
   ?max_covers:int ->
   ?domains:int ->
+  ?cost_mode:cost_mode ->
   t ->
   Query.t ->
   plan_outcome option

@@ -1,15 +1,67 @@
 module Failpoint = Vplan_core.Failpoint
 open Codec
 
+module Stats = Vplan_stats.Stats
+module Histogram = Vplan_stats.Histogram
+
 type t = {
   seq : int;
   generation : int;
   views : string list;
   classes : (string * int list) list;
   base : Record.fact list option;
+  stats : (string * Stats.table) list option;
 }
 
-let magic = "VPSNAP01"
+let magic = "VPSNAP02"
+
+let put_histogram b (h : Histogram.t) =
+  put_i63 b h.Histogram.lo;
+  put_u63 b h.Histogram.width;
+  put_list put_u63 b (Array.to_list h.Histogram.counts);
+  put_u63 b h.Histogram.total
+
+let get_histogram r =
+  let* lo = get_i63 r in
+  let* width = get_u63 r in
+  let* counts = get_list get_u63 r in
+  let* total = get_u63 r in
+  if width < 1 then Error "snapshot: histogram bucket width < 1"
+  else if counts = [] then Error "snapshot: histogram with no buckets"
+  else
+    Ok { Histogram.lo; width; counts = Array.of_list counts; total }
+
+let put_column b (c : Stats.column) =
+  put_u63 b c.Stats.distinct;
+  match c.Stats.hist with
+  | None -> put_u8 b 0
+  | Some h ->
+      put_u8 b 1;
+      put_histogram b h
+
+let get_column r =
+  let* distinct = get_u63 r in
+  let* tag = get_u8 r in
+  let* hist =
+    match tag with
+    | 0 -> Ok None
+    | 1 ->
+        let* h = get_histogram r in
+        Ok (Some h)
+    | t -> Error (Printf.sprintf "snapshot: unknown histogram tag %d" t)
+  in
+  Ok { Stats.distinct; hist }
+
+let put_table b (name, (t : Stats.table)) =
+  put_string b name;
+  put_u63 b t.Stats.card;
+  put_list put_column b (Array.to_list t.Stats.columns)
+
+let get_table r =
+  let* name = get_string r in
+  let* card = get_u63 r in
+  let* columns = get_list get_column r in
+  Ok (name, { Stats.card; columns = Array.of_list columns })
 
 let encode t =
   let b = Buffer.create 4096 in
@@ -26,6 +78,11 @@ let encode t =
   | Some facts ->
       put_u8 b 1;
       put_list Record.put_fact b facts);
+  (match t.stats with
+  | None -> put_u8 b 0
+  | Some tables ->
+      put_u8 b 1;
+      put_list put_table b tables);
   let payload = Buffer.contents b in
   let out = Buffer.create (String.length payload + 16) in
   Buffer.add_string out magic;
@@ -70,13 +127,22 @@ let decode data =
             Ok (Some facts)
         | t -> Error (Printf.sprintf "snapshot: unknown base tag %d" t)
       in
+      let* stats_tag = get_u8 r in
+      let* stats =
+        match stats_tag with
+        | 0 -> Ok None
+        | 1 ->
+            let* tables = get_list get_table r in
+            Ok (Some tables)
+        | t -> Error (Printf.sprintf "snapshot: unknown stats tag %d" t)
+      in
       let* () = expect_end r in
       let n = List.length views in
       if
         List.exists (fun (_, members) -> List.exists (fun i -> i >= n) members)
           classes
       then Error "snapshot: class member index out of range"
-      else Ok { seq; generation; views; classes; base }
+      else Ok { seq; generation; views; classes; base; stats }
   end
 
 (* -- atomic file replacement ---------------------------------------- *)

@@ -6,7 +6,7 @@
     what makes a crash between snapshot rename and journal truncation
     harmless.
 
-    On disk: an 8-byte magic+version ["VPSNAP01"], a [u32] payload
+    On disk: an 8-byte magic+version ["VPSNAP02"], a [u32] payload
     length, a [u32] CRC-32 of the payload, then the payload.  {!write}
     goes through a temp file in the same directory, [fsync]s it, renames
     it over the target and [fsync]s the directory — a reader never
@@ -24,6 +24,10 @@ type t = {
       (** signature-keyed equivalence classes; members are indices into
           [views] — the preprocessing a warm restart skips *)
   base : Record.fact list option;  (** base database, when loaded *)
+  stats : (string * Vplan_stats.Stats.table) list option;
+      (** per-relation statistics collected at load time; persisted so a
+          warm restart can serve estimated-mode planning without
+          rescanning the base facts *)
 }
 
 val encode : t -> string

@@ -1,11 +1,13 @@
 open Vplan_relational
 
 let views base vs =
-  (* one interned image of the base: every view evaluation shares the
-     lazily built per-(predicate, bound positions) indexes *)
-  let idb = Indexed_db.of_database base in
+  (* one interned columnar image of the base: every view evaluation
+     shares the constant dictionary and runs through the hash-join
+     engine (build/probe on the shared variables) *)
+  let interned = Vplan_exec.Interned.of_database base in
   List.fold_left
-    (fun db view -> Database.add_relation (View.name view) (Indexed_db.answers idb view) db)
+    (fun db view ->
+      Database.add_relation (View.name view) (Vplan_exec.Exec.answers interned view) db)
     Database.empty vs
 
 let answers_via_rewriting view_db p = Eval.answers view_db p

@@ -59,7 +59,7 @@ repeated requests are answered from the same resident memo.
   > SESSION
   ok catalog generation=1 views=3 classes=3
   err no base database loaded (use: data load FILE)
-  ok data facts=10
+  ok data facts=10 relations=3 rows=10
   ok plan cost=25 candidates=2 trace=1
   q1(S,C) :- v4(M,anderson,C,S)
   order: v4(M,anderson,C,S)
@@ -70,3 +70,35 @@ repeated requests are answered from the same resident memo.
   requests=0 hits=0 misses=0 bypasses=0
   cache size=0 capacity=512 evictions=0
   truncated=0 plan-requests=2 generation-resets=0
+  data relations=3 rows=10
+
+Estimated cost mode plans from the statistics collected at load time —
+no view is materialized for costing — and picks the same rewriting
+here; the CLI prints both the estimate and the realized cost of the
+chosen order.
+
+  $ vplan_server --stdio --catalog views.dl <<'SESSION'
+  > data load facts.dl
+  > set cost-mode estimated
+  > plan q1(S, C) :- car(M, anderson), loc(anderson, C), part(S, M, C).
+  > set cost-mode exact
+  > plan q1(S, C) :- car(M, anderson), loc(anderson, C), part(S, M, C).
+  > quit
+  > SESSION
+  ok catalog generation=1 views=3 classes=3
+  ok data facts=10 relations=3 rows=10
+  ok cost-mode=estimated
+  ok plan mode=estimated cost_est=16.5 candidates=2 trace=1
+  q1(S,C) :- v4(M,anderson,C,S)
+  order: v4(M,anderson,C,S)
+  ok cost-mode=exact
+  ok plan cost=25 candidates=2 trace=2
+  q1(S,C) :- v4(M,anderson,C,S)
+  order: v4(M,anderson,C,S)
+
+  $ vplan_cli plan carloc.dlog --data carloc_data.dlog --cost m2 --cost-mode estimated
+  rewriting: q1(S,C) :- v4(M,anderson,C,S)
+  join order: v4(M,anderson,C,S)
+  cost (M2, estimated): 16.5
+  cost (M2, realized): 25
+  query answer size: 3

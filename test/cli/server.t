@@ -125,7 +125,7 @@ timing-dependent, so only their presence is checked).
   requests=2 hits=1 misses=1 bypasses=0
   cache size=0 capacity=512 evictions=0
   truncated=0 plan-requests=0 generation-resets=1
-  {"generation":1,"views":3,"classes":3,"requests":2,"hits":1,"misses":1,"bypasses":0,"evictions":0,"cache_size":0,"cache_capacity":512,"truncated":0,"plan_requests":0,"generation_resets":1,"latency":…}
+  {"generation":1,"views":3,"classes":3,"requests":2,"hits":1,"misses":1,"bypasses":0,"evictions":0,"cache_size":0,"cache_capacity":512,"truncated":0,"plan_requests":0,"generation_resets":1,"data_relations":0,"data_rows":0,"latency":…}
 
 The metrics command emits Prometheus-style vplan_* lines: monotone
 counters for the pipeline, per-phase latency histograms, and gauges set
@@ -170,9 +170,8 @@ are wall-clock, so they are normalized.
   > quit
   > SESSION
   ok catalog generation=1 views=3 classes=3
-  ok data facts=3
-  ok explain plan request=X traced=X spans=9
-  |- materialize             X ms
+  ok data facts=3 relations=3 rows=3
+  ok explain plan request=X traced=X spans=12
   |- corecover               X ms
   |  |- minimize                X ms
   |  |- view_classes            X ms  [classes=3]
@@ -180,6 +179,10 @@ are wall-clock, so they are normalized.
   |  |- view_tuples             X ms  [views=3 tuples=3]
   |  |- tuple_cores             X ms  [tuples=3 classes=3]
   |  `- set_cover               X ms  [nodes=5 covers=2]
+  |- materialize             X ms
+  |  |- hash_join               X ms
+  |  |- hash_join               X ms
+  |  `- hash_join               X ms
   `- plan_select             X ms  [candidates=2 pruned=1 memo_hits=0 memo_misses=2]
 
 Requests slower than the slow-query threshold are logged to stderr with

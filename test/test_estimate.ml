@@ -75,6 +75,73 @@ let test_estimated_plan_quality () =
   check_bool "within 2x on uniform data" true
     (float_of_int realized <= 2. *. float_of_int true_optimal)
 
+(* The DP and the direct coster must agree on the DP's own answer: the
+   canonical subset-profile fold makes [estimated_cost_of_order] of the
+   returned order equal to the returned cost. *)
+let test_m2_estimated_cost_invariant () =
+  let db = uniform_db ~tuples:80 ~domain:10 [ "p"; "r"; "s" ] in
+  let est = Estimate.of_stats (Stats.collect db) in
+  let body = (q "q(X, W) :- p(X, Y), r(Y, Z), s(Z, W).").Query.body in
+  let order, cost = M2.optimal_estimated est body in
+  Alcotest.(check (float 1e-6)) "order recosts to the returned cost" cost
+    (M2.estimated_cost_of_order est order);
+  (* no permutation the DP considered is cheaper than its answer *)
+  check_bool "reversal is no cheaper" true
+    (M2.estimated_cost_of_order est (List.rev order) >= cost -. 1e-6);
+  Alcotest.(check (slist string String.compare))
+    "permutation"
+    (List.map Atom.to_string body)
+    (List.map Atom.to_string order)
+
+let test_m3_estimated_plan () =
+  let db = uniform_db ~tuples:60 ~domain:10 [ "p"; "r"; "s" ] in
+  let est = Estimate.of_stats (Stats.collect db) in
+  let head = (q "q(X) :- p(X, Y).").Query.head in
+  let body = (q "q(X, W) :- p(X, Y), r(Y, Z), s(Z, W).").Query.body in
+  let annotate = M3.supplementary ~head in
+  let plan, cost = M3.optimal_estimated est ~annotate body in
+  check_bool "finite positive" true (Float.is_finite cost && cost > 0.);
+  Alcotest.(check (float 1e-6)) "plan recosts to the returned cost" cost
+    (M3.estimated_cost_of_plan est plan);
+  Alcotest.(check (slist string String.compare))
+    "plan covers the body"
+    (List.map Atom.to_string body)
+    (List.map (fun (s : M3.step) -> Atom.to_string s.M3.subgoal) plan)
+
+let test_select_estimated_deterministic () =
+  let db = uniform_db ~tuples:80 ~domain:10 [ "p"; "r" ] in
+  let est = Estimate.of_stats (Stats.collect db) in
+  let wide = q "q(X, Z) :- p(X, Y), r(Y, Z)." in
+  let narrow = q "q(X, Y) :- p(X, Y)." in
+  match Select.best_m2_estimated est [ wide; narrow ] with
+  | None -> Alcotest.fail "candidates scored"
+  | Some c ->
+      check_bool "single-atom candidate is cheaper" true
+        (c.Select.est_rewriting == narrow);
+      Alcotest.(check (float 1e-6)) "cost is the candidate's own optimum"
+        (snd (M2.optimal_estimated est narrow.Query.body))
+        c.Select.est_cost;
+      (* same inputs, same choice: the fold is deterministic *)
+      (match Select.best_m2_estimated est [ wide; narrow ] with
+      | Some c' ->
+          check_bool "deterministic rewriting" true
+            (c'.Select.est_rewriting == c.Select.est_rewriting);
+          Alcotest.(check (float 0.0)) "deterministic cost" c.Select.est_cost
+            c'.Select.est_cost
+      | None -> Alcotest.fail "second run scored");
+      (* empty candidate list has no choice *)
+      check_bool "no candidates, no choice" true
+        (Select.best_m2_estimated est [] = None)
+
+let test_view_stats_cardinality () =
+  let db = uniform_db ~tuples:100 ~domain:10 [ "p" ] in
+  let base = Estimate.of_stats (Stats.collect db) in
+  let v = q "v(X, Y) :- p(X, Y)." in
+  let est = Estimate.view_stats base [ v ] in
+  let via_view = Estimate.atom_cardinality est (Atom.make "v" [ Term.Var "A"; Term.Var "B" ]) in
+  let direct = Estimate.atom_cardinality base (Atom.make "p" [ Term.Var "A"; Term.Var "B" ]) in
+  Alcotest.(check (float 0.01)) "identity view inherits the cardinality" direct via_view
+
 let suite =
   [
     ("full-scan cardinality exact", `Quick, test_atom_cardinality_base);
@@ -84,4 +151,8 @@ let suite =
     ("order cost sane", `Quick, test_order_cost_positive_and_sensitive);
     ("estimated optimal is a permutation", `Quick, test_estimated_optimal_is_a_permutation);
     ("estimated plan quality", `Quick, test_estimated_plan_quality);
+    ("m2 estimated cost invariant", `Quick, test_m2_estimated_cost_invariant);
+    ("m3 estimated plan", `Quick, test_m3_estimated_plan);
+    ("select estimated deterministic", `Quick, test_select_estimated_deterministic);
+    ("view stats identity cardinality", `Quick, test_view_stats_cardinality);
   ]

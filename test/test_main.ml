@@ -4,6 +4,8 @@ let () =
       ("cq", Test_cq.suite);
       ("containment", Test_containment.suite);
       ("relational", Test_relational.suite);
+      ("exec", Test_exec.suite);
+      ("stats", Test_stats.suite);
       ("views", Test_views.suite);
       ("rewrite", Test_rewrite.suite);
       ("edge-cases", Test_edge_cases.suite);

@@ -113,6 +113,70 @@ let test_prng_shuffle_permutes () =
   let s = Prng.shuffle rng l in
   Alcotest.(check (list int)) "same elements" l (List.sort Int.compare s)
 
+(* Bulk load must agree with incremental insertion and beat it: one
+   sort + dedup pass against n balanced-tree insertions on a
+   duplicate-heavy load.  The ratio bound is deliberately loose (the
+   asymptotics are identical; the win is constant-factor). *)
+let test_bulk_load_guard () =
+  let n = 50_000 in
+  let tuples =
+    (* mostly distinct (the bulk-load sweet spot) with a 10% duplicate
+       tail that must still collapse *)
+    List.init n (fun i ->
+        tuple_of_ints [ i mod 45_000; (i mod 45_000 * 7) mod 9_973 ])
+  in
+  let t0 = Unix.gettimeofday () in
+  let bulk = Relation.of_tuples 2 tuples in
+  let bulk_s = Unix.gettimeofday () -. t0 in
+  let t0 = Unix.gettimeofday () in
+  let incremental =
+    List.fold_left (fun r t -> Relation.add t r) (Relation.empty 2) tuples
+  in
+  let incr_s = Unix.gettimeofday () -. t0 in
+  check_bool "bulk equals incremental" true (Relation.equal bulk incremental);
+  check_bool "duplicates collapsed" true (Relation.cardinality bulk < n);
+  check_bool
+    (Printf.sprintf "bulk at least 1.15x faster (incr %.1fms, bulk %.1fms)"
+       (incr_s *. 1000.) (bulk_s *. 1000.))
+    true
+    (incr_s /. Float.max 1e-9 bulk_s >= 1.15)
+
+let test_zipf_sampler () =
+  let rng = Prng.create 17 in
+  let draw = Datagen.zipf rng ~domain:100 ~theta:0.9 in
+  let counts = Array.make 100 0 in
+  for _ = 1 to 20_000 do
+    let v = draw () in
+    check_bool "in domain" true (v >= 0 && v < 100);
+    counts.(v) <- counts.(v) + 1
+  done;
+  (* heavy head: rank 0 strictly dominates the mid and tail ranks *)
+  check_bool "rank 0 beats rank 50" true (counts.(0) > counts.(50));
+  check_bool "rank 0 beats rank 99" true (counts.(0) > counts.(99));
+  let head = counts.(0) + counts.(1) + counts.(2) in
+  check_bool "head mass is skewed" true (head > 20_000 * 3 / 100)
+
+let test_datagen_dist_columns () =
+  let rng = Prng.create 23 in
+  let db =
+    Datagen.random_dist rng
+      [
+        ( { Datagen.predicate = "p"; arity = 2; tuples = 400; domain = 50 },
+          [ Datagen.Uniform; Datagen.Zipf 0.9 ] );
+      ]
+  in
+  let r = Database.find_exn "p" db in
+  check_int "arity" 2 (Relation.arity r);
+  check_bool "some tuples" true (Relation.cardinality r > 0);
+  (* the Zipf column concentrates on few values; the uniform one spreads *)
+  let distinct pos =
+    Relation.fold
+      (fun t acc -> Names.Sset.add (Term.const_to_string (List.nth t pos)) acc)
+      r Names.Sset.empty
+    |> Names.Sset.cardinal
+  in
+  check_bool "zipf column more concentrated" true (distinct 1 < distinct 0)
+
 let test_datagen_shapes () =
   let rng = Prng.create 5 in
   let db =
@@ -146,6 +210,9 @@ let suite =
     ("prng deterministic", `Quick, test_prng_deterministic);
     ("prng bounds", `Quick, test_prng_bounds);
     ("prng shuffle", `Quick, test_prng_shuffle_permutes);
+    ("bulk load guard", `Quick, test_bulk_load_guard);
+    ("zipf sampler", `Quick, test_zipf_sampler);
+    ("datagen per-column distributions", `Quick, test_datagen_dist_columns);
     ("datagen shapes", `Quick, test_datagen_shapes);
     ("datagen witness", `Quick, test_datagen_nonempty_witness);
   ]

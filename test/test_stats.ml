@@ -1,0 +1,100 @@
+(* The statistics subsystem (Vplan_stats): histogram boundary estimates
+   and collection over a database. *)
+
+open Vplan
+
+let test_histogram_boundaries () =
+  (* values 0..99, 10 buckets of width 10 *)
+  let h =
+    match Histogram.create ~buckets:10 (List.init 100 Fun.id) with
+    | Some h -> h
+    | None -> Alcotest.fail "histogram on non-empty values"
+  in
+  Alcotest.(check int) "lo" 0 h.Histogram.lo;
+  Alcotest.(check int) "hi" 99 (Histogram.hi h);
+  Alcotest.(check int) "total" 100 h.Histogram.total;
+  (* the exact boundaries land in their buckets *)
+  Alcotest.(check (option int)) "first value" (Some 0) (Histogram.bucket_of h 0);
+  Alcotest.(check (option int)) "last of first bucket" (Some 0) (Histogram.bucket_of h (h.Histogram.width - 1));
+  Alcotest.(check (option int)) "first of second bucket" (Some 1) (Histogram.bucket_of h h.Histogram.width);
+  Alcotest.(check (option int)) "last value" (Some (Histogram.nbuckets h - 1)) (Histogram.bucket_of h 99);
+  (* outside the observed range: no bucket, zero selectivity *)
+  Alcotest.(check (option int)) "below range" None (Histogram.bucket_of h (-1));
+  Alcotest.(check (option int)) "above range" None (Histogram.bucket_of h 100);
+  Alcotest.(check (float 1e-9)) "eq below range" 0.0 (Histogram.eq_fraction ~distinct:100 h (-1));
+  Alcotest.(check (float 1e-9)) "eq above range" 0.0 (Histogram.eq_fraction ~distinct:100 h 100);
+  (* uniform data: the equality fraction is 1/distinct *)
+  Alcotest.(check (float 1e-9)) "uniform eq fraction" 0.01 (Histogram.eq_fraction ~distinct:100 h 42)
+
+let test_histogram_skew () =
+  (* heavy head: value 0 occurs 90 times, 10..19 once each *)
+  let values = List.init 90 (fun _ -> 0) @ List.init 10 (fun i -> 10 + i) in
+  let h =
+    match Histogram.create ~buckets:10 values with
+    | Some h -> h
+    | None -> Alcotest.fail "histogram on non-empty values"
+  in
+  let f_head = Histogram.eq_fraction ~distinct:11 h 0 in
+  let f_tail = Histogram.eq_fraction ~distinct:11 h 15 in
+  Alcotest.(check bool) "head estimated more frequent than tail" true (f_head > f_tail)
+
+let test_histogram_empty_and_single () =
+  Alcotest.(check bool) "empty values: no histogram" true (Histogram.create [] = None);
+  match Histogram.create [ 7; 7; 7 ] with
+  | None -> Alcotest.fail "constant column has a histogram"
+  | Some h ->
+      Alcotest.(check int) "single-value lo" 7 h.Histogram.lo;
+      Alcotest.(check (option int)) "single value bucket" (Some 0) (Histogram.bucket_of h 7);
+      Alcotest.(check (float 1e-9)) "all rows equal" 1.0 (Histogram.eq_fraction ~distinct:1 h 7)
+
+let test_collect () =
+  let db =
+    Database.of_facts
+      [
+        ("r", [ Term.Int 1; Term.Int 10 ]);
+        ("r", [ Term.Int 1; Term.Int 20 ]);
+        ("r", [ Term.Int 2; Term.Int 10 ]);
+        ("s", [ Term.Str "a" ]);
+        ("s", [ Term.Str "a" ]);
+      ]
+  in
+  let stats = Stats.collect db in
+  Alcotest.(check int) "relations" 2 (Stats.num_relations stats);
+  Alcotest.(check int) "total rows" 4 (Stats.total_rows stats);
+  (match Stats.find "r" stats with
+  | None -> Alcotest.fail "r profiled"
+  | Some tbl ->
+      Alcotest.(check int) "r card" 3 tbl.Stats.card;
+      Alcotest.(check int) "r col0 distinct" 2 tbl.Stats.columns.(0).Stats.distinct;
+      Alcotest.(check int) "r col1 distinct" 2 tbl.Stats.columns.(1).Stats.distinct;
+      Alcotest.(check bool) "r col0 has histogram" true
+        (tbl.Stats.columns.(0).Stats.hist <> None));
+  match Stats.find "s" stats with
+  | None -> Alcotest.fail "s profiled"
+  | Some tbl ->
+      Alcotest.(check int) "s card (dedup)" 1 tbl.Stats.card;
+      Alcotest.(check bool) "string column has no histogram" true
+        (tbl.Stats.columns.(0).Stats.hist = None)
+
+let test_collect_matches_estimate_analyze () =
+  (* per-column distinct counts agree with what Estimate.analyze uses as
+     ground truth: both scan the same relations *)
+  let rng = Prng.create 11 in
+  let db =
+    Datagen.random rng
+      [ { Datagen.predicate = "p"; arity = 2; tuples = 200; domain = 20 } ]
+  in
+  let stats = Stats.collect db in
+  match (Stats.find "p" stats, Database.find "p" db) with
+  | Some tbl, Some r ->
+      Alcotest.(check int) "card matches relation" (Relation.cardinality r) tbl.Stats.card
+  | _ -> Alcotest.fail "p present in both"
+
+let suite =
+  [
+    Alcotest.test_case "histogram boundary estimates" `Quick test_histogram_boundaries;
+    Alcotest.test_case "histogram skew ordering" `Quick test_histogram_skew;
+    Alcotest.test_case "histogram empty/single" `Quick test_histogram_empty_and_single;
+    Alcotest.test_case "collect profiles a database" `Quick test_collect;
+    Alcotest.test_case "collect matches relation cardinality" `Quick test_collect_matches_estimate_analyze;
+  ]

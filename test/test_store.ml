@@ -121,6 +121,26 @@ let gen_fact =
   let* args = list_size (int_range 0 3) gen_const in
   return (pred, args)
 
+let gen_histogram =
+  let open Gen in
+  let* lo = int_range (-100) 100 in
+  let* width = int_range 1 50 in
+  let* counts = list_size (int_range 1 8) (int_range 0 1000) in
+  let* total = int_range 0 10_000 in
+  return { Vplan_stats.Histogram.lo; width; counts = Array.of_list counts; total }
+
+let gen_table =
+  let open Gen in
+  let* name = string_size (int_range 1 6) in
+  let* card = int_range 0 100_000 in
+  let* columns =
+    list_size (int_range 0 4)
+      (let* distinct = int_range 0 1000 in
+       let* hist = opt gen_histogram in
+       return { Vplan_stats.Stats.distinct; hist })
+  in
+  return (name, { Vplan_stats.Stats.card; columns = Array.of_list columns })
+
 (* Codec-level randomness: view "texts" are arbitrary bytes — the
    framing must not care whether they parse as rules. *)
 let gen_snapshot =
@@ -140,7 +160,8 @@ let gen_snapshot =
          return (signature, members))
   in
   let* base = opt (list_size (int_range 0 5) gen_fact) in
-  return { Snapshot.seq; generation; views; classes; base }
+  let* stats = opt (list_size (int_range 0 3) gen_table) in
+  return { Snapshot.seq; generation; views; classes; base; stats }
 
 let snapshot_qcheck =
   QCheck_alcotest.to_alcotest
@@ -174,6 +195,7 @@ let snapshot_atomic_write () =
           views = [ "v1(X) :- p(X)." ];
           classes = [ ("sig1", [ 0 ]) ];
           base = Some [ ("p", [ Term.Str "a" ]) ];
+          stats = None;
         }
       in
       ok_exn "write 1" (Snapshot.write ~dir ~file:"s.vps" s1);
@@ -272,12 +294,18 @@ let journal_torn_tail () =
 let persist_roundtrip () =
   let cat = Catalog.create_exn (List.map View.of_query Car_loc_part.views) in
   let cat = ok_exn "add" (Catalog.add_views cat [ q "v9(X) :- car(X, X)." ]) in
-  let snap = Persist.snapshot_of ~base:Car_loc_part.base cat in
+  let stats = Vplan_stats.Stats.collect Car_loc_part.base in
+  let snap = Persist.snapshot_of ~base:Car_loc_part.base ~stats cat in
   (* through the wire format, not just the value *)
   let snap = ok_exn "decode" (Snapshot.decode (Snapshot.encode snap)) in
-  let cat', base' =
+  let cat', base', stats' =
     ok_exn "state_of_snapshot" (Persist.state_of_snapshot snap)
   in
+  (match stats' with
+  | None -> Alcotest.fail "stats lost"
+  | Some s ->
+      check_bool "stats preserved" true
+        (Vplan_stats.Stats.bindings s = Vplan_stats.Stats.bindings stats));
   check_int "generation preserved" (Catalog.generation cat)
     (Catalog.generation cat');
   check_bool "views preserved" true
@@ -316,6 +344,7 @@ let store_lifecycle () =
           views = [ "v1(X) :- p(X)."; "v2(X) :- r(X, X)." ];
           classes = [ ("a", [ 0 ]); ("b", [ 1 ]) ];
           base = None;
+          stats = None;
         }
       in
       ok_exn "save" (Store.save st2 snap);
@@ -372,22 +401,31 @@ let protocol_shared ~dir =
       ~boot_replayed:(List.length r.Store.r_replayed)
       ~boot_truncated:r.Store.r_truncated_bytes ()
   in
-  let state =
+  let state, stats =
     match r.Store.r_snapshot with
-    | None -> (None, None)
+    | None -> ((None, None), None)
     | Some snap ->
-        let cat, base =
+        let cat, base, stats =
           ok_exn "snapshot state" (Persist.state_of_snapshot snap)
         in
-        (Some cat, base)
+        ((Some cat, base), stats)
   in
   let cat, base, _ = ok_exn "replay" (Persist.replay state r.Store.r_replayed) in
+  let stats =
+    if
+      List.exists
+        (fun (_, op) ->
+          match op with Record.Load_data _ -> true | _ -> false)
+        r.Store.r_replayed
+    then None
+    else stats
+  in
   (match cat with
   | None -> ()
   | Some cat ->
       Protocol.install_catalog shared cat;
       (match (Protocol.service shared, base) with
-      | Some s, Some db -> Service.set_base s db
+      | Some s, Some db -> Service.set_base ?stats s db
       | _ -> ()));
   (st, shared)
 
@@ -526,7 +564,7 @@ let recovered_views dir =
     match r.Store.r_snapshot with
     | None -> (None, None)
     | Some snap ->
-        let cat, base = ok_exn "snapshot" (Persist.state_of_snapshot snap) in
+        let cat, base, _ = ok_exn "snapshot" (Persist.state_of_snapshot snap) in
         (Some cat, base)
   in
   let cat, _, _ = ok_exn "replay" (Persist.replay state r.Store.r_replayed) in
