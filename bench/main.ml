@@ -23,6 +23,8 @@
      openworld certain answers: inverse rules vs MiniCon MCR
      estimate  statistics-based join ordering vs true sizes
      joins     hash-join engine vs backtracking evaluator at data scale
+     acyclic   Yannakakis over the GYO join tree vs the general pipeline,
+               and join-tree containment DP vs backtracking
      serve     resident service: cold vs warm-cache throughput
      loadgen   TCP serving tier: closed-loop load at 1/8/64/256 clients
      optimize  plan selection: branch-and-bound engine vs naive candidate loop
@@ -168,9 +170,49 @@ type joins_row = {
   jn_est_cost : float;  (* estimated M2 cells of the statistics-chosen order *)
   jn_exact_cost : int;  (* realized M2 cells of that same order *)
   jn_cost_equal : bool;  (* no order beats the statistics-chosen one *)
+  jn_rows_pruned : int;  (* semi-join prunes during one engine run *)
+  jn_partitions : int;  (* radix partitions during one engine run *)
 }
 
 let joins_rows : joins_row list ref = ref []
+
+(* Rows of the [acyclic] experiment (Yannakakis fast path vs the
+   general hash-join pipeline), collected for [--out FILE.json]. *)
+type acyclic_row = {
+  ac_shape : string;
+  ac_rows : int;  (* tuples drawn per base relation *)
+  ac_answers : int;
+  ac_fast_ms : float;  (* full Yannakakis over the join tree *)
+  ac_pairwise_ms : float;  (* pairwise semi-join heuristic (acyclic off) *)
+  ac_general_ms : float;  (* plain hash join, no reduction at all *)
+  ac_speedup : float;  (* general_ms / fast_ms *)
+  ac_rows_per_sec : float;  (* base rows joined per second, fast path *)
+  ac_answers_equal : bool;  (* fast = pairwise = general = oracles *)
+  ac_cost_equal : bool;  (* tree-seeded planner = unseeded estimated DP *)
+  ac_rows_pruned : int;  (* semi-join prunes during one fast run *)
+  ac_partitions : int;  (* radix partitions during one fast run *)
+  ac_fastpath : bool;  (* the acyclic classifier actually fired *)
+}
+
+let acyclic_rows : acyclic_row list ref = ref []
+
+(* Containment half of the [acyclic] experiment: DP over the join tree
+   vs backtracking, plus end-to-end rewrite latency with the fast path
+   on and off. *)
+type acyclic_containment = {
+  cn_checks : int;
+  cn_depth : int;  (* levels of the branching ladder target *)
+  cn_fast_ms : float;
+  cn_slow_ms : float;
+  cn_speedup : float;
+  cn_agree : bool;  (* DP verdict = backtracking verdict on every check *)
+  cn_fastpath : bool;  (* the fastpath counter moved during the fast run *)
+  cn_rewrite_views : int;
+  cn_rewrite_fast_ms : float;
+  cn_rewrite_general_ms : float;
+}
+
+let acyclic_containment : acyclic_containment option ref = ref None
 
 (* Metrics of the [observe] experiment, collected for [--out FILE.json]. *)
 type observe_metrics = {
@@ -308,11 +350,48 @@ let write_json ~mode oc =
             r.jn_intern_ms r.jn_exec_ms r.jn_eval_ms r.jn_speedup;
           Printf.fprintf oc
             " \"rows_per_sec\": %.0f, \"oracle_equal\": %b, \"est_cost\": %.1f, \
-             \"exact_cost\": %d, \"cost_equal\": %b }"
+             \"exact_cost\": %d, \"cost_equal\": %b,"
             r.jn_rows_per_sec r.jn_oracle_equal r.jn_est_cost r.jn_exact_cost
-            r.jn_cost_equal)
+            r.jn_cost_equal;
+          Printf.fprintf oc " \"rows_pruned\": %d, \"partitions\": %d }"
+            r.jn_rows_pruned r.jn_partitions)
         rows;
       Printf.fprintf oc "\n  ],\n");
+  (match (!acyclic_containment, List.rev !acyclic_rows) with
+  | None, [] -> ()
+  | cn, rows ->
+      Printf.fprintf oc "  \"acyclic\": {\n";
+      (match cn with
+      | None -> ()
+      | Some c ->
+          Printf.fprintf oc
+            "    \"containment\": { \"checks\": %d, \"ladder_depth\": %d, \
+             \"fast_ms\": %.3f, \"slow_ms\": %.3f, \"speedup\": %.2f, \
+             \"agree\": %b, \"fastpath_taken\": %b,"
+            c.cn_checks c.cn_depth c.cn_fast_ms c.cn_slow_ms c.cn_speedup
+            c.cn_agree c.cn_fastpath;
+          Printf.fprintf oc
+            " \"rewrite_views\": %d, \"rewrite_fast_ms\": %.3f, \
+             \"rewrite_general_ms\": %.3f },\n"
+            c.cn_rewrite_views c.cn_rewrite_fast_ms c.cn_rewrite_general_ms);
+      Printf.fprintf oc "    \"rows\": [";
+      List.iteri
+        (fun i r ->
+          Printf.fprintf oc "%s\n      { \"shape\": %S, \"rows\": %d, \"answers\": %d,"
+            (if i = 0 then "" else ",")
+            r.ac_shape r.ac_rows r.ac_answers;
+          Printf.fprintf oc
+            " \"fast_ms\": %.3f, \"pairwise_ms\": %.3f, \"general_ms\": %.3f, \
+             \"speedup\": %.2f, \"rows_per_sec\": %.0f,"
+            r.ac_fast_ms r.ac_pairwise_ms r.ac_general_ms r.ac_speedup
+            r.ac_rows_per_sec;
+          Printf.fprintf oc
+            " \"answers_equal\": %b, \"cost_equal\": %b, \"rows_pruned\": %d, \
+             \"partitions\": %d, \"fastpath_taken\": %b }"
+            r.ac_answers_equal r.ac_cost_equal r.ac_rows_pruned r.ac_partitions
+            r.ac_fastpath)
+        rows;
+      Printf.fprintf oc "\n    ]\n  },\n");
   Printf.fprintf oc "  \"rows\": [";
   List.iteri
     (fun i r ->
@@ -724,7 +803,16 @@ let joins ~settings () =
           ]
       in
       let interned, intern_ms = time_ms (fun () -> Interned.of_database db) in
+      (* warm-up run, metered for the reduction/partition counters *)
+      let pruned0 = Metrics.value (Metrics.counter "vplan_semijoin_rows_pruned_total") in
+      let parts0 = Metrics.value (Metrics.counter "vplan_join_partitions_total") in
       ignore (Exec.answers interned query);
+      let rows_pruned =
+        Metrics.value (Metrics.counter "vplan_semijoin_rows_pruned_total") - pruned0
+      in
+      let partitions =
+        Metrics.value (Metrics.counter "vplan_join_partitions_total") - parts0
+      in
       let best = ref infinity and ans = ref (Relation.empty 2) in
       for _ = 1 to 3 do
         let r, ms = time_ms (fun () -> Exec.answers interned query) in
@@ -771,6 +859,8 @@ let joins ~settings () =
           jn_est_cost = est_cost;
           jn_exact_cost = exact_cost;
           jn_cost_equal = cost_equal;
+          jn_rows_pruned = rows_pruned;
+          jn_partitions = partitions;
         }
         :: !joins_rows;
       Format.printf "%9d %9d %10.2f %10s %9s %12.0f %7b %6b@." n
@@ -779,6 +869,242 @@ let joins ~settings () =
         (if run_eval then Printf.sprintf "%.1fx" speedup else "-")
         rows_per_sec oracle_equal cost_equal)
     sizes
+
+(* ------------------------------------------------------------------ *)
+(* X11: acyclic fast path — full Yannakakis over the GYO join tree vs  *)
+(* the general hash-join pipeline, and join-tree containment DP vs     *)
+(* backtracking.                                                       *)
+
+(* Target for the containment A/B: a branching "ladder" of depth d over
+   one relation — from the distinguished root every walk forks twice per
+   level and dies at the leaves.  A chain probe of length d+1 has no
+   homomorphic image, but backtracking discovers that only after
+   exploring all ~2^d partial walks, while the join-tree DP answers in
+   O(d · edges) hash work.  Probes of length ≤ d are satisfiable and
+   both sides find those quickly, so the probe mix exercises both
+   verdicts. *)
+let ladder_query depth =
+  let v p i = Term.Var (Printf.sprintf "%s%d" p i) in
+  let body =
+    List.concat
+      (List.init depth (fun i ->
+           [
+             Atom.make "r" [ v "A" i; v "A" (i + 1) ];
+             Atom.make "r" [ v "A" i; v "B" (i + 1) ];
+             Atom.make "r" [ v "B" i; v "A" (i + 1) ];
+             Atom.make "r" [ v "B" i; v "B" (i + 1) ];
+           ]))
+  in
+  Query.make_exn (Atom.make "p" [ v "A" 0 ]) body
+
+let chain_probe m =
+  let v i = Term.Var (Printf.sprintf "Y%d" i) in
+  Query.make_exn
+    (Atom.make "p" [ v 0 ])
+    (List.init m (fun i -> Atom.make "r" [ v i; v (i + 1) ]))
+
+let acyclic_bench ~settings () =
+  header "X11: acyclic fast path — Yannakakis execution and join-tree containment";
+  let full = settings.queries_per_point > quick.queries_per_point in
+  let m_pruned = Metrics.counter "vplan_semijoin_rows_pruned_total" in
+  let m_parts = Metrics.counter "vplan_join_partitions_total" in
+  let m_acyclic = Metrics.counter "vplan_acyclic_queries_total" in
+  let m_fastpath = Metrics.counter "vplan_containment_fastpath_total" in
+  (* -- containment: join-tree DP vs backtracking -------------------- *)
+  let depth = if full then 12 else 10 in
+  let checks = 1000 in
+  let target = ladder_query depth in
+  let probes =
+    [| chain_probe (depth - 1); chain_probe depth; chain_probe (depth + 1) |]
+  in
+  let run_checks ~fastpath =
+    let verdicts = Array.make checks false in
+    let _, ms =
+      time_ms (fun () ->
+          for i = 0 to checks - 1 do
+            verdicts.(i) <-
+              Containment.is_contained ~fastpath target
+                probes.(i mod Array.length probes)
+          done)
+    in
+    (verdicts, ms)
+  in
+  let f0 = Metrics.value m_fastpath in
+  let fast_verdicts, cfast_ms = run_checks ~fastpath:true in
+  let cfastpath = Metrics.value m_fastpath > f0 in
+  let slow_verdicts, cslow_ms = run_checks ~fastpath:false in
+  let cagree = fast_verdicts = slow_verdicts in
+  (* end-to-end rewrite latency on the path-view workload, fast path
+     toggled process-wide so every internal containment check follows *)
+  let rewrite_views = if full then 1000 else 200 in
+  let inst =
+    Generator.generate_with_rewriting ~max_attempts:100
+      {
+        Generator.default with
+        shape = Generator.Path;
+        query_subgoals = 12;
+        num_relations = 2;
+        num_views = rewrite_views;
+        seed = 1100;
+      }
+  in
+  let query = inst.Generator.query and views = inst.views in
+  Homomorphism.set_fastpath false;
+  let _, rw_general_ms = time_ms (fun () -> Corecover.gmrs ~query ~views ()) in
+  Homomorphism.set_fastpath true;
+  let _, rw_fast_ms = time_ms (fun () -> Corecover.gmrs ~query ~views ()) in
+  Format.printf "%8s %8s %12s %13s %9s %7s %10s@." "checks" "depth" "tree-dp-ms"
+    "backtrack-ms" "speedup" "agree" "fastpath";
+  Format.printf "%8d %8d %12.1f %13.1f %8.1fx %7b %10b@." checks depth cfast_ms
+    cslow_ms
+    (cslow_ms /. Float.max 1e-9 cfast_ms)
+    cagree cfastpath;
+  Format.printf
+    "rewrite latency (path workload, %d views): fastpath %.1f ms, \
+     backtracking %.1f ms@."
+    rewrite_views rw_fast_ms rw_general_ms;
+  acyclic_containment :=
+    Some
+      {
+        cn_checks = checks;
+        cn_depth = depth;
+        cn_fast_ms = cfast_ms;
+        cn_slow_ms = cslow_ms;
+        cn_speedup = cslow_ms /. Float.max 1e-9 cfast_ms;
+        cn_agree = cagree;
+        cn_fastpath = cfastpath;
+        cn_rewrite_views = rewrite_views;
+        cn_rewrite_fast_ms = rw_fast_ms;
+        cn_rewrite_general_ms = rw_general_ms;
+      };
+  (* -- execution: Yannakakis vs pairwise vs plain hash join --------- *)
+  let shapes =
+    [
+      ( "path",
+        Parser.parse_rule_exn
+          "q(X0, X6) :- r0(X0, X1), r1(X1, X2), r2(X2, X3), r3(X3, X4), \
+           r4(X4, X5), r5(X5, X6).",
+        6 );
+      ( "star",
+        Parser.parse_rule_exn
+          "q(C) :- r0(C, X1), r1(C, X2), r2(C, X3), r3(C, X4).",
+        4 );
+      ( "chain",
+        Parser.parse_rule_exn
+          "q(X0, X3) :- r0(X0, X1), r1(X1, X2), r2(X2, X3).",
+        3 );
+    ]
+  in
+  let sizes =
+    if full then [ 10_000; 100_000; 1_000_000 ] else [ 10_000; 100_000 ]
+  in
+  (* sparse data (domain = 4x rows, so most join keys miss) leaves many
+     dangling tuples for the reduction to prune; the last relation's
+     value column is Zipf-skewed *)
+  let mk_db natoms n =
+    Datagen.random_dist
+      (Prng.create (53 + natoms + n))
+      (List.init natoms (fun i ->
+           ( {
+               Datagen.predicate = "r" ^ string_of_int i;
+               arity = 2;
+               tuples = n;
+               domain = 4 * n;
+             },
+             if i = natoms - 1 then [ Datagen.Uniform; Datagen.Zipf 0.9 ]
+             else [] )))
+  in
+  Format.printf "%6s %9s %9s %10s %12s %11s %9s %6s %6s@." "shape" "rows"
+    "answers" "yk-ms" "pairwise-ms" "general-ms" "speedup" "equal" "cost=";
+  List.iter
+    (fun (name, query, natoms) ->
+      (* independent oracle on a small instance: the backtracking
+         evaluator rescans relations per binding, so it only sees 2000
+         rows — the engines must agree with it there *)
+      let eval_ok =
+        let db = mk_db natoms 2000 in
+        let interned = Interned.of_database db in
+        Relation.equal
+          (Exec.answers ~acyclic:true interned query)
+          (Eval.answers db query)
+      in
+      List.iter
+        (fun n ->
+          let db = mk_db natoms n in
+          let interned = Interned.of_database db in
+          let time_mode ~semijoin ~acyclic =
+            let ans = ref (Exec.answers ~semijoin ~acyclic interned query) in
+            let best = ref infinity in
+            for _ = 1 to 3 do
+              let r, ms =
+                time_ms (fun () ->
+                    Exec.answers ~semijoin ~acyclic interned query)
+              in
+              ans := r;
+              if ms < !best then best := ms
+            done;
+            (!ans, !best)
+          in
+          (* counters around one metered fast run *)
+          let p0 = Metrics.value m_pruned
+          and t0 = Metrics.value m_parts
+          and a0 = Metrics.value m_acyclic in
+          ignore (Exec.answers ~acyclic:true interned query);
+          let rows_pruned = Metrics.value m_pruned - p0 in
+          let partitions = Metrics.value m_parts - t0 in
+          let fastpath = Metrics.value m_acyclic > a0 in
+          let fast, fast_ms = time_mode ~semijoin:true ~acyclic:true in
+          let pairwise, pairwise_ms = time_mode ~semijoin:true ~acyclic:false in
+          let general, general_ms = time_mode ~semijoin:false ~acyclic:false in
+          let indexed = Indexed_db.answers (Indexed_db.of_database db) query in
+          let answers_equal =
+            eval_ok && Relation.equal fast pairwise
+            && Relation.equal fast general
+            && Relation.equal fast indexed
+          in
+          (* planner identity, statistics only: the unseeded estimated DP
+             is never beaten by the tree order, and the tree shortcut in
+             Select fires only when the tree order attains the lower
+             bound — i.e. is provably optimal *)
+          let est = Estimate.of_stats (Stats.collect db) in
+          let _, dp_cost = M2.optimal_estimated est query.Query.body in
+          let cost_equal =
+            match Hypergraph.tree_order query.Query.body with
+            | None -> false
+            | Some order ->
+                let tree_cost = M2.estimated_cost_of_order est order in
+                let lb = M2.estimated_lower_bound est query.Query.body in
+                dp_cost <= tree_cost +. 1e-6
+                && (tree_cost > lb +. 1e-6 || tree_cost -. dp_cost <= 1e-6)
+          in
+          let speedup = general_ms /. Float.max 1e-9 fast_ms in
+          let rows_per_sec =
+            if fast_ms > 0. then
+              float_of_int (natoms * n) /. (fast_ms /. 1000.)
+            else 0.
+          in
+          acyclic_rows :=
+            {
+              ac_shape = name;
+              ac_rows = n;
+              ac_answers = Relation.cardinality fast;
+              ac_fast_ms = fast_ms;
+              ac_pairwise_ms = pairwise_ms;
+              ac_general_ms = general_ms;
+              ac_speedup = speedup;
+              ac_rows_per_sec = rows_per_sec;
+              ac_answers_equal = answers_equal;
+              ac_cost_equal = cost_equal;
+              ac_rows_pruned = rows_pruned;
+              ac_partitions = partitions;
+              ac_fastpath = fastpath;
+            }
+            :: !acyclic_rows;
+          Format.printf "%6s %9d %9d %10.2f %12.2f %11.2f %8.1fx %6b %6b@." name
+            n (Relation.cardinality fast) fast_ms pairwise_ms general_ms speedup
+            answers_equal cost_equal)
+        sizes)
+    shapes
 
 (* ------------------------------------------------------------------ *)
 (* Extension: open-world certain answers, two algorithms.              *)
@@ -1587,6 +1913,7 @@ let experiments settings =
     ("openworld", fun () -> openworld ());
     ("estimate", fun () -> estimate ());
     ("joins", fun () -> joins ~settings ());
+    ("acyclic", fun () -> acyclic_bench ~settings ());
     ("serve", fun () -> serve ~settings);
     ("loadgen", fun () -> loadgen_bench ~settings);
     ("optimize", fun () -> optimize ~settings);
@@ -1597,7 +1924,7 @@ let experiments settings =
 
 let usage () =
   prerr_endline
-    "usage: main.exe [EXPERIMENT...] [--full | --mode quick|full] [--views N]\n\
+    "usage: main.exe [EXPERIMENT...] [--full | --quick | --mode quick|full] [--views N]\n\
     \                [--domains N] [--no-index] [--no-buckets] [--out FILE.json]\n\
     \                [--timeout MS] [--max-steps N] [--max-covers N]\n\
     \                [--clients N] [--port P] [--retries N] [--backoff-ms MS]\n\
@@ -1613,6 +1940,9 @@ let () =
     | [] -> List.rev wanted
     | "--full" :: rest ->
         is_full := true;
+        parse wanted rest
+    | "--quick" :: rest ->
+        is_full := false;
         parse wanted rest
     | "--mode" :: m :: rest -> (
         match m with

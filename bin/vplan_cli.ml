@@ -295,6 +295,12 @@ let explain_cmd =
     in
     let ms = Vplan.Budget.elapsed_ms clock in
     Format.printf "explain %s@." label;
+    (match Vplan.Hypergraph.classify query.Vplan.Query.body with
+    | Vplan.Hypergraph.Cyclic -> Format.printf "classification: cyclic@."
+    | Vplan.Hypergraph.Acyclic t ->
+        Format.printf "classification: acyclic@.";
+        if t.Vplan.Hypergraph.root >= 0 then
+          Format.printf "join tree:@.%a@." Vplan.Hypergraph.pp_tree t);
     Format.printf "request %.3f ms, traced %.3f ms in %d spans@." ms
       (Vplan.Trace.top_level_total spans)
       (List.length spans);
@@ -430,9 +436,11 @@ let generate_cmd =
     Arg.(value
          & opt (enum [ ("star", Vplan.Generator.Star); ("chain", Vplan.Generator.Chain);
                        ("cycle", Vplan.Generator.Cycle); ("clique", Vplan.Generator.Clique);
+                       ("path", Vplan.Generator.Path);
                        ("random", Vplan.Generator.Random_shape) ])
              Vplan.Generator.Star
-         & info [ "shape" ] ~docv:"SHAPE" ~doc:"star, chain, cycle, clique or random.")
+         & info [ "shape" ] ~docv:"SHAPE"
+             ~doc:"star, chain, cycle, clique, path or random.")
   in
   let views = Arg.(value & opt int 20 & info [ "views" ] ~docv:"N") in
   let subgoals = Arg.(value & opt int 8 & info [ "subgoals" ] ~docv:"K") in
@@ -458,6 +466,7 @@ let generate_cmd =
       | Vplan.Generator.Chain -> "chain"
       | Vplan.Generator.Cycle -> "cycle"
       | Vplan.Generator.Clique -> "clique"
+      | Vplan.Generator.Path -> "path"
       | Vplan.Generator.Random_shape -> "random")
       seed;
     Format.printf "%a.@." Vplan.Query.pp inst.query;

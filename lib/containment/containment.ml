@@ -8,10 +8,12 @@ let head_seed ~(from_q : Query.t) ~(to_q : Query.t) =
       (fun acc p t -> match acc with None -> None | Some s -> Subst.unify_term s p t)
       (Some Subst.empty) h1.Atom.args h2.Atom.args
 
-let mapping_under ?budget ~from_q ~to_q () =
+let mapping_under ?budget ?fastpath ~from_q ~to_q () =
   match head_seed ~from_q ~to_q with
   | None -> None
-  | Some seed -> Homomorphism.find ?budget ~seed from_q.Query.body to_q.Query.body
+  | Some seed ->
+      Homomorphism.find ?budget ?fastpath ~seed from_q.Query.body
+        to_q.Query.body
 
 let mapping ~from_q ~to_q = mapping_under ~from_q ~to_q ()
 
@@ -21,10 +23,11 @@ let mappings ~from_q ~to_q =
   | Some seed -> Homomorphism.find_all ~seed from_q.Query.body to_q.Query.body
 
 (* q1 ⊑ q2 iff there is a containment mapping from q2 to q1. *)
-let is_contained ?budget q1 q2 = mapping_under ?budget ~from_q:q2 ~to_q:q1 () <> None
+let is_contained ?budget ?fastpath q1 q2 =
+  mapping_under ?budget ?fastpath ~from_q:q2 ~to_q:q1 () <> None
 
-let equivalent ?budget q1 q2 =
-  is_contained ?budget q1 q2 && is_contained ?budget q2 q1
+let equivalent ?budget ?fastpath q1 q2 =
+  is_contained ?budget ?fastpath q1 q2 && is_contained ?budget ?fastpath q2 q1
 
 let properly_contained ?budget q1 q2 =
   is_contained ?budget q1 q2 && not (is_contained ?budget q2 q1)

@@ -59,14 +59,165 @@ let iter_all ?budget ?(seed = Subst.empty) patterns targets ~f =
 
 exception Found of Subst.t
 
-let find ?budget ?(seed = Subst.empty) patterns targets =
+let backtracking_find ?budget ~seed patterns targets =
   match
     iter_all ?budget ~seed patterns targets ~f:(fun s -> raise (Found s))
   with
   | () -> None
   | exception Found s -> Some s
 
-let exists ?budget ?seed patterns targets = find ?budget ?seed patterns targets <> None
+(* ---- Acyclic fast path -------------------------------------------------
+
+   When the pattern body is α-acyclic, the homomorphism decision
+   problem is polynomial: dynamic programming over the GYO join tree
+   (Yannakakis on the candidate-match "relations").  Each tree node's
+   candidates are the substitutions unifying its atom with some target
+   atom (extending the seed); a bottom-up semi-join sweep keeps only
+   parent candidates joinable with every child, so a non-empty root
+   set is equivalent to the existence of a homomorphism, and a witness
+   is assembled top-down by picking compatible candidates — the
+   running-intersection property makes edge-local agreement globally
+   consistent.  Cyclic patterns (or the defensive impossible case of a
+   merge conflict) report [None]: not applicable, use backtracking. *)
+
+module Hypergraph = Vplan_hypergraph.Hypergraph
+module Metrics = Vplan_obs.Metrics
+
+let fastpath_c = Metrics.counter "vplan_containment_fastpath_total"
+let fallback_c = Metrics.counter "vplan_containment_fallback_total"
+
+(* Process-global default, flippable for A/B measurement (the rewrite
+   pipeline reaches containment many layers down); per-call [?fastpath]
+   overrides it. *)
+let fastpath_enabled = Atomic.make true
+let set_fastpath b = Atomic.set fastpath_enabled b
+
+exception Conflict
+
+let tree_find ?budget ~seed patterns targets =
+  match Hypergraph.classify patterns with
+  | Hypergraph.Cyclic -> None
+  | Hypergraph.Acyclic tree -> (
+      let tick =
+        match budget with
+        | None -> fun () -> ()
+        | Some b -> fun () -> Vplan_core.Budget.check b
+      in
+      let n = Array.length tree.Hypergraph.atoms in
+      if n = 0 then Some (Some seed)
+      else begin
+        let index = index_targets targets in
+        (* per-node candidates: seed extended over the atom's variables *)
+        let cands = Array.make n [] in
+        let dead = ref false in
+        for i = 0 to n - 1 do
+          if not !dead then begin
+            let a = tree.Hypergraph.atoms.(i) in
+            let cs =
+              match Names.Smap.find_opt a.Atom.pred index with
+              | None -> []
+              | Some ts ->
+                  List.filter_map
+                    (fun t ->
+                      tick ();
+                      Atom.unify seed a t)
+                    ts
+            in
+            if cs = [] then dead := true else cands.(i) <- cs
+          end
+        done;
+        if !dead then Some None
+        else begin
+          let shared c p =
+            Names.Sset.elements
+              (Names.Sset.inter
+                 (Atom.var_set tree.Hypergraph.atoms.(c))
+                 (Atom.var_set tree.Hypergraph.atoms.(p)))
+          in
+          let project vars s =
+            List.map
+              (fun x ->
+                match Subst.find x s with
+                | Some t -> t
+                | None -> raise Conflict)
+              vars
+          in
+          (* bottom-up: keep parent candidates joinable with the child *)
+          List.iter
+            (fun c ->
+              let p = tree.Hypergraph.parent.(c) in
+              if p >= 0 && not !dead then begin
+                let sh = shared c p in
+                let keys = Hashtbl.create 64 in
+                List.iter
+                  (fun s -> Hashtbl.replace keys (project sh s) ())
+                  cands.(c);
+                cands.(p) <-
+                  List.filter
+                    (fun s ->
+                      tick ();
+                      Hashtbl.mem keys (project sh s))
+                    cands.(p);
+                if cands.(p) = [] then dead := true
+              end)
+            tree.Hypergraph.removal;
+          if !dead then Some None
+          else begin
+            (* top-down witness assembly: the bottom-up sweep guarantees
+               every surviving parent candidate has a compatible
+               candidate in each child *)
+            let chosen = Array.make n Subst.empty in
+            chosen.(tree.Hypergraph.root) <- List.hd cands.(tree.Hypergraph.root);
+            List.iter
+              (fun c ->
+                let p = tree.Hypergraph.parent.(c) in
+                let sh = shared c p in
+                let want = project sh chosen.(p) in
+                match
+                  List.find_opt
+                    (fun s ->
+                      tick ();
+                      project sh s = want)
+                    cands.(c)
+                with
+                | Some s -> chosen.(c) <- s
+                | None -> raise Conflict)
+              (List.rev tree.Hypergraph.removal);
+            let merged =
+              Array.fold_left
+                (fun acc s ->
+                  List.fold_left
+                    (fun acc (x, t) ->
+                      match Subst.extend x t acc with
+                      | Some acc -> acc
+                      | None -> raise Conflict)
+                    acc (Subst.bindings s))
+                seed chosen
+            in
+            Some (Some merged)
+          end
+        end
+      end)
+
+let tree_find ?budget ~seed patterns targets =
+  try tree_find ?budget ~seed patterns targets with Conflict -> None
+
+let find ?budget ?fastpath ?(seed = Subst.empty) patterns targets =
+  let fast =
+    match fastpath with Some b -> b | None -> Atomic.get fastpath_enabled
+  in
+  if fast then
+    match tree_find ?budget ~seed patterns targets with
+    | Some r ->
+        Metrics.incr fastpath_c;
+        r
+    | None ->
+        Metrics.incr fallback_c;
+        backtracking_find ?budget ~seed patterns targets
+  else backtracking_find ?budget ~seed patterns targets
+
+let exists ?budget ?fastpath ?seed patterns targets =
+  find ?budget ?fastpath ?seed patterns targets <> None
 
 let find_all ?budget ?(seed = Subst.empty) ?limit patterns targets =
   let results = ref [] in

@@ -7,26 +7,43 @@
     minimization, tuple-core computation and the relational evaluator
     (facts are ground atoms).
 
-    The search is backtracking and worst-case exponential — deciding
-    containment of conjunctive queries is NP-complete — but the
-    most-constrained-first atom ordering and predicate indexing keep it
-    fast at the scales of the paper's workloads.  Because the search has
-    no polynomial bound, every entry point accepts a [?budget]
-    ({!Vplan_core.Budget.t}) ticked once per candidate tried, so a
-    deadline or cancellation cuts the search off within one step. *)
+    Deciding containment of conjunctive queries is NP-complete in
+    general, but when the pattern body is α-acyclic
+    ({!Vplan_hypergraph.Hypergraph}) the decision problem is polynomial:
+    [find] and [exists] answer it by dynamic programming over the GYO
+    join tree (candidate matches per tree node, a bottom-up semi-join
+    sweep, top-down witness assembly), falling back to the general
+    backtracking search — most-constrained-first atom ordering plus
+    predicate indexing — on cyclic patterns.  The counters
+    [vplan_containment_fastpath_total] and
+    [vplan_containment_fallback_total] account which path answered.
+    Enumeration ([find_all], [iter_all]) always uses backtracking.
+
+    Because neither search is free, every entry point accepts a
+    [?budget] ({!Vplan_core.Budget.t}) ticked once per candidate tried,
+    so a deadline or cancellation cuts the search off within one
+    step. *)
 
 open Vplan_cq
 
+(** Flip the process-global fast-path default (on initially) — for A/B
+    measurement of pipelines that reach containment many layers down.
+    Per-call [?fastpath] overrides the global default. *)
+val set_fastpath : bool -> unit
+
 (** [find ~seed patterns targets] returns a substitution extending [seed]
     that maps every atom of [patterns] to an atom of [targets], or [None].
-    [seed] typically carries the head correspondence. *)
+    [seed] typically carries the head correspondence.  The witness may
+    differ between the two paths; both are valid homomorphisms. *)
 val find :
   ?budget:Vplan_core.Budget.t ->
+  ?fastpath:bool ->
   ?seed:Subst.t -> Atom.t list -> Atom.t list -> Subst.t option
 
 (** [exists ~seed patterns targets] is [find ... <> None]. *)
 val exists :
   ?budget:Vplan_core.Budget.t ->
+  ?fastpath:bool ->
   ?seed:Subst.t -> Atom.t list -> Atom.t list -> bool
 
 (** [find_all ~seed ~limit patterns targets] enumerates distinct

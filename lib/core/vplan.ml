@@ -31,6 +31,9 @@ module Atom = Vplan_cq.Atom
 module Query = Vplan_cq.Query
 module Parser = Vplan_cq.Parser
 
+(* query hypergraphs: GYO reduction, join trees *)
+module Hypergraph = Vplan_hypergraph.Hypergraph
+
 (* containment engine *)
 module Homomorphism = Vplan_containment.Homomorphism
 module Containment = Vplan_containment.Containment

@@ -652,6 +652,20 @@ let estimated_cost_of_order est order =
     Estimate.body_relation_cells_est est order +. ir
   end
 
+(* Every ordering's cost includes the relation cells and the full-set
+   intermediate result (its last prefix), and every prefix term is
+   nonnegative — so this is a valid lower bound on
+   [estimated_cost_of_order] over all orders, computable without any
+   DP.  An order achieving it is provably optimal. *)
+let estimated_lower_bound est body =
+  let n = List.length body in
+  if n = 0 then 0.
+  else if n > max_subgoals then width_limit n
+  else begin
+    let _, cells = est_setup est body in
+    Estimate.body_relation_cells_est est body +. cells ((1 lsl n) - 1)
+  end
+
 let optimal_estimated ?budget est body =
   let n = List.length body in
   if n = 0 then ([], 0.)

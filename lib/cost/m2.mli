@@ -108,6 +108,15 @@ val estimated_cost_of_order : Estimate.t -> Atom.t list -> float
 val optimal_estimated :
   ?budget:Budget.t -> Estimate.t -> Atom.t list -> Atom.t list * float
 
+(** [estimated_lower_bound est body] — relation cells plus the full-set
+    intermediate-result cells: a lower bound on
+    {!estimated_cost_of_order} over {e every} ordering of [body] (the
+    full set is each order's last prefix and all terms are
+    nonnegative).  An order whose estimated cost reaches it is provably
+    optimal; a candidate whose bound reaches the incumbent can be
+    skipped without running the DP. *)
+val estimated_lower_bound : Estimate.t -> Atom.t list -> float
+
 (** [intermediate_sizes db order] lists the {e tuple counts} of
     [IR_1, ..., IR_n] (widths are implied by the variables joined). *)
 val intermediate_sizes : Database.t -> Atom.t list -> int list

@@ -3,9 +3,22 @@ module Parallel = Vplan_parallel.Parallel
 module Obs = Vplan_obs.Obs
 module Trace = Vplan_obs.Trace
 module Metrics = Vplan_obs.Metrics
+module Hypergraph = Vplan_hypergraph.Hypergraph
 
 let candidates_total = Metrics.counter "vplan_select_candidates_total"
 let pruned_total = Metrics.counter "vplan_select_pruned_total"
+
+(* Acyclic bodies come with a Yannakakis-consistent join order for free
+   (the join tree's parents-before-children order); costing that single
+   order seeds the branch-and-bound search with a bound at most one
+   above it.  Accepted DP results are bound-independent and the
+   permutation folds return the first order attaining the minimum
+   either way, so seeding changes which states get pruned — never which
+   plan is returned. *)
+let tree_seed body =
+  match Hypergraph.tree_order body with
+  | Some (_ :: _ :: _ as order) -> Some order
+  | Some _ | None -> None
 
 type m2_choice = {
   m2_rewriting : Query.t;
@@ -88,9 +101,25 @@ let best_m2 ?memo ?budget ?(domains = 1) ?(filters = []) db candidates =
   let score ~bound (p : Query.t) =
     match filters with
     | [] -> (
-        match M2.optimal_pruned ?memo ?budget ~bound db p.Query.body with
-        | Some (order, cost) -> Some ((p.Query.body, order), cost)
-        | None -> None)
+        (* the quick reject the DP would apply anyway, hoisted so the
+           tree order is never materialized for a hopeless candidate *)
+        if M2.body_relation_cells db p.Query.body >= bound then None
+        else
+          let bound, seeded =
+            match tree_seed p.Query.body with
+            | None -> (bound, None)
+            | Some order ->
+                let c = M2.cost_of_order db order in
+                if c + 1 < bound then (c + 1, Some (order, c)) else (bound, None)
+          in
+          match M2.optimal_pruned ?memo ?budget ~bound db p.Query.body with
+          | Some (order, cost) -> Some ((p.Query.body, order), cost)
+          | None ->
+              (* unreachable when seeded (the tree order itself costs
+                 under the bound); kept as the sound completion *)
+              Option.map
+                (fun (order, c) -> ((p.Query.body, order), c))
+                seeded)
     | _ :: _ ->
         (* Filter atoms only ever ADD relation cells, so the bare body's
            relation cells lower-bound any filtered plan; past the bound,
@@ -135,25 +164,49 @@ type m3_est_choice = {
   est3_cost : float;
 }
 
-(* Estimated-mode selection never materializes a join, so there is no
-   expensive search to prune or share: a sequential fold over the
-   candidates is both the simplest and a deterministic choice (first
-   strict minimum wins). *)
+(* Estimated-mode selection never materializes a join: a sequential
+   fold over the candidates is both the simplest and a deterministic
+   choice (first strict minimum wins).  Two acyclicity-aware cuts keep
+   the subset DP out of the common cases without changing the choice:
+   a candidate whose estimated lower bound (relation cells + full-set
+   IR) reaches the incumbent can never win the strict comparison, and
+   when the join-tree order's estimated cost equals the lower bound it
+   is provably optimal, so the DP's answer is foregone. *)
 let best_m2_estimated ?budget est candidates =
   Obs.phase "plan_select" @@ fun () ->
   Metrics.add candidates_total (List.length candidates);
+  let pruned = ref 0 in
   let _, best =
     List.fold_left
       (fun (idx, best) (p : Query.t) ->
         Vplan_core.Budget.tick budget;
-        let order, cost = M2.optimal_estimated ?budget est p.Query.body in
-        let better = match best with None -> true | Some (_, bc) -> cost < bc in
-        ( idx + 1,
-          if better then
-            Some ({ est_rewriting = p; est_order = order; est_cost = cost }, cost)
-          else best ))
+        let lb = M2.estimated_lower_bound est p.Query.body in
+        let hopeless =
+          match best with None -> false | Some (_, bc) -> lb >= bc
+        in
+        if hopeless then begin
+          incr pruned;
+          (idx + 1, best)
+        end
+        else begin
+          let order, cost =
+            match tree_seed p.Query.body with
+            | Some order when M2.estimated_cost_of_order est order <= lb ->
+                (order, lb)
+            | Some _ | None -> M2.optimal_estimated ?budget est p.Query.body
+          in
+          let better =
+            match best with None -> true | Some (_, bc) -> cost < bc
+          in
+          ( idx + 1,
+            if better then
+              Some
+                ({ est_rewriting = p; est_order = order; est_cost = cost }, cost)
+            else best )
+        end)
       (0, None) candidates
   in
+  Metrics.add pruned_total !pruned;
   Option.map fst best
 
 let best_m3_estimated ?budget ~annotate est candidates =
@@ -179,7 +232,16 @@ let best_m3_estimated ?budget ~annotate est candidates =
 let best_m3 ?budget ?(domains = 1) ~annotate db candidates =
   Obs.phase "plan_select" @@ fun () ->
   let score ~bound (p : Query.t) =
-    M3.optimal_pruned ?budget ~bound db ~annotate:(annotate p) p.Query.body
+    let annotate = annotate p in
+    let bound =
+      match tree_seed p.Query.body with
+      | None -> bound
+      | Some order -> (
+          match M3.cost_of_plan_bounded db ~bound (annotate order) with
+          | Some c when c + 1 < bound -> c + 1
+          | Some _ | None -> bound)
+    in
+    M3.optimal_pruned ?budget ~bound db ~annotate p.Query.body
   in
   match run ?budget ~domains ~score (rank db candidates) with
   | None -> None

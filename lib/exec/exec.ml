@@ -3,6 +3,7 @@ open Vplan_relational
 module Budget = Vplan_core.Budget
 module Obs = Vplan_obs.Obs
 module Metrics = Vplan_obs.Metrics
+module Hypergraph = Vplan_hypergraph.Hypergraph
 
 (* Hash-join evaluation of conjunctive queries over an Interned.t.
 
@@ -18,6 +19,8 @@ module Metrics = Vplan_obs.Metrics
 let build_rows_c = Metrics.counter "vplan_join_build_rows"
 let probe_rows_c = Metrics.counter "vplan_join_probe_rows"
 let partitions_c = Metrics.counter "vplan_join_partitions_total"
+let acyclic_c = Metrics.counter "vplan_acyclic_queries_total"
+let semijoin_pruned_c = Metrics.counter "vplan_semijoin_rows_pruned_total"
 
 let default_radix_threshold = 65536
 
@@ -124,78 +127,96 @@ let filter_rows f rows =
   Array.iter (fun r -> if f r then out := r :: !out) rows;
   Array.of_list (List.rev !out)
 
+(* One semi-join pass: filter sels.(i) down to the rows whose
+   shared-variable values appear in sels.(j).  The common single shared
+   variable hashes raw int codes; only wider keys pay for boxed
+   arrays.  Rows dropped are accounted in
+   [vplan_semijoin_rows_pruned_total]. *)
+let semijoin_pair budget catoms sels i j =
+  let map_j = Hashtbl.create 8 in
+  Array.iter (fun (v, p) -> Hashtbl.replace map_j v p) catoms.(j).var_pos;
+  let shared =
+    Array.to_list catoms.(i).var_pos
+    |> List.filter_map (fun (v, pi) ->
+           match Hashtbl.find_opt map_j v with
+           | Some pj -> Some (pi, pj)
+           | None -> None)
+    |> Array.of_list
+  in
+  if Array.length shared > 0 then begin
+    let before = Array.length sels.(i) in
+    let reli = catoms.(i).rel and relj = catoms.(j).rel in
+    if Array.length shared = 1 then begin
+      let keys = Hashtbl.create (max 16 (Array.length sels.(j))) in
+      let pi, pj = shared.(0) in
+      Array.iter
+        (fun row -> Hashtbl.replace keys (Interned.get relj row pj) ())
+        sels.(j);
+      sels.(i) <-
+        filter_rows
+          (fun row ->
+            Budget.tick budget;
+            Hashtbl.mem keys (Interned.get reli row pi))
+          sels.(i)
+    end
+    else begin
+      let keys = Hashtbl.create (max 16 (Array.length sels.(j))) in
+      Array.iter
+        (fun row ->
+          let key = Array.map (fun (_, pj) -> Interned.get relj row pj) shared in
+          Hashtbl.replace keys key ())
+        sels.(j);
+      sels.(i) <-
+        filter_rows
+          (fun row ->
+            Budget.tick budget;
+            Hashtbl.mem keys
+              (Array.map (fun (pi, _) -> Interned.get reli row pi) shared))
+          sels.(i)
+    end;
+    Metrics.add semijoin_pruned_c (before - Array.length sels.(i))
+  end
+
 (* Pairwise semi-join reduction: for every atom pair sharing variables,
    keep only the rows of one atom whose shared-variable values occur in
    the other.  A forward sweep first propagates the selective atoms —
    the schedule puts bound constants first — into the later, larger
    selections; a backward sweep then propagates the shrunken tails into
-   the build sides of the first joins.  The common single shared
-   variable hashes raw int codes; only wider keys pay for boxed
-   arrays. *)
+   the build sides of the first joins. *)
 let semijoin_reduce budget catoms sels =
   Obs.phase "semijoin" (fun () ->
       let n = Array.length catoms in
-      let pos_map i =
-        let tbl = Hashtbl.create 8 in
-        Array.iter (fun (v, p) -> Hashtbl.replace tbl v p) catoms.(i).var_pos;
-        tbl
-      in
-      (* filter sels.(i) down to the rows whose shared-variable values
-         appear in sels.(j) *)
-      let reduce i j =
-        let map_j = pos_map j in
-        let shared =
-          Array.to_list catoms.(i).var_pos
-          |> List.filter_map (fun (v, pi) ->
-                 match Hashtbl.find_opt map_j v with
-                 | Some pj -> Some (pi, pj)
-                 | None -> None)
-          |> Array.of_list
-        in
-        if Array.length shared > 0 then begin
-          let reli = catoms.(i).rel and relj = catoms.(j).rel in
-          if Array.length shared = 1 then begin
-            let keys = Hashtbl.create (max 16 (Array.length sels.(j))) in
-            let pi, pj = shared.(0) in
-            Array.iter
-              (fun row -> Hashtbl.replace keys (Interned.get relj row pj) ())
-              sels.(j);
-            sels.(i) <-
-              filter_rows
-                (fun row ->
-                  Budget.tick budget;
-                  Hashtbl.mem keys (Interned.get reli row pi))
-                sels.(i)
-          end
-          else begin
-            let keys = Hashtbl.create (max 16 (Array.length sels.(j))) in
-            Array.iter
-              (fun row ->
-                let key =
-                  Array.map (fun (_, pj) -> Interned.get relj row pj) shared
-                in
-                Hashtbl.replace keys key ())
-              sels.(j);
-            sels.(i) <-
-              filter_rows
-                (fun row ->
-                  Budget.tick budget;
-                  Hashtbl.mem keys
-                    (Array.map (fun (pi, _) -> Interned.get reli row pi) shared))
-                sels.(i)
-          end
-        end
-      in
       for i = 0 to n - 2 do
         for j = i + 1 to n - 1 do
-          reduce j i
+          semijoin_pair budget catoms sels j i
         done
       done;
       for i = n - 2 downto 0 do
         for j = i + 1 to n - 1 do
-          reduce i j
+          semijoin_pair budget catoms sels i j
         done
       done)
+
+(* Full Yannakakis semi-join program over a join tree.  [parent] and
+   [removal] index into the compiled-order arrays; [removal] lists
+   non-root nodes children-before-parents.  The bottom-up sweep makes
+   every parent selection consistent with its whole subtree, the
+   top-down sweep then makes every node consistent with the rest of the
+   tree: by the running-intersection property the selections are
+   globally dangling-free after 2(n-1) passes, where the pairwise
+   heuristic spends O(n²) passes without that guarantee. *)
+let yannakakis_reduce budget catoms sels ~parent ~removal =
+  Obs.phase "yannakakis" (fun () ->
+      List.iter
+        (fun c ->
+          let p = parent.(c) in
+          if p >= 0 then semijoin_pair budget catoms sels p c)
+        removal;
+      List.iter
+        (fun c ->
+          let p = parent.(c) in
+          if p >= 0 then semijoin_pair budget catoms sels c p)
+        (List.rev removal))
 
 let extend ca env row =
   let e = Array.copy env in
@@ -317,12 +338,59 @@ let head_var_count (head : Atom.t) =
     head.Atom.args
   |> Names.Sset.of_list |> Names.Sset.cardinal
 
-let answers ?budget ?semijoin ?(radix_threshold = default_radix_threshold) t
-    (q : Query.t) =
+let answers ?budget ?semijoin ?acyclic
+    ?(radix_threshold = default_radix_threshold) t (q : Query.t) =
   let head = q.Query.head in
   let head_arity = Atom.arity head in
   Obs.phase "hash_join" (fun () ->
-      let ordered = Eval.schedule (Interned.database t) q.Query.body in
+      (* The reduction policy must be settled before scheduling: the
+         Yannakakis path joins in join-tree order, the general path in
+         the evaluator's selectivity order.  The default mirrors the
+         pairwise heuristic's trigger — reduce iff the head projects
+         variables away — so acyclic bodies take the fast path exactly
+         where the pairwise reduction used to run. *)
+      let body_vars =
+        List.fold_left
+          (fun s a -> Names.Sset.union s (Atom.var_set a))
+          Names.Sset.empty q.Query.body
+      in
+      let semijoin_on =
+        match semijoin with
+        | Some b -> b
+        | None -> head_var_count head < Names.Sset.cardinal body_vars
+      in
+      let jt =
+        match acyclic with
+        | Some false -> None
+        | Some true | None -> (
+            match Hypergraph.classify q.Query.body with
+            | Hypergraph.Acyclic tr when Array.length tr.Hypergraph.atoms > 1 ->
+                Some tr
+            | Hypergraph.Acyclic _ | Hypergraph.Cyclic -> None)
+      in
+      let yk_on =
+        match jt with
+        | None -> false
+        | Some _ -> ( match acyclic with Some b -> b | None -> semijoin_on)
+      in
+      let ordered, tree_info =
+        match jt with
+        | Some tr when yk_on ->
+            let order = Hypergraph.join_order tr in
+            let pos_of = Array.make (Array.length tr.Hypergraph.atoms) (-1) in
+            List.iteri (fun k i -> pos_of.(i) <- k) order;
+            let parent = Array.make (List.length order) (-1) in
+            List.iteri
+              (fun k i ->
+                let p = tr.Hypergraph.parent.(i) in
+                if p >= 0 then parent.(k) <- pos_of.(p))
+              order;
+            let removal = List.map (fun i -> pos_of.(i)) tr.Hypergraph.removal in
+            ( List.map (fun i -> tr.Hypergraph.atoms.(i)) order,
+              Some (parent, removal) )
+        | Some _ | None ->
+            (Eval.schedule (Interned.database t) q.Query.body, None)
+      in
       let var_ids = Hashtbl.create 16 in
       let n_vars = ref 0 in
       let var_id x =
@@ -351,13 +419,13 @@ let answers ?budget ?semijoin ?(radix_threshold = default_radix_threshold) t
       | Some rev_catoms ->
           let catoms = Array.of_list (List.rev rev_catoms) in
           let sels = Array.map select catoms in
-          let semijoin_on =
-            match semijoin with
-            | Some b -> b
-            | None -> head_var_count head < !n_vars
-          in
-          if semijoin_on && Array.length catoms > 1 then
-            semijoin_reduce budget catoms sels;
+          (match tree_info with
+          | Some (parent, removal) ->
+              Metrics.incr acyclic_c;
+              yannakakis_reduce budget catoms sels ~parent ~removal
+          | None ->
+              if semijoin_on && Array.length catoms > 1 then
+                semijoin_reduce budget catoms sels);
           let state = ref [ Array.make (max 1 !n_vars) (-1) ] in
           Array.iteri
             (fun i ca -> state := step budget radix_threshold ca sels.(i) !state)

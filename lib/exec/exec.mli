@@ -1,22 +1,33 @@
 (** Hash-join evaluation of conjunctive queries over interned, columnar
     relations.
 
-    The join order is the same static schedule the backtracking
-    evaluator uses ({!Vplan_relational.Eval.schedule}); each step is a
-    build/probe hash join keyed on the variables shared between the
-    accumulated environments and the next atom.  Build sides larger
-    than the radix threshold are grace-partitioned on the key hash; a
-    pairwise semi-join reduction runs first when the head projects most
-    body variables away.  [answers] agrees with [Eval.answers] on every
-    query (the QCheck oracle property in [test/test_exec.ml]).
+    Acyclic bodies (GYO classification, {!Vplan_hypergraph.Hypergraph})
+    take the Yannakakis fast path: atoms are joined in join-tree order
+    after a bottom-up then top-down semi-join program that leaves every
+    selection globally dangling-free in 2(n-1) passes, so intermediate
+    join results are bounded by input plus output size.  Cyclic bodies
+    fall back to the general path with zero behavior change: the
+    backtracking evaluator's static schedule
+    ({!Vplan_relational.Eval.schedule}) and, when the head projects
+    variables away, the O(n²) pairwise semi-join reduction.  Each step
+    is a build/probe hash join keyed on the variables shared between
+    the accumulated environments and the next atom; build sides larger
+    than the radix threshold are grace-partitioned on the key hash.
+    [answers] agrees with [Eval.answers] on every query and in every
+    path configuration (the QCheck oracle properties in
+    [test/test_exec.ml] and [test/test_hypergraph.ml]).
 
     Instrumentation: the whole evaluation runs under an [Obs] phase
-    ["hash_join"] (the reduction under ["semijoin"]), and the counters
-    [vplan_join_build_rows], [vplan_join_probe_rows] and
-    [vplan_join_partitions_total] account rows entering builds, probes
-    issued, and radix partitions created.  When a [Budget] is supplied,
-    one step is charged per probe and per produced row, so a step limit
-    truncates evaluation mid-probe with the usual [Vplan_error]. *)
+    ["hash_join"] (the pairwise reduction under ["semijoin"], the
+    Yannakakis program under ["yannakakis"]), and the counters
+    [vplan_join_build_rows], [vplan_join_probe_rows],
+    [vplan_join_partitions_total], [vplan_acyclic_queries_total] and
+    [vplan_semijoin_rows_pruned_total] account rows entering builds,
+    probes issued, radix partitions created, fast-path evaluations
+    taken, and rows dropped by semi-join passes.  When a [Budget] is
+    supplied, one step is charged per probe and per produced row, so a
+    step limit truncates evaluation mid-probe with the usual
+    [Vplan_error]. *)
 
 open Vplan_cq
 open Vplan_relational
@@ -28,16 +39,22 @@ val default_radix_threshold : int
 (** Number of partitions per radix split. *)
 val radix_partitions : int
 
-(** [answers ?budget ?semijoin ?radix_threshold t q] — the answer
-    relation of [q] (distinct head tuples), equal to [Eval.answers
-    (Interned.database t) q].
+(** [answers ?budget ?semijoin ?acyclic ?radix_threshold t q] — the
+    answer relation of [q] (distinct head tuples), equal to
+    [Eval.answers (Interned.database t) q].
 
-    [semijoin] forces the semi-join reduction on or off; by default it
-    runs iff the head has fewer distinct variables than the body
-    (projection-heavy). *)
+    [acyclic] controls the Yannakakis fast path: [Some true] forces it
+    whenever the body is acyclic with ≥ 2 atoms, [Some false] forces
+    the general path (no classification is even attempted), and the
+    default takes it exactly where the pairwise reduction would run —
+    acyclic and projection-heavy.  [semijoin] forces the general
+    path's pairwise reduction on or off; by default it runs iff the
+    head has fewer distinct variables than the body.  The two paths
+    compute the same relation in every combination. *)
 val answers :
   ?budget:Vplan_core.Budget.t ->
   ?semijoin:bool ->
+  ?acyclic:bool ->
   ?radix_threshold:int ->
   Interned.t ->
   Query.t ->

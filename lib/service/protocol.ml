@@ -9,6 +9,7 @@ module Database = Vplan_relational.Database
 module Subplan = Vplan_cost.Subplan
 module Metrics = Vplan_obs.Metrics
 module Trace = Vplan_obs.Trace
+module Hypergraph = Vplan_hypergraph.Hypergraph
 module Store = Vplan_store.Store
 module Record = Vplan_store.Record
 
@@ -365,6 +366,8 @@ let cmd_stats shared ppf rest =
              \"cache_size\":%d,\"cache_capacity\":%d,\"truncated\":%d,\
              \"plan_requests\":%d,\"generation_resets\":%d,\
              \"data_relations\":%d,\"data_rows\":%d,\
+             \"acyclic_queries\":%d,\"containment_fastpath\":%d,\
+             \"containment_fallback\":%d,\
              \"latency\":{\"count\":%d,\"mean_ms\":%.3f,\"p50_ms\":%.3f,\
              \"p95_ms\":%.3f,\"max_ms\":%.3f}}@."
             st.Service.generation st.Service.num_views st.Service.num_view_classes
@@ -373,6 +376,9 @@ let cmd_stats shared ppf rest =
             st.Service.cache_capacity st.Service.truncated
             st.Service.plan_requests st.Service.generation_resets
             st.Service.data_relations st.Service.data_rows
+            (Metrics.value (Metrics.counter "vplan_acyclic_queries_total"))
+            (Metrics.value (Metrics.counter "vplan_containment_fastpath_total"))
+            (Metrics.value (Metrics.counter "vplan_containment_fallback_total"))
             l.Service.count l.Service.mean_ms l.Service.p50_ms l.Service.p95_ms
             l.Service.max_ms
       | "" ->
@@ -389,6 +395,12 @@ let cmd_stats shared ppf rest =
           if Service.base s <> None then
             Format.fprintf ppf "data relations=%d rows=%d@."
               st.Service.data_relations st.Service.data_rows;
+          Format.fprintf ppf
+            "acyclic queries=%d containment-fastpath=%d \
+             containment-fallback=%d@."
+            (Metrics.value (Metrics.counter "vplan_acyclic_queries_total"))
+            (Metrics.value (Metrics.counter "vplan_containment_fastpath_total"))
+            (Metrics.value (Metrics.counter "vplan_containment_fallback_total"));
           Format.fprintf ppf
             "latency count=%d mean=%.3fms p50=%.3fms p95=%.3fms max=%.3fms@."
             l.Service.count l.Service.mean_ms l.Service.p50_ms l.Service.p95_ms
@@ -448,6 +460,12 @@ let cmd_explain (sess : session) ppf rest =
             label ms
             (Trace.top_level_total spans)
             (List.length spans);
+          (match Hypergraph.classify query.Query.body with
+          | Hypergraph.Cyclic -> Format.fprintf ppf "classification: cyclic@."
+          | Hypergraph.Acyclic t ->
+              Format.fprintf ppf "classification: acyclic@.";
+              if t.Hypergraph.root >= 0 then
+                Format.fprintf ppf "join tree:@.%a@." Hypergraph.pp_tree t);
           Format.fprintf ppf "%a" Trace.pp_tree spans)
 
 let cmd_save shared ppf =

@@ -7,6 +7,7 @@ type shape =
   | Chain
   | Cycle
   | Clique
+  | Path
   | Random_shape
 
 type config = {
@@ -119,6 +120,54 @@ let chain_view rng ~config ~index =
   if config.chain_endpoints_only then
     Query.make_exn (Atom.make ("v" ^ string_of_int index) head_args) body
   else make_view rng ~config ~index head_args body
+
+(* Path (Romero et al., "Query Rewriting On Path Views Without
+   Integrity Constraints"): the query is a k-step path exposing only
+   its endpoints, and every view is a contiguous subpath likewise
+   exposing only its endpoints — middles are existential, so both
+   query and views are acyclic and projection-heavy.  The first views
+   partition the query's path into consecutive segments: their
+   composition is a rewriting, so one always exists when [num_views]
+   covers the partition.  The remaining views are random subpaths
+   (chains of views over the same relations). *)
+let path_query config =
+  let k = config.query_subgoals in
+  let body =
+    List.init k (fun i ->
+        Atom.make (relation_name (i mod config.num_relations))
+          [ var "X" i; var "X" (i + 1) ])
+  in
+  Query.make_exn (Atom.make "q" [ var "X" 0; var "X" k ]) body
+
+let path_segment ~config ~index start m =
+  let body =
+    List.init m (fun i ->
+        Atom.make
+          (relation_name ((start + i) mod config.num_relations))
+          [ var "Y" i; var "Y" (i + 1) ])
+  in
+  Query.make_exn (Atom.make ("v" ^ string_of_int index) [ var "Y" 0; var "Y" m ]) body
+
+let path_view rng ~config ~index =
+  let m =
+    min (Prng.range rng config.view_subgoals_min config.view_subgoals_max)
+      config.query_subgoals
+  in
+  let start = Prng.int rng (config.query_subgoals - m + 1) in
+  path_segment ~config ~index start m
+
+let path_partition rng config =
+  let k = config.query_subgoals in
+  let rec cut start acc =
+    if start >= k then List.rev acc
+    else
+      let m =
+        min (k - start)
+          (max 1 (Prng.range rng config.view_subgoals_min config.view_subgoals_max))
+      in
+      cut (start + m) ((start, m) :: acc)
+  in
+  cut 0 []
 
 (* Cycle: a chain whose last subgoal closes back on the first variable.
    Views are contiguous arcs with wrap-around; a full-circle view would
@@ -235,9 +284,13 @@ let generate config =
     | Chain -> chain_query config
     | Cycle -> cycle_query config
     | Clique -> clique_query config
+    | Path -> path_query config
     | Random_shape -> random_query rng config
   in
   let query_relations = Query.body_preds query in
+  let path_parts =
+    match config.shape with Path -> path_partition rng config | _ -> []
+  in
   let views =
     List.init config.num_views (fun index ->
         match config.shape with
@@ -245,6 +298,10 @@ let generate config =
         | Chain -> chain_view rng ~config ~index
         | Cycle -> cycle_view rng ~config ~index
         | Clique -> clique_view rng ~config ~index
+        | Path -> (
+            match List.nth_opt path_parts index with
+            | Some (start, m) -> path_segment ~config ~index start m
+            | None -> path_view rng ~config ~index)
         | Random_shape -> random_view rng ~config ~index query_relations)
   in
   { query; views }

@@ -17,6 +17,14 @@
       are contiguous arcs (with wrap-around).
     - {e clique}: binary subgoals over node variables, one per edge of a
       clique in lexicographic edge order; views take 1–3 random edges.
+    - {e path}: a chain whose query head exposes only the two endpoint
+      variables, with views that are contiguous subpaths also exposing
+      only their endpoints (Romero et al., "Query Rewriting On Path
+      Views Without Integrity Constraints").  Query and views are all
+      acyclic and projection-heavy — the fast-path workload.  The
+      first views partition the query path into consecutive segments,
+      so a rewriting (the chain of those views) exists by construction
+      whenever [num_views] covers the partition.
     - {e random}: subgoals pick random relations with variables drawn from
       a shared pool; views do the same over the query's relations.
 
@@ -38,6 +46,7 @@ type shape =
   | Chain
   | Cycle
   | Clique
+  | Path
   | Random_shape
 
 type config = {

@@ -28,3 +28,29 @@ EXPLAIN-style plan output.
   step 1/1: scan v4(M,anderson,C,S)  drop {M}  [relation 4 tuples; GSR: 3 tuples x 2 attrs]
   total cost: 22 cells
   query answer size: 3
+
+The explain subcommand classifies the query body via GYO reduction and
+prints the join tree for acyclic bodies.  The span timings further down
+are nondeterministic, so only the deterministic prefix is checked.
+
+  $ cat > path.dlog <<'PROGRAM'
+  > q(X0, X3) :- r(X0, X1), r(X1, X2), r(X2, X3).
+  > v(A, B) :- r(A, B).
+  > PROGRAM
+  $ vplan_cli explain path.dlog | head -6
+  explain rewritings=1
+  classification: acyclic
+  join tree:
+  r(X2,X3)
+    r(X1,X2)
+      r(X0,X1)
+
+Cyclic bodies are reported as such, with no join tree.
+
+  $ cat > triangle.dlog <<'PROGRAM'
+  > q(X) :- r(X, Y), s(Y, Z), t(Z, X).
+  > v(A, B) :- r(A, B).
+  > PROGRAM
+  $ vplan_cli explain triangle.dlog | head -2
+  explain rewritings=0
+  classification: cyclic

@@ -71,6 +71,7 @@ repeated requests are answered from the same resident memo.
   cache size=0 capacity=512 evictions=0
   truncated=0 plan-requests=2 generation-resets=0
   data relations=3 rows=10
+  acyclic queries=0 containment-fastpath=4 containment-fallback=2
 
 Estimated cost mode plans from the statistics collected at load time —
 no view is materialized for costing — and picks the same rewriting

@@ -28,6 +28,7 @@ Every rewrite response carries a per-request trace id.
   requests=2 hits=1 misses=1 bypasses=0
   cache size=1 capacity=512 evictions=0
   truncated=0 plan-requests=0 generation-resets=0
+  acyclic queries=0 containment-fastpath=2 containment-fallback=2
 
 Catalog updates bump the generation and invalidate the cache; removing
 v4 changes the best rewriting.  Errors never kill the loop.
@@ -77,6 +78,7 @@ hit) and gets the complete answer.
   requests=2 hits=0 misses=2 bypasses=0
   cache size=1 capacity=512 evictions=0
   truncated=1 plan-requests=0 generation-resets=0
+  acyclic queries=0 containment-fastpath=4 containment-fallback=2
 
 Batches fan out over the domain pool and answer in request order.
 Without a catalog there is nothing to rewrite against.
@@ -125,7 +127,8 @@ timing-dependent, so only their presence is checked).
   requests=2 hits=1 misses=1 bypasses=0
   cache size=0 capacity=512 evictions=0
   truncated=0 plan-requests=0 generation-resets=1
-  {"generation":1,"views":3,"classes":3,"requests":2,"hits":1,"misses":1,"bypasses":0,"evictions":0,"cache_size":0,"cache_capacity":512,"truncated":0,"plan_requests":0,"generation_resets":1,"data_relations":0,"data_rows":0,"latency":…}
+  acyclic queries=0 containment-fastpath=2 containment-fallback=4
+  {"generation":1,"views":3,"classes":3,"requests":2,"hits":1,"misses":1,"bypasses":0,"evictions":0,"cache_size":0,"cache_capacity":512,"truncated":0,"plan_requests":0,"generation_resets":1,"data_relations":0,"data_rows":0,"acyclic_queries":0,"containment_fastpath":2,"containment_fallback":4,"latency":…}
 
 The metrics command emits Prometheus-style vplan_* lines: monotone
 counters for the pipeline, per-phase latency histograms, and gauges set
@@ -172,6 +175,11 @@ are wall-clock, so they are normalized.
   ok catalog generation=1 views=3 classes=3
   ok data facts=3 relations=3 rows=3
   ok explain plan request=X traced=X spans=12
+  classification: acyclic
+  join tree:
+  part(S,M,C)
+    car(M,anderson)
+    loc(anderson,C)
   |- corecover               X ms
   |  |- minimize                X ms
   |  |- view_classes            X ms  [classes=3]

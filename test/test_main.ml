@@ -24,5 +24,6 @@ let () =
       ("server", Test_server.suite);
       ("store", Test_store.suite);
       ("obs", Test_obs.suite);
+      ("hypergraph", Test_hypergraph.suite);
       ("properties", Test_properties.suite);
     ]
