@@ -223,6 +223,8 @@ type observe_metrics = {
   ob_traced_ms : float;
   ob_overhead_pct : float;
   ob_spans : float;  (* average spans recorded per traced request *)
+  ob_recorder_overhead_pct : float;  (* flight recorder on vs off *)
+  ob_analyze_overhead_pct : float;  (* Exec.answers profiled vs plain *)
 }
 
 let observe_metrics : observe_metrics option ref = ref None
@@ -267,8 +269,11 @@ let write_json ~mode oc =
         m.ob_views m.ob_queries m.ob_passes;
       Printf.fprintf oc " \"untraced_ms\": %.3f, \"traced_ms\": %.3f,"
         m.ob_untraced_ms m.ob_traced_ms;
-      Printf.fprintf oc " \"overhead_pct\": %.2f, \"spans_per_request\": %.1f },\n"
-        m.ob_overhead_pct m.ob_spans);
+      Printf.fprintf oc " \"overhead_pct\": %.2f, \"spans_per_request\": %.1f,"
+        m.ob_overhead_pct m.ob_spans;
+      Printf.fprintf oc
+        " \"recorder_overhead_pct\": %.2f, \"analyze_overhead_pct\": %.2f },\n"
+        m.ob_recorder_overhead_pct m.ob_analyze_overhead_pct);
   (match !recovery_metrics with
   | None -> ()
   | Some m ->
@@ -1472,6 +1477,90 @@ let observe ~settings =
     "traced-ms" "overhead" "spans/req";
   Format.printf "%8d %8d %14.1f %14.1f %11.2f%% %10.1f@." (List.length insts) passes
     !untraced !traced overhead spans_per_request;
+  (* flight recorder: the same rewrite workload with one record appended
+     per request, ring enabled vs disabled — the always-on cost *)
+  let rec_on = ref 0. and rec_off = ref 0. in
+  let one_request enabled (inst : Generator.instance) =
+    Recorder.set_enabled enabled;
+    let r = corecover_gmrs ~query:inst.Generator.query ~views:inst.views () in
+    Recorder.append ~kind:"bench"
+      ~answers:(List.length r.Corecover.rewritings)
+      ~detail:(Atom.to_string inst.Generator.query.Query.head)
+      ()
+  in
+  for pass = 1 to passes do
+    List.iter
+      (fun inst ->
+        let run_off () =
+          let (), ms = time_ms (fun () -> one_request false inst) in
+          rec_off := !rec_off +. ms
+        and run_on () =
+          let (), ms = time_ms (fun () -> one_request true inst) in
+          rec_on := !rec_on +. ms
+        in
+        if pass mod 2 = 1 then (run_off (); run_on ())
+        else (run_on (); run_off ()))
+      insts
+  done;
+  Recorder.reset ();
+  let recorder_overhead =
+    (!rec_on -. !rec_off) /. Float.max 1e-9 !rec_off *. 100.
+  in
+  (* operator profiles: the hash-join engine with a full profile tree
+     and estimate callbacks attached vs a plain run, path query over
+     skewed data — the [explain analyze] execution cost *)
+  let aquery =
+    Parser.parse_rule_exn "q(X1, X3) :- r0(0, X1), r1(X1, X2), r2(X2, X3)."
+  in
+  let n = 100_000 in
+  let domain = max 4 (n / 10) in
+  let spec predicate = { Datagen.predicate; arity = 2; tuples = n; domain } in
+  let db =
+    Datagen.random_dist (Prng.create (41 + n))
+      [
+        (spec "r0", []);
+        (spec "r1", []);
+        (spec "r2", [ Datagen.Uniform; Datagen.Zipf 0.9 ]);
+      ]
+  in
+  let interned = Interned.of_database db in
+  let est = Estimate.of_stats (Stats.collect db) in
+  let estimate = function
+    | [] -> Float.nan
+    | [ a ] -> Estimate.atom_cardinality est a
+    | a :: rest ->
+        Estimate.profile_card
+          (List.fold_left
+             (fun p b -> Estimate.join_profiles p (Estimate.atom_profile est b))
+             (Estimate.atom_profile est a)
+             rest)
+  in
+  ignore (Exec.answers interned aquery) (* warm-up *);
+  let plain = ref 0. and profiled = ref 0. in
+  for pass = 1 to passes do
+    let run_plain () =
+      let _, ms = time_ms (fun () -> Exec.answers interned aquery) in
+      plain := !plain +. ms
+    and run_profiled () =
+      let _, ms =
+        time_ms (fun () ->
+            let p = Profile.create ~name:"bench" () in
+            let r = Exec.answers ~profile:p ~estimate interned aquery in
+            ignore (Profile.finish p);
+            r)
+      in
+      profiled := !profiled +. ms
+    in
+    if pass mod 2 = 1 then (run_plain (); run_profiled ())
+    else (run_profiled (); run_plain ())
+  done;
+  let analyze_overhead =
+    (!profiled -. !plain) /. Float.max 1e-9 !plain *. 100.
+  in
+  Format.printf "%14s %14s %12s %14s %14s %12s@." "recorder-off" "recorder-on"
+    "overhead" "plain-exec" "profiled-exec" "overhead";
+  Format.printf "%12.1fms %12.1fms %11.2f%% %12.1fms %12.1fms %11.2f%%@."
+    !rec_off !rec_on recorder_overhead !plain !profiled analyze_overhead;
   observe_metrics :=
     Some
       {
@@ -1482,6 +1571,8 @@ let observe ~settings =
         ob_traced_ms = !traced;
         ob_overhead_pct = overhead;
         ob_spans = spans_per_request;
+        ob_recorder_overhead_pct = recorder_overhead;
+        ob_analyze_overhead_pct = analyze_overhead;
       }
 
 (* ------------------------------------------------------------------ *)

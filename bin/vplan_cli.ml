@@ -255,21 +255,69 @@ let explain_cmd =
     Arg.(value & opt int 1 & info [ "domains" ] ~docv:"N"
            ~doc:"Fan the per-view evaluation across $(docv) domains.")
   in
-  let run file data domains timeout max_steps max_covers =
+  let analyze_flag =
+    Arg.(value & flag
+         & info [ "analyze" ]
+             ~doc:"Execute the chosen plan with an operator profile attached \
+                   and print the operator tree with estimated vs actual rows \
+                   and per-query q-error (requires --data).")
+  in
+  let trace_out =
+    Arg.(value & opt (some string) None
+         & info [ "trace-out" ] ~docv:"FILE"
+             ~doc:"Write the request's spans (and, with --analyze, its \
+                   operator profile) as a Chrome trace.json loadable in \
+                   Perfetto / chrome://tracing.")
+  in
+  let run file data analyze trace_out domains timeout max_steps max_covers =
    or_die @@ fun () ->
     let query, rest = parse_program_file file in
     let views, _ = split_views_and_candidates query rest in
     let budget = budget_of ~timeout ~max_steps in
     let clock = Vplan.Budget.create () in
-    let label, spans =
-      match data with
-      | None ->
+    let label, spans, analyzed =
+      match (analyze, data) with
+      | true, None -> failwith "--analyze needs --data FILE"
+      | true, Some data -> (
+          (* the same backend the server's `explain analyze` uses *)
+          let base = database_of_file data in
+          let cat =
+            match Vplan.Catalog.create views with
+            | Ok c -> c
+            | Error e -> failwith e
+          in
+          let svc = Vplan.Service.create cat in
+          Vplan.Service.set_base svc base;
+          let outcome, spans =
+            Vplan.Trace.run (fun () ->
+                Vplan.Service.analyze ?budget ?max_covers ~domains svc query)
+          in
+          match outcome with
+          | None -> ("analyze none", spans, None)
+          | Some o ->
+              let cost =
+                match o.Vplan.Service.an_cost with
+                | Vplan.Service.Cells c -> Printf.sprintf "cost=%d" c
+                | Vplan.Service.Cells_est c -> Printf.sprintf "cost_est=%.1f" c
+              in
+              let q =
+                if Float.is_nan o.Vplan.Service.an_qerror then "-"
+                else Printf.sprintf "%.2f" o.Vplan.Service.an_qerror
+              in
+              ( Printf.sprintf "analyze %s candidates=%d answers=%d qerror=%s"
+                  cost o.Vplan.Service.an_candidates o.Vplan.Service.an_answers
+                  q,
+                spans,
+                Some o ))
+      | false, None ->
           let result, spans =
             Vplan.Trace.run (fun () ->
                 Vplan.Corecover.gmrs ?budget ?max_covers ~domains ~query ~views ())
           in
-          (Printf.sprintf "rewritings=%d" (List.length result.rewritings), spans)
-      | Some data ->
+          ( Printf.sprintf "rewritings=%d" (List.length result.rewritings),
+            spans,
+            None )
+      | false, Some data ->
           (* the same pipeline [plan --cost m2] runs, with each stage under
              the tracer: materialize, CoreCover*, branch-and-bound *)
           let base = database_of_file data in
@@ -291,7 +339,8 @@ let explain_cmd =
           ( (match choice with
             | Some c -> Printf.sprintf "plan cost=%d" c.Vplan.Select.m2_cost
             | None -> "plan none"),
-            spans )
+            spans,
+            None )
     in
     let ms = Vplan.Budget.elapsed_ms clock in
     Format.printf "explain %s@." label;
@@ -304,14 +353,42 @@ let explain_cmd =
     Format.printf "request %.3f ms, traced %.3f ms in %d spans@." ms
       (Vplan.Trace.top_level_total spans)
       (List.length spans);
-    Format.printf "%a" Vplan.Trace.pp_tree spans
+    Format.printf "%a" Vplan.Trace.pp_tree spans;
+    (match analyzed with
+    | None -> ()
+    | Some o ->
+        Format.printf "%a@." Vplan.Query.pp o.Vplan.Service.an_rewriting;
+        Format.printf "order: %a@."
+          (Format.pp_print_list
+             ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+             Vplan.Atom.pp)
+          o.Vplan.Service.an_order;
+        Format.printf "profile:@.%a" Vplan.Profile.pp_tree
+          o.Vplan.Service.an_profile);
+    match trace_out with
+    | None -> ()
+    | Some path ->
+        let extra =
+          match analyzed with
+          | Some o -> Vplan.Profile.chrome_events o.Vplan.Service.an_profile
+          | None -> []
+        in
+        let oc = open_out path in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () ->
+            output_string oc (Vplan.Trace.chrome_json ~extra spans);
+            output_char oc '\n');
+        Format.printf "trace written to %s@." path
   in
   Cmd.v
     (Cmd.info "explain"
        ~doc:"Trace one rewrite (or, with --data, plan-selection) request and \
-             print its span tree with per-phase wall time.")
-    Term.(const run $ file $ data $ domains $ timeout_arg $ max_steps_arg
-          $ max_covers_arg)
+             print its span tree with per-phase wall time.  With --analyze, \
+             also execute the chosen plan and print its operator tree with \
+             estimated vs actual rows.")
+    Term.(const run $ file $ data $ analyze_flag $ trace_out $ domains
+          $ timeout_arg $ max_steps_arg $ max_covers_arg)
 
 (* ------------------------------------------------------------------ *)
 (* classify                                                            *)

@@ -17,10 +17,13 @@
 module Budget = Vplan_core.Budget
 module Vplan_error = Vplan_core.Vplan_error
 
-(* observability: metrics registry, span tracer, phase instrumentation *)
+(* observability: metrics registry, span tracer, phase instrumentation,
+   operator profiles, flight recorder *)
 module Metrics = Vplan_obs.Metrics
 module Trace = Vplan_obs.Trace
 module Obs = Vplan_obs.Obs
+module Profile = Vplan_obs.Profile
+module Recorder = Vplan_obs.Recorder
 
 (* conjunctive-query kernel *)
 module Names = Vplan_cq.Names
@@ -54,6 +57,7 @@ module Exec = Vplan_exec.Exec
 (* data statistics: cardinalities, distinct counts, histograms *)
 module Histogram = Vplan_stats.Histogram
 module Stats = Vplan_stats.Stats
+module Qerror = Vplan_stats.Qerror
 
 (* domain-based fan-out *)
 module Parallel = Vplan_parallel.Parallel

@@ -3,6 +3,7 @@ open Vplan_relational
 module Budget = Vplan_core.Budget
 module Obs = Vplan_obs.Obs
 module Metrics = Vplan_obs.Metrics
+module Profile = Vplan_obs.Profile
 module Hypergraph = Vplan_hypergraph.Hypergraph
 
 (* Hash-join evaluation of conjunctive queries over an Interned.t.
@@ -278,7 +279,7 @@ let build_probe budget ca rows envs out =
       envs
   end
 
-let step budget radix_threshold ca sel state =
+let step budget radix_threshold pnode ca sel state =
   match state with
   | [] -> []
   | _ ->
@@ -301,6 +302,7 @@ let step budget radix_threshold ca sel state =
            each build fits comfortably, then join partition by partition *)
         let nparts = radix_partitions in
         Metrics.add partitions_c nparts;
+        Profile.set_partitions pnode nparts;
         let rel = ca.rel in
         let kp = ca.key_pairs in
         let row_parts = Array.make nparts [] in
@@ -339,10 +341,12 @@ let head_var_count (head : Atom.t) =
   |> Names.Sset.of_list |> Names.Sset.cardinal
 
 let answers ?budget ?semijoin ?acyclic
-    ?(radix_threshold = default_radix_threshold) t (q : Query.t) =
+    ?(radix_threshold = default_radix_threshold) ?profile ?estimate t
+    (q : Query.t) =
   let head = q.Query.head in
   let head_arity = Atom.arity head in
   Obs.phase "hash_join" (fun () ->
+  Profile.step profile ~op:"exec" ~name:head.Atom.pred (fun pnode ->
       (* The reduction policy must be settled before scheduling: the
          Yannakakis path joins in join-tree order, the general path in
          the evaluator's selectivity order.  The default mirrors the
@@ -415,21 +419,87 @@ let answers ?budget ?semijoin ?acyclic
           (Some []) ordered
       in
       match compiled with
-      | None -> Relation.empty head_arity
+      | None ->
+          (* a body atom names a missing relation: the answer is empty *)
+          Profile.set_rows_in pnode 0;
+          Profile.set_rows_out pnode 0;
+          Relation.empty head_arity
       | Some rev_catoms ->
           let catoms = Array.of_list (List.rev rev_catoms) in
-          let sels = Array.map select catoms in
+          (* Per-operator accounting (atom rendering, state counting,
+             the estimate callback) only happens under [Some profile];
+             the [None] path executes exactly the uninstrumented code. *)
+          let atoms = Array.of_list ordered in
+          let est_of prefix =
+            match estimate with Some f -> f prefix | None -> Float.nan
+          in
+          let sum_sels sels =
+            Array.fold_left (fun acc s -> acc + Array.length s) 0 sels
+          in
+          let sels =
+            match profile with
+            | None -> Array.map select catoms
+            | Some _ ->
+                Array.mapi
+                  (fun i ca ->
+                    let a = atoms.(i) in
+                    Profile.step profile ~op:"select" ~name:a.Atom.pred
+                      ~detail:(Atom.to_string a) (fun node ->
+                        let sel = select ca in
+                        Profile.set_rows_in node ca.rel.Interned.rows;
+                        Profile.set_rows_out node (Array.length sel);
+                        Profile.set_est_rows node (est_of [ a ]);
+                        sel))
+                  catoms
+          in
           (match tree_info with
           | Some (parent, removal) ->
               Metrics.incr acyclic_c;
-              yannakakis_reduce budget catoms sels ~parent ~removal
+              Profile.step profile ~op:"yannakakis" (fun node ->
+                  (match node with
+                  | Some _ -> Profile.set_rows_in node (sum_sels sels)
+                  | None -> ());
+                  yannakakis_reduce budget catoms sels ~parent ~removal;
+                  match node with
+                  | Some _ -> Profile.set_rows_out node (sum_sels sels)
+                  | None -> ())
           | None ->
               if semijoin_on && Array.length catoms > 1 then
-                semijoin_reduce budget catoms sels);
+                Profile.step profile ~op:"semijoin" (fun node ->
+                    (match node with
+                    | Some _ -> Profile.set_rows_in node (sum_sels sels)
+                    | None -> ());
+                    semijoin_reduce budget catoms sels;
+                    match node with
+                    | Some _ -> Profile.set_rows_out node (sum_sels sels)
+                    | None -> ()));
           let state = ref [ Array.make (max 1 !n_vars) (-1) ] in
-          Array.iteri
-            (fun i ca -> state := step budget radix_threshold ca sels.(i) !state)
-            catoms;
+          (match profile with
+          | None ->
+              Array.iteri
+                (fun i ca ->
+                  state := step budget radix_threshold None ca sels.(i) !state)
+                catoms
+          | Some _ ->
+              let executed = ref [] in
+              Array.iteri
+                (fun i ca ->
+                  let a = atoms.(i) in
+                  executed := a :: !executed;
+                  let op =
+                    if i = 0 then "scan"
+                    else if Array.length ca.key_pairs = 0 then "cross"
+                    else "join"
+                  in
+                  Profile.step profile ~op ~name:a.Atom.pred
+                    ~detail:(Atom.to_string a) (fun node ->
+                      Profile.set_rows_in node (List.length !state);
+                      Profile.set_build_rows node (Array.length sels.(i));
+                      state :=
+                        step budget radix_threshold node ca sels.(i) !state;
+                      Profile.set_rows_out node (List.length !state);
+                      Profile.set_est_rows node (est_of (List.rev !executed))))
+                catoms);
           let tuples =
             List.map
               (fun env ->
@@ -445,4 +515,10 @@ let answers ?budget ?semijoin ?acyclic
                   head.Atom.args)
               !state
           in
-          Relation.of_tuples head_arity tuples)
+          let result = Relation.of_tuples head_arity tuples in
+          (match pnode with
+          | Some _ ->
+              Profile.set_rows_in pnode (List.length !state);
+              Profile.set_rows_out pnode (Relation.cardinality result)
+          | None -> ());
+          result))

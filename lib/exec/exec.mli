@@ -50,12 +50,24 @@ val radix_partitions : int
     acyclic and projection-heavy.  [semijoin] forces the general
     path's pairwise reduction on or off; by default it runs iff the
     head has fewer distinct variables than the body.  The two paths
-    compute the same relation in every combination. *)
+    compute the same relation in every combination.
+
+    [profile] attaches an operator profile: every selection, semi-join
+    program, and join step records rows in/out, build-side size, wall
+    time and partition counts as a child of the profile's open node (an
+    [exec] node wraps the whole evaluation).  [estimate], consulted
+    only when profiling, maps the executed prefix of body atoms to an
+    estimated join cardinality — recorded as [est_rows] on each select
+    ([estimate [a]]) and join node, for estimated-vs-actual comparison
+    ([explain analyze]).  Without [profile] (the default), the engine
+    runs the exact uninstrumented code paths. *)
 val answers :
   ?budget:Vplan_core.Budget.t ->
   ?semijoin:bool ->
   ?acyclic:bool ->
   ?radix_threshold:int ->
+  ?profile:Vplan_obs.Profile.t ->
+  ?estimate:(Atom.t list -> float) ->
   Interned.t ->
   Query.t ->
   Relation.t

@@ -40,14 +40,18 @@ let bucket_index v =
   go 0
 
 let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+let helps : (string, string) Hashtbl.t = Hashtbl.create 64
 let order : string list ref = ref [] (* reverse registration order *)
 let reg_lock = Mutex.create ()
 
-let registered name make cast =
+let registered name help make cast =
   Mutex.lock reg_lock;
   Fun.protect
     ~finally:(fun () -> Mutex.unlock reg_lock)
     (fun () ->
+      (match help with
+      | Some h when not (Hashtbl.mem helps name) -> Hashtbl.add helps name h
+      | _ -> ());
       match Hashtbl.find_opt registry name with
       | Some m -> cast m
       | None ->
@@ -56,22 +60,22 @@ let registered name make cast =
           order := name :: !order;
           cast m)
 
-let counter name =
-  registered name
+let counter ?help name =
+  registered name help
     (fun () -> Counter (Atomic.make 0))
     (function
       | Counter c -> c
       | _ -> invalid_arg ("Metrics.counter: " ^ name ^ " registered with another type"))
 
-let gauge name =
-  registered name
+let gauge ?help name =
+  registered name help
     (fun () -> Gauge (Atomic.make 0))
     (function
       | Gauge g -> g
       | _ -> invalid_arg ("Metrics.gauge: " ^ name ^ " registered with another type"))
 
-let histogram name =
-  registered name
+let histogram ?help name =
+  registered name help
     (fun () ->
       Histogram
         { counts = Array.init num_buckets (fun _ -> Atomic.make 0); sum_ns = Atomic.make 0 })
@@ -138,16 +142,32 @@ let pp_bound ppf b =
   if Float.is_integer b then Format.fprintf ppf "%.0f" b
   else Format.fprintf ppf "%g" b
 
-let pp_quantile ppf q = if q = 0. then Format.fprintf ppf "0" else pp_bound ppf q
+(* Help text defaults to the metric name with underscores spaced out, so
+   every family carries a HELP line even when the registration site gave
+   none. *)
+let help_of name =
+  match Hashtbl.find_opt helps name with
+  | Some h -> h
+  | None -> String.map (fun c -> if c = '_' then ' ' else c) name
 
-(* One metric per line, Prometheus text-format style.  Histograms emit
-   cumulative [_bucket{le=...}] lines plus [_count], [_sum_ms] and
-   p50/p90/p99 convenience lines. *)
+(* Prometheus text exposition format: each family gets [# HELP] and
+   [# TYPE] lines, histograms emit cumulative [_bucket{le=...}] series
+   ending in [+Inf] plus [_sum] and [_count].  A real scraper can ingest
+   the output unmodified. *)
 let dump ppf =
+  let header name kind =
+    Format.fprintf ppf "# HELP %s %s@." name (help_of name);
+    Format.fprintf ppf "# TYPE %s %s@." name kind
+  in
   let emit name = function
-    | Counter c -> Format.fprintf ppf "%s %d@." name (Atomic.get c)
-    | Gauge g -> Format.fprintf ppf "%s %d@." name (Atomic.get g)
+    | Counter c ->
+        header name "counter";
+        Format.fprintf ppf "%s %d@." name (Atomic.get c)
+    | Gauge g ->
+        header name "gauge";
+        Format.fprintf ppf "%s %d@." name (Atomic.get g)
     | Histogram h ->
+        header name "histogram";
         let counts = Array.map Atomic.get h.counts in
         let total = Array.fold_left ( + ) 0 counts in
         let cum = ref 0 in
@@ -159,14 +179,9 @@ let dump ppf =
                 bucket_bounds.(i) !cum
             else Format.fprintf ppf "%s_bucket{le=\"+Inf\"} %d@." name !cum)
           counts;
-        Format.fprintf ppf "%s_count %d@." name total;
-        Format.fprintf ppf "%s_sum_ms %.3f@." name
+        Format.fprintf ppf "%s_sum %.3f@." name
           (float_of_int (Atomic.get h.sum_ns) /. 1e6);
-        List.iter
-          (fun (label, q) ->
-            Format.fprintf ppf "%s_%s_ms %a@." name label pp_quantile
-              (quantile_of_counts counts total q))
-          [ ("p50", 0.50); ("p90", 0.90); ("p99", 0.99) ]
+        Format.fprintf ppf "%s_count %d@." name total
   in
   Mutex.lock reg_lock;
   let names = List.rev !order in

@@ -19,12 +19,15 @@ type gauge
 type histogram
 
 (** [counter name] — the counter registered under [name], creating it at
-    zero on first use.  @raise Invalid_argument if [name] is already
-    registered as a different metric type. *)
-val counter : string -> counter
+    zero on first use.  [help] sets the family's [# HELP] text in
+    {!dump} (first registration to supply one wins; families without one
+    get a default derived from the name).
+    @raise Invalid_argument if [name] is already registered as a
+    different metric type. *)
+val counter : ?help:string -> string -> counter
 
-val gauge : string -> gauge
-val histogram : string -> histogram
+val gauge : ?help:string -> string -> gauge
+val histogram : ?help:string -> string -> histogram
 
 val incr : counter -> unit
 val add : counter -> int -> unit
@@ -61,11 +64,12 @@ val bucket_bounds : float array
     [Array.length bucket_bounds] for the overflow bucket. *)
 val bucket_index : float -> int
 
-(** Emit every registered metric, one per line, in Prometheus text
-    style: [name value] for counters and gauges; cumulative
-    [name_bucket{le="..."}] lines plus [name_count], [name_sum_ms] and
-    [name_p50_ms]/[name_p90_ms]/[name_p99_ms] for histograms.  Metrics
-    appear in registration order. *)
+(** Emit every registered metric in Prometheus text exposition format:
+    [# HELP]/[# TYPE] lines per family, [name value] for counters and
+    gauges, and cumulative [name_bucket{le="..."}] series ending in
+    [+Inf] plus [name_sum] (milliseconds, matching the [_ms] naming) and
+    [name_count] for histograms.  Families appear in registration
+    order. *)
 val dump : Format.formatter -> unit
 
 (** Zero every registered metric (registrations survive).  For tests and

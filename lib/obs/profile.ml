@@ -1,0 +1,160 @@
+(* Operator profile trees for the execution engine.
+
+   A profile is built by one domain for one execution: [step] pushes a
+   node under the innermost open node, times the wrapped function, and
+   pops.  Children are accumulated in reverse and put back into
+   execution order by [finish].  Every entry point takes an [option] so
+   the disabled path ([None] threaded through the engine) is a single
+   pattern match per site — the {!Trace} discipline, enforced by types
+   instead of a global flag. *)
+
+type node = {
+  op : string;
+  name : string;
+  detail : string;
+  mutable rows_in : int;
+  mutable build_rows : int;
+  mutable rows_out : int;
+  mutable est_rows : float;
+  mutable start_ms : float;
+  mutable dur_ms : float;
+  mutable partitions : int;
+  mutable children : node list; (* reverse execution order while open *)
+}
+
+type t = {
+  t0 : float;
+  root : node;
+  mutable stack : node list; (* innermost open node first; root at bottom *)
+}
+
+let now_ms () = Unix.gettimeofday () *. 1000.
+
+let mk op name detail =
+  {
+    op;
+    name;
+    detail;
+    rows_in = -1;
+    build_rows = -1;
+    rows_out = -1;
+    est_rows = Float.nan;
+    start_ms = 0.;
+    dur_ms = 0.;
+    partitions = 0;
+    children = [];
+  }
+
+let create ?(name = "") () = { t0 = now_ms (); root = mk "query" name ""; stack = [] }
+
+let step p ~op ?(name = "") ?(detail = "") f =
+  match p with
+  | None -> f None
+  | Some p ->
+      let n = mk op name detail in
+      n.start_ms <- now_ms () -. p.t0;
+      let parent = match p.stack with top :: _ -> top | [] -> p.root in
+      parent.children <- n :: parent.children;
+      p.stack <- n :: p.stack;
+      let finish () =
+        n.dur_ms <- now_ms () -. p.t0 -. n.start_ms;
+        match p.stack with top :: rest when top == n -> p.stack <- rest | _ -> ()
+      in
+      Fun.protect ~finally:finish (fun () -> f (Some n))
+
+let set_rows_in n v = match n with None -> () | Some n -> n.rows_in <- v
+let set_build_rows n v = match n with None -> () | Some n -> n.build_rows <- v
+let set_rows_out n v = match n with None -> () | Some n -> n.rows_out <- v
+let set_est_rows n v = match n with None -> () | Some n -> n.est_rows <- v
+let set_partitions n v = match n with None -> () | Some n -> n.partitions <- v
+
+let finish p =
+  p.root.dur_ms <- now_ms () -. p.t0;
+  p.stack <- [];
+  let rec order n =
+    n.children <- List.rev n.children;
+    List.iter order n.children
+  in
+  order p.root;
+  p.root
+
+(* Both sides floored at one tuple: estimating 0.3 rows for an empty
+   result is a perfect guess, not a division by zero. *)
+let qerror ~est ~actual =
+  if Float.is_nan est then Float.nan
+  else
+    let e = Float.max est 1. in
+    let a = Float.max (float_of_int (max actual 0)) 1. in
+    Float.max (e /. a) (a /. e)
+
+let preorder root =
+  let rec go acc n = List.fold_left go (n :: acc) n.children in
+  List.rev (go [] root)
+
+let max_qerror root =
+  List.fold_left
+    (fun acc n ->
+      if Float.is_nan n.est_rows || n.rows_out < 0 then acc
+      else
+        let q = qerror ~est:n.est_rows ~actual:n.rows_out in
+        if Float.is_nan acc then q else Float.max acc q)
+    Float.nan (preorder root)
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+
+let node_fields n =
+  let b = Buffer.create 48 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  if n.rows_in >= 0 then add " in=%d" n.rows_in;
+  if n.build_rows >= 0 then add " build=%d" n.build_rows;
+  if n.rows_out >= 0 then add " out=%d" n.rows_out;
+  if not (Float.is_nan n.est_rows) then begin
+    add " est=%.1f" n.est_rows;
+    if n.rows_out >= 0 then add " q=%.2f" (qerror ~est:n.est_rows ~actual:n.rows_out)
+  end;
+  if n.partitions > 0 then add " parts=%d" n.partitions;
+  Buffer.contents b
+
+let node_label n =
+  let extra = if n.detail <> "" then n.detail else n.name in
+  if extra = "" then n.op else n.op ^ " " ^ extra
+
+let pp_tree ppf root =
+  let line prefix branch n =
+    let left = prefix ^ branch ^ node_label n in
+    let pad = max 1 (42 - String.length left) in
+    Format.fprintf ppf "%s%s %s %10.3f ms@." left (String.make pad ' ')
+      (node_fields n) n.dur_ms
+  in
+  let rec forest prefix nodes =
+    let count = List.length nodes in
+    List.iteri
+      (fun i n ->
+        let last = i = count - 1 in
+        line prefix (if last then "`- " else "|- ") n;
+        forest (prefix ^ if last then "   " else "|  ") n.children)
+      nodes
+  in
+  line "" "" root;
+  forest "" root.children
+
+let chrome_events ?(tid = 0) root =
+  List.map
+    (fun n ->
+      let args =
+        List.filter_map
+          (fun (k, v) -> if v >= 0. then Some (k, v) else None)
+          [
+            ("rows_in", float_of_int n.rows_in);
+            ("build_rows", float_of_int n.build_rows);
+            ("rows_out", float_of_int n.rows_out);
+            ("partitions", if n.partitions > 0 then float_of_int n.partitions else -1.);
+            ("est_rows", if Float.is_nan n.est_rows then -1. else n.est_rows);
+          ]
+      in
+      Trace.chrome_event ~name:(node_label n)
+        ~ts_us:(n.start_ms *. 1000.)
+        ~dur_us:(n.dur_ms *. 1000.)
+        ~tid ~args ())
+    (preorder root)

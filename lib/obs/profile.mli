@@ -1,0 +1,86 @@
+(** Operator-level execution profiles: a tree of per-operator runtime
+    facts (rows in/out, build side size, wall time, partition counts,
+    estimated cardinality) recorded by the execution engine and rendered
+    by [explain analyze].
+
+    The same zero-disabled-cost discipline as {!Trace} applies, enforced
+    structurally rather than by a global flag: every recording entry
+    point takes an [option] — the engine threads [?profile] through its
+    call graph and each instrumentation site is a single pattern match
+    when profiling is off.  A profile belongs to one request on one
+    domain; unlike {!Trace} there is no cross-domain registration,
+    because operators of one execution run sequentially.
+
+    Estimated rows come from a caller-supplied callback (the execution
+    engine knows the operator order, the cost layer knows the
+    statistics); {!qerror} folds an (estimate, actual) pair into the
+    standard q-error [max (est/act, act/est)] with both sides floored at
+    one tuple. *)
+
+type node = {
+  op : string;  (** operator kind: [query], [exec], [select], [semijoin],
+                    [yannakakis], [scan], [join], [cross], [dedup] *)
+  name : string;  (** predicate / relation name, [""] when not applicable *)
+  detail : string;  (** rendered atom or operator arguments *)
+  mutable rows_in : int;  (** probe-side input rows; [-1] = not applicable *)
+  mutable build_rows : int;  (** build-side rows of a hash join; [-1] = n/a *)
+  mutable rows_out : int;  (** output rows; [-1] = not recorded *)
+  mutable est_rows : float;  (** estimated output rows; [nan] = no estimate *)
+  mutable start_ms : float;  (** offset from profile start *)
+  mutable dur_ms : float;
+  mutable partitions : int;  (** grace/radix partition count; [0] = in-memory *)
+  mutable children : node list;
+}
+
+type t
+
+(** [create ~name ()] starts a profile whose root node is a [query]
+    operator called [name]. *)
+val create : ?name:string -> unit -> t
+
+(** [step p ~op ~name ~detail f] — with [Some p], opens a child node
+    under the innermost open node, runs [f (Some node)] timing it into
+    the node, and closes it (also on exceptions).  With [None], runs
+    [f None]: profiling off costs one match. *)
+val step :
+  t option ->
+  op:string ->
+  ?name:string ->
+  ?detail:string ->
+  (node option -> 'a) ->
+  'a
+
+(** Field setters, no-ops on [None] so instrumentation sites stay
+    branch-free when profiling is off. *)
+val set_rows_in : node option -> int -> unit
+
+val set_build_rows : node option -> int -> unit
+val set_rows_out : node option -> int -> unit
+val set_est_rows : node option -> float -> unit
+val set_partitions : node option -> int -> unit
+
+(** [finish p] closes the root (recording total duration) and returns
+    the tree with children in execution order. *)
+val finish : t -> node
+
+(** [qerror ~est ~actual] — the q-error [max (est/act, act/est)] with
+    both sides floored at 1.0 (an empty operator estimated empty is
+    perfect, not undefined).  [nan] when [est] is [nan]. *)
+val qerror : est:float -> actual:int -> float
+
+(** Largest q-error over every node of the tree carrying an estimate;
+    [nan] when no node has one. *)
+val max_qerror : node -> float
+
+(** Nodes of the tree in preorder. *)
+val preorder : node -> node list
+
+(** Render the tree, one operator per line: rows in/out, build rows,
+    estimated rows with per-operator q-error, duration, partition
+    count. *)
+val pp_tree : Format.formatter -> node -> unit
+
+(** Chrome trace-event objects (["ph":"X"] complete events, microsecond
+    timestamps) for every node of the tree, for embedding in a
+    [trace.json] — see {!Trace.chrome_json}. *)
+val chrome_events : ?tid:int -> node -> string list

@@ -19,10 +19,12 @@
     clock), with durations of sibling spans measured against the same
     clock — a clock step during a trace can skew spans, never crash.
 
-    Only one session exists at a time: a {!run} nested inside another
-    contributes its spans to the outer session and returns an empty
-    list.  Concurrent requests traced under one session interleave into
-    the same span list. *)
+    Two session kinds exist.  A *global* session ({!run}) captures spans
+    from every domain; at most one is active at a time, and a {!run}
+    nested inside any session contributes its spans there and returns an
+    empty list.  A *scoped* session ({!run_scoped}) is bound to the
+    calling domain, so concurrent server workers can each trace their own
+    request without interleaving; any number may run at once. *)
 
 type span = {
   id : int;
@@ -63,6 +65,15 @@ val with_context : ctx option -> (unit -> 'a) -> 'a
     lost; the session always ends. *)
 val run : (unit -> 'a) -> 'a * span list
 
+(** [run_scoped f] collects a trace of [f] in a session visible only to
+    the calling domain (plus workers it spawns through
+    {!context}/{!with_context} forwarding).  Concurrent scoped sessions
+    on different domains do not see each other's spans.  Inside a global
+    session — or another scoped session on this domain — it behaves like
+    a nested {!run}: [f]'s spans go to the enclosing session and the
+    returned list is empty. *)
+val run_scoped : (unit -> 'a) -> 'a * span list
+
 (** Sum of the durations of top-level spans — the traced portion of the
     request, to compare against its measured latency. *)
 val top_level_total : span list -> float
@@ -70,3 +81,25 @@ val top_level_total : span list -> float
 (** Render the spans as an ASCII tree (one line per span: name,
     duration, annotations), children indented under their parents. *)
 val pp_tree : Format.formatter -> span list -> unit
+
+(** Escape a string for embedding in a JSON string literal. *)
+val json_escape : string -> string
+
+(** One Chrome trace-event object (JSON text, ["ph":"X"] complete event,
+    microsecond timestamps).  Non-finite [args] values are clamped to
+    keep the output valid JSON. *)
+val chrome_event :
+  name:string ->
+  ts_us:float ->
+  dur_us:float ->
+  ?tid:int ->
+  ?args:(string * float) list ->
+  unit ->
+  string
+
+(** [chrome_json spans] serializes the spans as a Chrome [trace.json]
+    document ([{"traceEvents": [...]}]), loadable in chrome://tracing or
+    Perfetto; span annotations become event [args] and the recording
+    domain becomes the [tid].  [extra] appends pre-rendered events
+    (e.g. {!Profile.chrome_events}). *)
+val chrome_json : ?extra:string list -> span list -> string

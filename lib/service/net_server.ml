@@ -287,6 +287,7 @@ let rec try_dispatch t conn =
             (* full queue: shed with a fast error instead of queueing
                unbounded latency *)
             Metrics.incr requests_shed_total;
+            Vplan_obs.Recorder.append ~kind:"shed" ~truncated:"busy" ();
             direct_send t conn (frame "err busy");
             if not conn.close_after then try_dispatch t conn
             else close_conn t conn

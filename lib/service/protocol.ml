@@ -9,6 +9,8 @@ module Database = Vplan_relational.Database
 module Subplan = Vplan_cost.Subplan
 module Metrics = Vplan_obs.Metrics
 module Trace = Vplan_obs.Trace
+module Profile = Vplan_obs.Profile
+module Recorder = Vplan_obs.Recorder
 module Hypergraph = Vplan_hypergraph.Hypergraph
 module Store = Vplan_store.Store
 module Record = Vplan_store.Record
@@ -94,11 +96,30 @@ let install_catalog shared cat =
 
 let next_trace_id shared = Atomic.fetch_and_add shared.next_trace 1 + 1
 
+let is_slow (sess : session) ~ms =
+  match sess.slow_ms with Some threshold -> ms >= threshold | None -> false
+
+(* One whole line through the shared sink: per-domain [Format.eprintf]
+   tears mid-line when worker domains log concurrently. *)
 let slow_log (sess : session) ~trace ~ms detail =
-  match sess.slow_ms with
-  | Some threshold when ms >= threshold ->
-      Format.eprintf "slow trace=%d ms=%.3f %s@." trace ms detail
-  | _ -> ()
+  if is_slow sess ~ms then
+    Recorder.log_line (Printf.sprintf "slow trace=%d ms=%.3f %s" trace ms detail)
+
+(* Requests are traced per worker domain ([Trace.run_scoped]) only while
+   a slow-query threshold is armed: a request that crosses it retains
+   its whole span tree in the flight recorder instead of one log
+   line. *)
+let traced_if_armed (sess : session) f =
+  if sess.slow_ms <> None then Trace.run_scoped f else (f (), [])
+
+let classification_of (query : Query.t) =
+  match Hypergraph.classify query.Query.body with
+  | Hypergraph.Acyclic _ -> "acyclic"
+  | Hypergraph.Cyclic -> "cyclic"
+
+let mode_string = function
+  | Service.Exact -> "exact"
+  | Service.Estimated -> "estimated"
 
 let err ppf fmt =
   Format.kasprintf (fun s -> Format.fprintf ppf "err %s@." s) fmt
@@ -107,8 +128,9 @@ let help ppf =
   Format.fprintf ppf
     "commands: catalog load FILE | catalog add <rule>. | catalog remove NAME\n\
     \          rewrite <rule>. | batch N | data load FILE | plan <rule>.\n\
-    \          explain <rule>. | stats [--json] | metrics\n\
-    \          save | health\n\
+    \          explain [analyze] <rule>. | stats [--json] | metrics\n\
+    \          recorder dump [--json] | recorder grep SUBSTRING\n\
+    \          trace dump ID | save | health\n\
     \          set timeout MS | set max-steps N | set max-covers N\n\
     \          set slow-ms MS | set cost-mode exact|estimated | set off\n\
     \          help | quit@."
@@ -235,7 +257,8 @@ let cmd_catalog shared ppf rest =
   | _ ->
       err ppf "usage: catalog load FILE | catalog add <rule>. | catalog remove NAME"
 
-let print_outcome (sess : session) ppf (o : Service.outcome) =
+let print_outcome ?(spans = []) (sess : session) ppf query
+    (o : Service.outcome) =
   let source =
     match o.Service.source with
     | Service.Hit -> "hit"
@@ -247,6 +270,20 @@ let print_outcome (sess : session) ppf (o : Service.outcome) =
     (List.length o.Service.rewritings)
     source trace;
   slow_log sess ~trace ~ms:o.Service.ms (Printf.sprintf "source=%s" source);
+  let slow = is_slow sess ~ms:o.Service.ms in
+  let truncated =
+    match o.Service.completeness with
+    | Vplan_rewrite.Corecover.Complete -> ""
+    | Vplan_rewrite.Corecover.Truncated reason -> Vplan_error.to_string reason
+  in
+  Recorder.append ~kind:"rewrite" ~trace ~latency_ms:o.Service.ms ~source
+    ~mode:(mode_string sess.cost_mode)
+    ~classification:(classification_of query)
+    ~answers:(List.length o.Service.rewritings)
+    ~truncated ~slow
+    ~detail:(Atom.to_string query.Query.head)
+    ~spans:(if slow then spans else [])
+    ();
   List.iter (fun p -> Format.fprintf ppf "%a@." Query.pp p) o.Service.rewritings;
   match o.Service.completeness with
   | Vplan_rewrite.Corecover.Complete -> ()
@@ -259,9 +296,12 @@ let cmd_rewrite (sess : session) ppf rest =
       match Parser.parse_rule rest with
       | Error e -> err ppf "%s" (Vplan_error.parse_to_string e)
       | Ok query ->
-          print_outcome sess ppf
-            (Service.rewrite ?budget:(fresh_budget sess)
-               ?max_covers:sess.max_covers ~domains:shared.domains s query))
+          let outcome, spans =
+            traced_if_armed sess (fun () ->
+                Service.rewrite ?budget:(fresh_budget sess)
+                  ?max_covers:sess.max_covers ~domains:shared.domains s query)
+          in
+          print_outcome ~spans sess ppf query outcome)
 
 let cmd_batch (sess : session) ppf ~read_line rest =
   let shared = sess.shared in
@@ -286,7 +326,9 @@ let cmd_batch (sess : session) ppf ~read_line rest =
           else
             (* the whole batch fans out over the domain pool; answers
                come back in request order *)
-            List.iter (print_outcome sess ppf)
+            List.iter2
+              (print_outcome sess ppf)
+              queries
               (Service.rewrite_batch
                  ~make_budget:(fun () -> fresh_budget sess)
                  ?max_covers:sess.max_covers ~domains:shared.domains s queries))
@@ -329,11 +371,13 @@ let cmd_plan (sess : session) ppf rest =
       match Parser.parse_rule rest with
       | Error e -> err ppf "%s" (Vplan_error.parse_to_string e)
       | Ok query -> (
-          match
-            Service.plan ?budget:(fresh_budget sess)
-              ?max_covers:sess.max_covers ~domains:shared.domains
-              ~cost_mode:sess.cost_mode s query
-          with
+          let outcome, spans =
+            traced_if_armed sess (fun () ->
+                Service.plan ?budget:(fresh_budget sess)
+                  ?max_covers:sess.max_covers ~domains:shared.domains
+                  ~cost_mode:sess.cost_mode s query)
+          in
+          match outcome with
           | None -> Format.fprintf ppf "ok plan none trace=%d@." (next_trace_id shared)
           | Some o ->
               let trace = next_trace_id shared in
@@ -346,12 +390,31 @@ let cmd_plan (sess : session) ppf rest =
                     "ok plan mode=estimated cost_est=%.1f candidates=%d trace=%d@."
                     c o.Service.plan_candidates trace);
               slow_log sess ~trace ~ms:o.Service.plan_ms "source=plan";
+              let slow = is_slow sess ~ms:o.Service.plan_ms in
+              Recorder.append ~kind:"plan" ~trace ~latency_ms:o.Service.plan_ms
+                ~mode:(mode_string sess.cost_mode)
+                ~classification:(classification_of query)
+                ~slow
+                ~detail:(Atom.to_string query.Query.head)
+                ~spans:(if slow then spans else [])
+                ();
               Format.fprintf ppf "%a@." Query.pp o.Service.plan_rewriting;
               Format.fprintf ppf "order: %a@."
                 (Format.pp_print_list
                    ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
                    Atom.pp)
                 o.Service.plan_order))
+
+let accuracy_json accs =
+  "{"
+  ^ String.concat ","
+      (List.map
+         (fun (name, (a : Service.rel_accuracy)) ->
+           Printf.sprintf "\"%s\":{\"n\":%d,\"mean_q\":%.2f,\"max_q\":%.2f}"
+             (Trace.json_escape name) a.Service.acc_samples a.Service.acc_mean_q
+             a.Service.acc_max_q)
+         accs)
+  ^ "}"
 
 let cmd_stats shared ppf rest =
   with_service shared ppf (fun s ->
@@ -364,21 +427,25 @@ let cmd_stats shared ppf rest =
             "{\"generation\":%d,\"views\":%d,\"classes\":%d,\"requests\":%d,\
              \"hits\":%d,\"misses\":%d,\"bypasses\":%d,\"evictions\":%d,\
              \"cache_size\":%d,\"cache_capacity\":%d,\"truncated\":%d,\
-             \"plan_requests\":%d,\"generation_resets\":%d,\
+             \"plan_requests\":%d,\"analyze_requests\":%d,\
+             \"generation_resets\":%d,\
              \"data_relations\":%d,\"data_rows\":%d,\
              \"acyclic_queries\":%d,\"containment_fastpath\":%d,\
              \"containment_fallback\":%d,\
+             \"estimate_accuracy\":%s,\
              \"latency\":{\"count\":%d,\"mean_ms\":%.3f,\"p50_ms\":%.3f,\
              \"p95_ms\":%.3f,\"max_ms\":%.3f}}@."
             st.Service.generation st.Service.num_views st.Service.num_view_classes
             st.Service.requests st.Service.hits st.Service.misses
             st.Service.bypasses st.Service.evictions st.Service.cache_size
             st.Service.cache_capacity st.Service.truncated
-            st.Service.plan_requests st.Service.generation_resets
+            st.Service.plan_requests st.Service.analyze_requests
+            st.Service.generation_resets
             st.Service.data_relations st.Service.data_rows
             (Metrics.value (Metrics.counter "vplan_acyclic_queries_total"))
             (Metrics.value (Metrics.counter "vplan_containment_fastpath_total"))
             (Metrics.value (Metrics.counter "vplan_containment_fallback_total"))
+            (accuracy_json st.Service.estimate_accuracy)
             l.Service.count l.Service.mean_ms l.Service.p50_ms l.Service.p95_ms
             l.Service.max_ms
       | "" ->
@@ -389,9 +456,11 @@ let cmd_stats shared ppf rest =
             st.Service.bypasses;
           Format.fprintf ppf "cache size=%d capacity=%d evictions=%d@."
             st.Service.cache_size st.Service.cache_capacity st.Service.evictions;
-          Format.fprintf ppf "truncated=%d plan-requests=%d generation-resets=%d@."
+          Format.fprintf ppf
+            "truncated=%d plan-requests=%d analyze-requests=%d \
+             generation-resets=%d@."
             st.Service.truncated st.Service.plan_requests
-            st.Service.generation_resets;
+            st.Service.analyze_requests st.Service.generation_resets;
           if Service.base s <> None then
             Format.fprintf ppf "data relations=%d rows=%d@."
               st.Service.data_relations st.Service.data_rows;
@@ -401,6 +470,12 @@ let cmd_stats shared ppf rest =
             (Metrics.value (Metrics.counter "vplan_acyclic_queries_total"))
             (Metrics.value (Metrics.counter "vplan_containment_fastpath_total"))
             (Metrics.value (Metrics.counter "vplan_containment_fallback_total"));
+          List.iter
+            (fun (name, (a : Service.rel_accuracy)) ->
+              Format.fprintf ppf "estimates %s n=%d mean_q=%.2f max_q=%.2f@."
+                name a.Service.acc_samples a.Service.acc_mean_q
+                a.Service.acc_max_q)
+            st.Service.estimate_accuracy;
           Format.fprintf ppf
             "latency count=%d mean=%.3fms p50=%.3fms p95=%.3fms max=%.3fms@."
             l.Service.count l.Service.mean_ms l.Service.p50_ms l.Service.p95_ms
@@ -423,6 +498,64 @@ let cmd_metrics shared ppf =
           Metrics.set (Metrics.gauge "vplan_subplan_memo_resets") c.Subplan.resets);
       Metrics.dump ppf;
       Format.pp_print_flush ppf ())
+
+(* `explain analyze`: plan, then execute the chosen plan with the
+   operator profile attached.  The profile is retained in the flight
+   recorder whether or not the request was slow — analyze is explicitly
+   diagnostic, so `trace dump <id>` always has something to show. *)
+let cmd_analyze (sess : session) ppf rest =
+  let shared = sess.shared in
+  with_service shared ppf (fun s ->
+      match Parser.parse_rule rest with
+      | Error e -> err ppf "%s" (Vplan_error.parse_to_string e)
+      | Ok query -> (
+          let outcome, spans =
+            traced_if_armed sess (fun () ->
+                Service.analyze ?budget:(fresh_budget sess)
+                  ?max_covers:sess.max_covers ~domains:shared.domains
+                  ~cost_mode:sess.cost_mode s query)
+          in
+          match outcome with
+          | None ->
+              Format.fprintf ppf "ok analyze none trace=%d@."
+                (next_trace_id shared)
+          | Some o ->
+              let trace = next_trace_id shared in
+              let q =
+                if Float.is_nan o.Service.an_qerror then "-"
+                else Printf.sprintf "%.2f" o.Service.an_qerror
+              in
+              (match o.Service.an_cost with
+              | Service.Cells c ->
+                  Format.fprintf ppf
+                    "ok analyze cost=%d candidates=%d answers=%d qerror=%s \
+                     class=%s trace=%d@."
+                    c o.Service.an_candidates o.Service.an_answers q
+                    o.Service.an_classification trace
+              | Service.Cells_est c ->
+                  Format.fprintf ppf
+                    "ok analyze mode=estimated cost_est=%.1f candidates=%d \
+                     answers=%d qerror=%s class=%s trace=%d@."
+                    c o.Service.an_candidates o.Service.an_answers q
+                    o.Service.an_classification trace);
+              slow_log sess ~trace ~ms:o.Service.an_ms "source=analyze";
+              let slow = is_slow sess ~ms:o.Service.an_ms in
+              Recorder.append ~kind:"analyze" ~trace
+                ~latency_ms:o.Service.an_ms
+                ~mode:(mode_string sess.cost_mode)
+                ~classification:o.Service.an_classification
+                ~qerror:o.Service.an_qerror ~answers:o.Service.an_answers ~slow
+                ~detail:(Atom.to_string query.Query.head)
+                ~spans:(if slow then spans else [])
+                ~profile:o.Service.an_profile ();
+              Format.fprintf ppf "%a@." Query.pp o.Service.an_rewriting;
+              Format.fprintf ppf "order: %a@."
+                (Format.pp_print_list
+                   ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+                   Atom.pp)
+                o.Service.an_order;
+              Format.fprintf ppf "profile:@.%a" Profile.pp_tree
+                o.Service.an_profile))
 
 let cmd_explain (sess : session) ppf rest =
   let shared = sess.shared in
@@ -467,6 +600,64 @@ let cmd_explain (sess : session) ppf rest =
               if t.Hypergraph.root >= 0 then
                 Format.fprintf ppf "join tree:@.%a@." Hypergraph.pp_tree t);
           Format.fprintf ppf "%a" Trace.pp_tree spans)
+
+let contains_sub s sub =
+  let n = String.length s and m = String.length sub in
+  if m = 0 then true
+  else begin
+    let found = ref false in
+    let i = ref 0 in
+    while (not !found) && !i + m <= n do
+      if String.sub s !i m = sub then found := true else incr i
+    done;
+    !found
+  end
+
+(* the recorder is process-global, so these answer even before a
+   catalog loads — a recorder dump must work on a wedged server *)
+let cmd_recorder ppf rest =
+  let sub, arg = split_command rest in
+  match (sub, arg) with
+  | "dump", "" ->
+      let records = Recorder.dump () in
+      Format.fprintf ppf "ok recorder records=%d capacity=%d@."
+        (List.length records) Recorder.capacity;
+      List.iter (fun r -> Format.fprintf ppf "%s@." (Recorder.render r)) records
+  | "dump", "--json" ->
+      let records = Recorder.dump () in
+      Format.fprintf ppf "[%s]@."
+        (String.concat "," (List.map Recorder.to_json records))
+  | "grep", needle when needle <> "" ->
+      let hits =
+        List.filter
+          (fun r -> contains_sub (Recorder.render r) needle)
+          (Recorder.dump ())
+      in
+      Format.fprintf ppf "ok recorder matched=%d@." (List.length hits);
+      List.iter (fun r -> Format.fprintf ppf "%s@." (Recorder.render r)) hits
+  | _ -> err ppf "usage: recorder dump [--json] | recorder grep SUBSTRING"
+
+let cmd_trace ppf rest =
+  let sub, arg = split_command rest in
+  match (sub, int_of_string_opt arg) with
+  | "dump", Some id -> (
+      match Recorder.find_trace id with
+      | None -> err ppf "no recorded request with trace=%d" id
+      | Some r ->
+          let extra =
+            match r.Recorder.profile with
+            | None -> []
+            | Some p -> Profile.chrome_events p
+          in
+          if r.Recorder.spans = [] && extra = [] then
+            err ppf
+              "trace %d retained no spans or profile (spans are kept for \
+               slow requests — set slow-ms — and profiles for explain \
+               analyze)"
+              id
+          else
+            Format.fprintf ppf "%s@." (Trace.chrome_json ~extra r.Recorder.spans))
+  | _ -> err ppf "usage: trace dump ID"
 
 let cmd_save shared ppf =
   match shared.store with
@@ -586,7 +777,13 @@ let dispatch (sess : session) ppf ~read_line line =
     | "batch" -> cmd_batch sess ppf ~read_line rest; true
     | "data" -> cmd_data sess ppf rest; true
     | "plan" -> cmd_plan sess ppf rest; true
-    | "explain" -> cmd_explain sess ppf rest; true
+    | "explain" ->
+        let sub, arg = split_command rest in
+        if sub = "analyze" && arg <> "" then cmd_analyze sess ppf arg
+        else cmd_explain sess ppf rest;
+        true
+    | "recorder" -> cmd_recorder ppf rest; true
+    | "trace" -> cmd_trace ppf rest; true
     | "stats" -> cmd_stats shared ppf rest; true
     | "metrics" -> cmd_metrics shared ppf; true
     | "save" -> cmd_save shared ppf; true

@@ -9,15 +9,27 @@ module Subplan = Vplan_cost.Subplan
 module Select = Vplan_cost.Select
 module Estimate = Vplan_cost.Estimate
 module Stats = Vplan_stats.Stats
+module Qerror = Vplan_stats.Qerror
 module Metrics = Vplan_obs.Metrics
 module Obs = Vplan_obs.Obs
+module Profile = Vplan_obs.Profile
+module Exec = Vplan_exec.Exec
+module Interned = Vplan_exec.Interned
+module Hypergraph = Vplan_hypergraph.Hypergraph
 
 let requests_total = Metrics.counter "vplan_rewrite_requests_total"
 let bypasses_total = Metrics.counter "vplan_rewrite_bypasses_total"
 let truncated_total = Metrics.counter "vplan_rewrite_truncated_total"
 let plan_requests_total = Metrics.counter "vplan_plan_requests_total"
+let analyze_requests_total = Metrics.counter "vplan_analyze_requests_total"
 let generation_resets_total = Metrics.counter "vplan_generation_resets_total"
 let request_ms = Metrics.histogram "vplan_request_ms"
+
+let estimate_qerror_h =
+  Metrics.histogram
+    ~help:"per-query q-error of analyze requests (max est/actual row ratio \
+           over the operator tree, dimensionless)"
+    "vplan_estimate_qerror"
 
 type source = Hit | Miss | Bypass
 
@@ -38,6 +50,12 @@ type latency = {
   max_ms : float;
 }
 
+type rel_accuracy = {
+  acc_samples : int;
+  acc_mean_q : float;
+  acc_max_q : float;
+}
+
 type stats = {
   generation : int;
   num_views : int;
@@ -51,10 +69,12 @@ type stats = {
   cache_capacity : int;
   truncated : int;
   plan_requests : int;
+  analyze_requests : int;
   generation_resets : int;
   data_relations : int;
   data_rows : int;
   latency : latency;
+  estimate_accuracy : (string * rel_accuracy) list;
 }
 
 type cost_mode = Exact | Estimated
@@ -110,7 +130,9 @@ type t = {
   mutable pctx : plan_ctx option;
   mutable ectx : est_ctx option;
   mutable plan_requests : int;
+  mutable analyze_requests : int;
   mutable generation_resets : int;
+  qerrors : Qerror.by_rel; (* per-relation estimate accuracy, under [lock] *)
   lat_ring : float array;
   mutable lat_next : int;  (* total latencies ever recorded *)
   mutable lat_sum : float;
@@ -130,7 +152,9 @@ let create ?(cache_capacity = 512) cat =
     pctx = None;
     ectx = None;
     plan_requests = 0;
+    analyze_requests = 0;
     generation_resets = 0;
+    qerrors = Qerror.create_registry ();
     lat_ring = Array.make lat_window 0.;
     lat_next = 0;
     lat_sum = 0.;
@@ -321,42 +345,51 @@ let est_ctx t cat stats =
               t.ectx <- Some fresh;
               est)
 
+(* Candidate enumeration and cost-based choice, shared by [plan] and
+   [analyze].  Returns the CoreCover result alongside the chosen
+   (rewriting, join order, cost), if any rewriting exists. *)
+let plan_choice ?budget ?max_covers ~domains ~cost_mode t cat db stats query =
+  let r =
+    Corecover.all_minimal ?budget ?max_results:max_covers
+      ~view_classes:(Catalog.view_classes cat)
+      ~domains ~query ~views:(Catalog.views cat) ()
+  in
+  let choice =
+    match cost_mode with
+    | Exact ->
+        let ctx = plan_ctx t cat db in
+        Option.map
+          (fun (c : Select.m2_choice) ->
+            (c.Select.m2_rewriting, c.Select.m2_order, Cells c.Select.m2_cost))
+          (Select.best_m2 ~memo:ctx.p_memo ?budget ~domains
+             ~filters:r.Corecover.filters ctx.p_view_db
+             r.Corecover.rewritings)
+    | Estimated ->
+        (* statistics always exist once a base is loaded ([set_base]
+           collects them when the caller has none) *)
+        let stats =
+          match stats with
+          | Some s -> s
+          | None -> assert false
+        in
+        let est = est_ctx t cat stats in
+        Option.map
+          (fun (c : Select.m2_est_choice) ->
+            ( c.Select.est_rewriting,
+              c.Select.est_order,
+              Cells_est c.Select.est_cost ))
+          (Select.best_m2_estimated ?budget est r.Corecover.rewritings)
+  in
+  (r, choice)
+
 let plan ?budget ?max_covers ?(domains = 1) ?(cost_mode = Exact) t query =
   let clock = Budget.create () in
   let cat, db, stats = locked t (fun () -> (t.cat, t.base, t.bstats)) in
   match db with
   | None -> failwith "no base database loaded (use: data load FILE)"
   | Some db ->
-      let r =
-        Corecover.all_minimal ?budget ?max_results:max_covers
-          ~view_classes:(Catalog.view_classes cat)
-          ~domains ~query ~views:(Catalog.views cat) ()
-      in
-      let choice =
-        match cost_mode with
-        | Exact ->
-            let ctx = plan_ctx t cat db in
-            Option.map
-              (fun (c : Select.m2_choice) ->
-                (c.Select.m2_rewriting, c.Select.m2_order, Cells c.Select.m2_cost))
-              (Select.best_m2 ~memo:ctx.p_memo ?budget ~domains
-                 ~filters:r.Corecover.filters ctx.p_view_db
-                 r.Corecover.rewritings)
-        | Estimated ->
-            (* statistics always exist once a base is loaded ([set_base]
-               collects them when the caller has none) *)
-            let stats =
-              match stats with
-              | Some s -> s
-              | None -> assert false
-            in
-            let est = est_ctx t cat stats in
-            Option.map
-              (fun (c : Select.m2_est_choice) ->
-                ( c.Select.est_rewriting,
-                  c.Select.est_order,
-                  Cells_est c.Select.est_cost ))
-              (Select.best_m2_estimated ?budget est r.Corecover.rewritings)
+      let r, choice =
+        plan_choice ?budget ?max_covers ~domains ~cost_mode t cat db stats query
       in
       let ms = Budget.elapsed_ms clock in
       Metrics.incr plan_requests_total;
@@ -372,6 +405,101 @@ let plan ?budget ?max_covers ?(domains = 1) ?(cost_mode = Exact) t query =
             plan_ms = ms;
           })
         choice
+
+type analyze_outcome = {
+  an_rewriting : Query.t;
+  an_order : Atom.t list;
+  an_cost : plan_cost;
+  an_candidates : int;
+  an_answers : int;
+  an_classification : string;
+  an_qerror : float;
+  an_profile : Profile.node;
+  an_ms : float;
+}
+
+let analyze ?budget ?max_covers ?(domains = 1) ?(cost_mode = Exact) t query =
+  let clock = Budget.create () in
+  let cat, db, stats = locked t (fun () -> (t.cat, t.base, t.bstats)) in
+  match db with
+  | None -> failwith "no base database loaded (use: data load FILE)"
+  | Some db -> (
+      let r, choice =
+        plan_choice ?budget ?max_covers ~domains ~cost_mode t cat db stats query
+      in
+      match choice with
+      | None -> None
+      | Some (rw, order, cost) ->
+          let ctx = plan_ctx t cat db in
+          let stats = match stats with Some s -> s | None -> assert false in
+          let est = est_ctx t cat stats in
+          (* the estimate callback the engine consults per operator:
+             single atoms estimate their selection, longer prefixes fold
+             join profiles in executed order (the fold is not
+             associative, so the order matters and the engine supplies
+             the one it actually ran) *)
+          let estimate atoms =
+            match atoms with
+            | [] -> Float.nan
+            | [ a ] -> Estimate.atom_cardinality est a
+            | a :: rest ->
+                Estimate.profile_card
+                  (List.fold_left
+                     (fun p b -> Estimate.join_profiles p (Estimate.atom_profile est b))
+                     (Estimate.atom_profile est a)
+                     rest)
+          in
+          (* interned per request rather than cached on the plan context:
+             analyze is a diagnosis surface, and forcing a shared lazy
+             cell from concurrent worker domains is exactly the kind of
+             subtlety it exists to debug, not to have *)
+          let interned =
+            Obs.phase "intern" (fun () -> Interned.of_database ctx.p_view_db)
+          in
+          let ordered = Query.make_exn rw.Query.head order in
+          let profile = Profile.create ~name:(Query.to_string rw) () in
+          let answers =
+            Obs.phase "analyze_exec" (fun () ->
+                Exec.answers ?budget ~profile ~estimate interned ordered)
+          in
+          let root = Profile.finish profile in
+          let qerror = Profile.max_qerror root in
+          let classification =
+            match Hypergraph.classify ordered.Query.body with
+            | Hypergraph.Acyclic _ -> "acyclic"
+            | Hypergraph.Cyclic -> "cyclic"
+          in
+          if not (Float.is_nan qerror) then
+            Metrics.observe estimate_qerror_h qerror;
+          let ms = Budget.elapsed_ms clock in
+          Metrics.incr analyze_requests_total;
+          Metrics.observe request_ms ms;
+          locked t (fun () ->
+              t.analyze_requests <- t.analyze_requests + 1;
+              (* per-relation accuracy: selection estimates attribute
+                 directly to the scanned relation *)
+              List.iter
+                (fun (n : Profile.node) ->
+                  if n.Profile.op = "select" && n.Profile.rows_out >= 0 then
+                    let q =
+                      Profile.qerror ~est:n.Profile.est_rows
+                        ~actual:n.Profile.rows_out
+                    in
+                    if not (Float.is_nan q) then
+                      Qerror.observe_rel t.qerrors n.Profile.name q)
+                (Profile.preorder root));
+          Some
+            {
+              an_rewriting = rw;
+              an_order = order;
+              an_cost = cost;
+              an_candidates = List.length r.Corecover.rewritings;
+              an_answers = Vplan_relational.Relation.cardinality answers;
+              an_classification = classification;
+              an_qerror = qerror;
+              an_profile = root;
+              an_ms = ms;
+            })
 
 let percentile sorted p =
   match Array.length sorted with
@@ -406,12 +534,23 @@ let stats t =
         cache_capacity = c.Rewrite_cache.capacity;
         truncated = t.truncated;
         plan_requests = t.plan_requests;
+        analyze_requests = t.analyze_requests;
         generation_resets = t.generation_resets;
         data_relations =
           (match t.bstats with None -> 0 | Some s -> Stats.num_relations s);
         data_rows =
           (match t.bstats with None -> 0 | Some s -> Stats.total_rows s);
         latency;
+        estimate_accuracy =
+          List.map
+            (fun (name, a) ->
+              ( name,
+                {
+                  acc_samples = Qerror.count a;
+                  acc_mean_q = Qerror.mean_q a;
+                  acc_max_q = Qerror.max_q a;
+                } ))
+            (Qerror.bindings t.qerrors);
       })
 
 let subplan_counters t =

@@ -55,6 +55,15 @@ type latency = {
   max_ms : float;
 }
 
+(** Running estimate accuracy for one relation, from the selection
+    operators of {!analyze} runs: how many q-error samples, their
+    geometric mean, and the worst. *)
+type rel_accuracy = {
+  acc_samples : int;
+  acc_mean_q : float;
+  acc_max_q : float;
+}
+
 type stats = {
   generation : int;
   num_views : int;
@@ -68,6 +77,7 @@ type stats = {
   cache_capacity : int;
   truncated : int;  (** requests that returned a [Truncated] result *)
   plan_requests : int;  (** end-to-end {!plan} requests served *)
+  analyze_requests : int;  (** {!analyze} requests served *)
   generation_resets : int;
       (** catalog swaps ({!set_catalog}) over the service's lifetime.  A
           swapped-in catalog restarts its generation sequence, so
@@ -76,6 +86,9 @@ type stats = {
   data_relations : int;  (** base relations, from load-time statistics *)
   data_rows : int;  (** base tuples, from load-time statistics *)
   latency : latency;  (** over the most recent requests (bounded window) *)
+  estimate_accuracy : (string * rel_accuracy) list;
+      (** per-relation accuracy accumulated by {!analyze}, sorted by
+          relation name; empty until the first analyze *)
 }
 
 (** How {!plan} costs candidate rewritings: [Exact] materializes the
@@ -175,6 +188,40 @@ val plan :
   t ->
   Query.t ->
   plan_outcome option
+
+(** Result of an {!analyze} request: the chosen plan, executed. *)
+type analyze_outcome = {
+  an_rewriting : Query.t;  (** chosen rewriting, as in {!plan_outcome} *)
+  an_order : Atom.t list;  (** join order the engine was given *)
+  an_cost : plan_cost;  (** the optimizer's predicted cost *)
+  an_candidates : int;
+  an_answers : int;  (** distinct answer tuples actually produced *)
+  an_classification : string;  (** GYO class of the executed body *)
+  an_qerror : float;
+      (** per-query q-error: the worst estimated-vs-actual row ratio
+          over the operator tree; [nan] when no operator had an
+          estimate *)
+  an_profile : Vplan_obs.Profile.node;  (** the operator tree *)
+  an_ms : float;
+}
+
+(** [analyze t query] — {!plan}, then {e execute} the chosen plan
+    against the materialized views with an operator profile attached
+    and per-operator cardinality estimates from the load-time
+    statistics: the [explain analyze] backend.  The per-query q-error
+    feeds the [vplan_estimate_qerror] histogram and each selection's
+    q-error feeds the per-relation accuracy in {!stats} — the feedback
+    loop that shows when statistics have drifted.  [None] when the
+    query has no rewriting.
+    @raise Failure when no base database has been loaded. *)
+val analyze :
+  ?budget:Vplan_core.Budget.t ->
+  ?max_covers:int ->
+  ?domains:int ->
+  ?cost_mode:cost_mode ->
+  t ->
+  Query.t ->
+  analyze_outcome option
 
 val stats : t -> stats
 

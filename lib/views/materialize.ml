@@ -1,13 +1,15 @@
 open Vplan_relational
 
-let views base vs =
+let views ?profile ?estimate base vs =
   (* one interned columnar image of the base: every view evaluation
      shares the constant dictionary and runs through the hash-join
      engine (build/probe on the shared variables) *)
   let interned = Vplan_exec.Interned.of_database base in
   List.fold_left
     (fun db view ->
-      Database.add_relation (View.name view) (Vplan_exec.Exec.answers interned view) db)
+      Database.add_relation (View.name view)
+        (Vplan_exec.Exec.answers ?profile ?estimate interned view)
+        db)
     Database.empty vs
 
 let answers_via_rewriting view_db p = Eval.answers view_db p

@@ -6,8 +6,16 @@
 open Vplan_cq
 open Vplan_relational
 
-(** [views base vs] evaluates every view definition on [base]. *)
-val views : Database.t -> View.t list -> Database.t
+(** [views base vs] evaluates every view definition on [base].
+    [profile]/[estimate] are forwarded to {!Vplan_exec.Exec.answers}:
+    with a profile attached, each view's evaluation appears as its own
+    [exec] subtree. *)
+val views :
+  ?profile:Vplan_obs.Profile.t ->
+  ?estimate:(Atom.t list -> float) ->
+  Database.t ->
+  View.t list ->
+  Database.t
 
 (** [answers_via_rewriting view_db p] evaluates a rewriting [p] over the
     materialized view database. *)

@@ -54,3 +54,56 @@ Cyclic bodies are reported as such, with no join tree.
   $ vplan_cli explain triangle.dlog | head -2
   explain rewritings=0
   classification: cyclic
+
+With --analyze the chosen plan is also executed against the
+materialized views with an operator profile attached: each operator
+reports rows in/out, estimated rows with its q-error, and the summary
+line carries the per-query q-error (the worst ratio over the tree).
+--trace-out writes the spans plus the operator events as a Chrome
+trace.json.  Wall-clock numbers are normalized.
+
+  $ vplan_cli explain carloc.dlog --data carloc_data.dlog --analyze --trace-out trace.json | sed -E 's/[0-9]+\.[0-9]+ ms/X ms/g'
+  explain analyze cost=25 candidates=2 answers=3 qerror=2.00
+  classification: acyclic
+  join tree:
+  part(S,M,C)
+    car(M,anderson)
+    loc(anderson,C)
+  request X ms, traced X ms in 16 spans
+  |- corecover               X ms
+  |  |- minimize                X ms
+  |  |- view_classes            X ms  [classes=3]
+  |  |- canonical_db            X ms
+  |  |- view_tuples             X ms  [views=3 tuples=3]
+  |  |- tuple_cores             X ms  [tuples=3 classes=3]
+  |  `- set_cover               X ms  [nodes=5 covers=2]
+  |- materialize             X ms
+  |  |- hash_join               X ms
+  |  |- hash_join               X ms
+  |  `- hash_join               X ms
+  |- plan_select             X ms  [candidates=2 pruned=1 memo_hits=0 memo_misses=0]
+  |- estimate                X ms
+  |- intern                  X ms
+  `- analyze_exec            X ms
+     `- hash_join               X ms
+  q1(S,C) :- v4(M,anderson,C,S)
+  order: v4(M,anderson,C,S)
+  profile:
+  query q1(S,C) :- v4(M,anderson,C,S)              X ms
+  `- exec q1                                  in=3 out=3      X ms
+     |- select v4(M,anderson,C,S)             in=4 out=3 est=1.5 q=2.00      X ms
+     `- scan v4(M,anderson,C,S)               in=1 build=3 out=3 est=1.5 q=2.00      X ms
+  trace written to trace.json
+
+The exported trace is one JSON object wrapping the events.
+
+  $ grep -c '"traceEvents"' trace.json
+  1
+  $ grep -c '"ph":"X"' trace.json
+  1
+
+--analyze without --data is a usage error.
+
+  $ vplan_cli explain carloc.dlog --analyze
+  error: --analyze needs --data FILE
+  [1]

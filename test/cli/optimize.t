@@ -69,7 +69,7 @@ repeated requests are answered from the same resident memo.
   generation=1 views=3 classes=3
   requests=0 hits=0 misses=0 bypasses=0
   cache size=0 capacity=512 evictions=0
-  truncated=0 plan-requests=2 generation-resets=0
+  truncated=0 plan-requests=2 analyze-requests=0 generation-resets=0
   data relations=3 rows=10
   acyclic queries=0 containment-fastpath=4 containment-fallback=2
 

@@ -27,7 +27,7 @@ Every rewrite response carries a per-request trace id.
   generation=1 views=3 classes=3
   requests=2 hits=1 misses=1 bypasses=0
   cache size=1 capacity=512 evictions=0
-  truncated=0 plan-requests=0 generation-resets=0
+  truncated=0 plan-requests=0 analyze-requests=0 generation-resets=0
   acyclic queries=0 containment-fastpath=2 containment-fallback=2
 
 Catalog updates bump the generation and invalidate the cache; removing
@@ -77,7 +77,7 @@ hit) and gets the complete answer.
   generation=1 views=3 classes=3
   requests=2 hits=0 misses=2 bypasses=0
   cache size=1 capacity=512 evictions=0
-  truncated=1 plan-requests=0 generation-resets=0
+  truncated=1 plan-requests=0 analyze-requests=0 generation-resets=0
   acyclic queries=0 containment-fastpath=4 containment-fallback=2
 
 Batches fan out over the domain pool and answer in request order.
@@ -126,9 +126,9 @@ timing-dependent, so only their presence is checked).
   generation=1 views=3 classes=3
   requests=2 hits=1 misses=1 bypasses=0
   cache size=0 capacity=512 evictions=0
-  truncated=0 plan-requests=0 generation-resets=1
+  truncated=0 plan-requests=0 analyze-requests=0 generation-resets=1
   acyclic queries=0 containment-fastpath=2 containment-fallback=4
-  {"generation":1,"views":3,"classes":3,"requests":2,"hits":1,"misses":1,"bypasses":0,"evictions":0,"cache_size":0,"cache_capacity":512,"truncated":0,"plan_requests":0,"generation_resets":1,"data_relations":0,"data_rows":0,"acyclic_queries":0,"containment_fastpath":2,"containment_fallback":4,"latency":…}
+  {"generation":1,"views":3,"classes":3,"requests":2,"hits":1,"misses":1,"bypasses":0,"evictions":0,"cache_size":0,"cache_capacity":512,"truncated":0,"plan_requests":0,"analyze_requests":0,"generation_resets":1,"data_relations":0,"data_rows":0,"acyclic_queries":0,"containment_fastpath":2,"containment_fallback":4,"estimate_accuracy":{},"latency":…}
 
 The metrics command emits Prometheus-style vplan_* lines: monotone
 counters for the pipeline, per-phase latency histograms, and gauges set
@@ -247,3 +247,61 @@ store mode and recovery counters; without a data dir it says ephemeral.
   > SESSION
   ok health generation=0 views=0 store=ephemeral
   err no data dir (start the server with --data-dir DIR)
+
+explain analyze executes the chosen plan with an operator profile:
+estimated vs actual rows per operator and the per-query q-error on the
+summary line.  The request is recorded in the flight recorder with its
+profile retained, so trace dump can export a Chrome trace afterwards,
+and stats grows the per-relation estimate accuracy fed by the analyze
+selections.
+
+  $ cat > adata.dl <<'EOF2'
+  > car(honda, anderson). car(toyota, anderson). car(ford, baker).
+  > loc(anderson, springfield). loc(anderson, shelby). loc(baker, springfield).
+  > part(s1, honda, springfield). part(s2, toyota, shelby).
+  > part(s3, ford, springfield). part(s4, honda, shelby).
+  > EOF2
+
+  $ vplan_server --stdio --catalog views.dl <<'SESSION' | grep -v '^latency' | sed -E -e 's/[0-9]+\.[0-9]+ ms/X ms/g' -e 's/ms=[0-9.]+/ms=X/g' -e 's/"(ts|dur|ts_ms)":[0-9.e+]+/"\1":X/g'
+  > data load adata.dl
+  > explain analyze q1(S, C) :- car(M, anderson), loc(anderson, C), part(S, M, C).
+  > recorder grep kind=analyze
+  > trace dump 1
+  > stats
+  > quit
+  > SESSION
+  ok catalog generation=1 views=3 classes=3
+  ok data facts=10 relations=3 rows=10
+  ok analyze cost=25 candidates=2 answers=3 qerror=2.00 class=acyclic trace=1
+  q1(S,C) :- v4(M,anderson,C,S)
+  order: v4(M,anderson,C,S)
+  profile:
+  query q1(S,C) :- v4(M,anderson,C,S)              X ms
+  `- exec q1                                  in=3 out=3      X ms
+     |- select v4(M,anderson,C,S)             in=4 out=3 est=1.5 q=2.00      X ms
+     `- scan v4(M,anderson,C,S)               in=1 build=3 out=3 est=1.5 q=2.00      X ms
+  ok recorder matched=1
+  seq=0 trace=1 kind=analyze ms=X source=- mode=exact class=acyclic answers=3 qerror=2.00 truncated=- slow=no spans=0 profile=yes q1(S,C)
+  {"traceEvents":[{"name":"query q1(S,C) :- v4(M,anderson,C,S)","cat":"vplan","ph":"X","ts":X,"dur":X,"pid":1,"tid":0},{"name":"exec q1","cat":"vplan","ph":"X","ts":X,"dur":X,"pid":1,"tid":0,"args":{"rows_in":3,"rows_out":3}},{"name":"select v4(M,anderson,C,S)","cat":"vplan","ph":"X","ts":X,"dur":X,"pid":1,"tid":0,"args":{"rows_in":4,"rows_out":3,"est_rows":1.5}},{"name":"scan v4(M,anderson,C,S)","cat":"vplan","ph":"X","ts":X,"dur":X,"pid":1,"tid":0,"args":{"rows_in":1,"build_rows":3,"rows_out":3,"est_rows":1.5}}],"displayTimeUnit":"ms"}
+  generation=1 views=3 classes=3
+  requests=0 hits=0 misses=0 bypasses=0
+  cache size=0 capacity=512 evictions=0
+  truncated=0 plan-requests=0 analyze-requests=1 generation-resets=0
+  data relations=3 rows=10
+  acyclic queries=0 containment-fastpath=2 containment-fallback=2
+  estimates v4 n=1 mean_q=2.00 max_q=2.00
+
+recorder dump --json emits the ring as one JSON array line; unknown
+trace ids are a polite error.
+
+  $ vplan_server --stdio --catalog views.dl <<'SESSION' | grep -c '"kind":"rewrite"'
+  > rewrite q1(S, C) :- car(M, anderson), loc(anderson, C), part(S, M, C).
+  > recorder dump --json
+  > quit
+  > SESSION
+  1
+  $ vplan_server --stdio <<'SESSION'
+  > trace dump 42
+  > quit
+  > SESSION
+  err no recorded request with trace=42

@@ -155,6 +155,49 @@ let prop_oracle_equivalence =
       && Relation.equal expected (Exec.answers ~semijoin:false t q)
       && Relation.equal expected (Exec.answers ~radix_threshold:1 t q))
 
+(* -- QCheck: the observer effect of operator profiles ----------------
+   Attaching a profile (and estimate callbacks) never changes the
+   answer, the profile's actual row counts agree with the answer the
+   plain run produces, and every node is internally consistent. *)
+
+let prop_profile_transparent =
+  QCheck2.Test.make ~count:300 ~name:"profiled Exec.answers = plain"
+    QCheck2.Gen.(pair Qcheck_gens.gen_query Qcheck_gens.gen_database)
+    (fun (q, db) ->
+      let t = Interned.of_database db in
+      let plain = Exec.answers t q in
+      let est = Estimate.of_stats (Stats.collect db) in
+      let estimate = function
+        | [] -> Float.nan
+        | [ a ] -> Estimate.atom_cardinality est a
+        | a :: rest ->
+            Estimate.profile_card
+              (List.fold_left
+                 (fun p b -> Estimate.join_profiles p (Estimate.atom_profile est b))
+                 (Estimate.atom_profile est a)
+                 rest)
+      in
+      let p = Profile.create ~name:"prop" () in
+      let profiled = Exec.answers ~profile:p ~estimate t q in
+      let root = Profile.finish p in
+      let nodes = Profile.preorder root in
+      let exec =
+        List.find_opt (fun n -> n.Profile.op = "exec") nodes
+      in
+      Relation.equal plain profiled
+      (* the exec node's output is the deduplicated answer count *)
+      && (match exec with
+         | Some n -> n.Profile.rows_out = Relation.cardinality plain
+         | None -> false)
+      (* per-node sanity: recorded row counts are never negative beyond
+         the -1 sentinel, durations never negative *)
+      && List.for_all
+           (fun n ->
+             n.Profile.rows_out >= -1
+             && n.Profile.rows_in >= -1
+             && n.Profile.dur_ms >= 0.)
+           nodes)
+
 let suite =
   [
     Alcotest.test_case "interning roundtrip" `Quick test_intern_roundtrip;
@@ -166,4 +209,5 @@ let suite =
     Alcotest.test_case "budget truncation mid-probe" `Quick test_budget_truncation;
     Alcotest.test_case "join counters move" `Quick test_counters_move;
     QCheck_alcotest.to_alcotest prop_oracle_equivalence;
+    QCheck_alcotest.to_alcotest prop_profile_transparent;
   ]

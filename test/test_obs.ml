@@ -171,6 +171,243 @@ let traced_equals_untraced_plan =
           && Query.equal a.Select.m2_rewriting b.Select.m2_rewriting
       | _ -> false)
 
+(* --- Prometheus exposition format ---------------------------------- *)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let dump_conformance () =
+  let h = Metrics.histogram ~help:"conformance probe" "test_obs_conform_ms" in
+  Metrics.observe h 0.5;
+  Metrics.observe h 5.;
+  Metrics.observe h 1e9;
+  let buf = Buffer.create 4096 in
+  let ppf = Format.formatter_of_buffer buf in
+  Metrics.dump ppf;
+  Format.pp_print_flush ppf ();
+  let text = Buffer.contents buf in
+  check_bool "HELP line" true
+    (contains text "# HELP test_obs_conform_ms conformance probe");
+  check_bool "TYPE histogram" true
+    (contains text "# TYPE test_obs_conform_ms histogram");
+  check_bool "TYPE counter somewhere" true (contains text " counter\n");
+  check_bool "+Inf bucket" true
+    (contains text "test_obs_conform_ms_bucket{le=\"+Inf\"} 3");
+  check_bool "_sum series" true (contains text "test_obs_conform_ms_sum ");
+  check_bool "_count series" true (contains text "test_obs_conform_ms_count 3");
+  (* buckets are cumulative: counts along the le-ladder never decrease *)
+  let lines = String.split_on_char '\n' text in
+  let prefix = "test_obs_conform_ms_bucket{" in
+  let bucket_counts =
+    List.filter_map
+      (fun l ->
+        if
+          String.length l >= String.length prefix
+          && String.sub l 0 (String.length prefix) = prefix
+        then
+          match String.rindex_opt l ' ' with
+          | Some i ->
+              int_of_string_opt (String.sub l (i + 1) (String.length l - i - 1))
+          | None -> None
+        else None)
+      lines
+  in
+  check_bool "at least one bucket line" true (List.length bucket_counts > 1);
+  let rec ascending = function
+    | a :: (b :: _ as tl) -> a <= b && ascending tl
+    | _ -> true
+  in
+  check_bool "buckets cumulative" true (ascending bucket_counts)
+
+(* --- q-error -------------------------------------------------------- *)
+
+let qerror_units () =
+  check_bool "perfect estimate" true (Profile.qerror ~est:10. ~actual:10 = 1.);
+  check_bool "under by 100x" true (Profile.qerror ~est:1. ~actual:100 = 100.);
+  check_bool "over by 100x" true (Profile.qerror ~est:100. ~actual:1 = 100.);
+  check_bool "empty estimated empty is perfect" true
+    (Profile.qerror ~est:0. ~actual:0 = 1.);
+  check_bool "no estimate propagates nan" true
+    (Float.is_nan (Profile.qerror ~est:Float.nan ~actual:5));
+  let q = Qerror.create () in
+  check_bool "empty acc mean is nan" true (Float.is_nan (Qerror.mean_q q));
+  Qerror.observe q 2.;
+  Qerror.observe q 8.;
+  Qerror.observe q Float.nan;
+  Qerror.observe q 0.5 (* clamps to 1 *);
+  check_int "nan ignored" 3 (Qerror.count q);
+  check_bool "max" true (Qerror.max_q q = 8.);
+  (* geometric mean of {2, 8, 1} = (16)^(1/3) *)
+  check_bool "geometric mean" true
+    (Float.abs (Qerror.mean_q q -. (16. ** (1. /. 3.))) < 1e-9)
+
+(* --- operator profiles ---------------------------------------------- *)
+
+let profile_tree_shape () =
+  let p = Profile.create ~name:"q" () in
+  let prof = Some p in
+  Profile.step prof ~op:"exec" ~name:"q" (fun n ->
+      Profile.set_rows_in n 10;
+      Profile.step prof ~op:"select" ~name:"r" (fun c ->
+          Profile.set_rows_out c 4;
+          Profile.set_est_rows c 8.);
+      Profile.step prof ~op:"join" ~name:"s" (fun c ->
+          Profile.set_build_rows c 4;
+          Profile.set_rows_out c 2;
+          Profile.set_est_rows c 2.);
+      Profile.set_rows_out n 2);
+  let root = Profile.finish p in
+  check_bool "root is the query node" true (root.Profile.op = "query");
+  (match root.Profile.children with
+  | [ e ] ->
+      check_bool "exec child" true (e.Profile.op = "exec");
+      (match e.Profile.children with
+      | [ a; b ] ->
+          (* children come back in execution order *)
+          check_bool "select first" true (a.Profile.op = "select");
+          check_bool "join second" true (b.Profile.op = "join");
+          check_int "build rows" 4 b.Profile.build_rows
+      | _ -> Alcotest.fail "expected two grandchildren")
+  | _ -> Alcotest.fail "expected one child");
+  (* worst estimate over the tree: select is off 2x, join is exact *)
+  check_bool "max qerror" true (Profile.max_qerror root = 2.);
+  check_int "preorder covers the tree" 4 (List.length (Profile.preorder root));
+  let rendered = Format.asprintf "%a" Profile.pp_tree root in
+  check_bool "tree names operators" true
+    (contains rendered "select" && contains rendered "join");
+  check_bool "tree shows est vs actual" true
+    (contains rendered "out=4 est=8.0 q=2.00");
+  let events = Profile.chrome_events root in
+  check_int "one chrome event per node" 4 (List.length events);
+  check_bool "events are complete-phase" true
+    (List.for_all (fun e -> contains e "\"ph\":\"X\"") events)
+
+let profiled_off_is_transparent () =
+  (* with no profile every entry point is a pass-through *)
+  let r = Profile.step None ~op:"exec" (fun n ->
+      Profile.set_rows_in n 3;
+      Profile.set_rows_out n 3;
+      41 + 1)
+  in
+  check_int "step None passes through" 42 r
+
+(* --- scoped trace sessions ------------------------------------------ *)
+
+let run_scoped_isolated () =
+  (* two concurrent scoped sessions: each collects exactly its own
+     spans, with no cross-pollution through the global session slot *)
+  let worker tag () =
+    Trace.run_scoped (fun () ->
+        for _ = 1 to 50 do
+          Trace.with_span tag (fun () -> ())
+        done)
+  in
+  let d1 = Domain.spawn (worker "left") in
+  let d2 = Domain.spawn (worker "right") in
+  let (), left = Domain.join d1 in
+  let (), right = Domain.join d2 in
+  check_int "left count" 50 (List.length left);
+  check_int "right count" 50 (List.length right);
+  check_bool "left spans pure" true
+    (List.for_all (fun s -> s.Trace.name = "left") left);
+  check_bool "right spans pure" true
+    (List.for_all (fun s -> s.Trace.name = "right") right);
+  check_bool "no session leaks" false (Trace.enabled ())
+
+let chrome_json_roundtrip () =
+  let (), spans =
+    Trace.run (fun () ->
+        Trace.with_span "outer" (fun () -> Trace.with_span "inner" (fun () -> ())))
+  in
+  let json = Trace.chrome_json spans in
+  check_bool "traceEvents wrapper" true (contains json "\"traceEvents\":[");
+  check_bool "outer event" true (contains json "\"name\":\"outer\"");
+  check_bool "inner event" true (contains json "\"name\":\"inner\"");
+  check_bool "microsecond timestamps" true (contains json "\"ts\":");
+  check_bool "escaping" true
+    (Trace.json_escape "a\"b\\c\n" = "a\\\"b\\\\c\\n")
+
+(* --- flight recorder ------------------------------------------------ *)
+
+let recorder_basic () =
+  Recorder.reset ();
+  Recorder.append ~kind:"rewrite" ~trace:7 ~latency_ms:1.5 ~source:"miss"
+    ~answers:3 ~detail:"q(X)" ();
+  Recorder.append ~kind:"plan" ~trace:8 ~qerror:2.5 ~slow:true ();
+  let records = Recorder.dump () in
+  check_int "two records" 2 (List.length records);
+  (match records with
+  | [ a; b ] ->
+      check_bool "oldest first" true (a.Recorder.seq < b.Recorder.seq);
+      check_bool "fields kept" true
+        (a.Recorder.kind = "rewrite" && a.Recorder.trace = 7
+        && a.Recorder.answers = 3 && a.Recorder.source = "miss");
+      check_bool "unset answer is -1" true (b.Recorder.answers = -1);
+      check_bool "render is one line" true
+        (not (String.contains (Recorder.render a) '\n'));
+      check_bool "render carries the detail" true
+        (contains (Recorder.render a) "q(X)");
+      check_bool "json has the kind" true
+        (contains (Recorder.to_json b) "\"kind\":\"plan\"");
+      check_bool "nan qerror renders as null-free dash" true
+        (contains (Recorder.render a) "qerror=-")
+  | _ -> Alcotest.fail "expected two records");
+  (match Recorder.find_trace 8 with
+  | Some r -> check_bool "find_trace" true (r.Recorder.kind = "plan")
+  | None -> Alcotest.fail "trace 8 not found");
+  check_bool "missing trace" true (Recorder.find_trace 999 = None);
+  Recorder.set_enabled false;
+  Recorder.append ~kind:"ignored" ();
+  check_int "disabled appends are dropped" 2 (List.length (Recorder.dump ()));
+  Recorder.reset ()
+
+let recorder_wraparound () =
+  Recorder.reset ();
+  let n = Recorder.capacity + 100 in
+  for i = 0 to n - 1 do
+    Recorder.append ~kind:"w" ~answers:i ()
+  done;
+  let records = Recorder.dump () in
+  check_int "ring keeps capacity records" Recorder.capacity
+    (List.length records);
+  (* the survivors are exactly the newest [capacity] appends, in order *)
+  List.iteri
+    (fun i r -> check_int "survivor" (n - Recorder.capacity + i) r.Recorder.answers)
+    records;
+  Recorder.reset ()
+
+let recorder_stress () =
+  (* 4 domains race 1000 appends each into a 512-slot ring: every
+     record a dump returns must be internally consistent (no torn
+     reads), seqs distinct, and the ring full *)
+  Recorder.reset ();
+  let per_domain = 1000 in
+  let worker d () =
+    for i = 0 to per_domain - 1 do
+      let tag = (d * 1_000_000) + i in
+      Recorder.append ~kind:"stress" ~trace:tag ~answers:tag
+        ~detail:(string_of_int tag) ()
+    done
+  in
+  let domains = List.init 4 (fun d -> Domain.spawn (worker d)) in
+  List.iter Domain.join domains;
+  let records = Recorder.dump () in
+  check_int "ring full after stress" Recorder.capacity (List.length records);
+  List.iter
+    (fun r ->
+      check_bool "record not torn" true
+        (r.Recorder.kind = "stress"
+        && r.Recorder.trace = r.Recorder.answers
+        && r.Recorder.detail = string_of_int r.Recorder.trace))
+    records;
+  let seqs = List.map (fun r -> r.Recorder.seq) records in
+  let sorted = List.sort_uniq compare seqs in
+  check_int "seqs distinct" (List.length seqs) (List.length sorted);
+  check_bool "dump ordered by seq" true (seqs = List.sort compare seqs);
+  Recorder.reset ()
+
 let suite =
   [
     Alcotest.test_case "histogram bucket boundaries" `Quick bucket_boundaries;
@@ -181,6 +418,20 @@ let suite =
     Alcotest.test_case "disabled tracer is transparent" `Quick disabled_is_transparent;
     Alcotest.test_case "span parent links and annotations" `Quick span_parent_links;
     Alcotest.test_case "spans cross Parallel.map domains" `Quick spans_across_domains;
+    Alcotest.test_case "metrics dump is Prometheus-conformant" `Quick
+      dump_conformance;
+    Alcotest.test_case "q-error units and accumulators" `Quick qerror_units;
+    Alcotest.test_case "profile tree shape and rendering" `Quick
+      profile_tree_shape;
+    Alcotest.test_case "profiling off is transparent" `Quick
+      profiled_off_is_transparent;
+    Alcotest.test_case "scoped trace sessions are isolated" `Quick
+      run_scoped_isolated;
+    Alcotest.test_case "chrome trace export" `Quick chrome_json_roundtrip;
+    Alcotest.test_case "flight recorder basics" `Quick recorder_basic;
+    Alcotest.test_case "flight recorder wraparound" `Quick recorder_wraparound;
+    Alcotest.test_case "flight recorder multi-domain stress" `Quick
+      recorder_stress;
     traced_equals_untraced;
     traced_equals_untraced_plan;
   ]

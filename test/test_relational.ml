@@ -116,7 +116,10 @@ let test_prng_shuffle_permutes () =
 (* Bulk load must agree with incremental insertion and beat it: one
    sort + dedup pass against n balanced-tree insertions on a
    duplicate-heavy load.  The ratio bound is deliberately loose (the
-   asymptotics are identical; the win is constant-factor). *)
+   asymptotics are identical; the win is constant-factor).  A single
+   cold run is dominated by heap growth, not the algorithms — the
+   first iteration measures ~1.0x where steady state is ~1.3x — so
+   each side is timed as the best of three after one warm-up. *)
 let test_bulk_load_guard () =
   let n = 50_000 in
   let tuples =
@@ -125,14 +128,22 @@ let test_bulk_load_guard () =
     List.init n (fun i ->
         tuple_of_ints [ i mod 45_000; (i mod 45_000 * 7) mod 9_973 ])
   in
-  let t0 = Unix.gettimeofday () in
-  let bulk = Relation.of_tuples 2 tuples in
-  let bulk_s = Unix.gettimeofday () -. t0 in
-  let t0 = Unix.gettimeofday () in
-  let incremental =
+  let bulk_load () = Relation.of_tuples 2 tuples in
+  let incr_load () =
     List.fold_left (fun r t -> Relation.add t r) (Relation.empty 2) tuples
   in
-  let incr_s = Unix.gettimeofday () -. t0 in
+  let best_of_3 f =
+    ignore (f ());
+    let best = ref infinity and result = ref (f ()) in
+    for _ = 1 to 3 do
+      let t0 = Unix.gettimeofday () in
+      result := f ();
+      best := Float.min !best (Unix.gettimeofday () -. t0)
+    done;
+    (!result, !best)
+  in
+  let bulk, bulk_s = best_of_3 bulk_load in
+  let incremental, incr_s = best_of_3 incr_load in
   check_bool "bulk equals incremental" true (Relation.equal bulk incremental);
   check_bool "duplicates collapsed" true (Relation.cardinality bulk < n);
   check_bool
